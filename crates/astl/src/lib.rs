@@ -1,0 +1,375 @@
+//! Adaptive parallel algorithms over the X-Kaapi runtime — the "STL" layer
+//! the paper cites (Traoré et al., Euro-Par 2008): loop algorithms built on
+//! adaptive tasks that split on demand when cores go idle, plus fork-join
+//! divide-and-conquer algorithms.
+//!
+//! The parallel prefix is the textbook case of the paper's §II-D argument:
+//! any log-depth parallel prefix needs ≥ 4n operations against n−1
+//! sequentially (Fich), so creating parallelism only *on demand* — and
+//! falling back to the sequential algorithm per processor-sized chunk — is
+//! what keeps the overhead bounded. [`inclusive_scan`] is the classic
+//! two-pass formulation: parallel block sums, sequential carry scan,
+//! parallel rescan with offsets.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use xkaapi_core::{Ctx, Runtime};
+
+/// Sendable raw view of a slice, used to hand disjoint chunks to workers.
+#[derive(Clone, Copy)]
+struct SlicePtr<T>(*mut T, usize);
+unsafe impl<T: Send> Send for SlicePtr<T> {}
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
+impl<T> SlicePtr<T> {
+    fn new(s: &mut [T]) -> Self {
+        SlicePtr(s.as_mut_ptr(), s.len())
+    }
+
+    /// # Safety
+    /// `range` must be in bounds and disjoint from concurrently handed-out
+    /// ranges; the loop partitioning guarantees both.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn range_mut<'a>(&self, range: std::ops::Range<usize>) -> &'a mut [T] {
+        debug_assert!(range.end <= self.1);
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(range.start), range.len()) }
+    }
+}
+
+/// Apply `f` to every element in parallel (adaptive chunking).
+pub fn for_each_mut<T, F>(rt: &Runtime, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let n = data.len();
+    let view = SlicePtr::new(data);
+    rt.foreach_chunks(0..n, None, |r| {
+        // Safety: chunks are disjoint.
+        for v in unsafe { view.range_mut(r) } {
+            f(v);
+        }
+    });
+}
+
+/// `dst[i] = f(&src[i])` in parallel.
+pub fn transform<T, U, F>(rt: &Runtime, src: &[T], dst: &mut [U], f: F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert_eq!(src.len(), dst.len());
+    let view = SlicePtr::new(dst);
+    rt.foreach_chunks(0..src.len(), None, |r| {
+        let out = unsafe { view.range_mut(r.clone()) };
+        for (o, i) in out.iter_mut().zip(r) {
+            *o = f(&src[i]);
+        }
+    });
+}
+
+/// Parallel reduction with an associative `combine`.
+pub fn reduce<T, A, ID, F, C>(rt: &Runtime, data: &[T], identity: ID, fold: F, combine: C) -> A
+where
+    T: Sync,
+    A: Send,
+    ID: Fn() -> A + Sync,
+    F: Fn(&mut A, &T) + Sync,
+    C: Fn(A, A) -> A + Send + Sync,
+{
+    rt.foreach_reduce(0..data.len(), None, identity, |acc, i| fold(acc, &data[i]), combine)
+}
+
+/// In-place inclusive prefix sum under an associative `op` (two-pass
+/// blocked algorithm; see module docs for the Fich bound context).
+pub fn inclusive_scan<T, F>(rt: &Runtime, data: &mut [T], op: F)
+where
+    T: Send + Sync + Copy,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let p = rt.num_workers();
+    // Block count ≈ 4·p bounds the extra work; a sequential carry pass
+    // handles the inter-block dependency.
+    let nblocks = (4 * p).min(n).max(1);
+    let block = n.div_ceil(nblocks);
+    let nblocks = n.div_ceil(block);
+    if nblocks == 1 {
+        for i in 1..n {
+            data[i] = op(data[i - 1], data[i]);
+        }
+        return;
+    }
+    let view = SlicePtr::new(data);
+    // Pass 1: independent local scans per block.
+    rt.foreach_chunks(0..nblocks, Some(1), |bs| {
+        for b in bs {
+            let lo = b * block;
+            let hi = ((b + 1) * block).min(n);
+            let chunk = unsafe { view.range_mut(lo..hi) };
+            for i in 1..chunk.len() {
+                chunk[i] = op(chunk[i - 1], chunk[i]);
+            }
+        }
+    });
+    // Sequential carry scan over block totals.
+    let mut carries = Vec::with_capacity(nblocks);
+    let mut acc: Option<T> = None;
+    for b in 0..nblocks {
+        let hi = ((b + 1) * block).min(n);
+        let total = data[hi - 1];
+        carries.push(acc);
+        acc = Some(match acc {
+            None => total,
+            Some(a) => op(a, total),
+        });
+    }
+    // Pass 2: offset each block by its carry.
+    let carries = &carries;
+    let view = SlicePtr::new(data);
+    rt.foreach_chunks(0..nblocks, Some(1), |bs| {
+        for b in bs {
+            let Some(c) = carries[b] else { continue };
+            let lo = b * block;
+            let hi = ((b + 1) * block).min(n);
+            let chunk = unsafe { view.range_mut(lo..hi) };
+            for v in chunk {
+                *v = op(c, *v);
+            }
+        }
+    });
+}
+
+/// Index of the first element satisfying `pred`, with adaptive early exit:
+/// chunks claimed after a match at a lower index are skipped cheaply.
+pub fn find_first<T, P>(rt: &Runtime, data: &[T], pred: P) -> Option<usize>
+where
+    T: Sync,
+    P: Fn(&T) -> bool + Sync,
+{
+    let found = AtomicUsize::new(usize::MAX);
+    let stop = AtomicBool::new(false);
+    rt.foreach_chunks(0..data.len(), None, |r| {
+        if stop.load(Ordering::Relaxed) && r.start > found.load(Ordering::Relaxed) {
+            return; // everything here is after a known match
+        }
+        for i in r {
+            if pred(&data[i]) {
+                found.fetch_min(i, Ordering::AcqRel);
+                stop.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+    });
+    match found.load(Ordering::Acquire) {
+        usize::MAX => None,
+        i => Some(i),
+    }
+}
+
+/// Index of a minimum element (ties broken arbitrarily).
+pub fn min_element<T>(rt: &Runtime, data: &[T]) -> Option<usize>
+where
+    T: PartialOrd + Sync,
+{
+    if data.is_empty() {
+        return None;
+    }
+    let best = rt.foreach_reduce(
+        0..data.len(),
+        None,
+        || usize::MAX,
+        |acc, i| {
+            if *acc == usize::MAX || data[i] < data[*acc] {
+                *acc = i;
+            }
+        },
+        |a, b| match (a, b) {
+            (usize::MAX, b) => b,
+            (a, usize::MAX) => a,
+            (a, b) => {
+                if data[b] < data[a] {
+                    b
+                } else {
+                    a
+                }
+            }
+        },
+    );
+    Some(best)
+}
+
+const SORT_CUTOFF: usize = 2_048;
+
+/// Parallel merge sort (fork-join divide and conquer via [`Ctx::join`]).
+pub fn merge_sort<T>(rt: &Runtime, data: &mut [T])
+where
+    T: Ord + Copy + Send + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let mut scratch = vec![data[0]; data.len()].into_boxed_slice();
+    rt.scope(|ctx| {
+        sort_rec(ctx, data, &mut scratch);
+    });
+}
+
+fn sort_rec<T>(ctx: &mut Ctx<'_>, data: &mut [T], scratch: &mut [T])
+where
+    T: Ord + Copy + Send + Sync,
+{
+    let n = data.len();
+    if n <= SORT_CUTOFF {
+        data.sort_unstable();
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        ctx.join(|c| sort_rec(c, dl, sl), |c| sort_rec(c, dr, sr));
+    }
+    // merge halves into scratch, then copy back
+    {
+        let (l, r) = data.split_at(mid);
+        let (mut i, mut j, mut k) = (0, 0, 0);
+        while i < l.len() && j < r.len() {
+            if l[i] <= r[j] {
+                scratch[k] = l[i];
+                i += 1;
+            } else {
+                scratch[k] = r[j];
+                j += 1;
+            }
+            k += 1;
+        }
+        while i < l.len() {
+            scratch[k] = l[i];
+            i += 1;
+            k += 1;
+        }
+        while j < r.len() {
+            scratch[k] = r[j];
+            j += 1;
+            k += 1;
+        }
+    }
+    data.copy_from_slice(&scratch[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::new(4)
+    }
+
+    #[test]
+    fn for_each_mut_applies_everywhere() {
+        let rt = rt();
+        let mut v: Vec<u64> = (0..10_000).collect();
+        for_each_mut(&rt, &mut v, |x| *x *= 2);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn transform_matches_map() {
+        let rt = rt();
+        let src: Vec<i64> = (0..5_000).collect();
+        let mut dst = vec![0i64; 5_000];
+        transform(&rt, &src, &mut dst, |&x| x * x - 1);
+        assert!(src.iter().zip(&dst).all(|(&s, &d)| d == s * s - 1));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let rt = rt();
+        let v: Vec<u64> = (1..=100_000).collect();
+        let s: u64 = reduce(&rt, &v, || 0u64, |a, &x| *a += x, |a, b| a + b);
+        assert_eq!(s, 100_000u64 * 100_001 / 2);
+    }
+
+    #[test]
+    fn scan_matches_sequential() {
+        let rt = rt();
+        for n in [0usize, 1, 2, 100, 4_097, 50_000] {
+            let mut v: Vec<u64> = (0..n as u64).map(|i| i % 7 + 1).collect();
+            let mut expect = v.clone();
+            for i in 1..expect.len() {
+                expect[i] += expect[i - 1];
+            }
+            inclusive_scan(&rt, &mut v, |a, b| a + b);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_non_commutative_op() {
+        // Affine-map composition is associative but not commutative:
+        // (p,q) ∘ (r,s) applies (p,q) first, then (r,s).
+        let rt = rt();
+        let compose =
+            |a: (u64, u64), b: (u64, u64)| ((a.0 * b.0) % 1_000_003, (a.1 * b.0 + b.1) % 1_000_003);
+        let n = 10_000;
+        let mut v: Vec<(u64, u64)> = (0..n).map(|i| (1 + i % 5, 2 + i % 11)).collect();
+        let mut expect = v.clone();
+        for i in 1..expect.len() {
+            expect[i] = compose(expect[i - 1], expect[i]);
+        }
+        inclusive_scan(&rt, &mut v, compose);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn find_first_returns_lowest_index() {
+        let rt = rt();
+        let mut v = vec![0u8; 100_000];
+        v[77_777] = 1;
+        v[99_999] = 1;
+        assert_eq!(find_first(&rt, &v, |&x| x == 1), Some(77_777));
+        assert_eq!(find_first(&rt, &v, |&x| x == 9), None);
+        assert_eq!(find_first(&rt, &Vec::<u8>::new(), |_| true), None);
+    }
+
+    #[test]
+    fn min_element_finds_minimum() {
+        let rt = rt();
+        let v: Vec<i64> =
+            (0..50_000).map(|i| ((i * 37) % 1009) - ((i == 33_333) as i64 * 5_000)).collect();
+        let idx = min_element(&rt, &v).unwrap();
+        let min = v.iter().copied().min().unwrap();
+        assert_eq!(v[idx], min);
+        assert!(min_element::<i64>(&rt, &[]).is_none());
+    }
+
+    #[test]
+    fn merge_sort_sorts() {
+        let rt = rt();
+        let mut v: Vec<u64> = (0..60_000).map(|i| (i * 2_654_435_761u64) % 1_000_000).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        merge_sort(&rt, &mut v);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn merge_sort_small_and_sorted_inputs() {
+        let rt = rt();
+        let mut v: Vec<u64> = vec![3, 1, 2];
+        merge_sort(&rt, &mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+        let mut v: Vec<u64> = (0..10_000).collect();
+        merge_sort(&rt, &mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let mut v: Vec<u64> = vec![];
+        merge_sort(&rt, &mut v);
+        assert!(v.is_empty());
+    }
+}

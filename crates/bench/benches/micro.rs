@@ -1,0 +1,197 @@
+//! Criterion micro-benchmarks of the runtime primitives the paper's §III-A
+//! discusses (task creation ≈ ten cycles in the original C implementation;
+//! we report our own numbers honestly), plus ablation comparisons:
+//! aggregation on/off, ready-list promotion on/off, loop grain sweep, and
+//! the kernel/bookkeeping costs behind the figure harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use xkaapi_core::{PromotionPolicy, Runtime, Shared};
+use xkaapi_forkjoin::the_deque::{JobRef, TheDeque};
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("task-creation");
+    g.sample_size(20);
+    let rt = Runtime::new(1);
+    g.bench_function("spawn+sync x1000 (xkaapi, 1 worker)", |b| {
+        b.iter(|| {
+            rt.scope(|ctx| {
+                for _ in 0..1000 {
+                    ctx.spawn([], |_| {});
+                }
+            });
+        })
+    });
+    let pool = xkaapi_forkjoin::CilkPool::new(1);
+    g.bench_function("join x1000 (cilklike, 1 worker)", |b| {
+        b.iter(|| {
+            pool.run(|ctx| {
+                for _ in 0..1000 {
+                    ctx.join(|_| {}, |_| {});
+                }
+            });
+        })
+    });
+    let tpool = xkaapi_forkjoin::TbbPool::new(1);
+    g.bench_function("join x1000 (tbblike, 1 worker)", |b| {
+        b.iter(|| {
+            tpool.run(|ctx| {
+                for _ in 0..1000 {
+                    ctx.join(|_| {}, |_| {});
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+fn bench_deque(c: &mut Criterion) {
+    let mut g = c.benchmark_group("the-deque");
+    let d = TheDeque::new();
+    let sink = AtomicUsize::new(0);
+    unsafe fn exec(data: *mut (), _w: usize) {
+        let v = unsafe { &*(data as *const AtomicUsize) };
+        v.fetch_add(1, Ordering::Relaxed);
+    }
+    let job = JobRef { data: &sink as *const AtomicUsize as *mut (), exec };
+    g.bench_function("push+pop", |b| {
+        b.iter(|| {
+            assert!(d.push(job));
+            let j = d.pop().unwrap();
+            std::hint::black_box(j);
+        })
+    });
+    g.bench_function("push+steal", |b| {
+        b.iter(|| {
+            assert!(d.push(job));
+            let j = d.steal().unwrap();
+            std::hint::black_box(j);
+        })
+    });
+    g.finish();
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow");
+    g.sample_size(15);
+    for (label, promote) in [("readylist-on", true), ("readylist-off", false)] {
+        let rt = Runtime::builder()
+            .workers(2)
+            .promotion(PromotionPolicy { enabled: promote, promote_len: 16, promote_scans: 4 })
+            .build();
+        g.bench_with_input(BenchmarkId::new("chain256", label), &rt, |b, rt| {
+            b.iter(|| {
+                let h = Shared::new(0u64);
+                rt.scope(|ctx| {
+                    for _ in 0..256 {
+                        let hw = h.clone();
+                        ctx.spawn([h.exclusive()], move |t| {
+                            *t.write(&hw) += 1;
+                        });
+                    }
+                });
+                assert_eq!(*h.get(), 256);
+            })
+        });
+    }
+    for (label, agg) in [("aggregation-on", true), ("aggregation-off", false)] {
+        let rt = Runtime::builder().workers(4).aggregation(agg).build();
+        g.bench_with_input(BenchmarkId::new("wide512", label), &rt, |b, rt| {
+            b.iter(|| {
+                let sum = AtomicUsize::new(0);
+                rt.scope(|ctx| {
+                    let sum = &sum;
+                    for _ in 0..512 {
+                        ctx.spawn([], move |_| {
+                            sum.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                assert_eq!(sum.load(Ordering::Relaxed), 512);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_foreach(c: &mut Criterion) {
+    let mut g = c.benchmark_group("foreach-grain");
+    g.sample_size(15);
+    let rt = Runtime::new(4);
+    let n = 100_000usize;
+    for grain in [16usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(grain), &grain, |b, &grain| {
+            b.iter(|| {
+                let s = rt.foreach_reduce(
+                    0..n,
+                    Some(grain),
+                    || 0u64,
+                    |a, i| *a += i as u64,
+                    |a, b| a + b,
+                );
+                assert_eq!(s, (n as u64 - 1) * n as u64 / 2);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    use xkaapi_linalg::kernels::{gemm, potrf};
+    use xkaapi_linalg::TiledMatrix;
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    for nb in [64usize, 128] {
+        let a = TiledMatrix::spd_random(nb, nb, 3);
+        let tile = a.tile(0, 0).to_vec();
+        g.bench_with_input(BenchmarkId::new("potrf", nb), &nb, |b, &nb| {
+            b.iter(|| {
+                let mut t = tile.clone();
+                potrf(&mut t, nb).unwrap();
+                std::hint::black_box(&t);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gemm", nb), &nb, |b, &nb| {
+            b.iter(|| {
+                let mut t = tile.clone();
+                gemm(&tile, &tile, &mut t, nb);
+                std::hint::black_box(&t);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use xkaapi_bench::{cholesky_dag, ws_policy, KernelCosts};
+    use xkaapi_sim::{simulate_dag, Platform};
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let costs = KernelCosts {
+        nb: 128,
+        potrf_ns: 400_000,
+        trsm_ns: 1_000_000,
+        syrk_ns: 1_000_000,
+        gemm_ns: 2_000_000,
+    };
+    let dag = cholesky_dag(24, &costs);
+    let p = Platform::magny_cours(48);
+    g.bench_function("cholesky-nt24-48cores", |b| {
+        b.iter(|| {
+            let r = simulate_dag(&p, &dag, &ws_policy(), 1);
+            std::hint::black_box(r.makespan_ns);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spawn,
+    bench_deque,
+    bench_dataflow,
+    bench_foreach,
+    bench_kernels,
+    bench_simulator
+);
+criterion_main!(benches);

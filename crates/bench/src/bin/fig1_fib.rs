@@ -1,0 +1,166 @@
+//! Fig. 1 — Fibonacci task-creation micro-benchmark.
+//!
+//! Reproduces the paper's table: execution time of the doubly-recursive
+//! Fibonacci program (one task + one inline call + sync per node) on four
+//! runtimes — Cilk-like, TBB-like, X-Kaapi, OpenMP-like — at 1, 8, 16, 32
+//! and 48 cores, plus the 1-core slowdown against the sequential program.
+//!
+//! The 1-core column is **measured for real** on this host (per-task
+//! overheads of our actual runtime implementations). Multi-core columns
+//! come from the calibrated fork-join models of `xkaapi-sim` (this host
+//! has one core; see DESIGN.md §1).
+//!
+//! Usage: `fig1_fib [n]` (default 27; the paper uses 35 — linear scaling
+//! in task count applies).
+
+use xkaapi_bench::{measure_ns, print_table};
+use xkaapi_core::{Ctx, Runtime};
+use xkaapi_forkjoin::{CilkCtx, CilkPool, TbbCtx, TbbPool};
+use xkaapi_omp::{OmpCtx, OmpPool};
+use xkaapi_sim::{fib_call_count, CentralPoolModel, ForkJoinModel};
+
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+fn fib_xkaapi(ctx: &mut Ctx<'_>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = ctx.join(|c| fib_xkaapi(c, n - 1), |c| fib_xkaapi(c, n - 2));
+    a + b
+}
+
+fn fib_cilk(ctx: &CilkCtx<'_>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = ctx.join(|c| fib_cilk(c, n - 1), |c| fib_cilk(c, n - 2));
+    a + b
+}
+
+fn fib_tbb(ctx: &TbbCtx<'_>, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = ctx.join(|c| fib_tbb(c, n - 1), |c| fib_tbb(c, n - 2));
+    a + b
+}
+
+fn fib_omp(ctx: &OmpCtx<'_>, n: u64, out: &std::sync::atomic::AtomicU64) {
+    use std::sync::atomic::Ordering;
+    if n < 2 {
+        out.fetch_add(n, Ordering::Relaxed);
+        return;
+    }
+    ctx.task(move |c| fib_omp(c, n - 1, out));
+    fib_omp(ctx, n - 2, out);
+    ctx.taskwait();
+}
+
+fn main() {
+    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(27);
+    let tasks = fib_call_count(n);
+    let expect = fib_seq(n);
+    println!("# Fig. 1 — Fibonacci({n}) task creation ({tasks} tasks)");
+    println!("(paper: fib(35), sequential 0.091 s on 2.2 GHz Magny-Cours)");
+
+    // --- real 1-core measurements -------------------------------------
+    let reps = 3;
+    let t_seq = measure_ns(reps, || {
+        std::hint::black_box(fib_seq(std::hint::black_box(n)));
+    });
+
+    let rt = Runtime::new(1);
+    let t_kaapi = measure_ns(reps, || {
+        let v = rt.scope(|c| fib_xkaapi(c, n));
+        assert_eq!(v, expect);
+    });
+    drop(rt);
+
+    let pool = CilkPool::new(1);
+    let t_cilk = measure_ns(reps, || {
+        let v = pool.run(|c| fib_cilk(c, n));
+        assert_eq!(v, expect);
+    });
+    drop(pool);
+
+    let pool = TbbPool::new(1);
+    let t_tbb = measure_ns(reps, || {
+        let v = pool.run(|c| fib_tbb(c, n));
+        assert_eq!(v, expect);
+    });
+    drop(pool);
+
+    let pool = OmpPool::new(1);
+    let t_omp = measure_ns(reps, || {
+        let out = std::sync::atomic::AtomicU64::new(0);
+        pool.single_producer(|c| fib_omp(c, n, &out));
+        assert_eq!(out.load(std::sync::atomic::Ordering::Relaxed), expect);
+    });
+    drop(pool);
+
+    let slowdown = |t: u64| format!("x {:.1}", t as f64 / t_seq as f64);
+    print_table(
+        "Measured on this host (1 core, real)",
+        &["runtime", "time (ms)", "slowdown vs seq"],
+        &[
+            vec!["sequential".into(), format!("{:.3}", t_seq as f64 / 1e6), "x 1".into()],
+            vec!["Cilk-like".into(), format!("{:.3}", t_cilk as f64 / 1e6), slowdown(t_cilk)],
+            vec!["TBB-like".into(), format!("{:.3}", t_tbb as f64 / 1e6), slowdown(t_tbb)],
+            vec!["XKaapi".into(), format!("{:.3}", t_kaapi as f64 / 1e6), slowdown(t_kaapi)],
+            vec!["OpenMP-like".into(), format!("{:.3}", t_omp as f64 / 1e6), slowdown(t_omp)],
+        ],
+    );
+    println!("\n(paper Fig.1 slowdowns: Cilk+ x11.7, TBB x26, Kaapi x8, OpenMP x27)");
+
+    // --- calibrated models for 8..48 cores -----------------------------
+    let overhead = |t: u64| (t.saturating_sub(t_seq)) as f64 / tasks as f64;
+    let mk_ws = |t: u64, steal: f64| ForkJoinModel {
+        t_seq_ns: t_seq,
+        tasks,
+        task_overhead_ns: overhead(t).max(1.0),
+        steal_ns: steal,
+        depth: n,
+    };
+    let kaapi = mk_ws(t_kaapi, 250.0);
+    let cilk = mk_ws(t_cilk, 220.0);
+    let tbb = mk_ws(t_tbb, 400.0);
+    let omp = CentralPoolModel {
+        t_seq_ns: t_seq,
+        tasks,
+        queue_ns: 150.0,
+        beta: 0.8,
+        deferred_fraction: 0.35,
+        inline_overhead_ns: overhead(t_omp).max(1.0),
+    };
+
+    let cores = [1usize, 8, 16, 32, 48];
+    let rows: Vec<Vec<String>> = cores
+        .iter()
+        .map(|&p| {
+            vec![
+                p.to_string(),
+                format!("{:.3}", cilk.ws_time_ns(p) / 1e6),
+                format!("{:.3}", tbb.ws_time_ns(p) / 1e6),
+                format!("{:.3}", kaapi.ws_time_ns(p) / 1e6),
+                if p >= 32 {
+                    "(diverges)".into()
+                } else {
+                    format!("{:.1}", omp.time_ns(p) / 1e6)
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        "Modelled execution times, ms (simulated Magny-Cours; constants calibrated above)",
+        &["#cores", "Cilk-like", "TBB-like", "Kaapi", "OpenMP-like"],
+        &rows,
+    );
+    println!("\n(paper, seconds: 1 core 1.063/2.356/0.728/2.429; 8 cores 0.127/0.293/0.094/51.06;");
+    println!(" 16 cores 0.065/0.146/0.047/104.14; 32/48 cores OpenMP stopped after 5 min)");
+}

@@ -1,0 +1,97 @@
+//! Fig. 2 — dense tiled Cholesky GFlop/s on 48 (virtual) cores.
+//!
+//! Reproduces both plots: GFlop/s against matrix size for tile sizes
+//! NB = 128 and NB = 224, with the three versions the paper compares:
+//!
+//! * `XKaapi`       — distributed work stealing (QUARK API on X-Kaapi),
+//! * `PLASMA/Quark` — QUARK's centralized ready list,
+//! * `PLASMA/static` — static row-cyclic schedule, no task management.
+//!
+//! Kernel costs are measured for real on this host (single core), then the
+//! schedulers execute the exact PLASMA DAG in virtual time. A real
+//! cross-check block runs the actual three drivers at a small size and
+//! verifies they produce identical factors.
+//!
+//! Usage: `fig2_cholesky [max_n]` (default 6144).
+
+use xkaapi_bench::{
+    calibrate_kernels, cholesky_dag, cholesky_static_owner, central_policy, gflops, print_table,
+    scale_costs, ws_policy,
+};
+use xkaapi_sim::{simulate_dag, DagPolicy, Platform};
+
+fn main() {
+    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6144);
+    println!("# Fig. 2 — Cholesky GFlop/s, 48 virtual cores (AMD Magny-Cours model)");
+
+    // Real kernel calibration at a measurable size, scaled by flop counts.
+    let base = calibrate_kernels(96);
+    println!(
+        "\ncalibration (nb=96, real): potrf {} µs, trsm {} µs, syrk {} µs, gemm {} µs",
+        base.potrf_ns / 1000,
+        base.trsm_ns / 1000,
+        base.syrk_ns / 1000,
+        base.gemm_ns / 1000
+    );
+
+    let platform = Platform::magny_cours(48);
+    for nb in [128usize, 224] {
+        let costs = scale_costs(&base, nb);
+        let sizes: Vec<usize> = (1..=12).map(|k| k * nb * 4).filter(|&n| n <= max_n).collect();
+        let mut rows = Vec::new();
+        for &n in &sizes {
+            let nt = n / nb;
+            if nt < 2 {
+                continue;
+            }
+            let dag = cholesky_dag(nt, &costs);
+            let t_ws = simulate_dag(&platform, &dag, &ws_policy(), 1).makespan_ns;
+            let r_cq = simulate_dag(&platform, &dag, &central_policy(), 1);
+            let owner = cholesky_static_owner(nt, 48);
+            let t_st = simulate_dag(&platform, &dag, &DagPolicy::Static { owner }, 1).makespan_ns;
+            rows.push(vec![
+                n.to_string(),
+                format!("{:.2}", gflops(n, t_ws)),
+                format!("{:.2}", gflops(n, r_cq.makespan_ns)),
+                format!("{:.2}", gflops(n, t_st)),
+                format!("{:.1}", r_cq.queue_wait_ns as f64 / 1e6),
+            ]);
+        }
+        print_table(
+            &format!("NB = {nb}"),
+            &["matrix n", "XKaapi", "PLASMA/Quark", "PLASMA/static", "queue wait (ms)"],
+            &rows,
+        );
+    }
+    println!("\n(paper shape: XKaapi ≥ Quark everywhere; the gap is largest at NB=128 where");
+    println!(" the central list is contended; XKaapi close to PLASMA/static; at n=3000");
+    println!(" NB=128 reaches ~150 GFlop/s vs ~105 at NB=224 — fewer, coarser tasks");
+    println!(" reduce average parallelism)");
+
+    // --- real cross-check at small size --------------------------------
+    println!("\n## Real cross-check (n=256, NB=32, 4 threads on this host)");
+    use std::sync::Arc;
+    use xkaapi_linalg::{cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, TiledMatrix};
+    use xkaapi_quark::Quark;
+    let orig = TiledMatrix::spd_random(256, 32, 9);
+    let mut reference = orig.clone_matrix();
+    cholesky_seq(&mut reference).unwrap();
+
+    let rt = Arc::new(xkaapi_core::Runtime::new(4));
+    let a = cholesky_xkaapi(&rt, orig.clone_matrix()).unwrap();
+    println!("xkaapi dataflow  : max|Δ| vs seq = {:.2e}", a.max_abs_diff_lower(&reference));
+
+    let q = Quark::new_centralized(4);
+    let mut b = orig.clone_matrix();
+    cholesky_quark(&q, &mut b).unwrap();
+    println!("quark centralized: max|Δ| vs seq = {:.2e}", b.max_abs_diff_lower(&reference));
+
+    let q2 = Quark::new_on_xkaapi(rt);
+    let mut c = orig.clone_matrix();
+    cholesky_quark(&q2, &mut c).unwrap();
+    println!("quark on xkaapi  : max|Δ| vs seq = {:.2e}", c.max_abs_diff_lower(&reference));
+
+    let mut d = orig.clone_matrix();
+    cholesky_static(4, &mut d).unwrap();
+    println!("plasma static    : max|Δ| vs seq = {:.2e}", d.max_abs_diff_lower(&reference));
+}

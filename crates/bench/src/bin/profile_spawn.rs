@@ -1,0 +1,52 @@
+//! Internal profiling helper: decompose the xkaapi spawn/join fast-path cost.
+use std::time::Instant;
+use xkaapi_core::Runtime;
+
+fn time<F: FnMut()>(label: &str, n: u64, mut f: F) {
+    let t0 = Instant::now();
+    f();
+    let ns = t0.elapsed().as_nanos() as u64 / n;
+    println!("{label:40} {ns:>6} ns/op");
+}
+
+fn main() {
+    let rt = Runtime::new(1);
+    const N: u64 = 200_000;
+    // flat spawn of empty tasks into one frame (one scope)
+    time("flat spawn+sync, 1 scope, N tasks", N, || {
+        rt.scope(|ctx| {
+            for _ in 0..N {
+                ctx.spawn([], |_| {});
+            }
+        });
+    });
+    // scope churn: one empty scope per op (frame lifecycle only)
+    time("empty nested scope per op", N / 10, || {
+        rt.scope(|ctx| {
+            for _ in 0..N / 10 {
+                ctx.scope(|_| {});
+            }
+        });
+    });
+    // join with empty branches (frame + task + claim + execute)
+    time("join(empty,empty) per op", N / 10, || {
+        rt.scope(|ctx| {
+            fn rec(c: &mut xkaapi_core::Ctx<'_>, d: u32) {
+                if d == 0 { return; }
+                c.join(|a| rec(a, d - 1), |b| rec(b, d - 1));
+            }
+            // a tree of 2^k-1 joins ~ N/10: depth 14 ≈ 16383... adjust:
+            for _ in 0..(N / 10 / 16383).max(1) {
+                rec(ctx, 14);
+            }
+        });
+    });
+    // raw allocation cost reference
+    time("Arc<u64>+Box<closure> alloc/drop", N, || {
+        for i in 0..N {
+            let a = std::sync::Arc::new(i);
+            let b: Box<dyn Fn() -> u64> = Box::new(move || *a);
+            std::hint::black_box(b());
+        }
+    });
+}

@@ -1,0 +1,230 @@
+//! Access modes and memory regions for data-flow dependency computation.
+//!
+//! X-Kaapi tasks declare *how* they touch shared memory: the runtime derives
+//! true (read-after-write) dependencies — and, without renaming, the
+//! write-after-read / write-after-write orderings of the sequential program —
+//! from these declarations. A *region* names the part of a handle a task
+//! touches; two accesses conflict when their regions overlap and at least one
+//! of the modes writes (cumulative writes commute among themselves).
+
+use std::fmt;
+
+/// Unique identifier of a shared-data handle.
+///
+/// Allocated from a process-global counter; equality of two `HandleId`s means
+/// the accesses may alias and must be checked for region overlap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HandleId(pub(crate) u64);
+
+impl fmt::Debug for HandleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+pub(crate) fn fresh_handle_id() -> HandleId {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    HandleId(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The mode with which a task accesses a memory region.
+///
+/// These are the four modes of the X-Kaapi model (read, write, exclusive and
+/// reduction). `Write` here is a full read-write ("exclusive") access; a
+/// write-only mode with renaming is a paper-mentioned optimisation that this
+/// reproduction does not implement (see `DESIGN.md`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AccessMode {
+    /// Shared read access. Concurrent with other reads.
+    Read,
+    /// Write-only access. Treated as exclusive (no renaming).
+    Write,
+    /// Exclusive read-write access.
+    Exclusive,
+    /// Cumulative write (reduction). Commutes with other cumulative writes
+    /// on the same region; ordered against reads and writes.
+    CumulWrite,
+}
+
+impl AccessMode {
+    /// Does this mode modify the region?
+    #[inline]
+    pub fn writes(self) -> bool {
+        !matches!(self, AccessMode::Read)
+    }
+
+    /// Do two accesses to the *same* region require an ordering edge?
+    ///
+    /// Read/Read never conflicts; CumulWrite/CumulWrite commutes (the merge
+    /// is associative), every other pair involving a write conflicts.
+    #[inline]
+    pub fn conflicts_with(self, other: AccessMode) -> bool {
+        use AccessMode::*;
+        match (self, other) {
+            (Read, Read) => false,
+            (CumulWrite, CumulWrite) => false,
+            (a, b) => a.writes() || b.writes(),
+        }
+    }
+}
+
+/// The part of a handle's data a task accesses.
+///
+/// X-Kaapi supports multi-dimensional regions; this reproduction provides the
+/// three shapes its workloads need:
+///
+/// * [`Region::All`] — the whole object (scalar handles, whole arrays);
+/// * [`Region::Range`] — a 1-D index interval (array slices);
+/// * [`Region::Key`] — an opaque coordinate (e.g. a tile `(i, j)` packed into
+///   a `u64`); two keyed regions overlap iff the keys are equal.
+///
+/// Mixing shapes on one handle is allowed and resolved conservatively (a
+/// `Key` and a `Range` on the same handle are assumed to overlap).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Region {
+    /// The entire object behind the handle.
+    All,
+    /// Elements `start..end` (1-D).
+    Range {
+        /// First element index.
+        start: usize,
+        /// One past the last element index.
+        end: usize,
+    },
+    /// An opaque block coordinate; equal keys alias, distinct keys do not.
+    Key(u64),
+}
+
+impl Region {
+    /// Pack a 2-D block coordinate into a keyed region.
+    #[inline]
+    pub fn key2(i: usize, j: usize) -> Region {
+        debug_assert!(i < u32::MAX as usize && j < u32::MAX as usize);
+        Region::Key(((i as u64) << 32) | j as u64)
+    }
+
+    /// Conservative overlap test between two regions of the same handle.
+    #[inline]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        use Region::*;
+        match (self, other) {
+            (All, _) | (_, All) => true,
+            (Range { start: a, end: b }, Range { start: c, end: d }) => a < d && c < b,
+            (Key(a), Key(b)) => a == b,
+            // Mixed shapes on one handle: assume aliasing.
+            (Key(_), Range { .. }) | (Range { .. }, Key(_)) => true,
+        }
+    }
+
+    /// An empty region never overlaps anything (including itself).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Region::Range { start, end } if start >= end)
+    }
+}
+
+/// One declared access of a task: which handle, which part, which mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Handle whose data is accessed.
+    pub handle: HandleId,
+    /// Which part of the handle.
+    pub region: Region,
+    /// How it is accessed.
+    pub mode: AccessMode,
+}
+
+impl Access {
+    /// Build an access descriptor.
+    #[inline]
+    pub fn new(handle: HandleId, region: Region, mode: AccessMode) -> Self {
+        Access { handle, region, mode }
+    }
+
+    /// Do two accesses require an ordering edge between their tasks?
+    #[inline]
+    pub fn conflicts_with(&self, other: &Access) -> bool {
+        self.handle == other.handle
+            && !self.region.is_empty()
+            && !other.region.is_empty()
+            && self.mode.conflicts_with(other.mode)
+            && self.region.overlaps(&other.region)
+    }
+}
+
+/// Do any of task `a`'s accesses conflict with any of task `b`'s?
+#[inline]
+pub(crate) fn tasks_conflict(a: &[Access], b: &[Access]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| x.conflicts_with(y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u64) -> HandleId {
+        HandleId(n)
+    }
+
+    #[test]
+    fn mode_conflicts() {
+        use AccessMode::*;
+        assert!(!Read.conflicts_with(Read));
+        assert!(!CumulWrite.conflicts_with(CumulWrite));
+        assert!(Read.conflicts_with(Write));
+        assert!(Write.conflicts_with(Read));
+        assert!(Write.conflicts_with(Write));
+        assert!(Exclusive.conflicts_with(Exclusive));
+        assert!(Read.conflicts_with(CumulWrite));
+        assert!(CumulWrite.conflicts_with(Exclusive));
+    }
+
+    #[test]
+    fn region_overlap_ranges() {
+        let r = |a, b| Region::Range { start: a, end: b };
+        assert!(r(0, 10).overlaps(&r(5, 15)));
+        assert!(!r(0, 10).overlaps(&r(10, 20)));
+        assert!(r(0, 10).overlaps(&Region::All));
+        assert!(!r(3, 3).is_empty() == false);
+        assert!(r(3, 3).is_empty());
+    }
+
+    #[test]
+    fn region_overlap_keys() {
+        assert!(Region::key2(1, 2).overlaps(&Region::key2(1, 2)));
+        assert!(!Region::key2(1, 2).overlaps(&Region::key2(2, 1)));
+        assert!(Region::key2(1, 2).overlaps(&Region::All));
+        // mixed shapes are conservative
+        assert!(Region::Key(7).overlaps(&Region::Range { start: 0, end: 1 }));
+    }
+
+    #[test]
+    fn access_conflicts_require_same_handle() {
+        let a = Access::new(h(1), Region::All, AccessMode::Write);
+        let b = Access::new(h(2), Region::All, AccessMode::Write);
+        assert!(!a.conflicts_with(&b));
+        let c = Access::new(h(1), Region::All, AccessMode::Read);
+        assert!(a.conflicts_with(&c));
+    }
+
+    #[test]
+    fn empty_regions_never_conflict() {
+        let a = Access::new(h(1), Region::Range { start: 4, end: 4 }, AccessMode::Write);
+        let b = Access::new(h(1), Region::All, AccessMode::Write);
+        assert!(!a.conflicts_with(&b));
+        assert!(!a.conflicts_with(&a));
+    }
+
+    #[test]
+    fn task_conflicts_any_pair() {
+        let a = [
+            Access::new(h(1), Region::key2(0, 0), AccessMode::Read),
+            Access::new(h(1), Region::key2(0, 1), AccessMode::Write),
+        ];
+        let b = [Access::new(h(1), Region::key2(0, 0), AccessMode::Write)];
+        let c = [Access::new(h(1), Region::key2(1, 1), AccessMode::Write)];
+        assert!(tasks_conflict(&a, &b));
+        assert!(!tasks_conflict(&a, &c));
+    }
+}

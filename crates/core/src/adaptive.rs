@@ -1,0 +1,255 @@
+//! Adaptive tasks: work that can be split *while running*.
+//!
+//! An adaptive task publishes a splitter; an idle thief invokes it during a
+//! steal operation to carve off part of the remaining work. The combiner
+//! election (one elected thief serves all concurrent requests while holding
+//! the victim's steal lock) guarantees the paper's contract that **at most
+//! one thief executes a splitter concurrently with the task**, so splitters
+//! only need to synchronise with the running task itself — here through the
+//! packed-interval CAS protocol of [`IntervalCell`], the analogue of Cilk's
+//! T.H.E. protocol for loop ranges.
+
+use crate::steal::Grab;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A splittable work source registered on a worker while it runs.
+///
+/// `split` is called by the elected combiner thief with the indices of the
+/// thieves awaiting work; it appends at most `thieves.len()` grabs to `out`.
+pub(crate) trait Adaptive: Send + Sync {
+    fn split(&self, thieves: &[usize], out: &mut Vec<Grab>);
+}
+
+/// A `[begin, end)` iteration interval packed into one atomic word.
+///
+/// The owner claims chunks from the front, thieves shrink the back; both use
+/// compare-and-swap on the packed word, so a lost race is simply retried and
+/// no iteration is ever lost or duplicated.
+pub struct IntervalCell(AtomicU64);
+
+const MAX_IDX: usize = u32::MAX as usize;
+
+#[inline]
+fn pack(b: usize, e: usize) -> u64 {
+    debug_assert!(b <= MAX_IDX && e <= MAX_IDX);
+    ((b as u64) << 32) | e as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize)
+}
+
+impl IntervalCell {
+    /// New interval `[b, e)`. Indices must fit in 32 bits.
+    pub fn new(b: usize, e: usize) -> Self {
+        assert!(b <= MAX_IDX && e <= MAX_IDX, "interval indices must fit in u32");
+        IntervalCell(AtomicU64::new(pack(b, e)))
+    }
+
+    /// Current `(begin, end)` snapshot.
+    #[inline]
+    pub fn load(&self) -> (usize, usize) {
+        unpack(self.0.load(Ordering::Acquire))
+    }
+
+    /// Remaining length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        let (b, e) = self.load();
+        e.saturating_sub(b)
+    }
+
+    /// True when no iterations remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner side: claim up to `grain` iterations from the front.
+    /// Returns the claimed range, or `None` when the interval is empty.
+    pub fn claim_front(&self, grain: usize) -> Option<std::ops::Range<usize>> {
+        debug_assert!(grain >= 1);
+        loop {
+            let cur = self.0.load(Ordering::Acquire);
+            let (b, e) = unpack(cur);
+            if b >= e {
+                return None;
+            }
+            let c = grain.min(e - b);
+            if self
+                .0
+                .compare_exchange_weak(cur, pack(b + c, e), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(b..b + c);
+            }
+        }
+    }
+
+    /// Thief side: steal a suffix, leaving the victim roughly `1/(k+1)` of
+    /// the remaining work (the paper's k+1-way split for k aggregated
+    /// requests). Returns the stolen range.
+    ///
+    /// Fails (`None`) when fewer than `min_leave + 1` iterations remain.
+    pub fn steal_back(&self, k: usize, min_leave: usize) -> Option<std::ops::Range<usize>> {
+        debug_assert!(k >= 1);
+        loop {
+            let cur = self.0.load(Ordering::Acquire);
+            let (b, e) = unpack(cur);
+            let len = e.saturating_sub(b);
+            if len <= min_leave.max(1) {
+                return None;
+            }
+            // Victim keeps ceil(len / (k+1)), at least min_leave.max(1).
+            let keep = (len + k) / (k + 1);
+            let keep = keep.max(min_leave.max(1));
+            if keep >= len {
+                return None;
+            }
+            let new_e = b + keep;
+            if self
+                .0
+                .compare_exchange_weak(cur, pack(b, new_e), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(new_e..e);
+            }
+        }
+    }
+
+    /// Claim the whole remaining interval (used to drain after a panic).
+    pub fn take_all(&self) -> Option<std::ops::Range<usize>> {
+        loop {
+            let cur = self.0.load(Ordering::Acquire);
+            let (b, e) = unpack(cur);
+            if b >= e {
+                return None;
+            }
+            if self
+                .0
+                .compare_exchange_weak(cur, pack(e, e), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(b..e);
+            }
+        }
+    }
+}
+
+/// Split a range into `parts` near-equal contiguous pieces (first pieces get
+/// the remainder). Empty pieces are omitted.
+pub fn split_even(range: std::ops::Range<usize>, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let n = range.end.saturating_sub(range.start);
+    let parts = parts.max(1);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts.min(n));
+    let mut b = range.start;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        if len == 0 {
+            continue;
+        }
+        out.push(b..b + len);
+        b += len;
+    }
+    debug_assert_eq!(b, range.end);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn claim_front_exhausts_exactly() {
+        let iv = IntervalCell::new(0, 10);
+        let mut seen = Vec::new();
+        while let Some(r) = iv.claim_front(3) {
+            seen.extend(r);
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(iv.is_empty());
+    }
+
+    #[test]
+    fn steal_back_leaves_prefix() {
+        let iv = IntervalCell::new(0, 100);
+        let stolen = iv.steal_back(1, 1).unwrap();
+        assert_eq!(stolen, 50..100);
+        assert_eq!(iv.load(), (0, 50));
+        // k=4: victim keeps ceil(50/5) = 10
+        let stolen = iv.steal_back(4, 1).unwrap();
+        assert_eq!(stolen, 10..50);
+        assert_eq!(iv.load(), (0, 10));
+    }
+
+    #[test]
+    fn steal_back_respects_min_leave() {
+        let iv = IntervalCell::new(0, 8);
+        assert!(iv.steal_back(1, 8).is_none());
+        assert!(iv.steal_back(1, 4).is_some());
+    }
+
+    #[test]
+    fn take_all_drains() {
+        let iv = IntervalCell::new(2, 9);
+        assert_eq!(iv.take_all().unwrap(), 2..9);
+        assert!(iv.take_all().is_none());
+    }
+
+    #[test]
+    fn split_even_covers_range() {
+        assert_eq!(split_even(0..10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(split_even(5..5, 3), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(split_even(0..2, 5), vec![0..1, 1..2]);
+    }
+
+    /// Concurrent owner claims + thief steals never lose or duplicate an
+    /// iteration — the conservation property of the T.H.E.-like protocol.
+    #[test]
+    fn concurrent_claims_conserve_iterations() {
+        const N: usize = 20_000;
+        for _ in 0..8 {
+            let iv = Arc::new(IntervalCell::new(0, N));
+            let counted = Arc::new(std::sync::Mutex::new(vec![0u8; N]));
+            let mut handles = Vec::new();
+            // owner
+            {
+                let iv = Arc::clone(&iv);
+                let counted = Arc::clone(&counted);
+                handles.push(std::thread::spawn(move || {
+                    while let Some(r) = iv.claim_front(7) {
+                        let mut c = counted.lock().unwrap();
+                        for i in r {
+                            c[i] += 1;
+                        }
+                    }
+                }));
+            }
+            // thieves: steal then claim from their own piece
+            for _ in 0..3 {
+                let iv = Arc::clone(&iv);
+                let counted = Arc::clone(&counted);
+                handles.push(std::thread::spawn(move || {
+                    while let Some(r) = iv.steal_back(2, 1) {
+                        let sub = IntervalCell::new(r.start, r.end);
+                        while let Some(r2) = sub.claim_front(5) {
+                            let mut c = counted.lock().unwrap();
+                            for i in r2 {
+                                c[i] += 1;
+                            }
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let c = counted.lock().unwrap();
+            assert!(c.iter().all(|&x| x == 1), "every iteration exactly once");
+        }
+    }
+}

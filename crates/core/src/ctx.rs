@@ -1,0 +1,480 @@
+//! Task contexts: spawning, synchronisation, fork-join and data access.
+//!
+//! [`RawCtx`] is the lifetime-free internal context one worker uses while
+//! executing one task (or a scope root). [`Ctx<'scope>`] is the public,
+//! lifetime-branded wrapper handed to user closures — the invariant
+//! `'scope` parameter is the rayon-style brand that makes environment
+//! borrows sound: every task spawned through a `Ctx<'scope>` completes
+//! before the function that introduced `'scope` returns.
+//!
+//! Execution follows the paper's model: spawns are non-blocking pushes into
+//! the current frame; at a sync (explicit or the implicit one when a task
+//! body ends) the owner claims its children in FIFO order — a valid
+//! sequential order, so no dependency is ever computed on this path. When
+//! the owner meets a task a thief claimed, it suspends and works as a thief
+//! itself until the task completes.
+
+use crate::access::Access;
+use crate::frame::Frame;
+use crate::handle::{Ref, RefMut, Reduction, Shared};
+use crate::runtime::{RtInner, Runtime};
+use crate::stats::WorkerStats;
+use crate::steal::{run_grab, try_steal_once};
+use crate::task::{Task, TaskBody, ST_DONE, ST_OWNER};
+use crossbeam::utils::Backoff;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Internal, lifetime-free execution context of one worker running one task.
+pub struct RawCtx {
+    pub(crate) rt: Arc<RtInner>,
+    pub(crate) widx: usize,
+    /// Child frame, created lazily on the first spawn.
+    frame: Option<Arc<Frame>>,
+    /// The task being executed (its declared accesses), `None` at a root.
+    cur: Option<Arc<Task>>,
+}
+
+impl RawCtx {
+    pub(crate) fn new(rt: Arc<RtInner>, widx: usize) -> RawCtx {
+        RawCtx { rt, widx, frame: None, cur: None }
+    }
+
+    fn ensure_frame(&mut self) -> Arc<Frame> {
+        if self.frame.is_none() {
+            let worker = &self.rt.workers[self.widx];
+            let f = worker.pop_pooled_frame().unwrap_or_else(Frame::new);
+            worker.register_frame(Arc::clone(&f));
+            self.frame = Some(f);
+        }
+        Arc::clone(self.frame.as_ref().unwrap())
+    }
+
+    /// Non-blocking task creation: push into the current frame. Returns the
+    /// frame, the task's index and the task itself (for fast-path joins).
+    pub(crate) fn spawn_raw(
+        &mut self,
+        accesses: Box<[Access]>,
+        body: TaskBody,
+    ) -> (Arc<Frame>, usize, Arc<Task>) {
+        let frame = self.ensure_frame();
+        let task = Arc::new(Task::new(body, accesses));
+        let idx = frame.push(Arc::clone(&task));
+        WorkerStats::bump(&self.rt.workers[self.widx].stats.tasks_spawned, 1);
+        if self.rt.num_workers() > 1 {
+            self.rt.signal_work();
+        }
+        (frame, idx, task)
+    }
+
+    /// Owner-side synchronisation: execute children FIFO; suspend (and work
+    /// as a thief) on stolen ones; return when every child completed.
+    /// Rethrows the first child panic.
+    pub(crate) fn sync(&mut self) {
+        let Some(frame) = self.frame.as_ref().map(Arc::clone) else { return };
+        let rt = Arc::clone(&self.rt);
+        let widx = self.widx;
+        loop {
+            // Fast exit: every pushed task already completed (by the owner
+            // fast path or by thieves) — jump the FIFO cursor to the end.
+            if frame.pending() == 0 {
+                frame.skip_cursor_to_len();
+                break;
+            }
+            let i = frame.cursor();
+            if i < frame.len() {
+                let t = frame.task(i);
+                if t.try_claim(ST_OWNER) {
+                    frame.advance_cursor();
+                    WorkerStats::bump(&rt.workers[widx].stats.tasks_executed_own, 1);
+                    execute_claimed(&rt, widx, &frame, i, t);
+                } else if t.state() == ST_DONE {
+                    frame.advance_cursor();
+                } else {
+                    // Stolen and in flight: suspend, help elsewhere.
+                    help_until(&rt, widx, Some(&frame), || t.is_done());
+                    frame.advance_cursor();
+                }
+            } else if frame.pending() == 0 {
+                break;
+            } else {
+                // All claimed, some still running on thieves.
+                help_until(&rt, widx, Some(&frame), || frame.pending() == 0);
+            }
+        }
+        if let Some(p) = frame.take_panic() {
+            resume_unwind(p);
+        }
+    }
+
+    /// Sync children and deregister the frame (end of task body / scope).
+    pub(crate) fn finish(&mut self) {
+        if self.frame.is_some() {
+            let res = catch_unwind(AssertUnwindSafe(|| self.sync()));
+            let frame = self.frame.take().unwrap();
+            let worker = &self.rt.workers[self.widx];
+            worker.deregister_frame(&frame);
+            if res.is_ok() {
+                worker.recycle_frame(frame);
+            }
+            if let Err(p) = res {
+                resume_unwind(p);
+            }
+        }
+    }
+
+    /// Run a scope closure: wrap into a public `Ctx`, always sync children
+    /// (even when the closure panics) and propagate the first failure.
+    pub(crate) fn run_scoped<'scope, F, R>(&mut self, f: F) -> R
+    where
+        F: FnOnce(&mut Ctx<'scope>) -> R,
+    {
+        match self.run_scoped_catch(f) {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    pub(crate) fn run_scoped_catch<'scope, F, R>(
+        &mut self,
+        f: F,
+    ) -> std::thread::Result<R>
+    where
+        F: FnOnce(&mut Ctx<'scope>) -> R,
+    {
+        let body = catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = Ctx { raw: self, _inv: PhantomData };
+            f(&mut ctx)
+        }));
+        let fin = catch_unwind(AssertUnwindSafe(|| self.finish()));
+        match (body, fin) {
+            (Ok(v), Ok(())) => Ok(v),
+            (Err(p), _) => Err(p),
+            (_, Err(p)) => Err(p),
+        }
+    }
+}
+
+/// Execute a task already claimed by this worker at `frame[idx]`.
+pub(crate) fn execute_claimed(
+    rt: &Arc<RtInner>,
+    widx: usize,
+    frame: &Arc<Frame>,
+    idx: usize,
+    task: Arc<Task>,
+) {
+    let body = task.take_body();
+    let mut raw = RawCtx::new(Arc::clone(rt), widx);
+    raw.cur = Some(Arc::clone(&task));
+    let res = catch_unwind(AssertUnwindSafe(|| body(&mut raw)));
+    let fin = catch_unwind(AssertUnwindSafe(|| raw.finish()));
+    task.complete();
+    frame.complete_task(idx);
+    match (res, fin) {
+        (Err(p), _) | (_, Err(p)) => frame.set_panic(p),
+        _ => {}
+    }
+}
+
+/// Execute a task at `frame[idx]` (steal path: already claimed `ST_STOLEN`).
+pub(crate) fn execute_task_at(
+    rt: &Arc<RtInner>,
+    widx: usize,
+    frame: &Arc<Frame>,
+    idx: usize,
+    task: Arc<Task>,
+    stolen: bool,
+) {
+    if stolen {
+        WorkerStats::bump(&rt.workers[widx].stats.tasks_executed_stolen, 1);
+    }
+    execute_claimed(rt, widx, frame, idx, task);
+}
+
+/// Suspended-owner help loop: until `done()` holds, prefer ready tasks from
+/// `own` (graph-mode pop), then steal from random victims, then back off.
+pub(crate) fn help_until(
+    rt: &Arc<RtInner>,
+    widx: usize,
+    own: Option<&Arc<Frame>>,
+    done: impl Fn() -> bool,
+) {
+    let backoff = Backoff::new();
+    while !done() {
+        if let Some(frame) = own {
+            if let Some(idx) = frame.pop_ready_owner() {
+                let t = frame.task(idx);
+                execute_task_at(rt, widx, frame, idx, t, true);
+                backoff.reset();
+                continue;
+            }
+        }
+        if let Some(grab) = try_steal_once(rt, widx) {
+            run_grab(rt, widx, grab);
+            backoff.reset();
+            continue;
+        }
+        if let Some(job) = rt.pop_inject() {
+            let mut raw = RawCtx::new(Arc::clone(rt), widx);
+            (job.0)(&mut raw);
+            backoff.reset();
+            continue;
+        }
+        backoff.snooze();
+    }
+}
+
+/// The public task context: spawn data-flow tasks, synchronise, run
+/// fork-join pairs and adaptive parallel loops, access shared data.
+///
+/// The invariant `'scope` lifetime brands every closure spawned through
+/// this context: all of them complete before the scope that introduced
+/// `'scope` returns, so they may borrow anything that outlives the scope.
+pub struct Ctx<'scope> {
+    raw: *mut RawCtx,
+    _inv: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Ctx<'scope> {
+    #[inline]
+    fn raw(&self) -> &RawCtx {
+        // Safety: `Ctx` only exists while the `RawCtx` it was created from
+        // is alive and uniquely borrowed by this chain of calls.
+        unsafe { &*self.raw }
+    }
+
+    #[inline]
+    fn raw_mut(&mut self) -> &mut RawCtx {
+        unsafe { &mut *self.raw }
+    }
+
+    /// Internal accessor for sibling modules (`foreach`).
+    #[inline]
+    pub(crate) fn as_raw(&self) -> &RawCtx {
+        self.raw()
+    }
+
+    /// Index of the worker executing this task.
+    #[inline]
+    pub fn worker_index(&self) -> usize {
+        self.raw().widx
+    }
+
+    /// Number of workers in the runtime.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.raw().rt.num_workers()
+    }
+
+    /// Create a task. Non-blocking: the caller continues immediately; the
+    /// runtime honours the sequential semantics through the declared
+    /// `accesses` (conflicting tasks execute in program order).
+    pub fn spawn<F>(&mut self, accesses: impl IntoIterator<Item = Access>, f: F)
+    where
+        F: FnOnce(&mut Ctx<'scope>) + Send + 'scope,
+    {
+        let accesses: Box<[Access]> = accesses.into_iter().collect();
+        let body: Box<dyn FnOnce(&mut RawCtx) + Send + 'scope> = Box::new(move |raw| {
+            let mut ctx = Ctx { raw, _inv: PhantomData };
+            f(&mut ctx)
+        });
+        // Safety: 'scope outlives the moment the scope's sync completes, and
+        // every spawned task completes before that sync returns.
+        let body: TaskBody = unsafe { std::mem::transmute(body) };
+        self.raw_mut().spawn_raw(accesses, body);
+    }
+
+    /// Wait until every task spawned so far in this context completed
+    /// (the `#pragma kaapi sync` of the paper). Rethrows child panics.
+    pub fn sync(&mut self) {
+        self.raw_mut().sync();
+    }
+
+    /// Cilk-style fork-join: `fb` becomes a stealable task, `fa` runs
+    /// inline, then the pair synchronises.
+    ///
+    /// This is the fast lane of the runtime (paper §II-C: independent
+    /// tasks execute with Cilk-like overheads): the job record lives on
+    /// this stack frame — no allocation — in the worker's T.H.E. deque,
+    /// and thieves receive it through the same aggregated steal protocol
+    /// as data-flow tasks.
+    pub fn join<RA, RB, FA, FB>(&mut self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        FA: FnOnce(&mut Ctx<'scope>) -> RA,
+        FB: FnOnce(&mut Ctx<'scope>) -> RB + Send,
+        RB: Send,
+    {
+        use crate::fastlane::FastJob;
+        const J_PENDING: u8 = 0;
+        const J_DONE: u8 = 1;
+        const J_PANIC: u8 = 2;
+        struct StackJob<F, R> {
+            state: std::sync::atomic::AtomicU8,
+            f: std::cell::UnsafeCell<Option<F>>,
+            result: std::cell::UnsafeCell<Option<R>>,
+            panic: std::cell::UnsafeCell<Option<Box<dyn std::any::Any + Send>>>,
+        }
+        unsafe fn exec_job<F, R>(data: *mut (), rt: &Arc<RtInner>, widx: usize)
+        where
+            F: FnOnce(&mut RawCtx) -> R + Send,
+            R: Send,
+        {
+            let job = unsafe { &*(data as *const StackJob<F, R>) };
+            let f = unsafe { (*job.f.get()).take().expect("fast job run twice") };
+            let mut raw = RawCtx::new(Arc::clone(rt), widx);
+            let run = catch_unwind(AssertUnwindSafe(|| f(&mut raw)));
+            let fin = catch_unwind(AssertUnwindSafe(|| raw.finish()));
+            // Publishing the terminal state is the LAST access to the record.
+            match (run, fin) {
+                (Ok(v), Ok(())) => {
+                    unsafe { *job.result.get() = Some(v) };
+                    job.state.store(J_DONE, std::sync::atomic::Ordering::Release);
+                }
+                (Err(p), _) | (_, Err(p)) => {
+                    unsafe { *job.panic.get() = Some(p) };
+                    job.state.store(J_PANIC, std::sync::atomic::Ordering::Release);
+                }
+            }
+        }
+
+        let (rt, widx) = {
+            let raw = self.raw();
+            (Arc::clone(&raw.rt), raw.widx)
+        };
+        // Wrap `fb` into a lifetime-free signature ('scope is in scope here;
+        // the record never outlives this call, see the safety note above).
+        let fb_raw = move |raw: &mut RawCtx| -> RB {
+            let mut ctx = Ctx { raw, _inv: PhantomData };
+            fb(&mut ctx)
+        };
+        let job = StackJob {
+            state: std::sync::atomic::AtomicU8::new(J_PENDING),
+            f: std::cell::UnsafeCell::new(Some(fb_raw)),
+            result: std::cell::UnsafeCell::new(None),
+            panic: std::cell::UnsafeCell::new(None),
+        };
+        fn jref_of<F, R>(job: &StackJob<F, R>) -> FastJob
+        where
+            F: FnOnce(&mut RawCtx) -> R + Send,
+            R: Send,
+        {
+            FastJob {
+                data: job as *const StackJob<F, R> as *mut (),
+                exec: exec_job::<F, R>,
+            }
+        }
+        let jref = jref_of(&job);
+        let lane = &rt.workers[widx].fast_lane;
+        let pushed = lane.push(jref);
+        if pushed {
+            WorkerStats::bump(&rt.workers[widx].stats.tasks_spawned, 1);
+            if rt.num_workers() > 1 {
+                rt.signal_work();
+            }
+        }
+        // Continuation; even if it panics the job must retire first (it
+        // points into this stack frame).
+        let ra = catch_unwind(AssertUnwindSafe(|| fa(self)));
+        if pushed {
+            if let Some(mine) = lane.pop() {
+                debug_assert!(std::ptr::eq(mine.data, jref.data), "fast-lane LIFO violated");
+                WorkerStats::bump(&rt.workers[widx].stats.tasks_executed_own, 1);
+                unsafe { mine.execute(&rt, widx) };
+            } else {
+                // Stolen: work as a thief until it completes.
+                help_until(&rt, widx, None, || {
+                    job.state.load(std::sync::atomic::Ordering::Acquire) != J_PENDING
+                });
+            }
+        } else {
+            // Lane full: undeferred execution.
+            unsafe { jref.execute(&rt, widx) };
+        }
+        let ra = match ra {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        };
+        match job.state.load(std::sync::atomic::Ordering::Acquire) {
+            J_DONE => {
+                let rb = unsafe { (*job.result.get()).take() };
+                (ra, rb.expect("join: forked branch did not produce a result"))
+            }
+            J_PANIC => {
+                let p = unsafe { (*job.panic.get()).take().unwrap() };
+                resume_unwind(p)
+            }
+            _ => unreachable!("join finished with a pending job"),
+        }
+    }
+
+    /// Run a nested scope: a fresh frame whose tasks may borrow locals of
+    /// the caller (they complete before `scope` returns).
+    pub fn scope<'nested, F, R>(&mut self, f: F) -> R
+    where
+        F: FnOnce(&mut Ctx<'nested>) -> R + Send,
+        R: Send,
+    {
+        let raw = self.raw_mut();
+        let mut sub = RawCtx::new(Arc::clone(&raw.rt), raw.widx);
+        sub.run_scoped(f)
+    }
+
+    // -- data access ---------------------------------------------------
+
+    #[cfg(debug_assertions)]
+    fn check_granted(&self, id: crate::access::HandleId, write: bool) {
+        let Some(cur) = self.raw().cur.as_ref() else {
+            panic!(
+                "xkaapi: data access outside a task with declared accesses; \
+                 spawn a task declaring the access, or use Shared::get after the scope"
+            );
+        };
+        let ok = cur.accesses.iter().any(|a| {
+            a.handle == id && (!write || a.mode.writes()) && (write || true)
+        });
+        assert!(ok, "xkaapi: access to {id:?} (write={write}) was not declared by this task");
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_granted(&self, _id: crate::access::HandleId, _write: bool) {}
+
+    /// Borrow a handle this task declared read access on.
+    pub fn read<'a, T>(&self, h: &'a Shared<T>) -> Ref<'a, T> {
+        self.check_granted(h.id(), false);
+        h.borrow()
+    }
+
+    /// Borrow a handle this task declared write/exclusive access on.
+    pub fn write<'a, T>(&self, h: &'a Shared<T>) -> RefMut<'a, T> {
+        self.check_granted(h.id(), true);
+        h.borrow_mut()
+    }
+
+    /// Fold into a reduction this task declared cumulative-write access on.
+    /// The per-worker accumulator is merged into the main value when a later
+    /// read/write access observes it.
+    pub fn fold<T: Send, R>(&self, red: &Reduction<T>, f: impl FnOnce(&mut T) -> R) -> R {
+        self.check_granted(red.id(), true);
+        f(red.slot_for(self.raw().widx))
+    }
+
+    /// Read a reduction's merged value (task must declare read access; the
+    /// data-flow edges order this after the cumulative-write group).
+    pub fn read_reduced<'a, T: Send>(&self, red: &'a Reduction<T>) -> &'a T {
+        self.check_granted(red.id(), false);
+        red.merge_pending();
+        // Safety: scheduler ordered us after all writers.
+        unsafe { &*red.data_ptr() }
+    }
+}
+
+/// Run `f` as if on a scope of `rt` — helper for code generic over being
+/// inside or outside the pool (used by the compatibility layers).
+pub fn with_runtime_ctx<R: Send>(
+    rt: &Runtime,
+    f: impl FnOnce(&mut Ctx<'_>) -> R + Send,
+) -> R {
+    rt.scope(f)
+}
+

@@ -1,0 +1,150 @@
+//! The fork-join fast lane: a Cilk-5 T.H.E. deque of stack-allocated jobs.
+//!
+//! The paper's §II-C: "X-KAAPI and Cilk show similar overheads for the
+//! execution of independent tasks" — independent tasks skip the data-flow
+//! machinery entirely. This module is that fast path: [`Ctx::join`]
+//! pushes a job record living *on the joining stack frame* (no allocation)
+//! into the worker's T.H.E. deque; the owner pops LIFO with one fence,
+//! thieves steal FIFO under the lane lock, and the elected combiner serves
+//! steal requests from this lane before scanning data-flow frames.
+//!
+//! Soundness of the stack storage: a join never returns before its job
+//! reached a terminal state, and a terminal state is the executor's last
+//! access — so the record outlives every access.
+//!
+//! [`Ctx::join`]: crate::ctx::Ctx::join
+
+use crate::runtime::RtInner;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::Arc;
+
+/// Type-erased reference to a stack job.
+#[derive(Clone, Copy)]
+pub(crate) struct FastJob {
+    pub(crate) data: *mut (),
+    pub(crate) exec: unsafe fn(*mut (), &Arc<RtInner>, usize),
+}
+
+unsafe impl Send for FastJob {}
+
+impl FastJob {
+    /// # Safety
+    /// The job record must still be alive and not yet executed.
+    pub(crate) unsafe fn execute(self, rt: &Arc<RtInner>, widx: usize) {
+        unsafe { (self.exec)(self.data, rt, widx) }
+    }
+}
+
+const CAP: usize = 1 << 13;
+
+/// Fixed-capacity T.H.E. deque of [`FastJob`]s. `push` returns `false`
+/// when full (the caller runs the job inline).
+pub(crate) struct FastLane {
+    head: AtomicIsize,
+    tail: AtomicIsize,
+    lock: Mutex<()>,
+    slots: Box<[std::cell::Cell<Option<FastJob>>]>,
+}
+
+// Safety: slots are written by the owner before the tail Release store and
+// read by thieves under the lock / after the fence protocol.
+unsafe impl Sync for FastLane {}
+unsafe impl Send for FastLane {}
+
+impl FastLane {
+    pub(crate) fn new() -> FastLane {
+        FastLane {
+            head: AtomicIsize::new(0),
+            tail: AtomicIsize::new(0),
+            lock: Mutex::new(()),
+            slots: (0..CAP).map(|_| std::cell::Cell::new(None)).collect(),
+        }
+    }
+
+    /// Owner: push at the tail. `false` when full.
+    #[inline]
+    pub(crate) fn push(&self, job: FastJob) -> bool {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Acquire);
+        if (t - h) as usize >= CAP {
+            return false;
+        }
+        self.slots[(t as usize) & (CAP - 1)].set(Some(job));
+        self.tail.store(t + 1, Ordering::Release);
+        true
+    }
+
+    /// Owner: pop at the tail (LIFO), T.H.E. protocol.
+    pub(crate) fn pop(&self) -> Option<FastJob> {
+        let t = self.tail.load(Ordering::Relaxed) - 1;
+        self.tail.store(t, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let h = self.head.load(Ordering::Relaxed);
+        if h > t {
+            // Possible conflict on the last job: retry under the lock.
+            self.tail.store(t + 1, Ordering::Relaxed);
+            let _g = self.lock.lock();
+            let t = self.tail.load(Ordering::Relaxed) - 1;
+            self.tail.store(t, Ordering::Relaxed);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let h = self.head.load(Ordering::Relaxed);
+            if h > t {
+                self.tail.store(t + 1, Ordering::Relaxed);
+                return None;
+            }
+            return self.slots[(t as usize) & (CAP - 1)].get();
+        }
+        self.slots[(t as usize) & (CAP - 1)].get()
+    }
+
+    /// Thief: steal from the head (oldest first).
+    pub(crate) fn steal(&self) -> Option<FastJob> {
+        if self.is_empty_hint() {
+            return None;
+        }
+        let _g = self.lock.lock();
+        let h = self.head.load(Ordering::Relaxed);
+        self.head.store(h + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.tail.load(Ordering::Relaxed);
+        if h + 1 > t {
+            self.head.store(h, Ordering::Relaxed);
+            return None;
+        }
+        self.slots[(h as usize) & (CAP - 1)].get()
+    }
+
+    #[inline]
+    pub(crate) fn is_empty_hint(&self) -> bool {
+        self.head.load(Ordering::Relaxed) >= self.tail.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static HITS: AtomicUsize = AtomicUsize::new(0);
+
+    fn job() -> FastJob {
+        unsafe fn exec(_d: *mut (), _rt: &Arc<RtInner>, _w: usize) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        FastJob { data: std::ptr::null_mut(), exec }
+    }
+
+    #[test]
+    fn lifo_fifo_discipline() {
+        let lane = FastLane::new();
+        assert!(lane.pop().is_none());
+        assert!(lane.steal().is_none());
+        assert!(lane.push(job()));
+        assert!(lane.push(job()));
+        assert!(lane.steal().is_some()); // oldest
+        assert!(lane.pop().is_some()); // newest
+        assert!(lane.pop().is_none());
+        assert!(lane.is_empty_hint());
+    }
+}

@@ -1,0 +1,683 @@
+//! Frames: per-parent task sequences with lazy dependency computation and
+//! the ready-list ("graph mode") acceleration.
+//!
+//! A frame holds the children one task (or one scope) spawned, in program
+//! order. The owner executes them FIFO without ever computing dependencies
+//! (work-first). A thief proves a task ready by scanning the frame from the
+//! oldest task: every earlier, not-yet-completed task must be non-conflicting.
+//!
+//! When steal scans become expensive the frame is *promoted*: a dependency
+//! graph with per-task predecessor counts and a ready list is built once,
+//! then updated incrementally on push/completion, and steals degrade to a
+//! near-constant-time pop — this is the paper's "accelerating data structure
+//! for steal operations".
+
+use crate::access::{tasks_conflict, Access, AccessMode, HandleId, Region};
+use crate::task::{Task, ST_INIT, ST_STOLEN};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Knobs controlling promotion to graph mode; part of the runtime tunables
+/// so ablation benchmarks can disable the optimisation.
+#[derive(Clone, Copy, Debug)]
+pub struct PromotionPolicy {
+    /// Promote when a steal scan visits a frame with at least this many tasks.
+    pub promote_len: usize,
+    /// Promote after this many steal scans of the same frame.
+    pub promote_scans: usize,
+    /// Master switch; `false` forces O(n²) scan-based steals forever.
+    pub enabled: bool,
+}
+
+impl Default for PromotionPolicy {
+    fn default() -> Self {
+        PromotionPolicy { promote_len: 16, promote_scans: 4, enabled: true }
+    }
+}
+
+/// Dependency tracking for one region of one handle.
+#[derive(Default)]
+struct TrackEntry {
+    last_writer: Option<usize>,
+    readers: Vec<usize>,
+    cumuls: Vec<usize>,
+}
+
+/// All tracks of one handle, split by region shape for fast exact matches.
+#[derive(Default)]
+struct HandleTracks {
+    all: Option<TrackEntry>,
+    keys: HashMap<u64, TrackEntry>,
+    ranges: Vec<(usize, usize, TrackEntry)>,
+}
+
+/// The promoted dependency graph of a frame.
+pub(crate) struct DepGraph {
+    npred: Vec<usize>,
+    succ: Vec<Vec<usize>>,
+    /// Completion already propagated (or task was done at promotion time).
+    accounted: Vec<bool>,
+    /// Indices of tasks believed ready (state `ST_INIT`, `npred == 0`).
+    /// May contain stale entries (claimed by the owner FIFO path); poppers
+    /// re-validate with the claim CAS.
+    ready: VecDeque<usize>,
+    tracks: HashMap<HandleId, HandleTracks>,
+}
+
+impl DepGraph {
+    fn new() -> Self {
+        DepGraph {
+            npred: Vec::new(),
+            succ: Vec::new(),
+            accounted: Vec::new(),
+            ready: VecDeque::new(),
+            tracks: HashMap::new(),
+        }
+    }
+
+    /// Integrate task `idx` (must be called in program order).
+    fn integrate(&mut self, idx: usize, accesses: &[Access], already_done: bool) {
+        debug_assert_eq!(self.npred.len(), idx);
+        self.npred.push(0);
+        self.succ.push(Vec::new());
+        self.accounted.push(already_done);
+
+        // Collect predecessor edges from the per-region tracks.
+        let mut preds: Vec<usize> = Vec::new();
+        for a in accesses {
+            if a.region.is_empty() {
+                continue;
+            }
+            let ht = self.tracks.entry(a.handle).or_default();
+            // `All` region of this handle always overlaps.
+            let visit = |e: &TrackEntry, preds: &mut Vec<usize>| match a.mode {
+                AccessMode::Read => {
+                    preds.extend(e.last_writer);
+                    preds.extend(e.cumuls.iter().copied());
+                }
+                AccessMode::Write | AccessMode::Exclusive => {
+                    preds.extend(e.last_writer);
+                    preds.extend(e.readers.iter().copied());
+                    preds.extend(e.cumuls.iter().copied());
+                }
+                AccessMode::CumulWrite => {
+                    preds.extend(e.last_writer);
+                    preds.extend(e.readers.iter().copied());
+                }
+            };
+            match a.region {
+                Region::All => {
+                    if let Some(e) = &ht.all {
+                        visit(e, &mut preds);
+                    }
+                    for e in ht.keys.values() {
+                        visit(e, &mut preds);
+                    }
+                    for (_, _, e) in &ht.ranges {
+                        visit(e, &mut preds);
+                    }
+                }
+                Region::Key(k) => {
+                    if let Some(e) = &ht.all {
+                        visit(e, &mut preds);
+                    }
+                    if let Some(e) = ht.keys.get(&k) {
+                        visit(e, &mut preds);
+                    }
+                    // Mixed Key/Range on a handle is conservative aliasing.
+                    for (_, _, e) in &ht.ranges {
+                        visit(e, &mut preds);
+                    }
+                }
+                Region::Range { start, end } => {
+                    if let Some(e) = &ht.all {
+                        visit(e, &mut preds);
+                    }
+                    for e in ht.keys.values() {
+                        visit(e, &mut preds);
+                    }
+                    for (s, t, e) in &ht.ranges {
+                        if *s < end && start < *t {
+                            visit(e, &mut preds);
+                        }
+                    }
+                }
+            }
+
+            // Record this access into its exact-shape track.
+            let entry: &mut TrackEntry = match a.region {
+                Region::All => ht.all.get_or_insert_with(Default::default),
+                Region::Key(k) => ht.keys.entry(k).or_default(),
+                Region::Range { start, end } => {
+                    if let Some(pos) =
+                        ht.ranges.iter().position(|(s, t, _)| *s == start && *t == end)
+                    {
+                        &mut ht.ranges[pos].2
+                    } else {
+                        ht.ranges.push((start, end, TrackEntry::default()));
+                        let last = ht.ranges.len() - 1;
+                        &mut ht.ranges[last].2
+                    }
+                }
+            };
+            match a.mode {
+                AccessMode::Read => entry.readers.push(idx),
+                AccessMode::Write | AccessMode::Exclusive => {
+                    entry.last_writer = Some(idx);
+                    entry.readers.clear();
+                    entry.cumuls.clear();
+                }
+                AccessMode::CumulWrite => entry.cumuls.push(idx),
+            }
+            // A whole-object write absorbs every finer-grained track.
+            if matches!(a.mode, AccessMode::Write | AccessMode::Exclusive)
+                && matches!(a.region, Region::All)
+            {
+                ht.keys.clear();
+                ht.ranges.clear();
+            }
+        }
+
+        preds.sort_unstable();
+        preds.dedup();
+        let mut np = 0;
+        for p in preds {
+            debug_assert!(p < idx);
+            if !self.accounted[p] {
+                self.succ[p].push(idx);
+                np += 1;
+            }
+        }
+        self.npred[idx] = np;
+        if np == 0 && !already_done {
+            self.ready.push_back(idx);
+        }
+    }
+
+    /// Propagate the completion of task `idx`.
+    fn on_complete(&mut self, idx: usize, tasks: &[Arc<Task>]) {
+        if idx >= self.accounted.len() || self.accounted[idx] {
+            return;
+        }
+        self.accounted[idx] = true;
+        let succs = std::mem::take(&mut self.succ[idx]);
+        for s in succs {
+            self.npred[s] -= 1;
+            if self.npred[s] == 0 && tasks[s].state() == ST_INIT {
+                self.ready.push_back(s);
+            }
+        }
+    }
+
+    /// Pop a ready task index whose claim CAS succeeds for a thief.
+    fn pop_ready_claimed(&mut self, tasks: &[Arc<Task>]) -> Option<usize> {
+        while let Some(idx) = self.ready.pop_front() {
+            if tasks[idx].try_claim(ST_STOLEN) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+struct FrameInner {
+    tasks: Vec<Arc<Task>>,
+    graph: Option<DepGraph>,
+}
+
+/// A frame: the ordered children of one parent task (or scope).
+pub(crate) struct Frame {
+    inner: Mutex<FrameInner>,
+    /// Mirror of `inner.tasks.len()` readable without the lock.
+    len: AtomicUsize,
+    /// Tasks created minus tasks completed.
+    pending: AtomicUsize,
+    /// Owner's FIFO position; only the owner advances it.
+    cursor: AtomicUsize,
+    /// Set (under the lock, `SeqCst`) when the frame has been promoted.
+    graph_on: AtomicBool,
+    /// Steal scans observed, for the promotion heuristic.
+    scans: AtomicUsize,
+    /// Lock-free "a panic is recorded" hint (fast path of `take_panic`).
+    has_panic: AtomicBool,
+    /// First panic raised by a child, rethrown at the owner's sync.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Frame {
+    pub(crate) fn new() -> Arc<Frame> {
+        Arc::new(Frame {
+            inner: Mutex::new(FrameInner { tasks: Vec::new(), graph: None }),
+            len: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            graph_on: AtomicBool::new(false),
+            scans: AtomicUsize::new(0),
+            has_panic: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        })
+    }
+
+    /// Number of pushed tasks (racy snapshot).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Owner FIFO cursor.
+    #[inline]
+    pub(crate) fn cursor(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub(crate) fn advance_cursor(&self) {
+        self.cursor.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Owner only: skip the FIFO cursor past all tasks (they are all done).
+    #[inline]
+    pub(crate) fn skip_cursor_to_len(&self) {
+        self.cursor.store(self.len.load(Ordering::Acquire), Ordering::Relaxed);
+    }
+
+    /// Append a task (owner only). Returns its index.
+    pub(crate) fn push(&self, task: Arc<Task>) -> usize {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        let idx = inner.tasks.len();
+        let accesses: &[Access] = &task.accesses;
+        if let Some(g) = inner.graph.as_mut() {
+            // Graph already promoted: integrate incrementally. The task was
+            // just created, it cannot be done.
+            let accesses = accesses.to_vec();
+            g.integrate(idx, &accesses, false);
+        }
+        inner.tasks.push(task);
+        self.len.store(inner.tasks.len(), Ordering::Release);
+        idx
+    }
+
+    /// Clone of the task at `idx`.
+    pub(crate) fn task(&self, idx: usize) -> Arc<Task> {
+        Arc::clone(&self.inner.lock().tasks[idx])
+    }
+
+    /// Record completion of the task at `idx` (claimant side, after the
+    /// task's `complete()`). Propagates readiness if the frame is promoted.
+    pub(crate) fn complete_task(&self, idx: usize) {
+        if self.graph_on.load(Ordering::SeqCst) {
+            let mut inner = self.inner.lock();
+            let FrameInner { tasks, graph } = &mut *inner;
+            if let Some(g) = graph.as_mut() {
+                g.on_complete(idx, tasks);
+            }
+        }
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Store the first child panic.
+    pub(crate) fn set_panic(&self, p: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(p);
+        }
+        drop(slot);
+        self.has_panic.store(true, Ordering::Release);
+    }
+
+    /// Take a recorded panic, if any (lock-free when none was recorded).
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        if !self.has_panic.load(Ordering::Acquire) {
+            return None;
+        }
+        self.panic.lock().take()
+    }
+
+    /// Steal scan: claim up to `max` ready tasks for thieves.
+    ///
+    /// Applies the promotion policy: scan-based readiness while the frame is
+    /// small/rarely scanned, ready-list pops afterwards. Returns claimed
+    /// `(frame-index)` values; the caller executes them.
+    ///
+    /// `promotions` is bumped when this call performs the promotion.
+    pub(crate) fn steal_scan(
+        &self,
+        max: usize,
+        policy: &PromotionPolicy,
+        out: &mut Vec<usize>,
+        promotions: &mut u64,
+    ) {
+        if max == 0 || self.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let scans = self.scans.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.inner.lock();
+        let promote = policy.enabled
+            && inner.graph.is_none()
+            && (inner.tasks.len() >= policy.promote_len || scans >= policy.promote_scans);
+        if promote {
+            *promotions += 1;
+            let mut g = DepGraph::new();
+            for (idx, t) in inner.tasks.iter().enumerate() {
+                // SeqCst promotion protocol: `graph_on` is set before the
+                // states are read, so any completion not observed here will
+                // observe `graph_on == true` and take the lock (see
+                // `Task::complete` + `complete_task`).
+                let accesses = t.accesses.to_vec();
+                g.integrate(idx, &accesses, false);
+                // Mark already-done tasks by propagating their completion.
+                // (`graph_on` was published first; see below.)
+                let _ = idx;
+            }
+            // Publish *before* reading task states for done-accounting.
+            self.graph_on.store(true, Ordering::SeqCst);
+            let done: Vec<usize> = inner
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is_done())
+                .map(|(i, _)| i)
+                .collect();
+            let FrameInner { tasks, graph } = &mut *inner;
+            *graph = Some(g);
+            let g = graph.as_mut().unwrap();
+            for idx in done {
+                g.on_complete(idx, tasks);
+            }
+        }
+
+        let FrameInner { tasks, graph } = &mut *inner;
+        if let Some(g) = graph.as_mut() {
+            while out.len() < max {
+                match g.pop_ready_claimed(tasks) {
+                    Some(idx) => out.push(idx),
+                    None => break,
+                }
+            }
+            return;
+        }
+
+        // Scan mode: oldest-first readiness by pairwise conflict checks
+        // against earlier incomplete tasks (the paper's baseline steal).
+        let n = tasks.len();
+        'cand: for i in 0..n {
+            if out.len() >= max {
+                break;
+            }
+            let t = &tasks[i];
+            if t.state() != ST_INIT {
+                continue;
+            }
+            for u in tasks.iter().take(i) {
+                if !u.is_done() && tasks_conflict(&u.accesses, &t.accesses) {
+                    continue 'cand;
+                }
+            }
+            if t.try_claim(ST_STOLEN) {
+                out.push(i);
+            }
+        }
+    }
+
+    /// Reset a quiescent frame for reuse (worker-local frame pool). Caller
+    /// guarantees exclusivity (`Arc::strong_count == 1`) and quiescence
+    /// (`pending == 0`).
+    pub(crate) fn reset(&self) {
+        debug_assert_eq!(self.pending.load(Ordering::Relaxed), 0);
+        let mut inner = self.inner.lock();
+        inner.tasks.clear(); // keeps the Vec capacity
+        inner.graph = None;
+        drop(inner);
+        self.len.store(0, Ordering::Relaxed);
+        self.cursor.store(0, Ordering::Relaxed);
+        self.graph_on.store(false, Ordering::Relaxed);
+        self.scans.store(0, Ordering::Relaxed);
+        self.has_panic.store(false, Ordering::Relaxed);
+        debug_assert!(self.panic.lock().is_none());
+    }
+
+    /// Owner-side ready pop (used while the owner is suspended on a stolen
+    /// task): only available in graph mode, claims as `ST_STOLEN`.
+    pub(crate) fn pop_ready_owner(&self) -> Option<usize> {
+        if !self.graph_on.load(Ordering::Acquire) {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        let FrameInner { tasks, graph } = &mut *inner;
+        graph.as_mut().and_then(|g| g.pop_ready_claimed(tasks))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_promoted(&self) -> bool {
+        self.graph_on.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, AccessMode, Region};
+    use crate::task::{Task, ST_OWNER};
+
+    fn task_with(accs: &[Access]) -> Arc<Task> {
+        Arc::new(Task::new(Box::new(|_| {}), accs.to_vec().into_boxed_slice()))
+    }
+
+    fn acc(h: u64, mode: AccessMode) -> Access {
+        Access::new(HandleId(h), Region::All, mode)
+    }
+
+    #[test]
+    fn fifo_indices_in_program_order() {
+        let f = Frame::new();
+        for _ in 0..4 {
+            f.push(task_with(&[]));
+        }
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.pending(), 4);
+    }
+
+    #[test]
+    fn scan_finds_independent_tasks_ready() {
+        let f = Frame::new();
+        f.push(task_with(&[]));
+        f.push(task_with(&[]));
+        let mut out = Vec::new();
+        let mut promos = 0;
+        f.steal_scan(8, &PromotionPolicy { enabled: false, ..Default::default() }, &mut out, &mut promos);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn scan_respects_raw_dependency() {
+        let f = Frame::new();
+        let w = acc(9, AccessMode::Write);
+        let r = acc(9, AccessMode::Read);
+        f.push(task_with(&[w]));
+        f.push(task_with(&[r]));
+        let pol = PromotionPolicy { enabled: false, ..Default::default() };
+        let mut out = Vec::new();
+        let mut promos = 0;
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        // only the writer is ready
+        assert_eq!(out, vec![0]);
+        // finish the writer; now the reader becomes ready
+        let t0 = f.task(0);
+        let _ = t0.take_body();
+        t0.complete();
+        f.complete_task(0);
+        let mut out2 = Vec::new();
+        f.steal_scan(8, &pol, &mut out2, &mut promos);
+        assert_eq!(out2, vec![1]);
+    }
+
+    #[test]
+    fn readers_run_concurrently_writers_serialize() {
+        let f = Frame::new();
+        f.push(task_with(&[acc(1, AccessMode::Write)]));
+        f.push(task_with(&[acc(1, AccessMode::Read)]));
+        f.push(task_with(&[acc(1, AccessMode::Read)]));
+        f.push(task_with(&[acc(1, AccessMode::Write)]));
+        let pol = PromotionPolicy { enabled: false, ..Default::default() };
+        let mut out = Vec::new();
+        let mut promos = 0;
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![0]);
+        finish(&f, 0);
+        let mut out = Vec::new();
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![1, 2]); // both readers, not the second writer
+    }
+
+    fn finish(f: &Frame, idx: usize) {
+        let t = f.task(idx);
+        let _ = t.take_body();
+        t.complete();
+        f.complete_task(idx);
+    }
+
+    #[test]
+    fn promotion_builds_equivalent_ready_set() {
+        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let f = Frame::new();
+        f.push(task_with(&[acc(1, AccessMode::Write)]));
+        f.push(task_with(&[acc(1, AccessMode::Read)]));
+        f.push(task_with(&[acc(2, AccessMode::Write)]));
+        let mut out = Vec::new();
+        let mut promos = 0;
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(promos, 1);
+        assert!(f.is_promoted());
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 2]); // h1 writer + h2 writer; reader blocked
+        finish(&f, 0);
+        finish(&f, 2);
+        let mut out = Vec::new();
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![1]);
+        assert_eq!(promos, 1); // promoted once only
+    }
+
+    #[test]
+    fn promotion_accounts_already_done_tasks() {
+        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let f = Frame::new();
+        f.push(task_with(&[acc(1, AccessMode::Write)]));
+        f.push(task_with(&[acc(1, AccessMode::Read)]));
+        // Owner runs task 0 before any steal.
+        let t0 = f.task(0);
+        assert!(t0.try_claim(ST_OWNER));
+        let _ = t0.take_body();
+        t0.complete();
+        f.complete_task(0);
+        let mut out = Vec::new();
+        let mut promos = 0;
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![1]); // reader ready because writer already done
+    }
+
+    #[test]
+    fn graph_mode_incremental_push() {
+        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let f = Frame::new();
+        f.push(task_with(&[acc(1, AccessMode::Write)]));
+        let mut out = Vec::new();
+        let mut promos = 0;
+        f.steal_scan(0, &pol, &mut out, &mut promos); // max=0: no-op (pending>0, but max==0 short-circuits)
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![0]);
+        // push after promotion: dependency on in-flight task 0
+        f.push(task_with(&[acc(1, AccessMode::Read)]));
+        let mut out2 = Vec::new();
+        f.steal_scan(8, &pol, &mut out2, &mut promos);
+        assert!(out2.is_empty());
+        finish(&f, 0);
+        let mut out3 = Vec::new();
+        f.steal_scan(8, &pol, &mut out3, &mut promos);
+        assert_eq!(out3, vec![1]);
+    }
+
+    #[test]
+    fn cumulative_writes_commute() {
+        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let f = Frame::new();
+        f.push(task_with(&[acc(3, AccessMode::CumulWrite)]));
+        f.push(task_with(&[acc(3, AccessMode::CumulWrite)]));
+        f.push(task_with(&[acc(3, AccessMode::Read)]));
+        let mut out = Vec::new();
+        let mut promos = 0;
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]); // both reductions concurrent, reader waits
+        finish(&f, 0);
+        finish(&f, 1);
+        let mut out = Vec::new();
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn keyed_regions_independent() {
+        let f = Frame::new();
+        let p = |i, j, m| Access::new(HandleId(7), Region::key2(i, j), m);
+        f.push(task_with(&[p(0, 0, AccessMode::Write)]));
+        f.push(task_with(&[p(1, 1, AccessMode::Write)]));
+        f.push(task_with(&[p(0, 0, AccessMode::Read), p(1, 1, AccessMode::Write)]));
+        for pol in [
+            PromotionPolicy { enabled: false, ..Default::default() },
+            PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true },
+        ] {
+            let f2 = Frame::new();
+            f2.push(task_with(&[p(0, 0, AccessMode::Write)]));
+            f2.push(task_with(&[p(1, 1, AccessMode::Write)]));
+            f2.push(task_with(&[p(0, 0, AccessMode::Read), p(1, 1, AccessMode::Write)]));
+            let mut out = Vec::new();
+            let mut promos = 0;
+            f2.steal_scan(8, &pol, &mut out, &mut promos);
+            out.sort_unstable();
+            assert_eq!(out, vec![0, 1], "policy {pol:?}");
+        }
+        let _ = f;
+    }
+
+    #[test]
+    fn whole_object_write_orders_after_tiles() {
+        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let f = Frame::new();
+        let p = |i, j, m| Access::new(HandleId(7), Region::key2(i, j), m);
+        f.push(task_with(&[p(0, 0, AccessMode::Write)]));
+        f.push(task_with(&[Access::new(HandleId(7), Region::All, AccessMode::Write)]));
+        f.push(task_with(&[p(5, 5, AccessMode::Write)]));
+        let mut out = Vec::new();
+        let mut promos = 0;
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![0]); // All-write waits; later tile waits on All-write
+        finish(&f, 0);
+        let mut out = Vec::new();
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![1]);
+        finish(&f, 1);
+        let mut out = Vec::new();
+        f.steal_scan(8, &pol, &mut out, &mut promos);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn panic_slot_keeps_first() {
+        let f = Frame::new();
+        f.set_panic(Box::new("first"));
+        f.set_panic(Box::new("second"));
+        let p = f.take_panic().unwrap();
+        assert_eq!(*p.downcast_ref::<&str>().unwrap(), "first");
+        assert!(f.take_panic().is_none());
+    }
+}

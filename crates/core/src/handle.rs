@@ -1,0 +1,461 @@
+//! Shared data handles: the objects data-flow tasks declare accesses on.
+//!
+//! A [`Shared<T>`] owns one value. Tasks never hold Rust references across
+//! suspension points; instead they declare `(handle, region, mode)` triples
+//! at spawn time and obtain short-lived references through the task context
+//! once the scheduler has guaranteed exclusivity (conflicting tasks are never
+//! concurrent, so handing out `&mut T` to the single running writer is
+//! sound).
+//!
+//! [`Reduction<T>`] implements the cumulative-write mode: concurrent tasks
+//! fold into per-worker accumulators, merged lazily on the next read/write
+//! access (which the data-flow edges order after the whole reduction group).
+
+use crate::access::{fresh_handle_id, Access, AccessMode, HandleId, Region};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Dynamic borrow state: 0 = free, `u32::MAX` = writer, else reader count.
+/// A second line of defence under the scheduler's exclusivity guarantee —
+/// mis-declared accesses surface as a panic instead of aliasing UB.
+const WRITER: u32 = u32::MAX;
+
+struct SharedInner<T: ?Sized> {
+    id: HandleId,
+    borrows: std::sync::atomic::AtomicU32,
+    cell: UnsafeCell<T>,
+}
+
+// Safety: the runtime serialises conflicting accesses; only tasks whose
+// declared accesses were granted touch `cell`, and at most one of them may
+// hold a mutable borrow at a time.
+unsafe impl<T: Send + ?Sized> Send for SharedInner<T> {}
+unsafe impl<T: Send + ?Sized> Sync for SharedInner<T> {}
+
+/// A runtime-managed shared value that data-flow tasks access by declaration.
+///
+/// Cloning a `Shared<T>` clones the *handle* (an `Arc`), not the value.
+///
+/// ```
+/// use xkaapi_core::{Runtime, AccessMode};
+/// let rt = Runtime::new(2);
+/// let h = xkaapi_core::Shared::new(0u64);
+/// rt.scope(|ctx| {
+///     let h2 = h.clone();
+///     ctx.spawn([h.write()], move |t| *t.write(&h2) = 42);
+///     let h3 = h.clone();
+///     ctx.spawn([h.read()], move |t| assert_eq!(*t.read(&h3), 42));
+/// });
+/// assert_eq!(h.into_inner(), 42);
+/// ```
+pub struct Shared<T: ?Sized> {
+    inner: Arc<SharedInner<T>>,
+}
+
+impl<T: ?Sized> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Shared<T> {
+    /// Wrap a value into a fresh handle.
+    pub fn new(value: T) -> Self {
+        Shared {
+            inner: Arc::new(SharedInner {
+                id: fresh_handle_id(),
+                borrows: std::sync::atomic::AtomicU32::new(0),
+                cell: UnsafeCell::new(value),
+            }),
+        }
+    }
+
+    /// Recover the value. Panics if other clones of the handle still exist.
+    pub fn into_inner(self) -> T {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.cell.into_inner(),
+            Err(_) => panic!("Shared::into_inner: handle still has outstanding clones"),
+        }
+    }
+
+    /// Read the value from outside any task. The caller asserts no task that
+    /// writes this handle is in flight (e.g. after the owning scope ended).
+    pub fn get(&self) -> &T {
+        // Safety: caller contract — quiescent handle.
+        unsafe { &*self.inner.cell.get() }
+    }
+
+    /// Mutate the value from outside any task; same quiescence contract as
+    /// [`Shared::get`], plus uniqueness of the borrow is the caller's duty.
+    pub fn get_mut(&mut self) -> &mut T {
+        // Safety: `&mut self` gives uniqueness of this handle clone; the
+        // caller asserts no task is in flight.
+        unsafe { &mut *self.inner.cell.get() }
+    }
+}
+
+impl<T: ?Sized> Shared<T> {
+    /// This handle's identifier.
+    #[inline]
+    pub fn id(&self) -> HandleId {
+        self.inner.id
+    }
+
+    /// Declare a whole-object read access.
+    #[inline]
+    pub fn read(&self) -> Access {
+        Access::new(self.id(), Region::All, AccessMode::Read)
+    }
+
+    /// Declare a whole-object write access (exclusive, no renaming).
+    #[inline]
+    pub fn write(&self) -> Access {
+        Access::new(self.id(), Region::All, AccessMode::Write)
+    }
+
+    /// Declare a whole-object exclusive read-write access.
+    #[inline]
+    pub fn exclusive(&self) -> Access {
+        Access::new(self.id(), Region::All, AccessMode::Exclusive)
+    }
+
+    /// Declare a read access to a sub-region.
+    #[inline]
+    pub fn read_region(&self, region: Region) -> Access {
+        Access::new(self.id(), region, AccessMode::Read)
+    }
+
+    /// Declare a write access to a sub-region.
+    #[inline]
+    pub fn write_region(&self, region: Region) -> Access {
+        Access::new(self.id(), region, AccessMode::Write)
+    }
+
+    /// Acquire a shared borrow (task context, after the scheduler granted a
+    /// read). Panics on a live writer — i.e. on a mis-declared access.
+    pub(crate) fn borrow(&self) -> Ref<'_, T> {
+        let b = &self.inner.borrows;
+        loop {
+            let cur = b.load(Ordering::Acquire);
+            assert_ne!(cur, WRITER, "xkaapi: read access while a writer is live (mis-declared task accesses?)");
+            if b.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                break;
+            }
+        }
+        // Safety: reader count held; writers excluded.
+        Ref { val: unsafe { &*self.inner.cell.get() }, borrows: b }
+    }
+
+    /// Acquire an exclusive borrow (task context, after the scheduler
+    /// granted a write). Panics on any live borrow.
+    pub(crate) fn borrow_mut(&self) -> RefMut<'_, T> {
+        let b = &self.inner.borrows;
+        assert!(
+            b.compare_exchange(0, WRITER, Ordering::AcqRel, Ordering::Acquire).is_ok(),
+            "xkaapi: write access while other borrows are live (mis-declared task accesses?)"
+        );
+        // Safety: exclusive flag held.
+        RefMut { val: unsafe { &mut *self.inner.cell.get() }, borrows: b }
+    }
+}
+
+/// Shared borrow of a [`Shared<T>`] value, granted to a running task.
+pub struct Ref<'a, T: ?Sized> {
+    val: &'a T,
+    borrows: &'a std::sync::atomic::AtomicU32,
+}
+
+impl<T: ?Sized> std::ops::Deref for Ref<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.val
+    }
+}
+
+impl<T: ?Sized> Drop for Ref<'_, T> {
+    fn drop(&mut self) {
+        self.borrows.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Exclusive borrow of a [`Shared<T>`] value, granted to a running task.
+pub struct RefMut<'a, T: ?Sized> {
+    val: &'a mut T,
+    borrows: &'a std::sync::atomic::AtomicU32,
+}
+
+impl<T: ?Sized> std::ops::Deref for RefMut<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.val
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RefMut<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.val
+    }
+}
+
+impl<T: ?Sized> Drop for RefMut<'_, T> {
+    fn drop(&mut self) {
+        self.borrows.store(0, Ordering::Release);
+    }
+}
+
+/// A shared value accessed through *disjoint regions* by concurrent tasks.
+///
+/// Unlike [`Shared<T>`], several tasks may run concurrently on a
+/// `Partitioned<T>` as long as their declared regions do not overlap: the
+/// data-flow scheduler orders the ones that do. Region-typed projections are
+/// the user's responsibility (`view` hands out raw mutable access), which is
+/// why construction is explicit — it is the building block the dense tiled
+/// and sparse skyline matrices use.
+pub struct Partitioned<T> {
+    inner: Arc<SharedInner<T>>,
+}
+
+impl<T> Clone for Partitioned<T> {
+    fn clone(&self) -> Self {
+        Partitioned { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Send> Partitioned<T> {
+    /// Wrap a value to be accessed through disjoint regions.
+    pub fn new(value: T) -> Self {
+        Partitioned {
+            inner: Arc::new(SharedInner {
+                id: fresh_handle_id(),
+                borrows: std::sync::atomic::AtomicU32::new(0),
+                cell: UnsafeCell::new(value),
+            }),
+        }
+    }
+
+    /// This handle's identifier.
+    #[inline]
+    pub fn id(&self) -> HandleId {
+        self.inner.id
+    }
+
+    /// Declare an access to `region` with `mode`.
+    #[inline]
+    pub fn access(&self, region: Region, mode: AccessMode) -> Access {
+        Access::new(self.id(), region, mode)
+    }
+
+    /// Raw access to the underlying value.
+    ///
+    /// # Safety
+    /// The caller must only touch the part of the value corresponding to a
+    /// region its task declared; the scheduler guarantees tasks with
+    /// overlapping regions are not concurrent, nothing guards disjoint ones.
+    #[inline]
+    pub unsafe fn view(&self) -> *mut T {
+        self.inner.cell.get()
+    }
+
+    /// Recover the value. Panics if other clones of the handle still exist.
+    pub fn into_inner(self) -> T {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.cell.into_inner(),
+            Err(_) => panic!("Partitioned::into_inner: handle still has outstanding clones"),
+        }
+    }
+
+    /// Read-only borrow from outside any task (quiescence contract).
+    pub fn get(&self) -> &T {
+        unsafe { &*self.inner.cell.get() }
+    }
+}
+
+type CombineFn<T> = dyn Fn(&mut T, T) + Send + Sync;
+type IdentityFn<T> = dyn Fn() -> T + Send + Sync;
+
+struct ReductionInner<T> {
+    id: HandleId,
+    main: UnsafeCell<T>,
+    /// One lazily-initialised accumulator per worker, cache-padded to avoid
+    /// false sharing between concurrently folding workers.
+    slots: Box<[crossbeam::utils::CachePadded<UnsafeCell<Option<T>>>]>,
+    dirty: AtomicBool,
+    identity: Box<IdentityFn<T>>,
+    combine: Box<CombineFn<T>>,
+}
+
+unsafe impl<T: Send> Send for ReductionInner<T> {}
+unsafe impl<T: Send> Sync for ReductionInner<T> {}
+
+/// A reduction variable for the cumulative-write access mode.
+///
+/// Tasks declaring [`Reduction::cumul`] run concurrently, each folding into a
+/// per-worker accumulator obtained from the task context. The next task that
+/// declares a read or write access is ordered after the whole group by the
+/// data-flow engine, and the merge of the accumulators happens then.
+pub struct Reduction<T> {
+    inner: Arc<ReductionInner<T>>,
+}
+
+impl<T> Clone for Reduction<T> {
+    fn clone(&self) -> Self {
+        Reduction { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Send> Reduction<T> {
+    /// Create a reduction with `nworkers` accumulator slots.
+    ///
+    /// `identity` produces the neutral element, `combine` folds a slot into
+    /// the main value; both must make `combine` associative for the result
+    /// to be deterministic up to floating-point reassociation.
+    pub fn with_slots(
+        initial: T,
+        nworkers: usize,
+        identity: impl Fn() -> T + Send + Sync + 'static,
+        combine: impl Fn(&mut T, T) + Send + Sync + 'static,
+    ) -> Self {
+        let slots = (0..nworkers)
+            .map(|_| crossbeam::utils::CachePadded::new(UnsafeCell::new(None)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Reduction {
+            inner: Arc::new(ReductionInner {
+                id: fresh_handle_id(),
+                main: UnsafeCell::new(initial),
+                slots,
+                dirty: AtomicBool::new(false),
+                identity: Box::new(identity),
+                combine: Box::new(combine),
+            }),
+        }
+    }
+
+    /// Handle identifier (shared by all access declarations on this value).
+    #[inline]
+    pub fn id(&self) -> HandleId {
+        self.inner.id
+    }
+
+    /// Declare a cumulative-write access (commutes with other `cumul`s).
+    #[inline]
+    pub fn cumul(&self) -> Access {
+        Access::new(self.id(), Region::All, AccessMode::CumulWrite)
+    }
+
+    /// Declare a read access (ordered after any pending cumulative writes).
+    #[inline]
+    pub fn read(&self) -> Access {
+        Access::new(self.id(), Region::All, AccessMode::Read)
+    }
+
+    /// Declare an exclusive access.
+    #[inline]
+    pub fn exclusive(&self) -> Access {
+        Access::new(self.id(), Region::All, AccessMode::Exclusive)
+    }
+
+    /// Per-worker accumulator for a task granted `cumul` access.
+    ///
+    /// # Safety (internal)
+    /// Called by the task context with the executing worker's index; two
+    /// tasks on the same worker are never concurrent so the slot borrow is
+    /// unique.
+    pub(crate) fn slot_for(&self, worker: usize) -> &mut T {
+        self.inner.dirty.store(true, Ordering::Release);
+        let slot = unsafe { &mut *self.inner.slots[worker].get() };
+        slot.get_or_insert_with(|| (self.inner.identity)())
+    }
+
+    /// Merge pending per-worker accumulators into the main value.
+    ///
+    /// Sound only once the data-flow engine has ordered the caller after the
+    /// cumulative-write group (i.e. from a task with read/write access, or
+    /// outside any scope).
+    pub(crate) fn merge_pending(&self) {
+        if !self.inner.dirty.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let main = unsafe { &mut *self.inner.main.get() };
+        for slot in self.inner.slots.iter() {
+            let slot = unsafe { &mut *slot.get() };
+            if let Some(v) = slot.take() {
+                (self.inner.combine)(main, v);
+            }
+        }
+    }
+
+    /// Merged value, viewed from outside any task (quiescence contract).
+    pub fn get(&self) -> &T {
+        self.merge_pending();
+        unsafe { &*self.inner.main.get() }
+    }
+
+    /// Pointer to the main value, for granted read/write task accesses.
+    pub(crate) fn data_ptr(&self) -> *mut T {
+        self.inner.main.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_roundtrip() {
+        let h = Shared::new(vec![1, 2, 3]);
+        assert_eq!(h.get().len(), 3);
+        let h2 = h.clone();
+        assert_eq!(h.id(), h2.id());
+        drop(h2);
+        assert_eq!(h.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding clones")]
+    fn shared_into_inner_with_clones_panics() {
+        let h = Shared::new(5);
+        let _h2 = h.clone();
+        let _ = h.into_inner();
+    }
+
+    #[test]
+    fn distinct_handles_distinct_ids() {
+        let a = Shared::new(0);
+        let b = Shared::new(0);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn access_constructors() {
+        let h = Shared::new(0u8);
+        assert_eq!(h.read().mode, AccessMode::Read);
+        assert_eq!(h.write().mode, AccessMode::Write);
+        assert_eq!(h.exclusive().mode, AccessMode::Exclusive);
+        assert!(h.read().conflicts_with(&h.write()));
+    }
+
+    #[test]
+    fn reduction_merges_slots() {
+        let red = Reduction::with_slots(0u64, 4, || 0u64, |a, b| *a += b);
+        *red.slot_for(0) += 5;
+        *red.slot_for(2) += 7;
+        assert_eq!(*red.get(), 12);
+        // idempotent once merged
+        assert_eq!(*red.get(), 12);
+        *red.slot_for(1) += 1;
+        assert_eq!(*red.get(), 13);
+    }
+
+    #[test]
+    fn partitioned_region_accesses() {
+        let p = Partitioned::new(vec![0f64; 16]);
+        let a = p.access(Region::key2(0, 0), AccessMode::Write);
+        let b = p.access(Region::key2(0, 1), AccessMode::Write);
+        assert!(!a.conflicts_with(&b));
+        let c = p.access(Region::key2(0, 0), AccessMode::Read);
+        assert!(a.conflicts_with(&c));
+        assert_eq!(p.into_inner().len(), 16);
+    }
+}

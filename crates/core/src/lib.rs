@@ -1,0 +1,79 @@
+//! # xkaapi-core — a multi-paradigm task runtime for multicore machines
+//!
+//! Rust reproduction of the runtime described in *“X-Kaapi: a Multi Paradigm
+//! Runtime for Multicore Architectures”* (Gautier, Lementec, Faucher,
+//! Raffin — ICPP 2013 workshop P2S2). The runtime unifies three parallel
+//! paradigms over one work-stealing scheduler:
+//!
+//! * **data-flow tasks** — tasks declare `(handle, region, mode)` accesses;
+//!   the runtime derives dependencies and runs independent tasks in
+//!   parallel, with sequential semantics ([`Ctx::spawn`]);
+//! * **fork-join tasks** — Cilk-style `spawn`/`sync` and [`Ctx::join`];
+//! * **adaptive parallel loops** — [`Ctx::foreach`] /
+//!   [`Runtime::foreach`], loops that split on demand when workers go idle.
+//!
+//! Scheduling follows the paper's design decisions:
+//!
+//! * **work-first**: the owner executes children in FIFO (program) order and
+//!   never computes dependencies on the local fast path;
+//! * **lazy readiness**: a thief proves a task ready by scanning the victim
+//!   frame from the oldest task;
+//! * **ready-list acceleration**: frames whose scans get expensive are
+//!   promoted to a dependency graph with a ready list — steals become pops;
+//! * **request aggregation**: `N` concurrent steal requests to one victim
+//!   are served by a single elected combiner thief;
+//! * **adaptive tasks**: running tasks publish splitters invoked under the
+//!   victim's steal lock (at most one concurrent splitter per victim).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xkaapi_core::{Runtime, Shared};
+//!
+//! let rt = Runtime::new(4);
+//!
+//! // Data-flow: b waits for a (read-after-write on `h`), c is independent.
+//! let h = Shared::new(0u64);
+//! let c = Shared::new(0u64);
+//! rt.scope(|ctx| {
+//!     let (h1, h2, c1) = (h.clone(), h.clone(), c.clone());
+//!     ctx.spawn([h.write()], move |t| *t.write(&h1) = 21);
+//!     ctx.spawn([h.read(), c.write()], move |t| {
+//!         *t.write(&c1) = 2 * *t.read(&h2);
+//!     });
+//! });
+//! assert_eq!(*c.get(), 42);
+//!
+//! // Fork-join:
+//! let (a, b) = rt.scope(|ctx| ctx.join(|_| 1 + 1, |_| 20 + 1));
+//! assert_eq!(a * b, 42);
+//!
+//! // Adaptive parallel loop:
+//! let sum = rt.foreach_reduce(0..1000, None, || 0u64, |s, i| *s += i as u64, |a, b| a + b);
+//! assert_eq!(sum, 499_500);
+//! ```
+
+#![warn(missing_docs)]
+
+mod access;
+mod adaptive;
+mod ctx;
+mod fastlane;
+mod foreach;
+mod frame;
+mod handle;
+mod runtime;
+mod stats;
+mod steal;
+mod task;
+
+pub use access::{Access, AccessMode, HandleId, Region};
+pub use adaptive::{split_even, IntervalCell};
+pub use ctx::{with_runtime_ctx, Ctx};
+pub use frame::PromotionPolicy;
+pub use handle::{Partitioned, Reduction, Ref, RefMut, Shared};
+pub use runtime::{Builder, Runtime, Tunables};
+pub use stats::StatsSnapshot;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,487 @@
+//! The runtime: worker threads, parking, job injection and the public entry
+//! points ([`Runtime::scope`], parallel loops, statistics).
+//!
+//! One thread is created per configured worker ("one thread per core" in the
+//! paper). External callers inject root jobs; workers run an idle loop of
+//! *inject → steal → park*. All parallel work happens on the workers; the
+//! injecting thread blocks on a latch (with the work-stealing guarantees,
+//! this keeps every scheduling decision inside the pool).
+
+use crate::adaptive::Adaptive;
+use crate::ctx::{Ctx, RawCtx};
+use crate::fastlane::FastLane;
+use crate::frame::{Frame, PromotionPolicy};
+use crate::stats::{self, StatsSnapshot, WorkerStats};
+use crate::steal::{run_grab, try_steal_once, Request};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Scheduler tuning knobs. Defaults reproduce the paper's design; ablation
+/// benchmarks flip individual features off.
+#[derive(Clone, Copy, Debug)]
+pub struct Tunables {
+    /// Ready-list ("graph mode") promotion policy.
+    pub promotion: PromotionPolicy,
+    /// Steal-request aggregation: the elected combiner serves every drained
+    /// request. When `false`, the combiner serves only itself and fails the
+    /// others (they retry), modelling a runtime without flat combining.
+    pub aggregation: bool,
+    /// Idle rounds of steal attempts before a worker parks.
+    pub steal_rounds_before_park: u32,
+    /// Default parallel-loop grain is `n / (grain_factor * workers)`.
+    pub grain_factor: usize,
+}
+
+impl Default for Tunables {
+    fn default() -> Self {
+        Tunables {
+            promotion: PromotionPolicy::default(),
+            aggregation: true,
+            steal_rounds_before_park: 32,
+            grain_factor: 8,
+        }
+    }
+}
+
+/// Builder for [`Runtime`].
+pub struct Builder {
+    workers: Option<usize>,
+    tun: Tunables,
+    stack_size: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { workers: None, tun: Tunables::default(), stack_size: 16 << 20 }
+    }
+}
+
+impl Builder {
+    /// Number of worker threads (default: available parallelism).
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one worker required");
+        self.workers = Some(n);
+        self
+    }
+
+    /// Override the graph-mode promotion policy.
+    pub fn promotion(mut self, p: PromotionPolicy) -> Self {
+        self.tun.promotion = p;
+        self
+    }
+
+    /// Enable/disable steal-request aggregation.
+    pub fn aggregation(mut self, on: bool) -> Self {
+        self.tun.aggregation = on;
+        self
+    }
+
+    /// Parallel-loop grain factor (default chunk = `n / (factor * workers)`).
+    pub fn grain_factor(mut self, f: usize) -> Self {
+        assert!(f >= 1);
+        self.tun.grain_factor = f;
+        self
+    }
+
+    /// Worker thread stack size in bytes (default 16 MiB — recursive
+    /// fork-join work runs on worker stacks).
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Create the runtime and start its workers.
+    pub fn build(self) -> Runtime {
+        let nworkers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        let workers: Box<[Arc<Worker>]> =
+            (0..nworkers).map(|i| Arc::new(Worker::new(i))).collect();
+        let inner = Arc::new(RtInner {
+            workers,
+            inject: Mutex::new(VecDeque::new()),
+            park_mx: Mutex::new(()),
+            park_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            tun: self.tun,
+            threads: Mutex::new(Vec::new()),
+        });
+        for i in 0..nworkers {
+            let rt = Arc::clone(&inner);
+            let h = std::thread::Builder::new()
+                .name(format!("xkaapi-worker-{i}"))
+                .stack_size(self.stack_size)
+                .spawn(move || worker_main(rt, i))
+                .expect("failed to spawn worker thread");
+            inner.threads.lock().push(h);
+        }
+        Runtime { inner }
+    }
+}
+
+/// The X-Kaapi runtime: a pool of work-stealing workers executing data-flow
+/// tasks, fork-join tasks and adaptive parallel loops.
+pub struct Runtime {
+    pub(crate) inner: Arc<RtInner>,
+}
+
+pub(crate) struct RtInner {
+    pub(crate) workers: Box<[Arc<Worker>]>,
+    pub(crate) inject: Mutex<VecDeque<Job>>,
+    park_mx: Mutex<()>,
+    park_cv: Condvar,
+    sleepers: AtomicUsize,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) tun: Tunables,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// One worker: its frames (stealable task stacks), adaptive-work registry,
+/// steal point (request stack + combiner lock) and statistics.
+pub(crate) struct Worker {
+    #[allow(dead_code)] // identity, useful in debugging/traces
+    pub(crate) idx: usize,
+    /// Active frames on this worker, oldest first (thieves scan from the
+    /// oldest, as in the paper's victim-stack traversal).
+    pub(crate) frames: Mutex<Vec<Arc<Frame>>>,
+    /// Adaptive (splittable) work currently running on this worker.
+    pub(crate) adaptives: Mutex<Vec<Arc<dyn Adaptive>>>,
+    /// Combiner election: the thief holding this lock serves the victim's
+    /// pending steal requests.
+    pub(crate) steal_lock: Mutex<()>,
+    /// Treiber stack of posted steal requests.
+    pub(crate) req_head: AtomicPtr<Request>,
+    /// This worker's own request node, posted to victims when idle.
+    pub(crate) req: Request,
+    pub(crate) stats: WorkerStats,
+    /// Cilk-style fork-join fast lane (stack jobs, T.H.E. deque).
+    pub(crate) fast_lane: FastLane,
+    /// Recycled quiescent frames.
+    frame_pool: Mutex<Vec<Arc<Frame>>>,
+    rng: AtomicU64,
+}
+
+impl Worker {
+    fn new(idx: usize) -> Worker {
+        Worker {
+            idx,
+            frames: Mutex::new(Vec::new()),
+            adaptives: Mutex::new(Vec::new()),
+            steal_lock: Mutex::new(()),
+            req_head: AtomicPtr::new(std::ptr::null_mut()),
+            req: Request::new(idx),
+            stats: WorkerStats::default(),
+            fast_lane: FastLane::new(),
+            frame_pool: Mutex::new(Vec::new()),
+            rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15 ^ ((idx as u64 + 1) << 17)),
+        }
+    }
+
+    /// xorshift64* victim selector (relaxed: statistical quality only).
+    pub(crate) fn next_rand(&self) -> u64 {
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        x
+    }
+
+    pub(crate) fn register_frame(&self, f: Arc<Frame>) {
+        self.frames.lock().push(f);
+    }
+
+    pub(crate) fn deregister_frame(&self, f: &Arc<Frame>) {
+        let mut frames = self.frames.lock();
+        if let Some(pos) = frames.iter().rposition(|x| Arc::ptr_eq(x, f)) {
+            frames.remove(pos);
+        }
+    }
+
+    /// Take a recycled frame, if any.
+    pub(crate) fn pop_pooled_frame(&self) -> Option<Arc<Frame>> {
+        self.frame_pool.lock().pop()
+    }
+
+    /// Recycle `f` if we are its only owner and it is quiescent.
+    pub(crate) fn recycle_frame(&self, f: Arc<Frame>) {
+        if Arc::strong_count(&f) == 1 && f.pending() == 0 {
+            f.reset();
+            let mut pool = self.frame_pool.lock();
+            if pool.len() < 64 {
+                pool.push(f);
+            }
+        }
+    }
+
+    pub(crate) fn register_adaptive(&self, a: Arc<dyn Adaptive>) {
+        self.adaptives.lock().push(a);
+    }
+
+    pub(crate) fn deregister_adaptive(&self, a: &Arc<dyn Adaptive>) {
+        let mut ads = self.adaptives.lock();
+        if let Some(pos) = ads.iter().rposition(|x| Arc::ptr_eq(x, a)) {
+            ads.remove(pos);
+        }
+    }
+}
+
+/// A root job injected from outside the pool.
+pub(crate) struct Job(pub(crate) Box<dyn FnOnce(&mut RawCtx) + Send>);
+
+// ---------------------------------------------------------------------------
+// Thread-local identity: which runtime/worker is this thread?
+
+thread_local! {
+    static CURRENT: std::cell::Cell<(usize, usize)> =
+        const { std::cell::Cell::new((0, usize::MAX)) };
+}
+
+pub(crate) fn set_current(rt: &Arc<RtInner>, widx: usize) {
+    CURRENT.with(|c| c.set((Arc::as_ptr(rt) as usize, widx)));
+}
+
+/// If the current thread is a worker of `rt`, its index.
+pub(crate) fn current_worker_of(rt: &Arc<RtInner>) -> Option<usize> {
+    let (ptr, idx) = CURRENT.with(|c| c.get());
+    (ptr == Arc::as_ptr(rt) as usize && idx != usize::MAX).then_some(idx)
+}
+
+// ---------------------------------------------------------------------------
+
+impl RtInner {
+    #[inline]
+    pub(crate) fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Wake parked workers because new work appeared. Cheap when nobody
+    /// sleeps (one relaxed load).
+    #[inline]
+    pub(crate) fn signal_work(&self) {
+        // Relaxed: a missed wake-up is repaired by the 500 µs park timeout.
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _g = self.park_mx.lock();
+            self.park_cv.notify_all();
+        }
+    }
+
+    pub(crate) fn pop_inject(&self) -> Option<Job> {
+        if self.inject.lock().is_empty() {
+            return None;
+        }
+        self.inject.lock().pop_front()
+    }
+
+    fn park(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.park_mx.lock();
+        if !self.shutdown.load(Ordering::Acquire) && self.inject.lock().is_empty() {
+            // Timeout bounds the cost of a lost wake-up race.
+            self.park_cv.wait_for(&mut g, Duration::from_micros(500));
+        }
+        drop(g);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_main(rt: Arc<RtInner>, idx: usize) {
+    set_current(&rt, idx);
+    let mut idle_rounds: u32 = 0;
+    loop {
+        if rt.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if let Some(job) = rt.pop_inject() {
+            let mut raw = RawCtx::new(Arc::clone(&rt), idx);
+            (job.0)(&mut raw);
+            idle_rounds = 0;
+            continue;
+        }
+        if let Some(grab) = try_steal_once(&rt, idx) {
+            run_grab(&rt, idx, grab);
+            idle_rounds = 0;
+            continue;
+        }
+        idle_rounds += 1;
+        if idle_rounds < rt.tun.steal_rounds_before_park {
+            std::hint::spin_loop();
+            if idle_rounds % 8 == 0 {
+                std::thread::yield_now();
+            }
+        } else {
+            rt.park();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latch for external scope callers.
+
+struct ScopeLatch {
+    mx: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ScopeLatch {
+    fn new() -> Self {
+        ScopeLatch { mx: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn set(&self) {
+        let mut done = self.mx.lock();
+        *done = true;
+        // Notify while holding the lock: the waiter cannot observe `done`
+        // and destroy the latch before we are finished touching it.
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.mx.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+/// Raw pointer wrapper to smuggle caller-stack slots into the injected job.
+/// Sound because the caller blocks on the latch until the job completes.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+
+impl Runtime {
+    /// Runtime with `workers` threads and default tunables.
+    pub fn new(workers: usize) -> Runtime {
+        Builder::default().workers(workers).build()
+    }
+
+    /// Start configuring a runtime.
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.inner.num_workers()
+    }
+
+    /// Run `f` with a task context, blocking until every task spawned inside
+    /// (transitively) has completed. Panics raised by tasks are propagated
+    /// after all siblings finished.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&mut Ctx<'scope>) -> R + Send,
+        R: Send,
+    {
+        if let Some(widx) = current_worker_of(&self.inner) {
+            // Already on a worker of this pool: run inline with a fresh frame.
+            let mut raw = RawCtx::new(Arc::clone(&self.inner), widx);
+            return raw.run_scoped(f);
+        }
+        let mut result: Option<std::thread::Result<R>> = None;
+        let latch = ScopeLatch::new();
+        let result_ptr = SendPtr(&mut result as *mut _);
+        let latch_ptr = SendPtr(&latch as *const ScopeLatch as *mut ScopeLatch);
+        let job_fn = move |raw: &mut RawCtx| {
+            // capture the Send wrappers whole, not their pointer fields
+            let (result_ptr, latch_ptr) = (result_ptr, latch_ptr);
+            let r = raw.run_scoped_catch(f);
+            // Safety: the caller is blocked on the latch; the slots outlive us.
+            unsafe {
+                *result_ptr.0 = Some(r);
+                (*latch_ptr.0).set();
+            }
+        };
+        // Safety: lifetime erasure of the job closure; the caller blocks on
+        // the latch until the job has run to completion, so every borrow the
+        // closure captures outlives its execution (rayon-style scope).
+        let boxed: Box<dyn FnOnce(&mut RawCtx) + Send> = Box::new(job_fn);
+        let boxed: Box<dyn FnOnce(&mut RawCtx) + Send + 'static> =
+            unsafe { std::mem::transmute(boxed) };
+        self.inner.inject.lock().push_back(Job(boxed));
+        self.inner.signal_work();
+        latch.wait();
+        match result.expect("scope job did not report a result") {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    /// Parallel loop over `range` applying `body` to every index.
+    /// See [`Ctx::foreach`] for the adaptive scheduling description.
+    pub fn foreach<F>(&self, range: std::ops::Range<usize>, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.scope(|ctx| ctx.foreach(range, &body));
+    }
+
+    /// Parallel loop handing out whole chunks (`grain: None` = automatic).
+    pub fn foreach_chunks<F>(
+        &self,
+        range: std::ops::Range<usize>,
+        grain: Option<usize>,
+        body: F,
+    ) where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        self.scope(|ctx| ctx.foreach_chunks(range, grain, &body));
+    }
+
+    /// Parallel reduction over `range`.
+    pub fn foreach_reduce<T, ID, FOLD, COMB>(
+        &self,
+        range: std::ops::Range<usize>,
+        grain: Option<usize>,
+        identity: ID,
+        fold: FOLD,
+        combine: COMB,
+    ) -> T
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        FOLD: Fn(&mut T, usize) + Sync,
+        COMB: Fn(T, T) -> T + Send + Sync,
+    {
+        self.scope(|ctx| ctx.foreach_reduce(range, grain, &identity, &fold, &combine))
+    }
+
+    /// Aggregated scheduler statistics since construction (or last reset).
+    pub fn stats(&self) -> StatsSnapshot {
+        stats::aggregate(self.inner.workers.iter().map(|w| &w.stats))
+    }
+
+    /// Reset all statistics counters.
+    pub fn reset_stats(&self) {
+        stats::reset_all(self.inner.workers.iter().map(|w| &w.stats));
+    }
+
+    /// The tunables this runtime was built with.
+    pub fn tunables(&self) -> Tunables {
+        self.inner.tun
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.inner.park_mx.lock();
+            self.inner.park_cv.notify_all();
+        }
+        let threads = std::mem::take(&mut *self.inner.threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime").field("workers", &self.num_workers()).finish()
+    }
+}

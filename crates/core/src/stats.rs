@@ -1,0 +1,134 @@
+//! Runtime statistics: per-worker cache-padded counters, aggregated on demand.
+//!
+//! The counters exist for two reasons: tests assert scheduler behaviours
+//! (e.g. "aggregation served several thieves in one combine", "the frame was
+//! promoted to graph mode"), and the figure harnesses report them next to
+//! timings, mirroring the paper's discussion of steal-request counts.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Per-worker counters (cache-padded, relaxed increments).
+        #[derive(Default)]
+        pub(crate) struct WorkerStats {
+            $($(#[$doc])* pub(crate) $name: CachePadded<AtomicU64>,)+
+        }
+
+        impl WorkerStats {
+            fn add_into(&self, snap: &mut StatsSnapshot) {
+                $(snap.$name += self.$name.load(Ordering::Relaxed);)+
+            }
+            fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        /// Aggregated scheduler statistics across all workers.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+    };
+}
+
+counters! {
+    /// Tasks pushed into frames.
+    tasks_spawned,
+    /// Tasks executed through the owner's FIFO fast path.
+    tasks_executed_own,
+    /// Tasks executed after being claimed by a steal.
+    tasks_executed_stolen,
+    /// Steal requests posted (one per victim probed).
+    steal_attempts,
+    /// Steal requests answered with work.
+    steal_hits,
+    /// Combine operations performed (one elected thief serving a batch).
+    combine_batches,
+    /// Total requests served across all combine operations.
+    combine_served,
+    /// Requests served in batches of size >= 2 (aggregation benefit).
+    aggregated_requests,
+    /// Adaptive-task splitter invocations that produced work.
+    splits,
+    /// Frames promoted to graph mode (ready-list acceleration).
+    promotions,
+    /// Parallel-loop chunks executed.
+    loop_chunks,
+}
+
+impl WorkerStats {
+    #[inline]
+    pub(crate) fn bump(counter: &CachePadded<AtomicU64>, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Aggregate the counters of all workers into one snapshot.
+pub(crate) fn aggregate<'a>(workers: impl Iterator<Item = &'a WorkerStats>) -> StatsSnapshot {
+    let mut snap = StatsSnapshot::default();
+    for w in workers {
+        w.add_into(&mut snap);
+    }
+    snap
+}
+
+/// Reset the counters of all workers.
+pub(crate) fn reset_all<'a>(workers: impl Iterator<Item = &'a WorkerStats>) {
+    for w in workers {
+        w.reset();
+    }
+}
+
+impl StatsSnapshot {
+    /// Total tasks executed (own + stolen).
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks_executed_own + self.tasks_executed_stolen
+    }
+
+    /// Fraction of executed tasks that migrated to a thief.
+    pub fn steal_ratio(&self) -> f64 {
+        let t = self.tasks_executed();
+        if t == 0 {
+            0.0
+        } else {
+            self.tasks_executed_stolen as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums_workers() {
+        let a = WorkerStats::default();
+        let b = WorkerStats::default();
+        WorkerStats::bump(&a.tasks_spawned, 3);
+        WorkerStats::bump(&b.tasks_spawned, 4);
+        WorkerStats::bump(&b.steal_hits, 1);
+        let snap = aggregate([&a, &b].into_iter());
+        assert_eq!(snap.tasks_spawned, 7);
+        assert_eq!(snap.steal_hits, 1);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = StatsSnapshot::default();
+        assert_eq!(s.steal_ratio(), 0.0);
+        s.tasks_executed_own = 3;
+        s.tasks_executed_stolen = 1;
+        assert_eq!(s.tasks_executed(), 4);
+        assert!((s.steal_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let a = WorkerStats::default();
+        WorkerStats::bump(&a.promotions, 5);
+        reset_all([&a].into_iter());
+        assert_eq!(aggregate([&a].into_iter()).promotions, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Work stealing with request aggregation (flat combining).
+//!
+//! An idle worker posts a request node onto the victim's Treiber stack, then
+//! races to acquire the victim's *steal lock*. The winner — the **elected
+//! combiner thief** — drains every pending request and serves all of them in
+//! a single traversal of the victim's work: N pending requests are handled
+//! by one ready-task detection, the paper's reduction of steal overhead
+//! ([Hendler et al.] flat combining, [Tchiboukdjian et al.] analysis).
+//!
+//! The combiner first scans the victim's frames from the oldest for ready
+//! data-flow tasks (claiming them with the task-state CAS), then invokes the
+//! splitters of the victim's adaptive tasks. Because splitters only run
+//! under the victim's steal lock, at most one thief splits any adaptive task
+//! at a time — the synchronisation contract the adaptive model relies on.
+
+use crate::ctx::execute_task_at;
+use crate::frame::Frame;
+use crate::runtime::RtInner;
+use crate::stats::WorkerStats;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Work handed to a thief.
+pub(crate) enum Grab {
+    /// A stack job stolen from the fork-join fast lane.
+    Fast(crate::fastlane::FastJob),
+    /// A claimed data-flow task (state already `ST_STOLEN`).
+    Task { frame: Arc<Frame>, idx: usize },
+    /// A closure to run (typically a stolen slice of an adaptive loop).
+    Run(Box<dyn FnOnce(&Arc<RtInner>, usize) + Send>),
+}
+
+pub(crate) const REQ_FREE: u8 = 0;
+pub(crate) const REQ_POSTED: u8 = 1;
+pub(crate) const REQ_SERVED: u8 = 2;
+pub(crate) const REQ_EMPTY: u8 = 3;
+
+/// A steal request. Each worker owns exactly one, re-posted serially.
+pub(crate) struct Request {
+    next: AtomicPtr<Request>,
+    status: AtomicU8,
+    /// Index of the requesting (thief) worker.
+    pub(crate) thief: usize,
+    grab: UnsafeCell<Option<Grab>>,
+}
+
+// Safety: `grab` is written by the combiner before the `Release` store of
+// `status = SERVED`, and read by the owning thief after an `Acquire` load.
+unsafe impl Sync for Request {}
+unsafe impl Send for Request {}
+
+impl Request {
+    pub(crate) fn new(thief: usize) -> Request {
+        Request {
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            status: AtomicU8::new(REQ_FREE),
+            thief,
+            grab: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// Push `req` onto `victim`'s request stack.
+fn post_request(victim: &crate::runtime::Worker, req: &Request) {
+    req.status.store(REQ_POSTED, Ordering::Relaxed);
+    let req_ptr = req as *const Request as *mut Request;
+    let mut head = victim.req_head.load(Ordering::Relaxed);
+    loop {
+        req.next.store(head, Ordering::Relaxed);
+        match victim.req_head.compare_exchange_weak(
+            head,
+            req_ptr,
+            Ordering::Release,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(h) => head = h,
+        }
+    }
+}
+
+/// Drain all posted requests from `victim` (combiner side).
+fn drain_requests(victim: &crate::runtime::Worker) -> Vec<&Request> {
+    let mut head = victim.req_head.swap(std::ptr::null_mut(), Ordering::Acquire);
+    let mut out = Vec::new();
+    while !head.is_null() {
+        // Safety: request nodes live inside `Arc<Worker>`s owned by the
+        // runtime; a node stays valid for the runtime's lifetime, and the
+        // posting thief spins until we publish an answer.
+        let req: &Request = unsafe { &*head };
+        head = req.next.load(Ordering::Relaxed);
+        out.push(req);
+    }
+    out
+}
+
+/// Serve `reqs` against `victim`: claim ready tasks (frames, oldest first),
+/// then split adaptive work. Returns grabs (≤ `reqs.len()`), in an order
+/// matching `reqs` as far as it goes.
+fn serve(
+    rt: &Arc<RtInner>,
+    victim: &crate::runtime::Worker,
+    reqs: &[&Request],
+    my_stats: &WorkerStats,
+) -> Vec<Grab> {
+    let k = reqs.len();
+    let mut grabs: Vec<Grab> = Vec::with_capacity(k);
+
+    // 0. Fork-join fast lane (the Cilk-like stack of independent tasks).
+    while grabs.len() < k {
+        match victim.fast_lane.steal() {
+            Some(j) => grabs.push(Grab::Fast(j)),
+            None => break,
+        }
+    }
+
+    // 1. Ready data-flow tasks from the victim's frames.
+    let frames: Vec<Arc<Frame>> = victim.frames.lock().clone();
+    let mut promotions = 0u64;
+    for f in frames {
+        if grabs.len() >= k {
+            break;
+        }
+        let mut idxs = Vec::new();
+        f.steal_scan(k - grabs.len(), &rt.tun.promotion, &mut idxs, &mut promotions);
+        for idx in idxs {
+            grabs.push(Grab::Task { frame: Arc::clone(&f), idx });
+        }
+    }
+    if promotions > 0 {
+        WorkerStats::bump(&my_stats.promotions, promotions);
+    }
+
+    // 2. Adaptive tasks: invoke splitters for the still-unserved thieves.
+    if grabs.len() < k {
+        let ads: Vec<Arc<dyn crate::adaptive::Adaptive>> = victim.adaptives.lock().clone();
+        for ad in ads {
+            if grabs.len() >= k {
+                break;
+            }
+            let thieves: Vec<usize> =
+                reqs[grabs.len()..].iter().map(|r| r.thief).collect();
+            let before = grabs.len();
+            ad.split(&thieves, &mut grabs);
+            debug_assert!(grabs.len() - before <= thieves.len());
+            if grabs.len() > before {
+                WorkerStats::bump(&my_stats.splits, 1);
+            }
+        }
+    }
+    grabs
+}
+
+/// Answer `reqs` with `grabs` (missing ones get `REQ_EMPTY`).
+fn distribute(reqs: Vec<&Request>, grabs: Vec<Grab>) {
+    let mut grabs = grabs.into_iter();
+    for req in reqs {
+        match grabs.next() {
+            Some(g) => {
+                // Safety: we own the drained request until we publish status.
+                unsafe {
+                    *req.grab.get() = Some(g);
+                }
+                req.status.store(REQ_SERVED, Ordering::Release);
+            }
+            None => req.status.store(REQ_EMPTY, Ordering::Release),
+        }
+    }
+}
+
+/// One steal attempt by worker `me`: pick a random victim, post a request,
+/// participate in combining until answered. Returns work, or `None`.
+pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
+    let p = rt.num_workers();
+    if p < 2 {
+        return None;
+    }
+    let my = &rt.workers[me];
+    // Random victim != me.
+    let mut v = (my.next_rand() % (p as u64 - 1)) as usize;
+    if v >= me {
+        v += 1;
+    }
+    let victim = &rt.workers[v];
+    WorkerStats::bump(&my.stats.steal_attempts, 1);
+    post_request(victim, &my.req);
+
+    loop {
+        match my.req.status.load(Ordering::Acquire) {
+            REQ_SERVED => {
+                my.req.status.store(REQ_FREE, Ordering::Relaxed);
+                // Safety: combiner wrote the grab before the Release store.
+                let grab = unsafe { (*my.req.grab.get()).take() };
+                WorkerStats::bump(&my.stats.steal_hits, 1);
+                return grab;
+            }
+            REQ_EMPTY => {
+                my.req.status.store(REQ_FREE, Ordering::Relaxed);
+                return None;
+            }
+            _ => {}
+        }
+        if let Some(_guard) = victim.steal_lock.try_lock() {
+            // Elected combiner: serve every pending request in one pass.
+            let reqs = drain_requests(victim);
+            if !reqs.is_empty() {
+                let k = if rt.tun.aggregation { reqs.len() } else { 1 };
+                let (serve_now, fail_now) = reqs.split_at(k.min(reqs.len()));
+                let grabs = serve(rt, victim, serve_now, &my.stats);
+                WorkerStats::bump(&my.stats.combine_batches, 1);
+                WorkerStats::bump(&my.stats.combine_served, serve_now.len() as u64);
+                if serve_now.len() >= 2 {
+                    WorkerStats::bump(&my.stats.aggregated_requests, serve_now.len() as u64);
+                }
+                distribute(serve_now.to_vec(), grabs);
+                for req in fail_now {
+                    req.status.store(REQ_EMPTY, Ordering::Release);
+                }
+            }
+            continue; // re-check own status (we were among the drained)
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Execute stolen work on worker `me`.
+pub(crate) fn run_grab(rt: &Arc<RtInner>, me: usize, grab: Grab) {
+    match grab {
+        Grab::Fast(job) => {
+            WorkerStats::bump(&rt.workers[me].stats.tasks_executed_stolen, 1);
+            // Safety: the job's join does not return before the terminal
+            // state we are about to set; the record is alive.
+            unsafe { job.execute(rt, me) };
+        }
+        Grab::Task { frame, idx } => {
+            let task = frame.task(idx);
+            execute_task_at(rt, me, &frame, idx, task, /*stolen=*/ true);
+        }
+        Grab::Run(f) => f(rt, me),
+    }
+}

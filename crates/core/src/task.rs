@@ -1,0 +1,144 @@
+//! Task descriptors and the ownership (claim) protocol.
+//!
+//! Every spawned task carries an atomic state word. The owner worker claims
+//! tasks in FIFO (program) order without computing dependencies — the
+//! *work-first* principle: a sequential execution order is always valid for
+//! the X-Kaapi data-flow model, so the local fast path pays nothing for the
+//! data-flow graph. Thieves claim tasks with a compare-and-swap after proving
+//! readiness; the single CAS per task plays the role Cilk's T.H.E. protocol
+//! plays on deque indices: owner and thief can never both run a task.
+
+use crate::access::Access;
+use crate::ctx::RawCtx;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Task has been created and not yet claimed by anyone.
+pub(crate) const ST_INIT: u8 = 0;
+/// Claimed by the owner worker (FIFO path).
+pub(crate) const ST_OWNER: u8 = 1;
+/// Claimed by a thief during a steal operation.
+pub(crate) const ST_STOLEN: u8 = 2;
+/// Execution finished; effects are visible to acquiring readers.
+pub(crate) const ST_DONE: u8 = 3;
+
+/// The boxed body of a task. Bodies receive the executing worker's raw
+/// context so they can spawn children, sync, or run parallel loops.
+pub(crate) type TaskBody = Box<dyn FnOnce(&mut RawCtx) + Send>;
+
+/// A spawned task: state word, one-shot body, declared accesses.
+pub(crate) struct Task {
+    state: AtomicU8,
+    /// Taken exactly once by the claimant; `UnsafeCell` because the claim
+    /// CAS is what transfers ownership.
+    body: UnsafeCell<Option<TaskBody>>,
+    /// Declared accesses; empty for independent (fork-join) tasks.
+    pub(crate) accesses: Box<[Access]>,
+}
+
+// Safety: `body` is only touched by the thread that won the claim CAS, and
+// `accesses` is immutable after construction.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    pub(crate) fn new(body: TaskBody, accesses: Box<[Access]>) -> Task {
+        Task { state: AtomicU8::new(ST_INIT), body: UnsafeCell::new(Some(body)), accesses }
+    }
+
+    /// Current state (acquire: observing `ST_DONE` also acquires the task's
+    /// memory effects).
+    #[inline]
+    pub(crate) fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub(crate) fn is_done(&self) -> bool {
+        self.state() == ST_DONE
+    }
+
+    /// Attempt to claim the task for execution as `who` (`ST_OWNER` or
+    /// `ST_STOLEN`). Succeeds at most once across all threads.
+    #[inline]
+    pub(crate) fn try_claim(&self, who: u8) -> bool {
+        debug_assert!(who == ST_OWNER || who == ST_STOLEN);
+        self.state
+            .compare_exchange(ST_INIT, who, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Take the body. Must only be called by the claimant.
+    #[inline]
+    pub(crate) fn take_body(&self) -> TaskBody {
+        debug_assert!(matches!(self.state.load(Ordering::Relaxed), ST_OWNER | ST_STOLEN));
+        // Safety: claim CAS won exactly once; only the claimant calls this.
+        unsafe { (*self.body.get()).take().expect("task body taken twice") }
+    }
+
+    /// Publish completion. `SeqCst` so the completion is totally ordered
+    /// with the frame's `graph_on` flag (see `frame.rs` promotion protocol).
+    #[inline]
+    pub(crate) fn complete(&self) {
+        let prev = self.state.swap(ST_DONE, Ordering::SeqCst);
+        debug_assert!(prev == ST_OWNER || prev == ST_STOLEN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{Access, AccessMode, HandleId, Region};
+
+    fn mk(accesses: &[Access]) -> Task {
+        Task::new(Box::new(|_| {}), accesses.to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn claim_is_exclusive() {
+        let t = mk(&[]);
+        assert!(t.try_claim(ST_OWNER));
+        assert!(!t.try_claim(ST_STOLEN));
+        assert_eq!(t.state(), ST_OWNER);
+        t.complete();
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn body_runs_once() {
+        let t = mk(&[]);
+        assert!(t.try_claim(ST_STOLEN));
+        let _body = t.take_body();
+        t.complete();
+    }
+
+    #[test]
+    fn concurrent_claims_single_winner() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        for _ in 0..64 {
+            let t = Arc::new(mk(&[Access::new(
+                HandleId(1),
+                Region::All,
+                AccessMode::Write,
+            )]));
+            let wins = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..4)
+                .map(|i| {
+                    let t = Arc::clone(&t);
+                    let wins = Arc::clone(&wins);
+                    std::thread::spawn(move || {
+                        let who = if i % 2 == 0 { ST_OWNER } else { ST_STOLEN };
+                        if t.try_claim(who) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! EPX mini-app: a behavioural stand-in for EUROPLEXUS, the industrial
+//! fast-transient-dynamics code of the paper's case study (Section IV).
+//!
+//! It reproduces the three algorithmic phases the paper identifies as ~70 %
+//! of a typical EPX run — LOOPELM (independent elemental-force loop), REPERA
+//! (independent contact-candidate sort) and CHOLESKY (skyline LDLᵀ of the
+//! condensed H matrix) — plus the serial remainder, under three execution
+//! modes (sequential, X-Kaapi, OpenMP-like). The MEPPEN and MAXPLANE
+//! scenario presets mirror the paper's two instances: MEPPEN is dominated
+//! by the loops (LOOPELM bandwidth-bound), MAXPLANE by the factorisation.
+//!
+//! See DESIGN.md §1 for the substitution argument (the real EPX is 600 kLoC
+//! of proprietary Fortran).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod model;
+pub mod phases;
+
+pub use driver::{run, PhaseTimes, RunResult, Scenario};
+pub use model::{Material, Mesh, State};
+pub use phases::{assemble_h, loopelm, repera, Candidate, ExecMode};

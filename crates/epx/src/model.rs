@@ -1,0 +1,345 @@
+//! The structural model of the EPX mini-app: a hexahedral mesh, nodal
+//! kinematic state, per-element material state, and an elastoplastic
+//! constitutive update.
+//!
+//! This is a *behavioural* stand-in for EUROPLEXUS (600 kLoC of Fortran we
+//! obviously do not have — see DESIGN.md §1): the mesh/element/material
+//! code reproduces the arithmetic intensity and memory-traffic pattern of
+//! the LOOPELM nodal-force loop, not the full finite-element machinery.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A hexahedral mesh: `nx × ny × nz` elements on a structured grid.
+pub struct Mesh {
+    /// Node coordinates.
+    pub coords: Vec<[f64; 3]>,
+    /// 8-node element connectivity.
+    pub elems: Vec<[usize; 8]>,
+    /// Surface facets (quads) used by the contact search.
+    pub facets: Vec<[usize; 4]>,
+    /// Grid dimensions in elements.
+    pub dims: (usize, usize, usize),
+}
+
+impl Mesh {
+    /// Structured hex block of `nx × ny × nz` elements with unit spacing.
+    pub fn block(nx: usize, ny: usize, nz: usize) -> Mesh {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1);
+        let (px, py, pz) = (nx + 1, ny + 1, nz + 1);
+        let node = |i: usize, j: usize, k: usize| (k * py + j) * px + i;
+        let mut coords = Vec::with_capacity(px * py * pz);
+        for k in 0..pz {
+            for j in 0..py {
+                for i in 0..px {
+                    coords.push([i as f64, j as f64, k as f64]);
+                }
+            }
+        }
+        let mut elems = Vec::with_capacity(nx * ny * nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    elems.push([
+                        node(i, j, k),
+                        node(i + 1, j, k),
+                        node(i + 1, j + 1, k),
+                        node(i, j + 1, k),
+                        node(i, j, k + 1),
+                        node(i + 1, j, k + 1),
+                        node(i + 1, j + 1, k + 1),
+                        node(i, j + 1, k + 1),
+                    ]);
+                }
+            }
+        }
+        // Surface facets: the two z-extreme faces (the contact surfaces of
+        // both scenarios: missile nose / plate plies).
+        let mut facets = Vec::new();
+        for j in 0..ny {
+            for i in 0..nx {
+                facets.push([node(i, j, 0), node(i + 1, j, 0), node(i + 1, j + 1, 0), node(i, j + 1, 0)]);
+                facets.push([
+                    node(i, j, nz),
+                    node(i + 1, j, nz),
+                    node(i + 1, j + 1, nz),
+                    node(i, j + 1, nz),
+                ]);
+            }
+        }
+        Mesh { coords, elems, facets, dims: (nx, ny, nz) }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of elements.
+    pub fn num_elems(&self) -> usize {
+        self.elems.len()
+    }
+}
+
+/// Elastoplastic material parameters (von-Mises-flavoured, simplified).
+#[derive(Clone, Copy, Debug)]
+pub struct Material {
+    /// Young-like stiffness.
+    pub stiffness: f64,
+    /// Yield threshold.
+    pub yield_stress: f64,
+    /// Hardening modulus.
+    pub hardening: f64,
+    /// Constitutive sub-increments per step (models integration points /
+    /// return-mapping iterations; the LOOPELM compute-intensity knob).
+    pub subcycles: usize,
+}
+
+impl Default for Material {
+    fn default() -> Self {
+        Material { stiffness: 100.0, yield_stress: 1.5, hardening: 10.0, subcycles: 1 }
+    }
+}
+
+/// Per-element state: stress, accumulated plastic strain, plus a history
+/// buffer whose length is the **memory-intensity knob**: MEPPEN streams a
+/// large history per element (making LOOPELM bandwidth-bound, as the paper
+/// observes), MAXPLANE a small one.
+pub struct ElemState {
+    /// Cauchy-ish stress (6 Voigt components).
+    pub stress: [f64; 6],
+    /// Accumulated plastic strain.
+    pub plastic: f64,
+    /// Streamed history variables (internal material state).
+    pub history: Box<[f64]>,
+}
+
+/// Mutable simulation state.
+pub struct State {
+    /// Nodal displacements.
+    pub disp: Vec<[f64; 3]>,
+    /// Nodal velocities.
+    pub vel: Vec<[f64; 3]>,
+    /// Assembled nodal forces (output of LOOPELM).
+    pub force: Vec<[f64; 3]>,
+    /// Per-element scatter buffer (written element-wise, race-free).
+    pub elem_force: Vec<[[f64; 3]; 8]>,
+    /// Per-element material state.
+    pub elem_state: Vec<ElemState>,
+    /// Node → incident elements (for the race-free gather).
+    pub node_elems: Vec<Vec<(u32, u8)>>,
+}
+
+impl State {
+    /// Initial state with an impact-like velocity field.
+    pub fn new(mesh: &Mesh, history_len: usize, seed: u64) -> State {
+        let nn = mesh.num_nodes();
+        let ne = mesh.num_elems();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut node_elems = vec![Vec::new(); nn];
+        for (e, conn) in mesh.elems.iter().enumerate() {
+            for (slot, &n) in conn.iter().enumerate() {
+                node_elems[n].push((e as u32, slot as u8));
+            }
+        }
+        State {
+            disp: vec![[0.0; 3]; nn],
+            vel: (0..nn)
+                .map(|i| {
+                    let z = mesh.coords[i][2];
+                    [rng.gen_range(-0.01..0.01), rng.gen_range(-0.01..0.01), -0.5 - 0.01 * z]
+                })
+                .collect(),
+            force: vec![[0.0; 3]; nn],
+            elem_force: vec![[[0.0; 3]; 8]; ne],
+            elem_state: (0..ne)
+                .map(|_| ElemState {
+                    stress: [0.0; 6],
+                    plastic: 0.0,
+                    history: vec![0.0; history_len].into_boxed_slice(),
+                })
+                .collect(),
+            node_elems,
+        }
+    }
+
+    /// Deterministic checksum over displacements (cross-mode validation).
+    pub fn checksum(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for (i, d) in self.disp.iter().enumerate() {
+            let w = 1.0 + (i % 97) as f64 * 1e-3;
+            acc += w * (d[0] + 2.0 * d[1] + 3.0 * d[2]);
+        }
+        acc
+    }
+}
+
+/// The per-element constitutive update: gather kinematics, elastic trial,
+/// plastic correction, history streaming, scatter of the 8 nodal force
+/// contributions. This is the body of the LOOPELM loop.
+///
+/// Safe to run concurrently for distinct `e` (writes only `elem_force[e]`,
+/// `elem_state[e]`).
+#[allow(clippy::too_many_arguments)]
+pub fn element_force(
+    mesh: &Mesh,
+    mat: &Material,
+    disp: &[[f64; 3]],
+    es: &mut ElemState,
+    out: &mut [[f64; 3]; 8],
+    e: usize,
+) {
+    let conn = &mesh.elems[e];
+    // Gather (memory traffic: coordinates + displacements of 8 nodes).
+    let mut x = [[0.0f64; 3]; 8];
+    let mut u = [[0.0f64; 3]; 8];
+    for (a, &n) in conn.iter().enumerate() {
+        x[a] = mesh.coords[n];
+        u[a] = disp[n];
+    }
+    // Strain proxy: mean edge elongation tensor (6 Voigt components).
+    let mut strain = [0.0f64; 6];
+    const EDGES: [(usize, usize); 12] = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 0),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 4),
+        (0, 4),
+        (1, 5),
+        (2, 6),
+        (3, 7),
+    ];
+    for &(a, b) in &EDGES {
+        let dx = [x[b][0] - x[a][0], x[b][1] - x[a][1], x[b][2] - x[a][2]];
+        let du = [u[b][0] - u[a][0], u[b][1] - u[a][1], u[b][2] - u[a][2]];
+        let len2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+        let inv = 1.0 / len2;
+        strain[0] += du[0] * dx[0] * inv;
+        strain[1] += du[1] * dx[1] * inv;
+        strain[2] += du[2] * dx[2] * inv;
+        strain[3] += 0.5 * (du[0] * dx[1] + du[1] * dx[0]) * inv;
+        strain[4] += 0.5 * (du[1] * dx[2] + du[2] * dx[1]) * inv;
+        strain[5] += 0.5 * (du[0] * dx[2] + du[2] * dx[0]) * inv;
+    }
+    for s in &mut strain {
+        *s /= 12.0;
+    }
+    // Elastic trial + radial-return-flavoured plastic correction, applied
+    // in `subcycles` sub-increments (integration-point loop).
+    let sub = mat.subcycles.max(1);
+    let inv_sub = 1.0 / sub as f64;
+    let mut trial = es.stress;
+    for _ in 0..sub {
+        for c in 0..6 {
+            trial[c] += mat.stiffness * strain[c] * inv_sub;
+        }
+        let mises = (trial[0] * trial[0]
+            + trial[1] * trial[1]
+            + trial[2] * trial[2]
+            + 2.0 * (trial[3] * trial[3] + trial[4] * trial[4] + trial[5] * trial[5]))
+            .sqrt();
+        let yield_now = mat.yield_stress + mat.hardening * es.plastic;
+        if mises > yield_now && mises > 0.0 {
+            let scale = yield_now / mises;
+            for t in &mut trial {
+                *t *= scale;
+            }
+            es.plastic += (mises - yield_now) / (mat.stiffness + mat.hardening);
+        }
+    }
+    es.stress = trial;
+    // History streaming: the bandwidth knob (read-modify-write the buffer).
+    let h = &mut es.history;
+    if !h.is_empty() {
+        let blend = 1e-3 * (trial[0] + trial[1] + trial[2]);
+        for (i, v) in h.iter_mut().enumerate() {
+            *v = 0.999 * *v + blend + (i & 7) as f64 * 1e-9;
+        }
+    }
+    // Scatter: equal-and-opposite nodal contributions from the stress.
+    let f = [
+        trial[0] + trial[3] + trial[5],
+        trial[1] + trial[3] + trial[4],
+        trial[2] + trial[4] + trial[5],
+    ];
+    for (a, o) in out.iter_mut().enumerate() {
+        let sign = if a % 2 == 0 { 1.0 } else { -1.0 };
+        let w = 0.125 * sign;
+        o[0] = -w * f[0];
+        o[1] = -w * f[1];
+        o[2] = -w * f[2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mesh_counts() {
+        let m = Mesh::block(3, 2, 4);
+        assert_eq!(m.num_elems(), 24);
+        assert_eq!(m.num_nodes(), 4 * 3 * 5);
+        assert_eq!(m.facets.len(), 2 * 3 * 2);
+        for e in &m.elems {
+            assert!(e.iter().all(|&n| n < m.num_nodes()));
+        }
+    }
+
+    #[test]
+    fn node_elems_inverse_of_connectivity() {
+        let m = Mesh::block(2, 2, 2);
+        let s = State::new(&m, 0, 1);
+        for (n, incid) in s.node_elems.iter().enumerate() {
+            for &(e, slot) in incid {
+                assert_eq!(m.elems[e as usize][slot as usize], n);
+            }
+        }
+        let total: usize = s.node_elems.iter().map(|v| v.len()).sum();
+        assert_eq!(total, m.num_elems() * 8);
+    }
+
+    #[test]
+    fn element_force_is_deterministic() {
+        let m = Mesh::block(2, 2, 2);
+        let mat = Material::default();
+        let mut s1 = State::new(&m, 16, 7);
+        let mut s2 = State::new(&m, 16, 7);
+        for e in 0..m.num_elems() {
+            let disp1 = s1.disp.clone();
+            let disp2 = s2.disp.clone();
+            let (es1, out1) = (&mut s1.elem_state[e], &mut s1.elem_force[e]);
+            let (es2, out2) = (&mut s2.elem_state[e], &mut s2.elem_force[e]);
+            element_force(&m, &mat, &disp1, es1, out1, e);
+            element_force(&m, &mat, &disp2, es2, out2, e);
+            assert_eq!(out1, out2);
+        }
+    }
+
+    #[test]
+    fn plasticity_accumulates_under_load() {
+        let m = Mesh::block(1, 1, 1);
+        let mat = Material { stiffness: 100.0, yield_stress: 0.01, hardening: 1.0, subcycles: 1 };
+        let mut s = State::new(&m, 0, 3);
+        // big displacement gradient
+        for (i, d) in s.disp.iter_mut().enumerate() {
+            d[2] = i as f64 * 0.5;
+        }
+        let disp = s.disp.clone();
+        element_force(&m, &mat, &disp, &mut s.elem_state[0], &mut s.elem_force[0], 0);
+        assert!(s.elem_state[0].plastic > 0.0);
+    }
+
+    #[test]
+    fn checksum_sensitive_to_state() {
+        let m = Mesh::block(2, 2, 2);
+        let mut s = State::new(&m, 0, 1);
+        let c0 = s.checksum();
+        s.disp[5][1] += 1e-3;
+        assert_ne!(c0, s.checksum());
+    }
+}

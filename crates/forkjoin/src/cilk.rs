@@ -1,0 +1,356 @@
+//! "Cilk-like" baseline: a lean child-stealing fork-join pool over the
+//! T.H.E. deque. Spawns are stack-allocated job records (no heap allocation
+//! on the spawn path), matching the weight class of Intel Cilk+ in the
+//! paper's Fig. 1 comparison.
+
+use crate::the_deque::{JobRef, TheDeque};
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fork-join thread pool with per-worker T.H.E. deques.
+pub struct CilkPool {
+    inner: Arc<Inner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Inner {
+    deques: Box<[TheDeque]>,
+    inject: Mutex<VecDeque<Box<dyn FnOnce(&CilkCtx<'_>) + Send>>>,
+    shutdown: AtomicBool,
+    sleepers: AtomicUsize,
+    park_mx: Mutex<()>,
+    park_cv: Condvar,
+    rngs: Box<[AtomicUsize]>,
+}
+
+/// Worker context: fork-join entry points.
+pub struct CilkCtx<'p> {
+    inner: &'p Arc<Inner>,
+    widx: usize,
+}
+
+const J_PENDING: u8 = 0;
+const J_DONE: u8 = 1;
+const J_PANIC: u8 = 2;
+
+/// Stack-allocated job record for the forked branch of a join.
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<R>>,
+    panic: UnsafeCell<Option<Box<dyn std::any::Any + Send>>>,
+    state: AtomicU8,
+    inner: *const Arc<Inner>,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce(&CilkCtx<'_>) -> R + Send,
+    R: Send,
+{
+    fn as_job_ref(&self) -> JobRef {
+        unsafe fn exec<F, R>(data: *mut (), widx: usize)
+        where
+            F: FnOnce(&CilkCtx<'_>) -> R + Send,
+            R: Send,
+        {
+            let job = unsafe { &*(data as *const StackJob<F, R>) };
+            let inner = unsafe { &*job.inner };
+            let ctx = CilkCtx { inner, widx };
+            let f = unsafe { (*job.f.get()).take().expect("job run twice") };
+            match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                Ok(v) => {
+                    unsafe { *job.result.get() = Some(v) };
+                    job.state.store(J_DONE, Ordering::Release);
+                }
+                Err(p) => {
+                    unsafe { *job.panic.get() = Some(p) };
+                    job.state.store(J_PANIC, Ordering::Release);
+                }
+            }
+        }
+        JobRef { data: self as *const Self as *mut (), exec: exec::<F, R> }
+    }
+}
+
+impl CilkPool {
+    /// Pool with `n` workers.
+    pub fn new(n: usize) -> CilkPool {
+        assert!(n >= 1);
+        let inner = Arc::new(Inner {
+            deques: (0..n).map(|_| TheDeque::new()).collect(),
+            inject: Mutex::new(VecDeque::new()),
+            shutdown: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            park_mx: Mutex::new(()),
+            park_cv: Condvar::new(),
+            rngs: (0..n).map(|i| AtomicUsize::new(0x9E3779B9usize ^ (i << 16) ^ 1)).collect(),
+        });
+        let mut threads = Vec::new();
+        for i in 0..n {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cilklike-{i}"))
+                    .stack_size(16 << 20)
+                    .spawn(move || worker_main(inner, i))
+                    .unwrap(),
+            );
+        }
+        CilkPool { inner, threads }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// Run `f` on the pool, blocking until it returns.
+    pub fn run<R: Send>(&self, f: impl FnOnce(&CilkCtx<'_>) -> R + Send) -> R {
+        let done = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut slot: Option<std::thread::Result<R>> = None;
+        struct SendPtr<T>(*mut T);
+        unsafe impl<T> Send for SendPtr<T> {}
+        let slot_ptr = SendPtr(&mut slot as *mut _);
+        let sync = (&done, &cv);
+        let job = move |ctx: &CilkCtx<'_>| {
+            let slot_ptr = slot_ptr;
+            let r = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+            unsafe { *slot_ptr.0 = Some(r) };
+            let (done, cv) = sync;
+            let mut g = done.lock();
+            *g = true;
+            cv.notify_all();
+        };
+        let boxed: Box<dyn FnOnce(&CilkCtx<'_>) + Send> = Box::new(job);
+        // Safety: we block on the latch until the job ran (scoped erasure).
+        let boxed: Box<dyn FnOnce(&CilkCtx<'_>) + Send + 'static> =
+            unsafe { std::mem::transmute(boxed) };
+        self.inner.inject.lock().push_back(boxed);
+        signal(&self.inner);
+        let mut g = done.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        match slot.expect("cilk job lost") {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+}
+
+impl Drop for CilkPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.inner.park_mx.lock();
+            self.inner.park_cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn signal(inner: &Arc<Inner>) {
+    if inner.sleepers.load(Ordering::SeqCst) > 0 {
+        let _g = inner.park_mx.lock();
+        inner.park_cv.notify_all();
+    }
+}
+
+fn next_rand(inner: &Inner, me: usize) -> usize {
+    let r = &inner.rngs[me];
+    let mut x = r.load(Ordering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    r.store(x, Ordering::Relaxed);
+    x
+}
+
+fn try_steal(inner: &Inner, me: usize) -> Option<JobRef> {
+    let p = inner.deques.len();
+    if p < 2 {
+        return None;
+    }
+    // A few probes per call keeps the idle loop simple.
+    for _ in 0..2 * p {
+        let mut v = next_rand(inner, me) % (p - 1);
+        if v >= me {
+            v += 1;
+        }
+        if let Some(j) = inner.deques[v].steal() {
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn worker_main(inner: Arc<Inner>, me: usize) {
+    let mut idle = 0u32;
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let injected = inner.inject.lock().pop_front();
+        if let Some(f) = injected {
+            let ctx = CilkCtx { inner: &inner, widx: me };
+            f(&ctx);
+            idle = 0;
+            continue;
+        }
+        if let Some(j) = try_steal(&inner, me) {
+            unsafe { j.execute(me) };
+            idle = 0;
+            continue;
+        }
+        idle += 1;
+        if idle < 16 {
+            std::thread::yield_now();
+        } else {
+            inner.sleepers.fetch_add(1, Ordering::SeqCst);
+            let mut g = inner.park_mx.lock();
+            if !inner.shutdown.load(Ordering::Acquire) && inner.inject.lock().is_empty() {
+                inner.park_cv.wait_for(&mut g, Duration::from_micros(500));
+            }
+            drop(g);
+            inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl<'p> CilkCtx<'p> {
+    /// Worker index.
+    pub fn worker_index(&self) -> usize {
+        self.widx
+    }
+
+    /// Cilk-style fork-join: `spawn b; a(); sync`.
+    ///
+    /// `b` goes to the deque (stack job, no allocation); `a` runs inline.
+    /// If `b` was not stolen the owner pops and runs it; otherwise the owner
+    /// steals elsewhere until `b` completes.
+    pub fn join<RA, RB, FA, FB>(&self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        FA: FnOnce(&CilkCtx<'_>) -> RA,
+        FB: FnOnce(&CilkCtx<'_>) -> RB + Send,
+        RB: Send,
+    {
+        let job = StackJob {
+            f: UnsafeCell::new(Some(fb)),
+            result: UnsafeCell::new(None),
+            panic: UnsafeCell::new(None),
+            state: AtomicU8::new(J_PENDING),
+            inner: self.inner as *const Arc<Inner>,
+        };
+        let jref = job.as_job_ref();
+        let pushed = self.inner.deques[self.widx].push(jref);
+        if !pushed {
+            // Deque full: run inline (overflow policy).
+            let ra = catch_unwind(AssertUnwindSafe(|| fa(self)));
+            unsafe { jref.execute(self.widx) };
+            return self.finish_join(ra, job);
+        }
+        signal(self.inner);
+        // Run the continuation; even if it panics we must retire the stack
+        // job (it references this stack frame) before unwinding further.
+        let ra = catch_unwind(AssertUnwindSafe(|| fa(self)));
+        // Try to take our own spawn back (fast path: not stolen).
+        if let Some(mine) = self.inner.deques[self.widx].pop() {
+            debug_assert!(std::ptr::eq(mine.data, jref.data), "LIFO discipline violated");
+            unsafe { mine.execute(self.widx) };
+            return self.finish_join(ra, job);
+        }
+        // Stolen: work elsewhere until it completes.
+        while job.state.load(Ordering::Acquire) == J_PENDING {
+            if let Some(j) = try_steal(self.inner, self.widx) {
+                unsafe { j.execute(self.widx) };
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        self.finish_join(ra, job)
+    }
+
+    fn finish_join<RA, RB, F>(
+        &self,
+        ra: std::thread::Result<RA>,
+        job: StackJob<F, RB>,
+    ) -> (RA, RB) {
+        // Continuation panic takes precedence (it unwinds the join caller).
+        let ra = match ra {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        };
+        match job.state.load(Ordering::Acquire) {
+            J_DONE => {
+                let rb = unsafe { (*job.result.get()).take().unwrap() };
+                (ra, rb)
+            }
+            J_PANIC => {
+                let p = unsafe { (*job.panic.get()).take().unwrap() };
+                resume_unwind(p)
+            }
+            _ => unreachable!("join finished with pending job"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(ctx: &CilkCtx<'_>, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = ctx.join(|c| fib(c, n - 1), |c| fib(c, n - 2));
+        a + b
+    }
+
+    #[test]
+    fn fib_single_worker() {
+        let pool = CilkPool::new(1);
+        assert_eq!(pool.run(|c| fib(c, 18)), 2584);
+    }
+
+    #[test]
+    fn fib_multi_worker() {
+        let pool = CilkPool::new(4);
+        assert_eq!(pool.run(|c| fib(c, 22)), 17711);
+    }
+
+    #[test]
+    fn join_borrows_environment() {
+        let pool = CilkPool::new(2);
+        let data = vec![1, 2, 3, 4];
+        let (s, l) = pool.run(|c| c.join(|_| data.iter().sum::<i32>(), |_| data.len()));
+        assert_eq!((s, l), (10, 4));
+    }
+
+    #[test]
+    fn panic_in_forked_branch_propagates() {
+        let pool = CilkPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|c| c.join(|_| 1, |_| -> i32 { panic!("fork boom") }))
+        }));
+        assert!(r.is_err());
+        // pool still alive
+        assert_eq!(pool.run(|c| fib(c, 10)), 55);
+    }
+
+    #[test]
+    fn sequential_runs_back_to_back() {
+        let pool = CilkPool::new(3);
+        for i in 0..20u64 {
+            assert_eq!(pool.run(move |_| i * 2), i * 2);
+        }
+    }
+}

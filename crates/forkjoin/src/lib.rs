@@ -1,0 +1,21 @@
+//! Baseline fork-join runtimes for the paper's Fig. 1 comparison.
+//!
+//! Two pools in different weight classes, functionally equivalent to the
+//! fork-join paradigm of `xkaapi-core`:
+//!
+//! * [`CilkPool`] — lean, Cilk-5-style: stack-allocated spawn records over a
+//!   from-scratch T.H.E. deque ([`the_deque::TheDeque`]);
+//! * [`TbbPool`] — TBB-weight: heap-allocated refcounted task objects over
+//!   lock-protected per-worker queues.
+//!
+//! See `DESIGN.md` §1 for why these stand in for the Intel Cilk+ / Intel TBB
+//! binaries of the original evaluation.
+
+#![warn(missing_docs)]
+
+pub mod cilk;
+pub mod tbb;
+pub mod the_deque;
+
+pub use cilk::{CilkCtx, CilkPool};
+pub use tbb::{TbbCtx, TbbPool};

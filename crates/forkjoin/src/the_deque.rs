@@ -1,0 +1,262 @@
+//! A Cilk-5 style T.H.E. work-stealing deque.
+//!
+//! The owner pushes and pops at the *tail* without taking the lock (one
+//! SeqCst fence on pop); thieves take the lock and advance the *head*. The
+//! exceptional case — owner and thief racing for the last job — falls back
+//! to the lock, exactly the protocol of "The implementation of the Cilk-5
+//! multithreaded language" (Frigo, Leiserson, Randall, PLDI'98) that the
+//! paper reuses for victim/thief synchronisation.
+//!
+//! Entries are type-erased [`JobRef`]s pointing at stack- or heap-allocated
+//! job records; the deque never owns them.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicIsize, AtomicPtr, Ordering};
+
+/// A type-erased reference to a job record.
+///
+/// `data` points at the record, `exec` knows how to run it. The record must
+/// outlive its execution (stack jobs guarantee this with a completion latch).
+#[derive(Clone, Copy)]
+pub struct JobRef {
+    /// Pointer to the job record.
+    pub data: *mut (),
+    /// Executor: runs the record on the given worker index.
+    pub exec: unsafe fn(*mut (), usize),
+}
+
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job on worker `widx`.
+    ///
+    /// # Safety
+    /// `data` must still be valid and not already executed.
+    pub unsafe fn execute(self, widx: usize) {
+        (self.exec)(self.data, widx)
+    }
+}
+
+const CAP: usize = 1 << 13;
+
+/// Fixed-capacity T.H.E. deque. `push` reports `false` when full (callers
+/// execute the job inline instead — a reasonable overflow policy for
+/// depth-bounded fork-join work).
+pub struct TheDeque {
+    head: AtomicIsize,
+    tail: AtomicIsize,
+    lock: Mutex<()>,
+    buf: Box<[AtomicPtr<()>; CAP]>,
+    execs: Box<[std::cell::Cell<Option<unsafe fn(*mut (), usize)>>; CAP]>,
+}
+
+// Safety: `execs` entries are written by the owner before the tail release
+// and read under the thief lock / after the fence protocol.
+unsafe impl Sync for TheDeque {}
+unsafe impl Send for TheDeque {}
+
+impl Default for TheDeque {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TheDeque {
+    /// Empty deque.
+    pub fn new() -> TheDeque {
+        let buf: Vec<AtomicPtr<()>> = (0..CAP).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+        let execs: Vec<std::cell::Cell<Option<unsafe fn(*mut (), usize)>>> =
+            (0..CAP).map(|_| std::cell::Cell::new(None)).collect();
+        TheDeque {
+            head: AtomicIsize::new(0),
+            tail: AtomicIsize::new(0),
+            lock: Mutex::new(()),
+            buf: buf.try_into().map_err(|_| ()).unwrap(),
+            execs: execs.try_into().map_err(|_| ()).unwrap(),
+        }
+    }
+
+    /// Owner: push at the tail. Returns `false` when full.
+    #[inline]
+    pub fn push(&self, job: JobRef) -> bool {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Acquire);
+        if (t - h) as usize >= CAP {
+            return false;
+        }
+        let slot = (t as usize) & (CAP - 1);
+        self.execs[slot].set(Some(job.exec));
+        self.buf[slot].store(job.data, Ordering::Relaxed);
+        // Publish the entry before the new tail becomes visible.
+        self.tail.store(t + 1, Ordering::Release);
+        true
+    }
+
+    /// Owner: pop at the tail (LIFO). The T.H.E. fast path with the
+    /// exceptional lock fallback on the last-element race.
+    pub fn pop(&self) -> Option<JobRef> {
+        let t = self.tail.load(Ordering::Relaxed) - 1;
+        self.tail.store(t, Ordering::Relaxed);
+        // The famous fence: order the tail decrement before reading head.
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let h = self.head.load(Ordering::Relaxed);
+        if h > t {
+            // Possible conflict on the last element: restore and retry
+            // under the lock.
+            self.tail.store(t + 1, Ordering::Relaxed);
+            let _g = self.lock.lock();
+            let t = self.tail.load(Ordering::Relaxed) - 1;
+            self.tail.store(t, Ordering::Relaxed);
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let h = self.head.load(Ordering::Relaxed);
+            if h > t {
+                self.tail.store(t + 1, Ordering::Relaxed);
+                return None;
+            }
+            return Some(self.read_slot(t));
+        }
+        Some(self.read_slot(t))
+    }
+
+    /// Thief: steal from the head (oldest job first, as in Cilk).
+    pub fn steal(&self) -> Option<JobRef> {
+        let _g = self.lock.lock();
+        let h = self.head.load(Ordering::Relaxed);
+        self.head.store(h + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.tail.load(Ordering::Relaxed);
+        if h + 1 > t {
+            self.head.store(h, Ordering::Relaxed);
+            return None;
+        }
+        Some(self.read_slot(h))
+    }
+
+    #[inline]
+    fn read_slot(&self, idx: isize) -> JobRef {
+        let slot = (idx as usize) & (CAP - 1);
+        JobRef {
+            data: self.buf[slot].load(Ordering::Relaxed),
+            exec: self.execs[slot].get().expect("deque slot without exec fn"),
+        }
+    }
+
+    /// Racy emptiness hint for victim selection.
+    #[inline]
+    pub fn is_empty_hint(&self) -> bool {
+        let h = self.head.load(Ordering::Relaxed);
+        let t = self.tail.load(Ordering::Relaxed);
+        h >= t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn mk_job(v: &AtomicUsize) -> JobRef {
+        unsafe fn exec(data: *mut (), _w: usize) {
+            let v = unsafe { &*(data as *const AtomicUsize) };
+            v.fetch_add(1, Ordering::Relaxed);
+        }
+        JobRef { data: v as *const AtomicUsize as *mut (), exec }
+    }
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let d = TheDeque::new();
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        for h in &hits {
+            assert!(d.push(mk_job(h)));
+        }
+        // thief takes the oldest
+        let s = d.steal().unwrap();
+        unsafe { s.execute(0) };
+        assert_eq!(hits[0].load(Ordering::Relaxed), 1);
+        // owner takes the newest
+        let p = d.pop().unwrap();
+        unsafe { p.execute(0) };
+        assert_eq!(hits[2].load(Ordering::Relaxed), 1);
+        let p = d.pop().unwrap();
+        unsafe { p.execute(0) };
+        assert_eq!(hits[1].load(Ordering::Relaxed), 1);
+        assert!(d.pop().is_none());
+        assert!(d.steal().is_none());
+    }
+
+    #[test]
+    fn empty_pop_and_steal() {
+        let d = TheDeque::new();
+        assert!(d.pop().is_none());
+        assert!(d.steal().is_none());
+        assert!(d.is_empty_hint());
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        // One owner pushing/popping, several thieves stealing: every job
+        // executes exactly once.
+        const N: usize = 10_000;
+        for _ in 0..4 {
+            let d = Arc::new(TheDeque::new());
+            let count = Arc::new(AtomicUsize::new(0));
+            let stop = Arc::new(AtomicUsize::new(0));
+            let mut thieves = Vec::new();
+            for _ in 0..3 {
+                let d = Arc::clone(&d);
+                let stop = Arc::clone(&stop);
+                thieves.push(std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    while stop.load(Ordering::Acquire) == 0 {
+                        if let Some(j) = d.steal() {
+                            unsafe { j.execute(1) };
+                            got += 1;
+                        }
+                    }
+                    // drain remainder
+                    while let Some(j) = d.steal() {
+                        unsafe { j.execute(1) };
+                        got += 1;
+                    }
+                    got
+                }));
+            }
+            let counts: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+            let mut executed = 0usize;
+            for c in &counts {
+                let j = JobRef {
+                    data: c as *const AtomicUsize as *mut (),
+                    exec: {
+                        unsafe fn exec(data: *mut (), _w: usize) {
+                            let v = unsafe { &*(data as *const AtomicUsize) };
+                            v.fetch_add(1, Ordering::Relaxed);
+                        }
+                        exec
+                    },
+                };
+                if !d.push(j) {
+                    unsafe { j.execute(0) };
+                    executed += 1;
+                }
+                if executed % 3 == 0 {
+                    if let Some(j) = d.pop() {
+                        unsafe { j.execute(0) };
+                    }
+                }
+            }
+            while let Some(j) = d.pop() {
+                unsafe { j.execute(0) };
+            }
+            stop.store(1, Ordering::Release);
+            for t in thieves {
+                t.join().unwrap();
+            }
+            let total: usize = counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            assert_eq!(total, N);
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            let _ = count;
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Tile kernels for the blocked Cholesky factorisation: `potrf`, `trsm`,
+//! `syrk`, `gemm` on column-major `nb × nb` f64 tiles.
+//!
+//! These are plain-Rust kernels with cache-conscious loop orders — not
+//! MKL-class, but every runtime under comparison shares them, so the
+//! runtime-vs-runtime ratios of Fig. 2 are preserved (see DESIGN.md §1).
+
+/// Error raised when a diagonal tile is not positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Column within the tile where the pivot failed.
+    pub column: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite (tile column {})", self.column)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+#[inline]
+fn at(i: usize, j: usize, ld: usize) -> usize {
+    i + j * ld
+}
+
+/// Cholesky factorisation of a diagonal tile, in place, lower triangular:
+/// `A = L·Lᵀ`, `L` stored in the lower part of `a`.
+pub fn potrf(a: &mut [f64], nb: usize) -> Result<(), NotPositiveDefinite> {
+    debug_assert_eq!(a.len(), nb * nb);
+    for j in 0..nb {
+        let mut d = a[at(j, j, nb)];
+        for t in 0..j {
+            let l = a[at(j, t, nb)];
+            d -= l * l;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotPositiveDefinite { column: j });
+        }
+        let ljj = d.sqrt();
+        a[at(j, j, nb)] = ljj;
+        let inv = 1.0 / ljj;
+        for i in j + 1..nb {
+            let mut v = a[at(i, j, nb)];
+            for t in 0..j {
+                v -= a[at(i, t, nb)] * a[at(j, t, nb)];
+            }
+            a[at(i, j, nb)] = v * inv;
+        }
+    }
+    Ok(())
+}
+
+/// Triangular solve `B := B · L⁻ᵀ` (right side, lower, transposed) where
+/// `l` holds the factor of the diagonal tile. Used on sub-diagonal tiles.
+pub fn trsm(l: &[f64], b: &mut [f64], nb: usize) {
+    debug_assert_eq!(l.len(), nb * nb);
+    debug_assert_eq!(b.len(), nb * nb);
+    // Column by column of X (X·Lᵀ = B): X[:,j] = (B[:,j] - Σ_{t<j} X[:,t]·L[j,t]) / L[j,j]
+    for j in 0..nb {
+        let inv = 1.0 / l[at(j, j, nb)];
+        for t in 0..j {
+            let ljt = l[at(j, t, nb)];
+            if ljt == 0.0 {
+                continue;
+            }
+            let (head, tail) = b.split_at_mut(j * nb);
+            let xt = &head[t * nb..t * nb + nb];
+            let bj = &mut tail[..nb];
+            for i in 0..nb {
+                bj[i] -= xt[i] * ljt;
+            }
+        }
+        for i in 0..nb {
+            b[at(i, j, nb)] *= inv;
+        }
+    }
+}
+
+/// Symmetric rank-k update of a diagonal tile: `C := C − A·Aᵀ` (lower part).
+pub fn syrk(a: &[f64], c: &mut [f64], nb: usize) {
+    debug_assert_eq!(a.len(), nb * nb);
+    debug_assert_eq!(c.len(), nb * nb);
+    for j in 0..nb {
+        for t in 0..nb {
+            let ajt = a[at(j, t, nb)];
+            if ajt == 0.0 {
+                continue;
+            }
+            let acol = &a[t * nb..t * nb + nb];
+            let ccol = &mut c[j * nb..j * nb + nb];
+            // lower part only: rows i >= j
+            for i in j..nb {
+                ccol[i] -= acol[i] * ajt;
+            }
+        }
+    }
+}
+
+/// General update `C := C − A·Bᵀ` (tile gemm of the Cholesky trailing
+/// update; `A` is tile (m,k), `B` is tile (n,k), `C` is tile (m,n)).
+pub fn gemm(a: &[f64], b: &[f64], c: &mut [f64], nb: usize) {
+    debug_assert_eq!(a.len(), nb * nb);
+    debug_assert_eq!(b.len(), nb * nb);
+    debug_assert_eq!(c.len(), nb * nb);
+    for j in 0..nb {
+        let ccol = &mut c[j * nb..j * nb + nb];
+        for t in 0..nb {
+            let bjt = b[at(j, t, nb)];
+            if bjt == 0.0 {
+                continue;
+            }
+            let acol = &a[t * nb..t * nb + nb];
+            for i in 0..nb {
+                ccol[i] -= acol[i] * bjt;
+            }
+        }
+    }
+}
+
+/// Flop counts of the kernels (for GFlop/s reporting, PLASMA conventions).
+pub mod flops {
+    /// `potrf` on an `nb`-tile: n³/3 + n²/2 + n/6.
+    pub fn potrf(nb: usize) -> f64 {
+        let n = nb as f64;
+        n * n * n / 3.0 + n * n / 2.0 + n / 6.0
+    }
+
+    /// `trsm` on an `nb`-tile: n³.
+    pub fn trsm(nb: usize) -> f64 {
+        let n = nb as f64;
+        n * n * n
+    }
+
+    /// `syrk` on an `nb`-tile: n³ (lower half ≈ n³, counting mul+add).
+    pub fn syrk(nb: usize) -> f64 {
+        let n = nb as f64;
+        n * n * (n + 1.0)
+    }
+
+    /// `gemm` on an `nb`-tile: 2n³.
+    pub fn gemm(nb: usize) -> f64 {
+        let n = nb as f64;
+        2.0 * n * n * n
+    }
+
+    /// Total flops of an `n × n` Cholesky: n³/3 (+ lower-order terms).
+    pub fn cholesky(n: usize) -> f64 {
+        let n = n as f64;
+        n * n * n / 3.0 + n * n / 2.0 + n / 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_cholesky(a: &[f64], n: usize) -> Vec<f64> {
+        let mut l = vec![0.0; n * n];
+        for j in 0..n {
+            let mut d = a[at(j, j, n)];
+            for t in 0..j {
+                d -= l[at(j, t, n)] * l[at(j, t, n)];
+            }
+            l[at(j, j, n)] = d.sqrt();
+            for i in j + 1..n {
+                let mut v = a[at(i, j, n)];
+                for t in 0..j {
+                    v -= l[at(i, t, n)] * l[at(j, t, n)];
+                }
+                l[at(i, j, n)] = v / l[at(j, j, n)];
+            }
+        }
+        l
+    }
+
+    fn spd(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rng() - 0.5;
+                a[at(i, j, n)] = v;
+                a[at(j, i, n)] = v;
+            }
+        }
+        for i in 0..n {
+            a[at(i, i, n)] += n as f64; // diagonal dominance => SPD
+        }
+        a
+    }
+
+    fn max_abs_diff_lower(a: &[f64], b: &[f64], n: usize) -> f64 {
+        let mut m: f64 = 0.0;
+        for j in 0..n {
+            for i in j..n {
+                m = m.max((a[at(i, j, n)] - b[at(i, j, n)]).abs());
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn potrf_matches_naive() {
+        let n = 24;
+        let a = spd(n, 42);
+        let mut tile = a.clone();
+        potrf(&mut tile, n).unwrap();
+        let l = naive_cholesky(&a, n);
+        assert!(max_abs_diff_lower(&tile, &l, n) < 1e-9);
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        a[0] = -1.0;
+        assert!(potrf(&mut a, n).is_err());
+    }
+
+    #[test]
+    fn trsm_solves_triangular_system() {
+        let n = 16;
+        let a = spd(n, 7);
+        let mut l = a.clone();
+        potrf(&mut l, n).unwrap();
+        // Build B = X_true * L^T, solve, compare.
+        let mut x_true = vec![0.0; n * n];
+        for (i, v) in x_true.iter_mut().enumerate() {
+            *v = (i % 13) as f64 - 6.0;
+        }
+        let mut b = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for t in j..n {
+                    // (L^T)[t][j] = L[t][j]... careful: B = X * L^T =>
+                    // B[i,j] = sum_t X[i,t] * L^T[t,j] = sum_t X[i,t] * L[j,t]
+                    let _ = t;
+                }
+                for t in 0..=j {
+                    s += x_true[at(i, t, n)] * l[at(j, t, n)];
+                }
+                b[at(i, j, n)] = s;
+            }
+        }
+        trsm(&l, &mut b, n);
+        let mut max: f64 = 0.0;
+        for i in 0..n * n {
+            max = max.max((b[i] - x_true[i]).abs());
+        }
+        assert!(max < 1e-9, "max err {max}");
+    }
+
+    #[test]
+    fn syrk_updates_lower() {
+        let n = 8;
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut c = vec![0.0; n * n];
+        syrk(&a, &mut c, n);
+        for j in 0..n {
+            for i in j..n {
+                let mut expect = 0.0;
+                for t in 0..n {
+                    expect -= a[at(i, t, n)] * a[at(j, t, n)];
+                }
+                assert!((c[at(i, j, n)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_is_c_minus_abt() {
+        let n = 8;
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 3) as f64 - 1.0).collect();
+        let mut c: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        let c0 = c.clone();
+        gemm(&a, &b, &mut c, n);
+        for j in 0..n {
+            for i in 0..n {
+                let mut expect = c0[at(i, j, n)];
+                for t in 0..n {
+                    expect -= a[at(i, t, n)] * b[at(j, t, n)];
+                }
+                assert!((c[at(i, j, n)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_counts_scale() {
+        assert!(flops::gemm(128) > flops::trsm(128));
+        assert!((flops::cholesky(3000) / 1e9 - 9.0).abs() < 0.5); // ≈ 9 Gflop
+    }
+}

@@ -1,0 +1,16 @@
+//! Dense linear-algebra substrate: tiled matrices, blocked Cholesky kernels
+//! and the four `PLASMA_dpotrf_Tile`-style drivers the paper's Fig. 2
+//! compares (sequential, QUARK-API on either backend, direct X-Kaapi
+//! data-flow, PLASMA-static).
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod kernels;
+pub mod tiled;
+
+pub use cholesky::{
+    cholesky_ops, cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, CholOp,
+};
+pub use kernels::{flops, NotPositiveDefinite};
+pub use tiled::{tile_key, TiledMatrix};

@@ -1,0 +1,171 @@
+//! Tiled matrix storage (PLASMA layout): an `n × n` symmetric matrix stored
+//! as `nt × nt` column-major tiles of size `nb × nb`, plus SPD generators
+//! and verification helpers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense symmetric matrix stored by tiles (only used on the lower
+/// triangle by the Cholesky drivers; the full square of tiles is allocated
+/// for simplicity).
+pub struct TiledMatrix {
+    /// Matrix order.
+    pub n: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Number of tile rows/columns (`ceil(n / nb)`).
+    pub nt: usize,
+    /// Tiles, row-major in tile coordinates, each tile column-major.
+    tiles: Vec<Vec<f64>>,
+}
+
+impl TiledMatrix {
+    /// Zero matrix of order `n` with tile size `nb` (n must be a multiple
+    /// of nb for simplicity — generators pad as needed).
+    pub fn zeros(n: usize, nb: usize) -> TiledMatrix {
+        assert!(nb >= 1 && n >= 1 && n % nb == 0, "n must be a multiple of nb");
+        let nt = n / nb;
+        TiledMatrix { n, nb, nt, tiles: (0..nt * nt).map(|_| vec![0.0; nb * nb]).collect() }
+    }
+
+    /// Tile index in the flat tile vector.
+    #[inline]
+    pub fn tile_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.nt && j < self.nt);
+        i * self.nt + j
+    }
+
+    /// Borrow a tile.
+    #[inline]
+    pub fn tile(&self, i: usize, j: usize) -> &[f64] {
+        &self.tiles[self.tile_index(i, j)]
+    }
+
+    /// Borrow a tile mutably.
+    #[inline]
+    pub fn tile_mut(&mut self, i: usize, j: usize) -> &mut [f64] {
+        let idx = self.tile_index(i, j);
+        &mut self.tiles[idx]
+    }
+
+    /// Raw pointer to a tile (for the parallel drivers, which guarantee
+    /// exclusivity through their dependence protocols).
+    #[inline]
+    pub(crate) fn tile_ptr(&self, i: usize, j: usize) -> *mut f64 {
+        self.tiles[self.tile_index(i, j)].as_ptr() as *mut f64
+    }
+
+    /// Element access (row `i`, column `j`).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (ti, tj) = (i / self.nb, j / self.nb);
+        let (ri, rj) = (i % self.nb, j % self.nb);
+        self.tile(ti, tj)[ri + rj * self.nb]
+    }
+
+    /// Element update.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let nb = self.nb;
+        let (ti, tj) = (i / nb, j / nb);
+        let (ri, rj) = (i % nb, j % nb);
+        self.tile_mut(ti, tj)[ri + rj * nb] = v;
+    }
+
+    /// Random symmetric positive-definite matrix (diagonally dominant).
+    pub fn spd_random(n: usize, nb: usize, seed: u64) -> TiledMatrix {
+        let mut m = TiledMatrix::zeros(n, nb);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            for j in 0..=i {
+                let v: f64 = rng.gen_range(-0.5..0.5);
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        for i in 0..n {
+            let v = m.get(i, i) + n as f64;
+            m.set(i, i, v);
+        }
+        m
+    }
+
+    /// Deep copy.
+    pub fn clone_matrix(&self) -> TiledMatrix {
+        TiledMatrix { n: self.n, nb: self.nb, nt: self.nt, tiles: self.tiles.clone() }
+    }
+
+    /// Max |aᵢⱼ − bᵢⱼ| over the lower triangle.
+    pub fn max_abs_diff_lower(&self, other: &TiledMatrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        let mut m: f64 = 0.0;
+        for i in 0..self.n {
+            for j in 0..=i {
+                m = m.max((self.get(i, j) - other.get(i, j)).abs());
+            }
+        }
+        m
+    }
+
+    /// Residual `max |A − L·Lᵀ|` over the lower triangle, where `self` holds
+    /// the factor `L` (lower) and `a` the original matrix.
+    pub fn cholesky_residual(&self, a: &TiledMatrix) -> f64 {
+        assert_eq!(self.n, a.n);
+        let n = self.n;
+        let mut worst: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for t in 0..=j {
+                    s += self.get(i, t) * self.get(j, t);
+                }
+                worst = worst.max((s - a.get(i, j)).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// Stable dependence key for tile `(i, j)` (used by the QUARK driver and
+/// the data-flow driver alike).
+#[inline]
+pub fn tile_key(i: usize, j: usize) -> u64 {
+    ((i as u64) << 32) | j as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_layout_roundtrip() {
+        let mut m = TiledMatrix::zeros(8, 4);
+        m.set(5, 2, 7.5);
+        assert_eq!(m.get(5, 2), 7.5);
+        assert_eq!(m.tile(1, 0)[1 + 2 * 4], 7.5); // row 5 = tile 1 row 1; col 2
+    }
+
+    #[test]
+    fn spd_is_symmetric_and_dominant() {
+        let m = TiledMatrix::spd_random(32, 8, 3);
+        for i in 0..32 {
+            for j in 0..32 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+            assert!(m.get(i, i) > 16.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of nb")]
+    fn rejects_ragged_tiling() {
+        TiledMatrix::zeros(10, 4);
+    }
+
+    #[test]
+    fn diff_lower_detects_change() {
+        let a = TiledMatrix::spd_random(16, 4, 1);
+        let mut b = a.clone_matrix();
+        assert_eq!(a.max_abs_diff_lower(&b), 0.0);
+        b.set(10, 3, b.get(10, 3) + 0.25);
+        assert!((a.max_abs_diff_lower(&b) - 0.25).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,87 @@
+//! A sense-reversing central barrier (the classic libGOMP-style team
+//! barrier): one atomic counter plus a flipping sense word; the last thread
+//! to arrive flips the sense and releases everyone.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Sense-reversing spin barrier for a fixed-size team.
+pub struct CentralBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl CentralBarrier {
+    /// Barrier for `n` participants.
+    pub fn new(n: usize) -> CentralBarrier {
+        assert!(n >= 1);
+        CentralBarrier { n, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Wait until all `n` participants arrived. Spins with yields; suitable
+    /// for the short phase barriers of a parallel region.
+    pub fn wait(&self) {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = CentralBarrier::new(1);
+        for _ in 0..10 {
+            b.wait();
+        }
+    }
+
+    #[test]
+    fn phases_are_separated() {
+        // No thread may enter phase k+1 before all completed phase k.
+        const T: usize = 4;
+        const PHASES: usize = 50;
+        let b = Arc::new(CentralBarrier::new(T));
+        let phase_counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..PHASES).map(|_| AtomicUsize::new(0)).collect());
+        let mut hs = Vec::new();
+        for _ in 0..T {
+            let b = Arc::clone(&b);
+            let pc = Arc::clone(&phase_counts);
+            hs.push(std::thread::spawn(move || {
+                for ph in 0..PHASES {
+                    pc[ph].fetch_add(1, Ordering::SeqCst);
+                    b.wait();
+                    // after the barrier, everyone must have bumped phase ph
+                    assert_eq!(pc[ph].load(Ordering::SeqCst), T, "phase {ph}");
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+    }
+}

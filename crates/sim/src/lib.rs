@@ -1,0 +1,25 @@
+//! Virtual-time multicore simulator — the hardware substitution of this
+//! reproduction (see DESIGN.md §1).
+//!
+//! The paper's figures were measured on a 48-core AMD Magny-Cours; this
+//! build host has one core. This crate re-creates the *scheduling
+//! algorithms* under comparison as deterministic discrete-event policies
+//! over a modelled platform ([`platform::Platform`]): task DAGs
+//! ([`dag::simulate_dag`]: work stealing with request aggregation,
+//! centralized ready list, static ownership), parallel loops
+//! ([`loops::simulate_loop`]: OpenMP static/dynamic/guided vs the adaptive
+//! foreach), and analytic fork-join models for task-count regimes too large
+//! for explicit graphs ([`models`]). Task costs are calibrated from real
+//! single-core measurements by the benchmark harnesses.
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod loops;
+pub mod models;
+pub mod platform;
+
+pub use dag::{cyclic_owner, simulate_dag, DagPolicy, DagRun, SimTask, TaskDag};
+pub use loops::{loop_speedups, simulate_loop, LoopPolicy, LoopRun, LoopWorkload};
+pub use models::{fib_call_count, CentralPoolModel, ForkJoinModel};
+pub use platform::Platform;

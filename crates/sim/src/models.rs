@@ -1,0 +1,172 @@
+//! Analytic fork-join models for the Fig. 1 reproduction.
+//!
+//! The fib(35) benchmark creates ~2.4·10⁷ tasks — too many for an explicit
+//! DAG — but its behaviour under each runtime is governed by two well-known
+//! regimes, which we model with constants *calibrated from real 1-core
+//! measurements* of our own runtime implementations (see the fig1 harness):
+//!
+//! * **distributed work stealing** (X-Kaapi, Cilk-like, TBB-like):
+//!   the Blumofe–Leiserson bound `T_P ≈ T₁/P + c·T_∞`; fib has a huge
+//!   average parallelism so the `T₁/P` term dominates and scaling is
+//!   near-linear — exactly the paper's table;
+//! * **centralized task pool** (libGOMP): every deferred task goes through
+//!   one lock whose hold time grows with the number of contenders
+//!   (cache-line bouncing); once the offered task rate exceeds the lock's
+//!   service rate, *the queue serializes the whole execution* and adding
+//!   cores makes it slower — the catastrophic column of Fig. 1
+//!   (51 s at 8 cores vs 2.4 s at 1, stopped after 5 min at ≥32).
+
+/// Calibrated constants of a fork-join runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct ForkJoinModel {
+    /// Pure single-core compute time of the benchmark (no task overhead), ns.
+    pub t_seq_ns: u64,
+    /// Number of tasks the benchmark creates.
+    pub tasks: u64,
+    /// Per-task overhead on the creating/executing core, ns.
+    pub task_overhead_ns: f64,
+    /// Steal cost coefficient (ns per steal, times critical-path steals).
+    pub steal_ns: f64,
+    /// Critical-path length in tasks (fib depth ≈ n).
+    pub depth: u64,
+}
+
+impl ForkJoinModel {
+    /// `T₁`: serial execution with per-task overhead.
+    pub fn t1_ns(&self) -> f64 {
+        self.t_seq_ns as f64 + self.tasks as f64 * self.task_overhead_ns
+    }
+
+    /// Work-stealing execution time at `p` cores (Blumofe–Leiserson with a
+    /// calibrated steal constant).
+    pub fn ws_time_ns(&self, p: usize) -> f64 {
+        if p <= 1 {
+            return self.t1_ns();
+        }
+        // T_P = T1/P + c_steal · T_inf ; T_inf ≈ depth · per-task path cost
+        let t_inf = self.depth as f64 * (self.task_overhead_ns + 60.0);
+        self.t1_ns() / p as f64 + self.steal_ns / 100.0 * t_inf
+    }
+
+    /// Slowdown of the 1-core run against the sequential program — the
+    /// first row of Fig. 1.
+    pub fn slowdown_1core(&self) -> f64 {
+        self.t1_ns() / self.t_seq_ns as f64
+    }
+}
+
+/// Centralized-pool model (the libGOMP column).
+#[derive(Clone, Copy, Debug)]
+pub struct CentralPoolModel {
+    /// Pure single-core compute time, ns.
+    pub t_seq_ns: u64,
+    /// Number of tasks.
+    pub tasks: u64,
+    /// Uncontended lock + queue service time per deferred task, ns.
+    pub queue_ns: f64,
+    /// Contention growth per additional contender (cache-line bouncing):
+    /// effective service ≈ `queue_ns · (1 + beta·(p−1))`.
+    pub beta: f64,
+    /// Fraction of tasks that are deferred (the rest run inline through
+    /// the serial-fallback/throttle paths).
+    pub deferred_fraction: f64,
+    /// Per-task overhead of the inline path, ns.
+    pub inline_overhead_ns: f64,
+}
+
+impl CentralPoolModel {
+    /// Execution time at `p` cores.
+    pub fn time_ns(&self, p: usize) -> f64 {
+        if p <= 1 {
+            // libGOMP's 1-thread artifact: task creation degenerates to a
+            // function call.
+            return self.t_seq_ns as f64 + self.tasks as f64 * self.inline_overhead_ns;
+        }
+        let deferred = self.tasks as f64 * self.deferred_fraction;
+        let service = self.queue_ns * (1.0 + self.beta * (p as f64 - 1.0));
+        // Two queue passes per deferred task (push + pop), fully serialized;
+        // compute can overlap on other cores but the lock is the bottleneck
+        // once 2·deferred·service > T1/p.
+        let lock_time = 2.0 * deferred * service;
+        let compute = self.t_seq_ns as f64 / p as f64
+            + self.tasks as f64 * self.inline_overhead_ns / p as f64;
+        lock_time.max(compute) + 0.1 * lock_time.min(compute)
+    }
+}
+
+/// Number of calls of the naive doubly-recursive Fibonacci (task count of
+/// the Fig. 1 program).
+pub fn fib_call_count(n: u64) -> u64 {
+    // calls(n) = 2·fib(n+1) − 1
+    let mut a = 0u64; // fib(0)
+    let mut b = 1u64; // fib(1)
+    for _ in 0..n + 1 {
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    2 * a - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_call_counts() {
+        assert_eq!(fib_call_count(0), 1);
+        assert_eq!(fib_call_count(1), 1);
+        assert_eq!(fib_call_count(2), 3);
+        assert_eq!(fib_call_count(3), 5);
+        assert_eq!(fib_call_count(35), 2 * 14_930_352 - 1);
+    }
+
+    #[test]
+    fn ws_model_scales_nearly_linearly() {
+        let m = ForkJoinModel {
+            t_seq_ns: 91_000_000, // the paper's 0.091 s
+            tasks: fib_call_count(35),
+            task_overhead_ns: 25.0,
+            steal_ns: 250.0,
+            depth: 35,
+        };
+        let t1 = m.ws_time_ns(1);
+        let t8 = m.ws_time_ns(8);
+        let t48 = m.ws_time_ns(48);
+        assert!(t1 / t8 > 7.0, "8-core scaling {:.2}", t1 / t8);
+        assert!(t1 / t48 > 38.0, "48-core scaling {:.2}", t1 / t48);
+        assert!(m.slowdown_1core() > 4.0); // overhead slowdown, Fig 1 row 1
+    }
+
+    #[test]
+    fn central_pool_gets_worse_with_cores() {
+        let m = CentralPoolModel {
+            t_seq_ns: 91_000_000,
+            tasks: fib_call_count(35),
+            queue_ns: 120.0,
+            beta: 0.8,
+            deferred_fraction: 0.35,
+            inline_overhead_ns: 90.0,
+        };
+        let t1 = m.time_ns(1);
+        let t8 = m.time_ns(8);
+        let t32 = m.time_ns(32);
+        assert!(t8 > t1, "8 cores must be slower than 1 ({t8} vs {t1})");
+        assert!(t32 > t8, "collapse worsens with cores");
+        // the paper reports ~51 s at 8 cores vs 2.43 s at 1
+        assert!(t8 / t1 > 5.0, "collapse ratio {:.1}", t8 / t1);
+    }
+
+    #[test]
+    fn lean_runtime_has_lower_slowdown() {
+        let kaapi = ForkJoinModel {
+            t_seq_ns: 91_000_000,
+            tasks: fib_call_count(35),
+            task_overhead_ns: 25.0,
+            steal_ns: 250.0,
+            depth: 35,
+        };
+        let tbb = ForkJoinModel { task_overhead_ns: 95.0, ..kaapi };
+        assert!(tbb.slowdown_1core() > kaapi.slowdown_1core() * 2.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Virtual platform model.
+//!
+//! The build host exposes a single core (see DESIGN.md §1), so the paper's
+//! 48-core AMD Magny-Cours (8 NUMA nodes × 6 cores, 2.2 GHz, shared L3 per
+//! node) is modelled here: core count, node topology and a two-level
+//! memory-bandwidth ceiling (per-node and machine-wide). Task durations
+//! follow a simple roofline: `duration = cpu_time + bytes / bw_share`,
+//! where the bandwidth share divides the node/machine ceilings among the
+//! memory-hungry tasks running concurrently — enough to reproduce *where
+//! speedup curves bend*, which is what the figures compare.
+
+/// A simulated multicore machine.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    /// Total cores.
+    pub cores: usize,
+    /// Cores per NUMA node (sharing a bandwidth domain / L3).
+    pub cores_per_node: usize,
+    /// Sustainable memory bandwidth per NUMA node, bytes per second.
+    pub node_bw: f64,
+    /// Machine-wide memory bandwidth ceiling, bytes per second.
+    pub machine_bw: f64,
+}
+
+impl Platform {
+    /// The paper's evaluation platform: AMD Magny-Cours, 8 nodes × 6 cores.
+    /// Bandwidth figures are representative of that generation
+    /// (≈ 10 GB/s sustained per node, ≈ 60 GB/s machine-wide).
+    pub fn magny_cours(cores: usize) -> Platform {
+        assert!(cores >= 1 && cores <= 48);
+        Platform {
+            cores,
+            cores_per_node: 6,
+            node_bw: 10.0e9,
+            machine_bw: 60.0e9,
+        }
+    }
+
+    /// NUMA node of a core.
+    #[inline]
+    pub fn node_of(&self, core: usize) -> usize {
+        core / self.cores_per_node
+    }
+
+    /// Number of (partially) populated nodes.
+    pub fn nodes(&self) -> usize {
+        self.cores.div_ceil(self.cores_per_node)
+    }
+
+    /// Memory time for `bytes` when `active_on_node` / `active_total`
+    /// memory-bound tasks share the domains (including the one asking).
+    pub fn mem_ns(&self, bytes: u64, active_on_node: usize, active_total: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let node_share = self.node_bw / active_on_node.max(1) as f64;
+        let machine_share = self.machine_bw / active_total.max(1) as f64;
+        let bw = node_share.min(machine_share);
+        (bytes as f64 / bw * 1e9) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magny_cours_topology() {
+        let p = Platform::magny_cours(48);
+        assert_eq!(p.nodes(), 8);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(5), 0);
+        assert_eq!(p.node_of(6), 1);
+        assert_eq!(p.node_of(47), 7);
+    }
+
+    #[test]
+    fn mem_time_scales_with_contention() {
+        let p = Platform::magny_cours(48);
+        let solo = p.mem_ns(1 << 30, 1, 1);
+        let six = p.mem_ns(1 << 30, 6, 6);
+        assert!(six >= solo * 5, "node sharing must slow memory traffic");
+        // machine ceiling binds when all 48 stream
+        let all = p.mem_ns(1 << 30, 6, 48);
+        assert!(all > six, "machine ceiling tighter than node share of 6");
+        assert_eq!(p.mem_ns(0, 1, 1), 0);
+    }
+}

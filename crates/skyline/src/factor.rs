@@ -1,0 +1,527 @@
+//! Blocked skyline LDLᵀ factorisation and solves — the paper's Fig. 7
+//! experiment. The sequential code below is a line-for-line transcription
+//! of the paper's pseudocode (`potrf`/`trsm`/`syrk`/`gemm` with
+//! `is_empty(m,k)` profile queries); the two parallel drivers express it
+//!
+//! * as X-Kaapi data-flow tasks whose block indices define the memory
+//!   accesses (no explicit synchronisation at all), and
+//! * in the OpenMP style the paper describes: only `trsm`/`syrk`/`gemm`
+//!   become tasks and `taskwait` barriers separate the phases (after the
+//!   paper's lines 8 and 19) — the synchronisation that limits speedup.
+
+use crate::kernels::{gemm_ldlt, ldlt_diag, syrk_ldlt, trsm_ldlt};
+use crate::storage::BlockSkyline;
+use xkaapi_core::{AccessMode, Partitioned, Region, Runtime};
+use xkaapi_omp::OmpPool;
+
+/// One operation of the blocked skyline LDLᵀ DAG (exported for the
+/// simulator's Fig. 7 reproduction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkyOp {
+    /// LDLᵀ of diagonal block `k` (the pseudocode's `potrf`).
+    Potrf {
+        /// Step.
+        k: usize,
+    },
+    /// Panel solve of block `(m, k)`.
+    Trsm {
+        /// Step.
+        k: usize,
+        /// Block row.
+        m: usize,
+    },
+    /// Diagonal update of `(m, m)` by panel `k`.
+    Syrk {
+        /// Step.
+        k: usize,
+        /// Block row.
+        m: usize,
+    },
+    /// Update of `(m, n)` by panel `k`.
+    Gemm {
+        /// Step.
+        k: usize,
+        /// Block row.
+        m: usize,
+        /// Block column.
+        n: usize,
+    },
+}
+
+/// Dependence key of block `(m, k)`.
+#[inline]
+pub fn block_key(m: usize, k: usize) -> u64 {
+    ((m as u64) << 32) | k as u64
+}
+
+/// Dependence key of the `D` segment of step `k` (disjoint from block keys
+/// because the column part exceeds any block index).
+#[inline]
+pub fn d_key(nbl: usize, k: usize) -> u64 {
+    ((k as u64) << 32) | (nbl as u64 + 1 + k as u64)
+}
+
+impl SkyOp {
+    /// `(key, is_write)` accesses (block keys + D keys), for graph building.
+    pub fn accesses(&self, nbl: usize) -> Vec<(u64, bool)> {
+        match *self {
+            SkyOp::Potrf { k } => vec![(block_key(k, k), true), (d_key(nbl, k), true)],
+            SkyOp::Trsm { k, m } => vec![
+                (block_key(k, k), false),
+                (d_key(nbl, k), false),
+                (block_key(m, k), true),
+            ],
+            SkyOp::Syrk { k, m } => vec![
+                (block_key(m, k), false),
+                (d_key(nbl, k), false),
+                (block_key(m, m), true),
+            ],
+            SkyOp::Gemm { k, m, n } => vec![
+                (block_key(m, k), false),
+                (block_key(n, k), false),
+                (d_key(nbl, k), false),
+                (block_key(m, n), true),
+            ],
+        }
+    }
+}
+
+/// Enumerate the blocked LDLᵀ operations of `a` in sequential order,
+/// honouring the block envelope (`is_empty` skips, as in the pseudocode).
+pub fn ldlt_ops(a: &BlockSkyline) -> Vec<SkyOp> {
+    let nbl = a.nbl;
+    let mut ops = Vec::new();
+    for k in 0..nbl {
+        ops.push(SkyOp::Potrf { k });
+        for m in k + 1..nbl {
+            if a.is_empty(m, k) {
+                continue;
+            }
+            ops.push(SkyOp::Trsm { k, m });
+        }
+        for m in k + 1..nbl {
+            if a.is_empty(m, k) {
+                continue;
+            }
+            ops.push(SkyOp::Syrk { k, m });
+            for n in k + 1..m {
+                if a.is_empty(n, k) {
+                    continue;
+                }
+                if a.is_empty(m, n) {
+                    continue;
+                }
+                ops.push(SkyOp::Gemm { k, m, n });
+            }
+        }
+    }
+    ops
+}
+
+/// Sequential blocked LDLᵀ (the paper's pseudo-sequential code).
+pub fn ldlt_seq(a: &mut BlockSkyline) {
+    let nbl = a.nbl;
+    let bs = a.bs;
+    a.d = vec![0.0; nbl * bs];
+    for k in 0..nbl {
+        {
+            let dseg: *mut f64 = a.d[k * bs..].as_mut_ptr();
+            let blk = a.block_mut(k, k);
+            // Safety: dseg and blk are disjoint fields.
+            ldlt_diag(blk, unsafe { std::slice::from_raw_parts_mut(dseg, bs) }, bs);
+        }
+        let dk: Vec<f64> = a.d[k * bs..(k + 1) * bs].to_vec();
+        let lkk: Vec<f64> = a.block(k, k).to_vec();
+        for m in k + 1..nbl {
+            if a.is_empty(m, k) {
+                continue;
+            }
+            trsm_ldlt(&lkk, &dk, a.block_mut(m, k), bs);
+        }
+        for m in k + 1..nbl {
+            if a.is_empty(m, k) {
+                continue;
+            }
+            let lmk: Vec<f64> = a.block(m, k).to_vec();
+            syrk_ldlt(&lmk, &dk, a.block_mut(m, m), bs);
+            for n in k + 1..m {
+                if a.is_empty(n, k) {
+                    continue;
+                }
+                if a.is_empty(m, n) {
+                    continue;
+                }
+                let lnk: Vec<f64> = a.block(n, k).to_vec();
+                gemm_ldlt(&lmk, &lnk, &dk, a.block_mut(m, n), bs);
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RawSlice(*mut f64, usize);
+unsafe impl Send for RawSlice {}
+unsafe impl Sync for RawSlice {}
+
+impl RawSlice {
+    unsafe fn get<'a>(self) -> &'a [f64] {
+        unsafe { std::slice::from_raw_parts(self.0, self.1) }
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut<'a>(self) -> &'a mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.0, self.1) }
+    }
+}
+
+/// X-Kaapi data-flow LDLᵀ: block coordinates are declared as keyed regions,
+/// no explicit synchronisation anywhere — the "XKaapi" curve of Fig. 7.
+pub fn ldlt_xkaapi(rt: &Runtime, mut a: BlockSkyline) -> BlockSkyline {
+    let nbl = a.nbl;
+    let bs = a.bs;
+    a.d = vec![0.0; nbl * bs];
+    let part = Partitioned::new(a);
+    // Convenience for building keyed accesses of the partitioned matrix.
+    let reg = |key: u64, mode: AccessMode| part.access(Region::Key(key), mode);
+    rt.scope(|ctx| {
+        // Local views: safe because the declared keyed regions serialise
+        // conflicting block accesses.
+        let view = |p: &Partitioned<BlockSkyline>| -> &BlockSkyline {
+            unsafe { &*p.view() }
+        };
+        let a0 = view(&part);
+        for k in 0..nbl {
+            let blk = RawSlice(a0.block_ptr(k, k), bs * bs);
+            let dk = RawSlice(a0.d[k * bs..].as_ptr() as *mut f64, bs);
+            ctx.spawn(
+                [
+                    reg(block_key(k, k), AccessMode::Exclusive),
+                    reg(d_key(nbl, k), AccessMode::Write),
+                ],
+                move |_| unsafe { ldlt_diag(blk.get_mut(), dk.get_mut(), bs) },
+            );
+            for m in k + 1..nbl {
+                if a0.is_empty(m, k) {
+                    continue;
+                }
+                let lkk = RawSlice(a0.block_ptr(k, k), bs * bs);
+                let bmk = RawSlice(a0.block_ptr(m, k), bs * bs);
+                ctx.spawn(
+                    [
+                        reg(block_key(k, k), AccessMode::Read),
+                        reg(d_key(nbl, k), AccessMode::Read),
+                        reg(block_key(m, k), AccessMode::Exclusive),
+                    ],
+                    move |_| unsafe { trsm_ldlt(lkk.get(), dk.get(), bmk.get_mut(), bs) },
+                );
+            }
+            for m in k + 1..nbl {
+                if a0.is_empty(m, k) {
+                    continue;
+                }
+                let lmk = RawSlice(a0.block_ptr(m, k), bs * bs);
+                let bmm = RawSlice(a0.block_ptr(m, m), bs * bs);
+                ctx.spawn(
+                    [
+                        reg(block_key(m, k), AccessMode::Read),
+                        reg(d_key(nbl, k), AccessMode::Read),
+                        reg(block_key(m, m), AccessMode::Exclusive),
+                    ],
+                    move |_| unsafe { syrk_ldlt(lmk.get(), dk.get(), bmm.get_mut(), bs) },
+                );
+                for n in k + 1..m {
+                    if a0.is_empty(n, k) || a0.is_empty(m, n) {
+                        continue;
+                    }
+                    let lnk = RawSlice(a0.block_ptr(n, k), bs * bs);
+                    let bmn = RawSlice(a0.block_ptr(m, n), bs * bs);
+                    ctx.spawn(
+                        [
+                            reg(block_key(m, k), AccessMode::Read),
+                            reg(block_key(n, k), AccessMode::Read),
+                            reg(d_key(nbl, k), AccessMode::Read),
+                            reg(block_key(m, n), AccessMode::Exclusive),
+                        ],
+                        move |_| unsafe {
+                            gemm_ldlt(lmk.get(), lnk.get(), dk.get(), bmn.get_mut(), bs)
+                        },
+                    );
+                }
+            }
+        }
+    });
+    part.into_inner()
+}
+
+/// OpenMP-style LDLᵀ as the paper describes: the master factors the
+/// diagonal block, `trsm`s are tasks followed by a `taskwait`, then
+/// `syrk`/`gemm` tasks followed by another `taskwait` — phase barriers in
+/// place of data-flow dependences (the "OpenMP" curve of Fig. 7).
+pub fn ldlt_omp(pool: &OmpPool, a: &mut BlockSkyline) {
+    let nbl = a.nbl;
+    let bs = a.bs;
+    a.d = vec![0.0; nbl * bs];
+    let a_ref: &BlockSkyline = a;
+    pool.single_producer(|ctx| {
+        for k in 0..nbl {
+            // line 3: potrf — not a task in the OpenMP version
+            let blk = RawSlice(a_ref.block_ptr(k, k), bs * bs);
+            let dk = RawSlice(a_ref.d[k * bs..].as_ptr() as *mut f64, bs);
+            unsafe { ldlt_diag(blk.get_mut(), dk.get_mut(), bs) };
+            // lines 4-8: trsm tasks + taskwait
+            for m in k + 1..nbl {
+                if a_ref.is_empty(m, k) {
+                    continue;
+                }
+                let lkk = RawSlice(a_ref.block_ptr(k, k), bs * bs);
+                let bmk = RawSlice(a_ref.block_ptr(m, k), bs * bs);
+                ctx.task(move |_| unsafe { trsm_ldlt(lkk.get(), dk.get(), bmk.get_mut(), bs) });
+            }
+            ctx.taskwait();
+            // lines 9-19: syrk + gemm tasks + taskwait
+            for m in k + 1..nbl {
+                if a_ref.is_empty(m, k) {
+                    continue;
+                }
+                let lmk = RawSlice(a_ref.block_ptr(m, k), bs * bs);
+                let bmm = RawSlice(a_ref.block_ptr(m, m), bs * bs);
+                ctx.task(move |_| unsafe { syrk_ldlt(lmk.get(), dk.get(), bmm.get_mut(), bs) });
+                for n in k + 1..m {
+                    if a_ref.is_empty(n, k) || a_ref.is_empty(m, n) {
+                        continue;
+                    }
+                    let lnk = RawSlice(a_ref.block_ptr(n, k), bs * bs);
+                    let bmn = RawSlice(a_ref.block_ptr(m, n), bs * bs);
+                    ctx.task(move |_| unsafe {
+                        gemm_ldlt(lmk.get(), lnk.get(), dk.get(), bmn.get_mut(), bs)
+                    });
+                }
+            }
+            ctx.taskwait();
+        }
+    });
+}
+
+/// Solve `A·x = b` given the factored matrix (`L`, `D` in place). Handles
+/// zero pivots by zeroing the corresponding solution component.
+pub fn solve(f: &BlockSkyline, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), f.n);
+    let bs = f.bs;
+    let nbl = f.nbl;
+    let padded = nbl * bs;
+    let mut z = vec![0.0; padded];
+    z[..f.n].copy_from_slice(b);
+
+    // Forward: L z = b (unit-lower blocks).
+    for m in 0..nbl {
+        // off-diagonal contributions
+        for k in f.block_jmin(m)..m {
+            let blk = f.block(m, k);
+            let (zk, zm) = {
+                let (lo, hi) = z.split_at_mut(m * bs);
+                (&lo[k * bs..k * bs + bs], &mut hi[..bs])
+            };
+            for t in 0..bs {
+                let zt = zk[t];
+                if zt == 0.0 {
+                    continue;
+                }
+                let col = &blk[t * bs..t * bs + bs];
+                for i in 0..bs {
+                    zm[i] -= col[i] * zt;
+                }
+            }
+        }
+        // diagonal unit-lower solve
+        let blk = f.block(m, m);
+        let zm = &mut z[m * bs..m * bs + bs];
+        for j in 0..bs {
+            let zj = zm[j];
+            if zj == 0.0 {
+                continue;
+            }
+            for i in j + 1..bs {
+                zm[i] -= blk[i + j * bs] * zj;
+            }
+        }
+    }
+
+    // Diagonal: y = D⁻¹ z (zero pivots ⇒ zero component).
+    for (i, v) in z.iter_mut().enumerate() {
+        let d = f.d[i];
+        *v = if d == 0.0 { 0.0 } else { *v / d };
+    }
+
+    // Backward: Lᵀ x = y.
+    for m in (0..nbl).rev() {
+        // diagonal unit-upper (Lᵀ) solve
+        {
+            let blk = f.block(m, m);
+            let zm = &mut z[m * bs..m * bs + bs];
+            for j in (0..bs).rev() {
+                let mut v = zm[j];
+                for i in j + 1..bs {
+                    v -= blk[i + j * bs] * zm[i];
+                }
+                zm[j] = v;
+            }
+        }
+        // propagate to earlier block rows: y_k -= L[m][k]ᵀ x_m
+        for k in f.block_jmin(m)..m {
+            let blk = f.block(m, k);
+            let (zk, zm) = {
+                let (lo, hi) = z.split_at_mut(m * bs);
+                (&mut lo[k * bs..k * bs + bs], &hi[..bs])
+            };
+            for t in 0..bs {
+                let mut acc = 0.0;
+                let col = &blk[t * bs..t * bs + bs];
+                for i in 0..bs {
+                    acc += col[i] * zm[i];
+                }
+                zk[t] -= acc;
+            }
+        }
+    }
+
+    z.truncate(f.n);
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::SkylineMatrix;
+
+    fn fixture(n: usize, density: f64, bs: usize, seed: u64) -> (SkylineMatrix, BlockSkyline) {
+        let a = SkylineMatrix::generate_spd(n, density, seed);
+        let b = BlockSkyline::from_skyline(&a, bs);
+        (a, b)
+    }
+
+    fn factor_matches_dense_ldlt(a: &SkylineMatrix, f: &BlockSkyline) {
+        // Rebuild A from L·D·Lᵀ and compare inside the envelope.
+        let n = a.n;
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for t in 0..=j {
+                    let lit = if i == t { 1.0 } else { f.at(i, t) };
+                    let ljt = if j == t { 1.0 } else { f.at(j, t) };
+                    s += lit * f.d[t] * ljt;
+                }
+                assert!(
+                    (s - a.get(i, j)).abs() < 1e-7,
+                    "rebuild mismatch at ({i},{j}): {s} vs {}",
+                    a.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seq_factor_reconstructs() {
+        let (a, mut f) = fixture(96, 0.2, 16, 3);
+        ldlt_seq(&mut f);
+        factor_matches_dense_ldlt(&a, &f);
+    }
+
+    #[test]
+    fn seq_factor_with_padding() {
+        // n not a multiple of bs exercises the padded tail.
+        let (a, mut f) = fixture(50, 0.3, 16, 5);
+        ldlt_seq(&mut f);
+        factor_matches_dense_ldlt(&a, &f);
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let (a, mut f) = fixture(120, 0.15, 16, 7);
+        ldlt_seq(&mut f);
+        let x_true: Vec<f64> = (0..a.n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b = a.mvp(&x_true);
+        let x = solve(&f, &b);
+        let max_err = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-6, "max err {max_err}");
+    }
+
+    #[test]
+    fn xkaapi_matches_seq() {
+        let (a, f0) = fixture(100, 0.25, 16, 11);
+        let mut fs = BlockSkyline::from_skyline(&a, 16);
+        ldlt_seq(&mut fs);
+        let rt = Runtime::new(4);
+        let fx = ldlt_xkaapi(&rt, f0);
+        for i in 0..a.n {
+            for j in 0..=i {
+                assert!((fx.at(i, j) - fs.at(i, j)).abs() < 1e-9, "({i},{j})");
+            }
+        }
+        for t in 0..a.n {
+            assert!((fx.d[t] - fs.d[t]).abs() < 1e-9, "d[{t}]");
+        }
+    }
+
+    #[test]
+    fn omp_matches_seq() {
+        let (a, mut fo) = fixture(100, 0.25, 16, 11);
+        let mut fs = BlockSkyline::from_skyline(&a, 16);
+        ldlt_seq(&mut fs);
+        let pool = OmpPool::new(4);
+        ldlt_omp(&pool, &mut fo);
+        for i in 0..a.n {
+            for j in 0..=i {
+                assert!((fo.at(i, j) - fs.at(i, j)).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn ops_enumeration_skips_empty_blocks() {
+        let (_, f) = fixture(200, 0.05, 16, 13);
+        let ops = ldlt_ops(&f);
+        let nbl = f.nbl;
+        let dense_count = {
+            // what a dense enumeration would give
+            nbl + nbl * (nbl - 1) + nbl * (nbl - 1) * (nbl - 2) / 6
+        };
+        assert!(ops.len() < dense_count, "sparse DAG must be smaller than dense");
+        // every trsm/syrk/gemm references stored blocks only
+        for op in &ops {
+            match *op {
+                SkyOp::Trsm { k, m } => assert!(!f.is_empty(m, k)),
+                SkyOp::Syrk { k, m } => assert!(!f.is_empty(m, k)),
+                SkyOp::Gemm { k, m, n } => {
+                    assert!(!f.is_empty(m, k) && !f.is_empty(n, k) && !f.is_empty(m, n))
+                }
+                SkyOp::Potrf { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn semi_definite_solve_projects() {
+        // Singular system: duplicate constraint rows produce zero pivots;
+        // solve must still return a finite vector with A·x = b on the range.
+        let mut a =
+            SkylineMatrix::from_profile((0..8usize).map(|i| i.saturating_sub(2)).collect());
+        for i in 0..8usize {
+            for j in i.saturating_sub(2)..=i {
+                if i == j {
+                    a.set(i, j, 2.0);
+                } else {
+                    a.set(i, j, 1.0);
+                }
+            }
+        }
+        let mut f = BlockSkyline::from_skyline(&a, 4);
+        ldlt_seq(&mut f);
+        let b: Vec<f64> = a.mvp(&vec![1.0; 8]);
+        let x = solve(&f, &b);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,248 @@
+//! Block kernels of the skyline LDLᵀ factorisation — the paper's pseudo-BLAS
+//! `potrf` / `trsm` / `syrk` / `gemm` calls of Fig. 7, in their LDLᵀ form
+//! (EPX factors the semi-definite H matrix as `L·D·Lᵀ` with unit-lower `L`).
+//!
+//! Zero pivots (semi-definite case) are tolerated: the pivot's column of
+//! `L` is zeroed, which yields a pseudo-factorisation consistent with
+//! constrained systems where some multipliers are inactive.
+
+/// Pivot magnitude below which a diagonal entry is treated as zero.
+pub const PIVOT_TOL: f64 = 1e-12;
+
+#[inline]
+fn at(i: usize, j: usize, ld: usize) -> usize {
+    i + j * ld
+}
+
+/// LDLᵀ of a diagonal block, in place: unit-lower `L` in the strictly lower
+/// part of `a` (unit diagonal implicit), `D` written to `d`.
+pub fn ldlt_diag(a: &mut [f64], d: &mut [f64], bs: usize) {
+    debug_assert_eq!(a.len(), bs * bs);
+    debug_assert_eq!(d.len(), bs);
+    for j in 0..bs {
+        let mut dj = a[at(j, j, bs)];
+        for t in 0..j {
+            let l = a[at(j, t, bs)];
+            dj -= l * l * d[t];
+        }
+        let zero = dj.abs() < PIVOT_TOL;
+        d[j] = if zero { 0.0 } else { dj };
+        for i in j + 1..bs {
+            if zero {
+                a[at(i, j, bs)] = 0.0;
+                continue;
+            }
+            let mut v = a[at(i, j, bs)];
+            for t in 0..j {
+                v -= a[at(i, t, bs)] * d[t] * a[at(j, t, bs)];
+            }
+            a[at(i, j, bs)] = v / d[j];
+        }
+    }
+}
+
+/// Panel solve: `B := B · L⁻ᵀ · D⁻¹` where `(l, d)` factor the diagonal
+/// block. Applied to sub-diagonal block `(m, k)`.
+pub fn trsm_ldlt(l: &[f64], d: &[f64], b: &mut [f64], bs: usize) {
+    debug_assert_eq!(l.len(), bs * bs);
+    debug_assert_eq!(b.len(), bs * bs);
+    // Pass 1 — Y·Lᵀ = B with unit-lower L (columns must stay *unscaled*
+    // while later columns consume them):
+    // Y[:,j] = B[:,j] − Σ_{t<j} Y[:,t]·L[j,t]
+    for j in 0..bs {
+        for t in 0..j {
+            let ljt = l[at(j, t, bs)];
+            if ljt == 0.0 {
+                continue;
+            }
+            let (head, tail) = b.split_at_mut(j * bs);
+            let xt = &head[t * bs..t * bs + bs];
+            let bj = &mut tail[..bs];
+            for i in 0..bs {
+                bj[i] -= xt[i] * ljt;
+            }
+        }
+    }
+    // Pass 2 — X = Y·D⁻¹ (zero pivot ⇒ zero column).
+    for j in 0..bs {
+        let col = &mut b[j * bs..j * bs + bs];
+        if d[j] == 0.0 {
+            col.iter_mut().for_each(|v| *v = 0.0);
+        } else {
+            let inv = 1.0 / d[j];
+            col.iter_mut().for_each(|v| *v *= inv);
+        }
+    }
+}
+
+/// Symmetric update `C := C − A·D·Aᵀ` (lower part), `A` = panel block (m,k).
+pub fn syrk_ldlt(a: &[f64], d: &[f64], c: &mut [f64], bs: usize) {
+    debug_assert_eq!(a.len(), bs * bs);
+    debug_assert_eq!(c.len(), bs * bs);
+    for j in 0..bs {
+        for t in 0..bs {
+            let f = a[at(j, t, bs)] * d[t];
+            if f == 0.0 {
+                continue;
+            }
+            let acol = &a[t * bs..t * bs + bs];
+            let ccol = &mut c[j * bs..j * bs + bs];
+            for i in j..bs {
+                ccol[i] -= acol[i] * f;
+            }
+        }
+    }
+}
+
+/// General update `C := C − A·D·Bᵀ` (`A` = block (m,k), `B` = block (n,k),
+/// `C` = block (m,n)).
+pub fn gemm_ldlt(a: &[f64], b: &[f64], d: &[f64], c: &mut [f64], bs: usize) {
+    debug_assert_eq!(a.len(), bs * bs);
+    debug_assert_eq!(b.len(), bs * bs);
+    debug_assert_eq!(c.len(), bs * bs);
+    for j in 0..bs {
+        let ccol = &mut c[j * bs..j * bs + bs];
+        for t in 0..bs {
+            let f = b[at(j, t, bs)] * d[t];
+            if f == 0.0 {
+                continue;
+            }
+            let acol = &a[t * bs..t * bs + bs];
+            for i in 0..bs {
+                ccol[i] -= acol[i] * f;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_block(bs: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = vec![0.0; bs * bs];
+        for i in 0..bs {
+            for j in 0..=i {
+                let v = rng();
+                a[at(i, j, bs)] = v;
+                a[at(j, i, bs)] = v;
+            }
+            a[at(i, i, bs)] += bs as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn ldlt_reconstructs() {
+        let bs = 12;
+        let a0 = spd_block(bs, 3);
+        let mut a = a0.clone();
+        let mut d = vec![0.0; bs];
+        ldlt_diag(&mut a, &mut d, bs);
+        // rebuild: A = L D L^T with unit diagonal L
+        let l = |i: usize, j: usize| -> f64 {
+            if i == j {
+                1.0
+            } else if i > j {
+                a[at(i, j, bs)]
+            } else {
+                0.0
+            }
+        };
+        for i in 0..bs {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for t in 0..bs {
+                    s += l(i, t) * d[t] * l(j, t);
+                }
+                assert!((s - a0[at(i, j, bs)]).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn ldlt_handles_zero_pivot() {
+        let bs = 4;
+        // Rank-deficient: last row/col zero.
+        let mut a = spd_block(bs, 5);
+        for i in 0..bs {
+            a[at(i, bs - 1, bs)] = 0.0;
+            a[at(bs - 1, i, bs)] = 0.0;
+        }
+        let mut d = vec![0.0; bs];
+        ldlt_diag(&mut a, &mut d, bs);
+        assert_eq!(d[bs - 1], 0.0);
+        assert!(d[..bs - 1].iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn trsm_inverts_panel_relation() {
+        let bs = 8;
+        let a0 = spd_block(bs, 7);
+        let mut l = a0.clone();
+        let mut d = vec![0.0; bs];
+        ldlt_diag(&mut l, &mut d, bs);
+        // Take X_true, compute B = X_true · D · Lᵀ (unit-lower L), solve back.
+        let x_true: Vec<f64> = (0..bs * bs).map(|i| (i % 9) as f64 - 4.0).collect();
+        let lfull = |i: usize, j: usize| -> f64 {
+            if i == j {
+                1.0
+            } else if i > j {
+                l[at(i, j, bs)]
+            } else {
+                0.0
+            }
+        };
+        let mut b = vec![0.0; bs * bs];
+        for j in 0..bs {
+            for i in 0..bs {
+                let mut s = 0.0;
+                for t in 0..bs {
+                    s += x_true[at(i, t, bs)] * d[t] * lfull(j, t);
+                }
+                b[at(i, j, bs)] = s;
+            }
+        }
+        trsm_ldlt(&l, &d, &mut b, bs);
+        for i in 0..bs * bs {
+            assert!((b[i] - x_true[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn syrk_and_gemm_apply_d_weighting() {
+        let bs = 6;
+        let a: Vec<f64> = (0..bs * bs).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b: Vec<f64> = (0..bs * bs).map(|i| ((i % 3) as f64) - 1.0).collect();
+        let d: Vec<f64> = (0..bs).map(|i| 1.0 + i as f64).collect();
+        let mut c1 = vec![0.0; bs * bs];
+        syrk_ldlt(&a, &d, &mut c1, bs);
+        for j in 0..bs {
+            for i in j..bs {
+                let mut e = 0.0;
+                for t in 0..bs {
+                    e -= a[at(i, t, bs)] * d[t] * a[at(j, t, bs)];
+                }
+                assert!((c1[at(i, j, bs)] - e).abs() < 1e-10);
+            }
+        }
+        let mut c2 = vec![0.0; bs * bs];
+        gemm_ldlt(&a, &b, &d, &mut c2, bs);
+        for j in 0..bs {
+            for i in 0..bs {
+                let mut e = 0.0;
+                for t in 0..bs {
+                    e -= a[at(i, t, bs)] * d[t] * b[at(j, t, bs)];
+                }
+                assert!((c2[at(i, j, bs)] - e).abs() < 1e-10);
+            }
+        }
+    }
+}

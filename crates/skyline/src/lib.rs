@@ -1,0 +1,13 @@
+//! Sparse skyline substrate: the EUROPLEXUS H-matrix storage, blocked LDLᵀ
+//! factorisation (the paper's Fig. 7 pseudocode), solves, and profile
+//! generators matching the reported MAXPLANE matrix shape (n = 59462,
+//! 3.59 % nonzeros, best block size BS = 88).
+
+#![warn(missing_docs)]
+
+pub mod factor;
+pub mod kernels;
+pub mod storage;
+
+pub use factor::{block_key, d_key, ldlt_omp, ldlt_ops, ldlt_seq, ldlt_xkaapi, solve, SkyOp};
+pub use storage::{BlockSkyline, SkylineMatrix};

@@ -1,0 +1,18 @@
+//! # xkaapi-repro — workspace root
+//!
+//! Reproduction of *“X-Kaapi: a Multi Paradigm Runtime for Multicore
+//! Architectures”* (Gautier, Lementec, Faucher, Raffin — ICPP 2013 workshop
+//! P2S2). This root crate re-exports every workspace crate so the examples
+//! in `examples/` and the integration tests in `tests/` can reach the whole
+//! system through one dependency. See `README.md` for the tour and
+//! `DESIGN.md` for the system inventory.
+
+pub use xkaapi_astl as astl;
+pub use xkaapi_core as core;
+pub use xkaapi_epx as epx;
+pub use xkaapi_forkjoin as forkjoin;
+pub use xkaapi_linalg as linalg;
+pub use xkaapi_omp as omp;
+pub use xkaapi_quark as quark;
+pub use xkaapi_sim as sim;
+pub use xkaapi_skyline as skyline;

@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: the same algorithms produce identical
+//! results on every runtime in the repository, and the simulator respects
+//! the theoretical scheduling bounds.
+
+use std::sync::Arc;
+use xkaapi_repro::core::Runtime;
+use xkaapi_repro::epx::{run as epx_run, ExecMode, Scenario};
+use xkaapi_repro::linalg::{
+    cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, TiledMatrix,
+};
+use xkaapi_repro::omp::{OmpPool, Schedule};
+use xkaapi_repro::quark::Quark;
+use xkaapi_repro::skyline::{ldlt_omp, ldlt_seq, ldlt_xkaapi, solve, BlockSkyline, SkylineMatrix};
+
+#[test]
+fn cholesky_identical_across_all_runtimes() {
+    let orig = TiledMatrix::spd_random(160, 32, 99);
+    let mut reference = orig.clone_matrix();
+    cholesky_seq(&mut reference).unwrap();
+
+    let rt = Arc::new(Runtime::new(4));
+    let a = cholesky_xkaapi(&rt, orig.clone_matrix()).unwrap();
+    assert_eq!(a.max_abs_diff_lower(&reference), 0.0, "xkaapi dataflow");
+
+    let q = Quark::new_centralized(3);
+    let mut b = orig.clone_matrix();
+    cholesky_quark(&q, &mut b).unwrap();
+    assert_eq!(b.max_abs_diff_lower(&reference), 0.0, "quark centralized");
+
+    let q2 = Quark::new_on_xkaapi(Arc::clone(&rt));
+    let mut c = orig.clone_matrix();
+    cholesky_quark(&q2, &mut c).unwrap();
+    assert_eq!(c.max_abs_diff_lower(&reference), 0.0, "quark on xkaapi");
+
+    let mut d = orig.clone_matrix();
+    cholesky_static(3, &mut d).unwrap();
+    assert_eq!(d.max_abs_diff_lower(&reference), 0.0, "plasma static");
+}
+
+#[test]
+fn skyline_ldlt_identical_across_runtimes_and_solves() {
+    let a = SkylineMatrix::generate_spd(400, 0.06, 21);
+    let mut f_seq = BlockSkyline::from_skyline(&a, 32);
+    ldlt_seq(&mut f_seq);
+
+    let rt = Runtime::new(4);
+    let f_k = ldlt_xkaapi(&rt, BlockSkyline::from_skyline(&a, 32));
+    let pool = OmpPool::new(4);
+    let mut f_o = BlockSkyline::from_skyline(&a, 32);
+    ldlt_omp(&pool, &mut f_o);
+
+    for i in (0..400).step_by(7) {
+        for j in (0..=i).step_by(3) {
+            assert_eq!(f_k.at(i, j), f_seq.at(i, j), "xkaapi ({i},{j})");
+            assert_eq!(f_o.at(i, j), f_seq.at(i, j), "omp ({i},{j})");
+        }
+    }
+
+    // Solve round-trip through each factor.
+    let x_true: Vec<f64> = (0..400).map(|i| (i as f64 * 0.29).sin()).collect();
+    let b = a.mvp(&x_true);
+    for (name, f) in [("seq", &f_seq), ("xkaapi", &f_k), ("omp", &f_o)] {
+        let x = solve(f, &b);
+        let err = x.iter().zip(&x_true).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+        assert!(err < 1e-6, "{name}: solve error {err}");
+    }
+}
+
+#[test]
+fn epx_scenarios_deterministic_across_modes() {
+    for name in ["MEPPEN", "MAXPLANE"] {
+        let mut sc = if name == "MEPPEN" { Scenario::meppen(1) } else { Scenario::maxplane(1) };
+        sc.steps = 2;
+        sc.other_work = 100;
+        sc.elem_subcycles = 4;
+        let r_seq = epx_run(&sc, &ExecMode::Seq);
+        let rt = Runtime::new(3);
+        let r_rt = epx_run(&sc, &ExecMode::Xkaapi(&rt));
+        let pool = OmpPool::new(3);
+        let r_omp = epx_run(&sc, &ExecMode::Omp(&pool, Schedule::Guided(8)));
+        assert!((r_seq.checksum - r_rt.checksum).abs() < 1e-9, "{name} xkaapi");
+        assert!((r_seq.checksum - r_omp.checksum).abs() < 1e-9, "{name} omp");
+        assert_eq!(r_seq.last_candidates, r_rt.last_candidates, "{name} candidates");
+        assert_eq!(r_seq.h_order, r_omp.h_order, "{name} H order");
+    }
+}
+
+#[test]
+fn quark_backends_agree_on_random_graphs() {
+    use std::sync::Mutex;
+    // A fixed random program of inout/input ops over 16 keys must produce
+    // the sequential-order result on both backends.
+    let mut state = 0xDEAD_BEEFu64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let ops: Vec<(usize, usize, u64)> =
+        (0..300).map(|_| ((rng() % 16) as usize, (rng() % 16) as usize, rng() % 9 + 1)).collect();
+    let mut reference = vec![1u64; 16];
+    for &(a, b, c) in &ops {
+        reference[a] = reference[a].wrapping_add(c.wrapping_mul(reference[b]));
+    }
+    for q in [
+        Quark::new_centralized(4),
+        Quark::new_on_xkaapi(Arc::new(Runtime::new(4))),
+    ] {
+        let cells: Vec<Mutex<u64>> = (0..16).map(|_| Mutex::new(1)).collect();
+        q.session(|ctx| {
+            use xkaapi_repro::quark::QuarkDep;
+            for &(a, b, c) in &ops {
+                let cells = &cells;
+                if a == b {
+                    ctx.insert_task([QuarkDep::inout(a as u64)], move |_| {
+                        let mut g = cells[a].lock().unwrap();
+                        let v = *g;
+                        *g = v.wrapping_add(c.wrapping_mul(v));
+                    });
+                } else {
+                    ctx.insert_task(
+                        [QuarkDep::inout(a as u64), QuarkDep::input(b as u64)],
+                        move |_| {
+                            let vb = *cells[b].lock().unwrap();
+                            let mut ga = cells[a].lock().unwrap();
+                            *ga = ga.wrapping_add(c.wrapping_mul(vb));
+                        },
+                    );
+                }
+            }
+        });
+        for i in 0..16 {
+            assert_eq!(*cells[i].lock().unwrap(), reference[i], "cell {i}");
+        }
+    }
+}
+
+#[test]
+fn simulator_bounds_on_real_cholesky_dag() {
+    use xkaapi_repro::sim::{simulate_dag, DagPolicy, Platform, SimTask, TaskDag};
+    // Build the DAG of a real tiled Cholesky and check classic bounds.
+    let ops = xkaapi_repro::linalg::cholesky_ops(12);
+    let tasks: Vec<SimTask> =
+        ops.iter().map(|_| SimTask { work_ns: 100_000, bytes: 0 }).collect();
+    let acc: Vec<Vec<(u64, bool)>> = ops.iter().map(|o| o.accesses()).collect();
+    let dag = TaskDag::from_accesses(tasks, &acc);
+    let pol = DagPolicy::WorkStealing {
+        steal_ns: 200,
+        task_overhead_ns: 20,
+        aggregation: true,
+        spawn_ns: 0,
+    };
+    let t1 = simulate_dag(&Platform::magny_cours(1), &dag, &pol, 1).makespan_ns;
+    assert!(t1 >= dag.total_work_ns());
+    for cores in [4usize, 16, 48] {
+        let tp = simulate_dag(&Platform::magny_cours(cores), &dag, &pol, 1).makespan_ns;
+        assert!(tp >= dag.total_work_ns() / cores as u64, "work bound at {cores}");
+        assert!(tp >= dag.critical_path_ns(), "span bound at {cores}");
+        assert!(tp <= t1, "no slowdown from parallelism at {cores}");
+    }
+}
+
+#[test]
+fn runtime_survives_mixed_paradigm_stress() {
+    // Interleave dataflow chains, fork-join trees and adaptive loops on one
+    // runtime instance, repeatedly.
+    use xkaapi_repro::core::Shared;
+    let rt = Runtime::new(4);
+    for round in 0..5u64 {
+        let h = Shared::new(round);
+        rt.scope(|ctx| {
+            for _ in 0..20 {
+                let hw = h.clone();
+                ctx.spawn([h.exclusive()], move |t| *t.write(&hw) += 1);
+            }
+        });
+        assert_eq!(*h.get(), round + 20);
+
+        let f = rt.scope(|ctx| {
+            fn fib(c: &mut xkaapi_repro::core::Ctx<'_>, n: u64) -> u64 {
+                if n < 2 {
+                    n
+                } else {
+                    let (a, b) = c.join(|c| fib(c, n - 1), |c| fib(c, n - 2));
+                    a + b
+                }
+            }
+            fib(ctx, 15)
+        });
+        assert_eq!(f, 610);
+
+        let s = rt.foreach_reduce(0..10_000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+        assert_eq!(s, 49_995_000);
+    }
+}
