@@ -79,7 +79,13 @@ where
     F: Fn(&mut A, &T) + Sync,
     C: Fn(A, A) -> A + Send + Sync,
 {
-    rt.foreach_reduce(0..data.len(), None, identity, |acc, i| fold(acc, &data[i]), combine)
+    rt.foreach_reduce(
+        0..data.len(),
+        None,
+        identity,
+        |acc, i| fold(acc, &data[i]),
+        combine,
+    )
 }
 
 /// In-place inclusive prefix sum under an associative `op` (two-pass
@@ -341,8 +347,9 @@ mod tests {
     #[test]
     fn min_element_finds_minimum() {
         let rt = rt();
-        let v: Vec<i64> =
-            (0..50_000).map(|i| ((i * 37) % 1009) - ((i == 33_333) as i64 * 5_000)).collect();
+        let v: Vec<i64> = (0..50_000)
+            .map(|i| ((i * 37) % 1009) - ((i == 33_333) as i64 * 5_000))
+            .collect();
         let idx = min_element(&rt, &v).unwrap();
         let min = v.iter().copied().min().unwrap();
         assert_eq!(v[idx], min);
@@ -352,7 +359,9 @@ mod tests {
     #[test]
     fn merge_sort_sorts() {
         let rt = rt();
-        let mut v: Vec<u64> = (0..60_000).map(|i| (i * 2_654_435_761u64) % 1_000_000).collect();
+        let mut v: Vec<u64> = (0..60_000)
+            .map(|i| (i * 2_654_435_761u64) % 1_000_000)
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         merge_sort(&rt, &mut v);

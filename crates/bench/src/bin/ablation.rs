@@ -11,19 +11,76 @@
 //! Usage: `ablation`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use xkaapi_bench::{measure_ns, print_table};
+use xkaapi_bench::{measure_ns, print_table, SchedPolicy};
 use xkaapi_core::{PromotionPolicy, Runtime, Shared};
 use xkaapi_sim::{simulate_dag, DagPolicy, Platform, SimTask, TaskDag};
 
+/// One mixed data-flow workload every scheduler policy must agree on:
+/// 16 exclusive chains of length 25 plus a read fan-in. Returns the final
+/// checksum (identical across policies by the sequential semantics).
+fn policy_workload(rt: &Runtime) -> u64 {
+    let cells: Vec<Shared<u64>> = (0..16).map(|_| Shared::new(1)).collect();
+    rt.scope(|ctx| {
+        for round in 0..25u64 {
+            for (i, c) in cells.iter().enumerate() {
+                let cw = c.clone();
+                ctx.spawn([c.exclusive()], move |t| {
+                    *t.write(&cw) += round + i as u64;
+                });
+            }
+        }
+    });
+    cells.iter().map(|c| *c.get()).sum()
+}
+
 fn main() {
-    println!("# Ablations: request aggregation & ready-list promotion");
+    println!("# Ablations: scheduler policy matrix, aggregation & ready-list promotion");
+
+    // --- the engine's policy matrix: one enum flips queue & steal layer --
+    let mut rows = Vec::new();
+    let mut checksums = Vec::new();
+    for pol in SchedPolicy::ALL {
+        let rt = pol.build_runtime(4);
+        let mut sum = 0;
+        let t = measure_ns(5, || sum = policy_workload(&rt));
+        checksums.push(sum);
+        let s = rt.stats();
+        rows.push(vec![
+            pol.label().into(),
+            format!("{}/{}", rt.queue_name(), rt.steal_policy_name()),
+            format!("{:.2}", t as f64 / 1e6),
+            s.tasks_executed_stolen.to_string(),
+            s.combine_served.to_string(),
+            sum.to_string(),
+        ]);
+    }
+    assert!(
+        checksums.iter().all(|&c| c == checksums[0]),
+        "scheduler policies disagree on the workload result: {checksums:?}"
+    );
+    print_table(
+        "Engine policy matrix: 16 chains x 25 exclusive writers, 4 workers (identical checksums)",
+        &[
+            "policy",
+            "queue/steal",
+            "time (ms)",
+            "stolen",
+            "combine served",
+            "checksum",
+        ],
+        &rows,
+    );
 
     // --- real: ready-list on/off on a wide data-flow frame --------------
     let mut rows = Vec::new();
     for (label, enabled) in [("ready-list ON", true), ("ready-list OFF", false)] {
         let rt = Runtime::builder()
             .workers(4)
-            .promotion(PromotionPolicy { enabled, promote_len: 16, promote_scans: 2 })
+            .promotion(PromotionPolicy {
+                enabled,
+                promote_len: 16,
+                promote_scans: 2,
+            })
             .build();
         let t = measure_ns(5, || {
             let handles: Vec<Shared<u64>> = (0..512).map(|_| Shared::new(0)).collect();
@@ -81,16 +138,50 @@ fn main() {
         &rows,
     );
 
+    // --- real: park-threshold sweep (idle spin rounds before blocking) ---
+    let mut rows = Vec::new();
+    for park_rounds in [1u32, 32, 1024] {
+        let rt = Runtime::builder()
+            .workers(4)
+            .steal_rounds_before_park(park_rounds)
+            .build();
+        let t = measure_ns(5, || {
+            let s = rt.foreach_reduce(
+                0..200_000,
+                None,
+                || 0u64,
+                |a, i| *a += i as u64,
+                |a, b| a + b,
+            );
+            assert_eq!(s, 199_999u64 * 100_000);
+        });
+        rows.push(vec![
+            park_rounds.to_string(),
+            format!("{:.2}", t as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        "Real: park-threshold sweep, 200k-iteration reduction, 4 workers",
+        &["steal rounds before park", "time (ms)"],
+        &rows,
+    );
+
     // --- simulated: aggregation at 48 cores ------------------------------
     // Spine + fan-out workload: many simultaneously idle thieves hammer one
     // victim, the regime the paper's aggregation targets.
     let mut tasks = Vec::new();
     let mut acc: Vec<Vec<(u64, bool)>> = Vec::new();
     for g in 0..60u64 {
-        tasks.push(SimTask { work_ns: 25_000, bytes: 0 });
+        tasks.push(SimTask {
+            work_ns: 25_000,
+            bytes: 0,
+        });
         acc.push(vec![(0, true)]);
         for j in 0..47u64 {
-            tasks.push(SimTask { work_ns: 5_000, bytes: 0 });
+            tasks.push(SimTask {
+                work_ns: 5_000,
+                bytes: 0,
+            });
             acc.push(vec![(0, false), (1_000 + g * 64 + j, true)]);
         }
     }
@@ -125,7 +216,10 @@ fn main() {
         let r = simulate_loop(
             &p48,
             &w,
-            &LoopPolicy::KaapiAdaptive { grain, steal_ns: 400 },
+            &LoopPolicy::KaapiAdaptive {
+                grain,
+                steal_ns: 400,
+            },
         );
         rows.push(vec![
             grain.to_string(),

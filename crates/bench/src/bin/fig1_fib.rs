@@ -63,7 +63,10 @@ fn fib_omp(ctx: &OmpCtx<'_>, n: u64, out: &std::sync::atomic::AtomicU64) {
 }
 
 fn main() {
-    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(27);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(27);
     let tasks = fib_call_count(n);
     let expect = fib_seq(n);
     println!("# Fig. 1 — Fibonacci({n}) task creation ({tasks} tasks)");
@@ -109,11 +112,31 @@ fn main() {
         "Measured on this host (1 core, real)",
         &["runtime", "time (ms)", "slowdown vs seq"],
         &[
-            vec!["sequential".into(), format!("{:.3}", t_seq as f64 / 1e6), "x 1".into()],
-            vec!["Cilk-like".into(), format!("{:.3}", t_cilk as f64 / 1e6), slowdown(t_cilk)],
-            vec!["TBB-like".into(), format!("{:.3}", t_tbb as f64 / 1e6), slowdown(t_tbb)],
-            vec!["XKaapi".into(), format!("{:.3}", t_kaapi as f64 / 1e6), slowdown(t_kaapi)],
-            vec!["OpenMP-like".into(), format!("{:.3}", t_omp as f64 / 1e6), slowdown(t_omp)],
+            vec![
+                "sequential".into(),
+                format!("{:.3}", t_seq as f64 / 1e6),
+                "x 1".into(),
+            ],
+            vec![
+                "Cilk-like".into(),
+                format!("{:.3}", t_cilk as f64 / 1e6),
+                slowdown(t_cilk),
+            ],
+            vec![
+                "TBB-like".into(),
+                format!("{:.3}", t_tbb as f64 / 1e6),
+                slowdown(t_tbb),
+            ],
+            vec![
+                "XKaapi".into(),
+                format!("{:.3}", t_kaapi as f64 / 1e6),
+                slowdown(t_kaapi),
+            ],
+            vec![
+                "OpenMP-like".into(),
+                format!("{:.3}", t_omp as f64 / 1e6),
+                slowdown(t_omp),
+            ],
         ],
     );
     println!("\n(paper Fig.1 slowdowns: Cilk+ x11.7, TBB x26, Kaapi x8, OpenMP x27)");

@@ -15,13 +15,16 @@
 //! Usage: `fig2_cholesky [max_n]` (default 6144).
 
 use xkaapi_bench::{
-    calibrate_kernels, cholesky_dag, cholesky_static_owner, central_policy, gflops, print_table,
+    calibrate_kernels, central_policy, cholesky_dag, cholesky_static_owner, gflops, print_table,
     scale_costs, ws_policy,
 };
 use xkaapi_sim::{simulate_dag, DagPolicy, Platform};
 
 fn main() {
-    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6144);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6144);
     println!("# Fig. 2 — Cholesky GFlop/s, 48 virtual cores (AMD Magny-Cours model)");
 
     // Real kernel calibration at a measurable size, scaled by flop counts.
@@ -37,7 +40,10 @@ fn main() {
     let platform = Platform::magny_cours(48);
     for nb in [128usize, 224] {
         let costs = scale_costs(&base, nb);
-        let sizes: Vec<usize> = (1..=12).map(|k| k * nb * 4).filter(|&n| n <= max_n).collect();
+        let sizes: Vec<usize> = (1..=12)
+            .map(|k| k * nb * 4)
+            .filter(|&n| n <= max_n)
+            .collect();
         let mut rows = Vec::new();
         for &n in &sizes {
             let nt = n / nb;
@@ -59,7 +65,13 @@ fn main() {
         }
         print_table(
             &format!("NB = {nb}"),
-            &["matrix n", "XKaapi", "PLASMA/Quark", "PLASMA/static", "queue wait (ms)"],
+            &[
+                "matrix n",
+                "XKaapi",
+                "PLASMA/Quark",
+                "PLASMA/static",
+                "queue wait (ms)",
+            ],
             &rows,
         );
     }
@@ -71,7 +83,9 @@ fn main() {
     // --- real cross-check at small size --------------------------------
     println!("\n## Real cross-check (n=256, NB=32, 4 threads on this host)");
     use std::sync::Arc;
-    use xkaapi_linalg::{cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, TiledMatrix};
+    use xkaapi_linalg::{
+        cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, TiledMatrix,
+    };
     use xkaapi_quark::Quark;
     let orig = TiledMatrix::spd_random(256, 32, 9);
     let mut reference = orig.clone_matrix();
@@ -79,19 +93,31 @@ fn main() {
 
     let rt = Arc::new(xkaapi_core::Runtime::new(4));
     let a = cholesky_xkaapi(&rt, orig.clone_matrix()).unwrap();
-    println!("xkaapi dataflow  : max|Δ| vs seq = {:.2e}", a.max_abs_diff_lower(&reference));
+    println!(
+        "xkaapi dataflow  : max|Δ| vs seq = {:.2e}",
+        a.max_abs_diff_lower(&reference)
+    );
 
     let q = Quark::new_centralized(4);
     let mut b = orig.clone_matrix();
     cholesky_quark(&q, &mut b).unwrap();
-    println!("quark centralized: max|Δ| vs seq = {:.2e}", b.max_abs_diff_lower(&reference));
+    println!(
+        "quark centralized: max|Δ| vs seq = {:.2e}",
+        b.max_abs_diff_lower(&reference)
+    );
 
     let q2 = Quark::new_on_xkaapi(rt);
     let mut c = orig.clone_matrix();
     cholesky_quark(&q2, &mut c).unwrap();
-    println!("quark on xkaapi  : max|Δ| vs seq = {:.2e}", c.max_abs_diff_lower(&reference));
+    println!(
+        "quark on xkaapi  : max|Δ| vs seq = {:.2e}",
+        c.max_abs_diff_lower(&reference)
+    );
 
     let mut d = orig.clone_matrix();
     cholesky_static(4, &mut d).unwrap();
-    println!("plasma static    : max|Δ| vs seq = {:.2e}", d.max_abs_diff_lower(&reference));
+    println!(
+        "plasma static    : max|Δ| vs seq = {:.2e}",
+        d.max_abs_diff_lower(&reference)
+    );
 }

@@ -14,7 +14,10 @@ use xkaapi_epx::{loopelm, repera, ExecMode, Material, Mesh, State};
 use xkaapi_sim::{loop_speedups, LoopPolicy, LoopWorkload};
 
 fn main() {
-    let iters: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
     println!("# Fig. 3 — EPX parallel-loop speedups (Tseq/Tpar)");
 
     // Real per-iteration calibration from the mini-app.
@@ -42,11 +45,25 @@ fn main() {
 
     let policies: [(&str, LoopPolicy); 3] = [
         ("OpenMP/static", LoopPolicy::OmpStatic),
-        ("OpenMP/dynamic", LoopPolicy::OmpDynamic { chunk: 64, counter_ns: 150 }),
-        ("XKaapi", LoopPolicy::KaapiAdaptive { grain: 64, steal_ns: 400 }),
+        (
+            "OpenMP/dynamic",
+            LoopPolicy::OmpDynamic {
+                chunk: 64,
+                counter_ns: 150,
+            },
+        ),
+        (
+            "XKaapi",
+            LoopPolicy::KaapiAdaptive {
+                grain: 64,
+                steal_ns: 400,
+            },
+        ),
     ];
-    let series: Vec<Vec<(usize, f64)>> =
-        policies.iter().map(|(_, p)| loop_speedups(&w, p, &PAPER_CORES)).collect();
+    let series: Vec<Vec<(usize, f64)>> = policies
+        .iter()
+        .map(|(_, p)| loop_speedups(&w, p, &PAPER_CORES))
+        .collect();
 
     let rows: Vec<Vec<String>> = PAPER_CORES
         .iter()
@@ -62,7 +79,13 @@ fn main() {
         .collect();
     print_table(
         &format!("Speedups, {iters} iterations"),
-        &["cores", "OpenMP/static", "OpenMP/dynamic", "XKaapi", "ideal"],
+        &[
+            "cores",
+            "OpenMP/static",
+            "OpenMP/dynamic",
+            "XKaapi",
+            "ideal",
+        ],
         &rows,
     );
     println!("\n(paper: all three near-ideal; static ≈ dynamic; XKaapi ahead past ~25 cores)");

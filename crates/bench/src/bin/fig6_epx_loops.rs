@@ -31,11 +31,23 @@ fn calibrate(sc: &Scenario) -> (LoopCal, LoopCal) {
     // gathers mostly hit cache); 2 passes (read+write) of 8 B per entry.
     let le_bytes = (sc.history_len * 16 + 64) as u64;
     let t0 = Instant::now();
-    let _ = repera(&mesh, &state, sc.repera_intensity, sc.gap_threshold, &ExecMode::Seq);
+    let _ = repera(
+        &mesh,
+        &state,
+        sc.repera_intensity,
+        sc.gap_threshold,
+        &ExecMode::Seq,
+    );
     let rp_ns = (t0.elapsed().as_nanos() as u64 / mesh.num_nodes() as u64).max(100);
     (
-        LoopCal { iter_ns: le_ns, bytes_per_iter: le_bytes },
-        LoopCal { iter_ns: rp_ns, bytes_per_iter: 128 },
+        LoopCal {
+            iter_ns: le_ns,
+            bytes_per_iter: le_bytes,
+        },
+        LoopCal {
+            iter_ns: rp_ns,
+            bytes_per_iter: 128,
+        },
     )
 }
 
@@ -50,7 +62,10 @@ fn main() {
         let n = 50_000;
         let w_le = LoopWorkload::jittered(n, le.iter_ns, 0.3, le.bytes_per_iter, 5);
         let w_rp = LoopWorkload::jittered(n, rp.iter_ns, 0.4, rp.bytes_per_iter, 6);
-        let pol = LoopPolicy::KaapiAdaptive { grain: 64, steal_ns: 400 };
+        let pol = LoopPolicy::KaapiAdaptive {
+            grain: 64,
+            steal_ns: 400,
+        };
         let s_le = loop_speedups(&w_le, &pol, &PAPER_CORES);
         let s_rp = loop_speedups(&w_rp, &pol, &PAPER_CORES);
         let rows: Vec<Vec<String>> = PAPER_CORES
@@ -65,7 +80,7 @@ fn main() {
                 ]
             })
             .collect();
-        print_table(&format!("{}", sc.name), &["cores", "LOOPELM", "REPERA", "ideal"], &rows);
+        print_table(sc.name, &["cores", "LOOPELM", "REPERA", "ideal"], &rows);
     }
     println!("\n(paper: MEPPEN LOOPELM limited by memory bandwidth; REPERA close to ideal;");
     println!(" MAXPLANE both loops scale well)");

@@ -20,19 +20,30 @@ use xkaapi_sim::{simulate_dag, Platform};
 use xkaapi_skyline::{BlockSkyline, SkylineMatrix};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8_800);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_800);
     const BS: usize = 88; // the paper's best block size
     const DENSITY: f64 = 0.0359;
     println!("# Fig. 7 — skyline LDLᵀ speedups (n={n}, density {DENSITY}, BS={BS})");
     println!("(paper: n=59462, Tseq=47.79 s)");
 
     let a = SkylineMatrix::generate_spd(n, DENSITY, 2026);
-    println!("\ngenerated matrix: density {:.4} ({} stored entries)", a.density(), a.stored());
+    println!(
+        "\ngenerated matrix: density {:.4} ({} stored entries)",
+        a.density(),
+        a.stored()
+    );
     let bsk = BlockSkyline::from_skyline(&a, BS);
-    println!("block skyline: {} block rows, {} stored blocks", bsk.nbl, bsk.stored_blocks());
+    println!(
+        "block skyline: {} block rows, {} stored blocks",
+        bsk.nbl,
+        bsk.stored_blocks()
+    );
 
     // Calibrate block kernels (nb=88 measured through nb=96 scaling).
-    let base = calibrate_kernels(88.min(96));
+    let base = calibrate_kernels(88);
     let costs = scale_costs(&base, BS);
 
     let flow = skyline_dag(&bsk, &costs, false);
@@ -61,7 +72,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Speedup (Tp/Tseq)", &["cores", "OpenMP", "XKaapi", "ideal"], &rows);
+    print_table(
+        "Speedup (Tp/Tseq)",
+        &["cores", "OpenMP", "XKaapi", "ideal"],
+        &rows,
+    );
     println!("\n(paper: XKaapi clearly above OpenMP; barriers cap the OpenMP curve)");
 
     // --- real cross-check ------------------------------------------------

@@ -10,13 +10,18 @@
 //!
 //! Usage: `fig8_epx_overall [scale]` (default 1).
 
-use xkaapi_bench::{calibrate_kernels, print_table, scale_costs, skyline_dag, ws_policy, PAPER_CORES};
+use xkaapi_bench::{
+    calibrate_kernels, print_table, scale_costs, skyline_dag, ws_policy, PAPER_CORES,
+};
 use xkaapi_epx::{assemble_h, repera, run, ExecMode, Material, Mesh, Scenario, State};
 use xkaapi_sim::{loop_speedups, simulate_dag, LoopPolicy, LoopWorkload, Platform};
 use xkaapi_skyline::BlockSkyline;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     println!("# Fig. 8 — EPX total time decomposition vs cores (X-Kaapi)");
 
     for sc in [Scenario::meppen(scale), Scenario::maxplane(scale)] {
@@ -32,7 +37,10 @@ fn main() {
         let le_bytes = (sc.history_len * 16 + 64) as u64;
         let w_le = LoopWorkload::jittered(50_000, 2_000, 0.3, le_bytes, 5);
         let w_rp = LoopWorkload::jittered(50_000, 4_000, 0.4, 128, 6);
-        let pol = LoopPolicy::KaapiAdaptive { grain: 64, steal_ns: 400 };
+        let pol = LoopPolicy::KaapiAdaptive {
+            grain: 64,
+            steal_ns: 400,
+        };
         let s_le = loop_speedups(&w_le, &pol, &PAPER_CORES);
         let s_rp = loop_speedups(&w_rp, &pol, &PAPER_CORES);
 
@@ -40,7 +48,13 @@ fn main() {
         let mesh = Mesh::block(sc.mesh.0, sc.mesh.1, sc.mesh.2);
         let state = State::new(&mesh, sc.history_len, 0xEBF);
         let _ = Material::default();
-        let cands = repera(&mesh, &state, sc.repera_intensity, sc.gap_threshold, &ExecMode::Seq);
+        let cands = repera(
+            &mesh,
+            &state,
+            sc.repera_intensity,
+            sc.gap_threshold,
+            &ExecMode::Seq,
+        );
         let active = &cands[..cands.len().min(sc.h_max_size)];
         let h = assemble_h(active, sc.h_min_size);
         let bsk = BlockSkyline::from_skyline(&h, sc.h_block_size);
@@ -50,8 +64,7 @@ fn main() {
         let s_ch: Vec<f64> = PAPER_CORES
             .iter()
             .map(|&c| {
-                let tc =
-                    simulate_dag(&Platform::magny_cours(c), &dag, &ws_policy(), 1).makespan_ns;
+                let tc = simulate_dag(&Platform::magny_cours(c), &dag, &ws_policy(), 1).makespan_ns;
                 (t1 / tc as f64).max(1.0)
             })
             .collect();
@@ -78,7 +91,9 @@ fn main() {
             .collect();
         print_table(
             &format!("{} (seconds per phase; H order {})", sc.name, h.n),
-            &["cores", "repera", "loopelm", "Cholesky", "other", "total", "speedup"],
+            &[
+                "cores", "repera", "loopelm", "Cholesky", "other", "total", "speedup",
+            ],
             &rows,
         );
     }

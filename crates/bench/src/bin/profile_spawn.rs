@@ -32,7 +32,9 @@ fn main() {
     time("join(empty,empty) per op", N / 10, || {
         rt.scope(|ctx| {
             fn rec(c: &mut xkaapi_core::Ctx<'_>, d: u32) {
-                if d == 0 { return; }
+                if d == 0 {
+                    return;
+                }
                 c.join(|a| rec(a, d - 1), |b| rec(b, d - 1));
             }
             // a tree of 2^k-1 joins ~ N/10: depth 14 ≈ 16383... adjust:

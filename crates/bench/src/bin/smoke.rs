@@ -1,0 +1,132 @@
+//! Perf-snapshot smoke bench: a fast, fixed-shape measurement of the three
+//! headline metrics of the runtime, one per paradigm —
+//!
+//! * **fib spawn throughput** (fork-join): tasks/s over `fib(n)` via
+//!   [`Ctx::join`];
+//! * **foreach bandwidth** (adaptive loops): elements/s over a saxpy-like
+//!   sweep;
+//! * **cholesky gflops** (data-flow): a tiled factorization on the
+//!   data-flow engine.
+//!
+//! Usage:
+//!
+//! * `smoke` — human-readable table;
+//! * `smoke --json` — additionally writes `BENCH_PR1.json` (snapshot file
+//!   name pinned per PR so the perf trajectory accretes one file per PR).
+//!
+//! [`Ctx::join`]: xkaapi_core::Ctx::join
+
+use std::time::Instant;
+use xkaapi_bench::{gflops, measure_ns, print_table};
+use xkaapi_core::{Ctx, Runtime};
+use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, TiledMatrix};
+
+const SNAPSHOT_FILE: &str = "BENCH_PR1.json";
+
+fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        let (a, b) = c.join(|c| fib(c, n - 1), |c| fib(c, n - 2));
+        a + b
+    }
+}
+
+/// Number of join nodes fib(n) creates (interior calls).
+fn fib_tasks(n: u64) -> u64 {
+    if n < 2 {
+        0
+    } else {
+        1 + fib_tasks(n - 1) + fib_tasks(n - 2)
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    // Builder defaults: XKAAPI_WORKERS (if set) or available parallelism —
+    // the snapshot is tunable without recompiling.
+    let rt = Runtime::builder().build();
+    let workers = rt.num_workers();
+    let t0 = Instant::now();
+
+    // --- fib spawn throughput (fork-join paradigm) ----------------------
+    let fib_n = 22u64;
+    let tasks = fib_tasks(fib_n);
+    let fib_ns = measure_ns(5, || {
+        let v = rt.scope(|ctx| fib(ctx, fib_n));
+        assert_eq!(v, 17_711);
+    });
+    let fib_mtasks_per_s = tasks as f64 / fib_ns as f64 * 1e3;
+
+    // --- foreach bandwidth (adaptive-loop paradigm) ---------------------
+    let n = 4_000_000usize;
+    let mut x = vec![1.0f64; n];
+    let y: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let foreach_ns = measure_ns(5, || {
+        let (xs, ys) = (x.as_mut_ptr() as usize, y.as_ptr() as usize);
+        rt.foreach_chunks(0..n, None, move |r| {
+            // Safety: chunks partition 0..n disjointly; x outlives the loop.
+            let xp = xs as *mut f64;
+            let yp = ys as *const f64;
+            for i in r {
+                unsafe { *xp.add(i) += 2.5 * *yp.add(i) };
+            }
+        });
+    });
+    std::hint::black_box(&x);
+    // 2 reads + 1 write of f64 per element.
+    let foreach_gbs = (n * 24) as f64 / foreach_ns as f64;
+    let foreach_melems_per_s = n as f64 / foreach_ns as f64 * 1e3;
+
+    // --- cholesky gflops (data-flow paradigm) ---------------------------
+    let (cn, nb) = (512usize, 64usize);
+    let orig = TiledMatrix::spd_random(cn, nb, 42);
+    let mut reference = orig.clone_matrix();
+    cholesky_seq(&mut reference).unwrap();
+    let mut chol_gflops = 0.0f64;
+    let chol_ns = measure_ns(3, || {
+        let a = cholesky_xkaapi(&rt, orig.clone_matrix()).unwrap();
+        assert_eq!(a.max_abs_diff_lower(&reference), 0.0);
+    });
+    chol_gflops += gflops(cn, chol_ns);
+
+    let total_s = t0.elapsed().as_secs_f64();
+    print_table(
+        &format!("Perf snapshot ({workers} workers, {total_s:.1}s total)"),
+        &["metric", "value", "detail"],
+        &[
+            vec![
+                "fib spawn throughput".into(),
+                format!("{fib_mtasks_per_s:.2} Mtasks/s"),
+                format!(
+                    "fib({fib_n}) = {tasks} joins in {:.2} ms",
+                    fib_ns as f64 / 1e6
+                ),
+            ],
+            vec![
+                "foreach bandwidth".into(),
+                format!("{foreach_gbs:.2} GB/s"),
+                format!("{foreach_melems_per_s:.1} Melem/s saxpy over {n} f64"),
+            ],
+            vec![
+                "cholesky".into(),
+                format!("{chol_gflops:.2} GFlop/s"),
+                format!("n={cn} nb={nb} in {:.2} ms", chol_ns as f64 / 1e6),
+            ],
+        ],
+    );
+
+    if json {
+        let body = format!(
+            "{{\n  \"pr\": 1,\n  \"workers\": {workers},\n  \
+             \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
+             \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
+             \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
+             \"gb_per_s\": {foreach_gbs:.3}, \"melems_per_s\": {foreach_melems_per_s:.3}}},\n  \
+             \"cholesky\": {{\"n\": {cn}, \"nb\": {nb}, \"ns\": {chol_ns}, \
+             \"gflops\": {chol_gflops:.3}}}\n}}\n"
+        );
+        std::fs::write(SNAPSHOT_FILE, body).expect("write perf snapshot");
+        println!("\nwrote {SNAPSHOT_FILE}");
+    }
+}

@@ -9,6 +9,10 @@
 
 #![warn(missing_docs)]
 
+pub mod policy;
+
+pub use policy::SchedPolicy;
+
 use std::time::Instant;
 use xkaapi_linalg::{flops, CholOp, TiledMatrix};
 use xkaapi_sim::{DagPolicy, SimTask, TaskDag};
@@ -121,7 +125,10 @@ pub fn cholesky_dag(nt: usize, costs: &KernelCosts) -> TaskDag {
             CholOp::Trsm { .. } | CholOp::Syrk { .. } => 2,
             CholOp::Gemm { .. } => 3,
         };
-        tasks.push(SimTask { work_ns, bytes: tile_bytes(nb, ntiles) });
+        tasks.push(SimTask {
+            work_ns,
+            bytes: tile_bytes(nb, ntiles),
+        });
         accesses.push(op.accesses());
     }
     TaskDag::from_accesses(tasks, &accesses)
@@ -154,7 +161,10 @@ pub fn skyline_dag(bsk: &BlockSkyline, costs: &KernelCosts, omp_phases: bool) ->
             SkyOp::Syrk { .. } => (costs.syrk_ns, 2),
             SkyOp::Gemm { .. } => (costs.gemm_ns, 3),
         };
-        SimTask { work_ns, bytes: tile_bytes(nb, tiles) }
+        SimTask {
+            work_ns,
+            bytes: tile_bytes(nb, tiles),
+        }
     };
     let tasks: Vec<SimTask> = ops.iter().map(mk).collect();
     if omp_phases {
@@ -170,8 +180,7 @@ pub fn skyline_dag(bsk: &BlockSkyline, costs: &KernelCosts, omp_phases: bool) ->
             .collect();
         TaskDag::from_phases(tasks, &phases)
     } else {
-        let accesses: Vec<Vec<(u64, bool)>> =
-            ops.iter().map(|op| op.accesses(nbl)).collect();
+        let accesses: Vec<Vec<(u64, bool)>> = ops.iter().map(|op| op.accesses(nbl)).collect();
         TaskDag::from_accesses(tasks, &accesses)
     }
 }
@@ -203,7 +212,10 @@ pub fn central_policy() -> DagPolicy {
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for r in rows {
         println!("| {} |", r.join(" | "));
     }
@@ -227,7 +239,13 @@ mod tests {
 
     #[test]
     fn scaling_follows_cubic_law() {
-        let c = KernelCosts { nb: 32, potrf_ns: 100, trsm_ns: 300, syrk_ns: 300, gemm_ns: 600 };
+        let c = KernelCosts {
+            nb: 32,
+            potrf_ns: 100,
+            trsm_ns: 300,
+            syrk_ns: 300,
+            gemm_ns: 600,
+        };
         let s = scale_costs(&c, 64);
         assert_eq!(s.gemm_ns, 4800);
         assert_eq!(s.nb, 64);
@@ -235,7 +253,13 @@ mod tests {
 
     #[test]
     fn cholesky_dag_has_expected_size() {
-        let c = KernelCosts { nb: 128, potrf_ns: 1, trsm_ns: 2, syrk_ns: 2, gemm_ns: 4 };
+        let c = KernelCosts {
+            nb: 128,
+            potrf_ns: 1,
+            trsm_ns: 2,
+            syrk_ns: 2,
+            gemm_ns: 4,
+        };
         let nt = 8;
         let d = cholesky_dag(nt, &c);
         let expect = nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) / 6;

@@ -139,7 +139,11 @@ impl Access {
     /// Build an access descriptor.
     #[inline]
     pub fn new(handle: HandleId, region: Region, mode: AccessMode) -> Self {
-        Access { handle, region, mode }
+        Access {
+            handle,
+            region,
+            mode,
+        }
     }
 
     /// Do two accesses require an ordering edge between their tasks?
@@ -186,7 +190,7 @@ mod tests {
         assert!(r(0, 10).overlaps(&r(5, 15)));
         assert!(!r(0, 10).overlaps(&r(10, 20)));
         assert!(r(0, 10).overlaps(&Region::All));
-        assert!(!r(3, 3).is_empty() == false);
+        assert!(r(3, 3).is_empty());
         assert!(r(3, 3).is_empty());
     }
 

@@ -43,7 +43,10 @@ fn unpack(v: u64) -> (usize, usize) {
 impl IntervalCell {
     /// New interval `[b, e)`. Indices must fit in 32 bits.
     pub fn new(b: usize, e: usize) -> Self {
-        assert!(b <= MAX_IDX && e <= MAX_IDX, "interval indices must fit in u32");
+        assert!(
+            b <= MAX_IDX && e <= MAX_IDX,
+            "interval indices must fit in u32"
+        );
         IntervalCell(AtomicU64::new(pack(b, e)))
     }
 

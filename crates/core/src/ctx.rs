@@ -16,12 +16,12 @@
 
 use crate::access::Access;
 use crate::frame::Frame;
-use crate::handle::{Ref, RefMut, Reduction, Shared};
+use crate::handle::{Reduction, Ref, RefMut, Shared};
 use crate::runtime::{RtInner, Runtime};
 use crate::stats::WorkerStats;
 use crate::steal::{run_grab, try_steal_once};
 use crate::task::{Task, TaskBody, ST_DONE, ST_OWNER};
-use crossbeam::utils::Backoff;
+use crossbeam_utils::Backoff;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -38,7 +38,12 @@ pub struct RawCtx {
 
 impl RawCtx {
     pub(crate) fn new(rt: Arc<RtInner>, widx: usize) -> RawCtx {
-        RawCtx { rt, widx, frame: None, cur: None }
+        RawCtx {
+            rt,
+            widx,
+            frame: None,
+            cur: None,
+        }
     }
 
     fn ensure_frame(&mut self) -> Arc<Frame> {
@@ -62,6 +67,11 @@ impl RawCtx {
         let task = Arc::new(Task::new(body, accesses));
         let idx = frame.push(Arc::clone(&task));
         WorkerStats::bump(&self.rt.workers[self.widx].stats.tasks_spawned, 1);
+        if self.rt.queue.centralized() {
+            // Insertion-time scheduling: ready tasks go straight to the
+            // shared queue (QUARK/libGOMP model), even with one worker.
+            crate::steal::publish_ready(&self.rt, self.widx, &frame);
+        }
         if self.rt.num_workers() > 1 {
             self.rt.signal_work();
         }
@@ -72,7 +82,9 @@ impl RawCtx {
     /// as a thief) on stolen ones; return when every child completed.
     /// Rethrows the first child panic.
     pub(crate) fn sync(&mut self) {
-        let Some(frame) = self.frame.as_ref().map(Arc::clone) else { return };
+        let Some(frame) = self.frame.as_ref().map(Arc::clone) else {
+            return;
+        };
         let rt = Arc::clone(&self.rt);
         let widx = self.widx;
         loop {
@@ -136,15 +148,15 @@ impl RawCtx {
         }
     }
 
-    pub(crate) fn run_scoped_catch<'scope, F, R>(
-        &mut self,
-        f: F,
-    ) -> std::thread::Result<R>
+    pub(crate) fn run_scoped_catch<'scope, F, R>(&mut self, f: F) -> std::thread::Result<R>
     where
         F: FnOnce(&mut Ctx<'scope>) -> R,
     {
         let body = catch_unwind(AssertUnwindSafe(|| {
-            let mut ctx = Ctx { raw: self, _inv: PhantomData };
+            let mut ctx = Ctx {
+                raw: self,
+                _inv: PhantomData,
+            };
             f(&mut ctx)
         }));
         let fin = catch_unwind(AssertUnwindSafe(|| self.finish()));
@@ -171,6 +183,10 @@ pub(crate) fn execute_claimed(
     let fin = catch_unwind(AssertUnwindSafe(|| raw.finish()));
     task.complete();
     frame.complete_task(idx);
+    if rt.queue.centralized() {
+        // Completion may have released successors: publish them centrally.
+        crate::steal::publish_ready(rt, widx, frame);
+    }
     match (res, fin) {
         (Err(p), _) | (_, Err(p)) => frame.set_panic(p),
         _ => {}
@@ -206,6 +222,19 @@ pub(crate) fn help_until(
             if let Some(idx) = frame.pop_ready_owner() {
                 let t = frame.task(idx);
                 execute_task_at(rt, widx, frame, idx, t, true);
+                backoff.reset();
+                continue;
+            }
+        }
+        // Centralized queue: the shared pool is where every published task
+        // lives (and the only progress source at 1 worker). Distributed
+        // lanes must NOT be popped here — a suspended join's help loop
+        // consuming its own lane would break the LIFO discipline
+        // `TaskQueue::take` relies on; thieves reach lanes via the steal
+        // protocol below instead.
+        if rt.queue.centralized() {
+            if let Some(item) = rt.queue.pop(widx) {
+                run_grab(rt, widx, item.into_grab());
                 backoff.reset();
                 continue;
             }
@@ -276,7 +305,10 @@ impl<'scope> Ctx<'scope> {
     {
         let accesses: Box<[Access]> = accesses.into_iter().collect();
         let body: Box<dyn FnOnce(&mut RawCtx) + Send + 'scope> = Box::new(move |raw| {
-            let mut ctx = Ctx { raw, _inv: PhantomData };
+            let mut ctx = Ctx {
+                raw,
+                _inv: PhantomData,
+            };
             f(&mut ctx)
         });
         // Safety: 'scope outlives the moment the scope's sync completes, and
@@ -329,11 +361,13 @@ impl<'scope> Ctx<'scope> {
             match (run, fin) {
                 (Ok(v), Ok(())) => {
                     unsafe { *job.result.get() = Some(v) };
-                    job.state.store(J_DONE, std::sync::atomic::Ordering::Release);
+                    job.state
+                        .store(J_DONE, std::sync::atomic::Ordering::Release);
                 }
                 (Err(p), _) | (_, Err(p)) => {
                     unsafe { *job.panic.get() = Some(p) };
-                    job.state.store(J_PANIC, std::sync::atomic::Ordering::Release);
+                    job.state
+                        .store(J_PANIC, std::sync::atomic::Ordering::Release);
                 }
             }
         }
@@ -345,7 +379,10 @@ impl<'scope> Ctx<'scope> {
         // Wrap `fb` into a lifetime-free signature ('scope is in scope here;
         // the record never outlives this call, see the safety note above).
         let fb_raw = move |raw: &mut RawCtx| -> RB {
-            let mut ctx = Ctx { raw, _inv: PhantomData };
+            let mut ctx = Ctx {
+                raw,
+                _inv: PhantomData,
+            };
             fb(&mut ctx)
         };
         let job = StackJob {
@@ -365,8 +402,10 @@ impl<'scope> Ctx<'scope> {
             }
         }
         let jref = jref_of(&job);
-        let lane = &rt.workers[widx].fast_lane;
-        let pushed = lane.push(jref);
+        let pushed = rt
+            .queue
+            .push(widx, crate::queue::WorkItem::fast(jref))
+            .is_ok();
         if pushed {
             WorkerStats::bump(&rt.workers[widx].stats.tasks_spawned, 1);
             if rt.num_workers() > 1 {
@@ -377,18 +416,21 @@ impl<'scope> Ctx<'scope> {
         // points into this stack frame).
         let ra = catch_unwind(AssertUnwindSafe(|| fa(self)));
         if pushed {
-            if let Some(mine) = lane.pop() {
-                debug_assert!(std::ptr::eq(mine.data, jref.data), "fast-lane LIFO violated");
+            if let Some(mine) = rt.queue.take(widx, jref.data) {
                 WorkerStats::bump(&rt.workers[widx].stats.tasks_executed_own, 1);
-                unsafe { mine.execute(&rt, widx) };
+                match mine.into_grab() {
+                    crate::steal::Grab::Fast(job) => unsafe { job.execute(&rt, widx) },
+                    _ => unreachable!("take returned a non-fork-join item"),
+                }
             } else {
-                // Stolen: work as a thief until it completes.
+                // Taken by another worker (or consumed while helping): work
+                // as a thief until it completes.
                 help_until(&rt, widx, None, || {
                     job.state.load(std::sync::atomic::Ordering::Acquire) != J_PENDING
                 });
             }
         } else {
-            // Lane full: undeferred execution.
+            // Queue refused the job (lane full): undeferred execution.
             unsafe { jref.execute(&rt, widx) };
         }
         let ra = match ra {
@@ -398,7 +440,10 @@ impl<'scope> Ctx<'scope> {
         match job.state.load(std::sync::atomic::Ordering::Acquire) {
             J_DONE => {
                 let rb = unsafe { (*job.result.get()).take() };
-                (ra, rb.expect("join: forked branch did not produce a result"))
+                (
+                    ra,
+                    rb.expect("join: forked branch did not produce a result"),
+                )
             }
             J_PANIC => {
                 let p = unsafe { (*job.panic.get()).take().unwrap() };
@@ -430,10 +475,14 @@ impl<'scope> Ctx<'scope> {
                  spawn a task declaring the access, or use Shared::get after the scope"
             );
         };
-        let ok = cur.accesses.iter().any(|a| {
-            a.handle == id && (!write || a.mode.writes()) && (write || true)
-        });
-        assert!(ok, "xkaapi: access to {id:?} (write={write}) was not declared by this task");
+        let ok = cur
+            .accesses
+            .iter()
+            .any(|a| a.handle == id && (!write || a.mode.writes()));
+        assert!(
+            ok,
+            "xkaapi: access to {id:?} (write={write}) was not declared by this task"
+        );
     }
 
     #[cfg(not(debug_assertions))]
@@ -471,10 +520,6 @@ impl<'scope> Ctx<'scope> {
 
 /// Run `f` as if on a scope of `rt` — helper for code generic over being
 /// inside or outside the pool (used by the compatibility layers).
-pub fn with_runtime_ctx<R: Send>(
-    rt: &Runtime,
-    f: impl FnOnce(&mut Ctx<'_>) -> R + Send,
-) -> R {
+pub fn with_runtime_ctx<R: Send>(rt: &Runtime, f: impl FnOnce(&mut Ctx<'_>) -> R + Send) -> R {
     rt.scope(f)
 }
-

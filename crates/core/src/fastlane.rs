@@ -132,7 +132,10 @@ mod tests {
         unsafe fn exec(_d: *mut (), _rt: &Arc<RtInner>, _w: usize) {
             HITS.fetch_add(1, Ordering::Relaxed);
         }
-        FastJob { data: std::ptr::null_mut(), exec }
+        FastJob {
+            data: std::ptr::null_mut(),
+            exec,
+        }
     }
 
     #[test]

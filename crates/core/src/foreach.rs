@@ -89,7 +89,9 @@ impl Adaptive for LoopWork {
             return;
         }
         // Leave the victim at least one grain (the paper's k+1-way split).
-        let Some(stolen) = self.cell.steal_back(k, self.ctl.grain) else { return };
+        let Some(stolen) = self.cell.steal_back(k, self.ctl.grain) else {
+            return;
+        };
         for part in split_even(stolen, k) {
             out.push(runner(Arc::clone(&self.ctl), part));
         }
@@ -115,9 +117,11 @@ impl Adaptive for MasterLoop {
                 Some(i) => {
                     let cell = Arc::clone(&self.ctl.shards[i]);
                     let ctl = Arc::clone(&self.ctl);
-                    out.push(Grab::Run(Box::new(move |rt: &Arc<RtInner>, widx: usize| {
-                        process(rt, widx, &ctl, cell);
-                    })));
+                    out.push(Grab::Run(Box::new(
+                        move |rt: &Arc<RtInner>, widx: usize| {
+                            process(rt, widx, &ctl, cell);
+                        },
+                    )));
                     unserved -= 1;
                 }
                 None => break,
@@ -145,8 +149,10 @@ impl Adaptive for MasterLoop {
 /// Process one slice on worker `widx`: claim grain-sized chunks from the
 /// front while registered as adaptive (splittable) work.
 fn process(rt: &Arc<RtInner>, widx: usize, ctl: &Arc<LoopCtl>, cell: Arc<IntervalCell>) {
-    let work: Arc<LoopWork> =
-        Arc::new(LoopWork { ctl: Arc::clone(ctl), cell: Arc::clone(&cell) });
+    let work: Arc<LoopWork> = Arc::new(LoopWork {
+        ctl: Arc::clone(ctl),
+        cell: Arc::clone(&cell),
+    });
     let ad: Arc<dyn Adaptive> = work;
     rt.workers[widx].register_adaptive(Arc::clone(&ad));
     loop {
@@ -157,7 +163,9 @@ fn process(rt: &Arc<RtInner>, widx: usize, ctl: &Arc<LoopCtl>, cell: Arc<Interva
             }
             break;
         }
-        let Some(r) = cell.claim_front(ctl.grain) else { break };
+        let Some(r) = cell.claim_front(ctl.grain) else {
+            break;
+        };
         let n = r.len();
         let res = catch_unwind(AssertUnwindSafe(|| (ctl.body)(r, widx)));
         WorkerStats::bump(&rt.workers[widx].stats.loop_chunks, 1);
@@ -205,8 +213,7 @@ pub(crate) fn foreach_run(
     let touched: Box<[AtomicBool]> = (0..p).map(|_| AtomicBool::new(false)).collect();
 
     // Safety: see function-level contract.
-    let body: &'static (dyn Fn(Range<usize>, usize) + Sync) =
-        unsafe { std::mem::transmute(body) };
+    let body: &'static (dyn Fn(Range<usize>, usize) + Sync) = unsafe { std::mem::transmute(body) };
     let ctl = Arc::new(LoopCtl {
         body,
         remaining: AtomicUsize::new(n),
@@ -217,7 +224,9 @@ pub(crate) fn foreach_run(
         panic: Mutex::new(None),
     });
 
-    let master: Arc<dyn Adaptive> = Arc::new(MasterLoop { ctl: Arc::clone(&ctl) });
+    let master: Arc<dyn Adaptive> = Arc::new(MasterLoop {
+        ctl: Arc::clone(&ctl),
+    });
     rt.workers[widx].register_adaptive(Arc::clone(&master));
     rt.signal_work();
 
@@ -229,7 +238,9 @@ pub(crate) fn foreach_run(
         next = ctl.claim_untouched(widx);
     }
     // Help until the last chunk (possibly on a thief) completes.
-    help_until(rt, widx, None, || ctl.remaining.load(Ordering::Acquire) == 0);
+    help_until(rt, widx, None, || {
+        ctl.remaining.load(Ordering::Acquire) == 0
+    });
     rt.workers[widx].deregister_adaptive(&master);
 
     let panic = ctl.panic.lock().take();

@@ -34,7 +34,11 @@ pub struct PromotionPolicy {
 
 impl Default for PromotionPolicy {
     fn default() -> Self {
-        PromotionPolicy { promote_len: 16, promote_scans: 4, enabled: true }
+        PromotionPolicy {
+            promote_len: 16,
+            promote_scans: 4,
+            enabled: true,
+        }
     }
 }
 
@@ -152,8 +156,10 @@ impl DepGraph {
                 Region::All => ht.all.get_or_insert_with(Default::default),
                 Region::Key(k) => ht.keys.entry(k).or_default(),
                 Region::Range { start, end } => {
-                    if let Some(pos) =
-                        ht.ranges.iter().position(|(s, t, _)| *s == start && *t == end)
+                    if let Some(pos) = ht
+                        .ranges
+                        .iter()
+                        .position(|(s, t, _)| *s == start && *t == end)
                     {
                         &mut ht.ranges[pos].2
                     } else {
@@ -250,7 +256,10 @@ pub(crate) struct Frame {
 impl Frame {
     pub(crate) fn new() -> Arc<Frame> {
         Arc::new(Frame {
-            inner: Mutex::new(FrameInner { tasks: Vec::new(), graph: None }),
+            inner: Mutex::new(FrameInner {
+                tasks: Vec::new(),
+                graph: None,
+            }),
             len: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
             cursor: AtomicUsize::new(0),
@@ -286,7 +295,8 @@ impl Frame {
     /// Owner only: skip the FIFO cursor past all tasks (they are all done).
     #[inline]
     pub(crate) fn skip_cursor_to_len(&self) {
-        self.cursor.store(self.len.load(Ordering::Acquire), Ordering::Relaxed);
+        self.cursor
+            .store(self.len.load(Ordering::Acquire), Ordering::Relaxed);
     }
 
     /// Append a task (owner only). Returns its index.
@@ -469,7 +479,10 @@ mod tests {
     use crate::task::{Task, ST_OWNER};
 
     fn task_with(accs: &[Access]) -> Arc<Task> {
-        Arc::new(Task::new(Box::new(|_| {}), accs.to_vec().into_boxed_slice()))
+        Arc::new(Task::new(
+            Box::new(|_| {}),
+            accs.to_vec().into_boxed_slice(),
+        ))
     }
 
     fn acc(h: u64, mode: AccessMode) -> Access {
@@ -493,7 +506,15 @@ mod tests {
         f.push(task_with(&[]));
         let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(8, &PromotionPolicy { enabled: false, ..Default::default() }, &mut out, &mut promos);
+        f.steal_scan(
+            8,
+            &PromotionPolicy {
+                enabled: false,
+                ..Default::default()
+            },
+            &mut out,
+            &mut promos,
+        );
         assert_eq!(out, vec![0, 1]);
     }
 
@@ -504,7 +525,10 @@ mod tests {
         let r = acc(9, AccessMode::Read);
         f.push(task_with(&[w]));
         f.push(task_with(&[r]));
-        let pol = PromotionPolicy { enabled: false, ..Default::default() };
+        let pol = PromotionPolicy {
+            enabled: false,
+            ..Default::default()
+        };
         let mut out = Vec::new();
         let mut promos = 0;
         f.steal_scan(8, &pol, &mut out, &mut promos);
@@ -527,7 +551,10 @@ mod tests {
         f.push(task_with(&[acc(1, AccessMode::Read)]));
         f.push(task_with(&[acc(1, AccessMode::Read)]));
         f.push(task_with(&[acc(1, AccessMode::Write)]));
-        let pol = PromotionPolicy { enabled: false, ..Default::default() };
+        let pol = PromotionPolicy {
+            enabled: false,
+            ..Default::default()
+        };
         let mut out = Vec::new();
         let mut promos = 0;
         f.steal_scan(8, &pol, &mut out, &mut promos);
@@ -547,7 +574,11 @@ mod tests {
 
     #[test]
     fn promotion_builds_equivalent_ready_set() {
-        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let pol = PromotionPolicy {
+            promote_len: 1,
+            promote_scans: 1,
+            enabled: true,
+        };
         let f = Frame::new();
         f.push(task_with(&[acc(1, AccessMode::Write)]));
         f.push(task_with(&[acc(1, AccessMode::Read)]));
@@ -569,7 +600,11 @@ mod tests {
 
     #[test]
     fn promotion_accounts_already_done_tasks() {
-        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let pol = PromotionPolicy {
+            promote_len: 1,
+            promote_scans: 1,
+            enabled: true,
+        };
         let f = Frame::new();
         f.push(task_with(&[acc(1, AccessMode::Write)]));
         f.push(task_with(&[acc(1, AccessMode::Read)]));
@@ -587,7 +622,11 @@ mod tests {
 
     #[test]
     fn graph_mode_incremental_push() {
-        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let pol = PromotionPolicy {
+            promote_len: 1,
+            promote_scans: 1,
+            enabled: true,
+        };
         let f = Frame::new();
         f.push(task_with(&[acc(1, AccessMode::Write)]));
         let mut out = Vec::new();
@@ -608,7 +647,11 @@ mod tests {
 
     #[test]
     fn cumulative_writes_commute() {
-        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let pol = PromotionPolicy {
+            promote_len: 1,
+            promote_scans: 1,
+            enabled: true,
+        };
         let f = Frame::new();
         f.push(task_with(&[acc(3, AccessMode::CumulWrite)]));
         f.push(task_with(&[acc(3, AccessMode::CumulWrite)]));
@@ -631,15 +674,28 @@ mod tests {
         let p = |i, j, m| Access::new(HandleId(7), Region::key2(i, j), m);
         f.push(task_with(&[p(0, 0, AccessMode::Write)]));
         f.push(task_with(&[p(1, 1, AccessMode::Write)]));
-        f.push(task_with(&[p(0, 0, AccessMode::Read), p(1, 1, AccessMode::Write)]));
+        f.push(task_with(&[
+            p(0, 0, AccessMode::Read),
+            p(1, 1, AccessMode::Write),
+        ]));
         for pol in [
-            PromotionPolicy { enabled: false, ..Default::default() },
-            PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true },
+            PromotionPolicy {
+                enabled: false,
+                ..Default::default()
+            },
+            PromotionPolicy {
+                promote_len: 1,
+                promote_scans: 1,
+                enabled: true,
+            },
         ] {
             let f2 = Frame::new();
             f2.push(task_with(&[p(0, 0, AccessMode::Write)]));
             f2.push(task_with(&[p(1, 1, AccessMode::Write)]));
-            f2.push(task_with(&[p(0, 0, AccessMode::Read), p(1, 1, AccessMode::Write)]));
+            f2.push(task_with(&[
+                p(0, 0, AccessMode::Read),
+                p(1, 1, AccessMode::Write),
+            ]));
             let mut out = Vec::new();
             let mut promos = 0;
             f2.steal_scan(8, &pol, &mut out, &mut promos);
@@ -651,11 +707,19 @@ mod tests {
 
     #[test]
     fn whole_object_write_orders_after_tiles() {
-        let pol = PromotionPolicy { promote_len: 1, promote_scans: 1, enabled: true };
+        let pol = PromotionPolicy {
+            promote_len: 1,
+            promote_scans: 1,
+            enabled: true,
+        };
         let f = Frame::new();
         let p = |i, j, m| Access::new(HandleId(7), Region::key2(i, j), m);
         f.push(task_with(&[p(0, 0, AccessMode::Write)]));
-        f.push(task_with(&[Access::new(HandleId(7), Region::All, AccessMode::Write)]));
+        f.push(task_with(&[Access::new(
+            HandleId(7),
+            Region::All,
+            AccessMode::Write,
+        )]));
         f.push(task_with(&[p(5, 5, AccessMode::Write)]));
         let mut out = Vec::new();
         let mut promos = 0;

@@ -55,7 +55,9 @@ pub struct Shared<T: ?Sized> {
 
 impl<T: ?Sized> Clone for Shared<T> {
     fn clone(&self) -> Self {
-        Shared { inner: Arc::clone(&self.inner) }
+        Shared {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -138,13 +140,21 @@ impl<T: ?Sized> Shared<T> {
         let b = &self.inner.borrows;
         loop {
             let cur = b.load(Ordering::Acquire);
-            assert_ne!(cur, WRITER, "xkaapi: read access while a writer is live (mis-declared task accesses?)");
-            if b.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            assert_ne!(
+                cur, WRITER,
+                "xkaapi: read access while a writer is live (mis-declared task accesses?)"
+            );
+            if b.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
                 break;
             }
         }
         // Safety: reader count held; writers excluded.
-        Ref { val: unsafe { &*self.inner.cell.get() }, borrows: b }
+        Ref {
+            val: unsafe { &*self.inner.cell.get() },
+            borrows: b,
+        }
     }
 
     /// Acquire an exclusive borrow (task context, after the scheduler
@@ -152,11 +162,15 @@ impl<T: ?Sized> Shared<T> {
     pub(crate) fn borrow_mut(&self) -> RefMut<'_, T> {
         let b = &self.inner.borrows;
         assert!(
-            b.compare_exchange(0, WRITER, Ordering::AcqRel, Ordering::Acquire).is_ok(),
+            b.compare_exchange(0, WRITER, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok(),
             "xkaapi: write access while other borrows are live (mis-declared task accesses?)"
         );
         // Safety: exclusive flag held.
-        RefMut { val: unsafe { &mut *self.inner.cell.get() }, borrows: b }
+        RefMut {
+            val: unsafe { &mut *self.inner.cell.get() },
+            borrows: b,
+        }
     }
 }
 
@@ -218,7 +232,9 @@ pub struct Partitioned<T> {
 
 impl<T> Clone for Partitioned<T> {
     fn clone(&self) -> Self {
-        Partitioned { inner: Arc::clone(&self.inner) }
+        Partitioned {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -279,7 +295,7 @@ struct ReductionInner<T> {
     main: UnsafeCell<T>,
     /// One lazily-initialised accumulator per worker, cache-padded to avoid
     /// false sharing between concurrently folding workers.
-    slots: Box<[crossbeam::utils::CachePadded<UnsafeCell<Option<T>>>]>,
+    slots: Box<[crossbeam_utils::CachePadded<UnsafeCell<Option<T>>>]>,
     dirty: AtomicBool,
     identity: Box<IdentityFn<T>>,
     combine: Box<CombineFn<T>>,
@@ -300,7 +316,9 @@ pub struct Reduction<T> {
 
 impl<T> Clone for Reduction<T> {
     fn clone(&self) -> Self {
-        Reduction { inner: Arc::clone(&self.inner) }
+        Reduction {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -317,7 +335,7 @@ impl<T: Send> Reduction<T> {
         combine: impl Fn(&mut T, T) + Send + Sync + 'static,
     ) -> Self {
         let slots = (0..nworkers)
-            .map(|_| crossbeam::utils::CachePadded::new(UnsafeCell::new(None)))
+            .map(|_| crossbeam_utils::CachePadded::new(UnsafeCell::new(None)))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         Reduction {
@@ -362,6 +380,7 @@ impl<T: Send> Reduction<T> {
     /// Called by the task context with the executing worker's index; two
     /// tasks on the same worker are never concurrent so the slot borrow is
     /// unique.
+    #[allow(clippy::mut_from_ref)] // uniqueness per worker: see Safety above
     pub(crate) fn slot_for(&self, worker: usize) -> &mut T {
         self.inner.dirty.store(true, Ordering::Release);
         let slot = unsafe { &mut *self.inner.slots[worker].get() };

@@ -62,16 +62,21 @@ mod fastlane;
 mod foreach;
 mod frame;
 mod handle;
+mod policy;
+mod queue;
 mod runtime;
 mod stats;
 mod steal;
 mod task;
+mod worker;
 
 pub use access::{Access, AccessMode, HandleId, Region};
 pub use adaptive::{split_even, IntervalCell};
 pub use ctx::{with_runtime_ctx, Ctx};
 pub use frame::PromotionPolicy;
 pub use handle::{Partitioned, Reduction, Ref, RefMut, Shared};
+pub use policy::{AggregatedStealing, PerThiefStealing, StealPolicy};
+pub use queue::{DistributedLanes, TaskQueue, WorkItem};
 pub use runtime::{Builder, Runtime, Tunables};
 pub use stats::StatsSnapshot;
 

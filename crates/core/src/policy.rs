@@ -1,0 +1,69 @@
+//! The steal layer: the thief-side protocol, behind [`StealPolicy`].
+//!
+//! Idle workers post request nodes onto a victim's Treiber stack and race
+//! for its steal lock; the winner (the *elected combiner*) drains every
+//! pending request. What happens next is policy:
+//!
+//! * [`AggregatedStealing`] — flat combining, the paper's design: the
+//!   combiner serves **all** drained requests in a single traversal of the
+//!   victim's work (N requests, one ready-task detection);
+//! * [`PerThiefStealing`] — the ablation baseline: the combiner serves only
+//!   itself and fails the rest (each thief pays its own traversal), the
+//!   behaviour the seed runtime expressed as `Tunables::aggregation =
+//!   false`.
+//!
+//! Implementations are stateless value objects; richer policies (NUMA-aware
+//! victim pre-filtering, bounded batches) plug in here without touching the
+//! election machinery in [`steal`](crate::steal).
+
+/// Thief-side steal protocol of the engine.
+pub trait StealPolicy: Send + Sync {
+    /// Short human-readable name (ablation tables).
+    fn name(&self) -> &'static str;
+
+    /// Of `pending` drained requests, how many the elected combiner serves
+    /// in this batch. The remainder are answered "empty" and retry.
+    /// Must return at least 1 when `pending >= 1`.
+    fn serve_batch(&self, pending: usize) -> usize;
+}
+
+/// Flat-combining aggregation: one combiner serves every pending request.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggregatedStealing;
+
+impl StealPolicy for AggregatedStealing {
+    fn name(&self) -> &'static str {
+        "aggregated"
+    }
+
+    fn serve_batch(&self, pending: usize) -> usize {
+        pending
+    }
+}
+
+/// Naive per-thief stealing: the combiner serves only itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerThiefStealing;
+
+impl StealPolicy for PerThiefStealing {
+    fn name(&self) -> &'static str {
+        "per-thief"
+    }
+
+    fn serve_batch(&self, pending: usize) -> usize {
+        pending.min(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_sizes() {
+        assert_eq!(AggregatedStealing.serve_batch(7), 7);
+        assert_eq!(AggregatedStealing.serve_batch(1), 1);
+        assert_eq!(PerThiefStealing.serve_batch(7), 1);
+        assert_eq!(PerThiefStealing.serve_batch(0), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The queue layer: where *ready* work lives, behind the [`TaskQueue`]
+//! trait.
+//!
+//! The engine separates three concerns the seed runtime had fused together:
+//!
+//! * the **dependency layer** ([`Frame`](crate::frame)) decides *when* a
+//!   data-flow task becomes ready;
+//! * the **queue layer** (this module) decides *where* ready work is stored
+//!   and how workers obtain it;
+//! * the **steal layer** ([`StealPolicy`](crate::policy::StealPolicy))
+//!   decides the thief-side protocol used to reach a victim's work.
+//!
+//! Two families of [`TaskQueue`] implementations exist:
+//!
+//! * **distributed** — [`DistributedLanes`], one T.H.E. deque per worker
+//!   (owner LIFO, thief FIFO): the X-Kaapi design. Data-flow tasks stay in
+//!   their frames and are discovered lazily by steal scans.
+//! * **centralized** — one shared pool every worker pushes to and pops
+//!   from; the engine then publishes data-flow tasks eagerly on spawn and
+//!   completion (insertion-time scheduling, as QUARK and libGOMP do). The
+//!   implementations live with the baselines they were extracted from:
+//!   `xkaapi_omp::OmpCentralQueue` and `xkaapi_quark::QuarkCentralQueue`.
+//!
+//! Every front-end paradigm — data-flow spawns, fork-join joins, adaptive
+//! loops — runs through whichever queue the [`Runtime`](crate::Runtime) was
+//! built with, which is what lets one binary A/B centralized against
+//! distributed scheduling without switching codebases.
+
+use crate::fastlane::{FastJob, FastLane};
+use crate::frame::Frame;
+use crate::steal::Grab;
+use std::sync::Arc;
+
+/// One unit of ready work, opaque to [`TaskQueue`] implementors.
+///
+/// Internally this wraps the engine's `Grab`: a fork-join stack job, a
+/// claimed data-flow task, or a closure (stolen loop slice). External
+/// implementations only store and return items; [`WorkItem::token`] is the
+/// only inspection they need (to honor [`TaskQueue::take`]).
+pub struct WorkItem {
+    pub(crate) grab: Grab,
+}
+
+impl WorkItem {
+    pub(crate) fn fast(job: FastJob) -> WorkItem {
+        WorkItem {
+            grab: Grab::Fast(job),
+        }
+    }
+
+    pub(crate) fn task(frame: Arc<Frame>, idx: usize) -> WorkItem {
+        WorkItem {
+            grab: Grab::Task { frame, idx },
+        }
+    }
+
+    pub(crate) fn into_grab(self) -> Grab {
+        self.grab
+    }
+
+    /// Identity token of a fork-join stack job (null for any other item).
+    ///
+    /// [`TaskQueue::take`] uses it to retract a specific job on the
+    /// fork-join fast path.
+    pub fn token(&self) -> *mut () {
+        match &self.grab {
+            Grab::Fast(j) => j.data,
+            _ => std::ptr::null_mut(),
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.grab {
+            Grab::Fast(_) => "fast",
+            Grab::Task { .. } => "task",
+            Grab::Run(_) => "run",
+        };
+        f.debug_struct("WorkItem").field("kind", &kind).finish()
+    }
+}
+
+/// The victim-side structure holding ready work (queue layer of the engine).
+///
+/// Implementations must be safe for concurrent use by every worker of one
+/// runtime. `worker`/`victim`/`thief` arguments are worker indices in
+/// `0..num_workers`.
+pub trait TaskQueue: Send + Sync {
+    /// Short human-readable name (ablation tables).
+    fn name(&self) -> &'static str;
+
+    /// Centralized queues share one pool: steals ignore the victim, and the
+    /// engine eagerly publishes ready data-flow tasks into the queue at
+    /// spawn/completion time instead of relying on lazy steal scans.
+    fn centralized(&self) -> bool;
+
+    /// Owner-side push of ready work produced on `worker`. Returns the item
+    /// back when the queue refuses it (e.g. a bounded lane is full, or a
+    /// distributed lane is handed a non-fork-join item); the engine then
+    /// runs the item inline.
+    fn push(&self, worker: usize, item: WorkItem) -> Result<(), WorkItem>;
+
+    /// Pop work for `worker` without a steal protocol (own lane LIFO for
+    /// distributed queues, shared FIFO for centralized ones).
+    fn pop(&self, worker: usize) -> Option<WorkItem>;
+
+    /// Steal on behalf of `thief` from `victim`'s share of the queue.
+    fn steal(&self, thief: usize, victim: usize) -> Option<WorkItem>;
+
+    /// Retract the exact item identified by `token` (see
+    /// [`WorkItem::token`]) if it is still queued for `worker`. The
+    /// fork-join fast path uses this to reclaim its own stack job.
+    fn take(&self, worker: usize, token: *mut ()) -> Option<WorkItem>;
+
+    /// Cheap emptiness hint from `worker`'s perspective (park heuristic).
+    fn is_empty_hint(&self, worker: usize) -> bool;
+}
+
+/// Default distributed queue: one fixed-capacity T.H.E. deque per worker.
+///
+/// The owner pushes and pops at the tail with one fence (Cilk-5's
+/// work-first discipline); thieves take from the head under the lane lock.
+/// This is the paper's fast lane, now one policy among several.
+pub struct DistributedLanes {
+    lanes: Box<[FastLane]>,
+}
+
+impl DistributedLanes {
+    /// One lane per worker.
+    pub fn new(workers: usize) -> DistributedLanes {
+        DistributedLanes {
+            lanes: (0..workers).map(|_| FastLane::new()).collect(),
+        }
+    }
+}
+
+impl TaskQueue for DistributedLanes {
+    fn name(&self) -> &'static str {
+        "distributed-lanes"
+    }
+
+    fn centralized(&self) -> bool {
+        false
+    }
+
+    fn push(&self, worker: usize, item: WorkItem) -> Result<(), WorkItem> {
+        match item.grab {
+            Grab::Fast(job) => {
+                if self.lanes[worker].push(job) {
+                    Ok(())
+                } else {
+                    Err(WorkItem::fast(job))
+                }
+            }
+            // Data-flow tasks stay in their frames under this policy; loop
+            // slices travel through the steal protocol. Refusing them makes
+            // the engine run the item inline.
+            grab => Err(WorkItem { grab }),
+        }
+    }
+
+    fn pop(&self, worker: usize) -> Option<WorkItem> {
+        self.lanes[worker].pop().map(WorkItem::fast)
+    }
+
+    fn steal(&self, _thief: usize, victim: usize) -> Option<WorkItem> {
+        self.lanes[victim].steal().map(WorkItem::fast)
+    }
+
+    fn take(&self, worker: usize, token: *mut ()) -> Option<WorkItem> {
+        // Joins nest properly, so if the job is still queued it is the tail.
+        match self.lanes[worker].pop() {
+            Some(job) if std::ptr::eq(job.data, token) => Some(WorkItem::fast(job)),
+            Some(job) => {
+                // Not ours (a foreign push slipped in): put it back.
+                debug_assert!(false, "fast-lane LIFO discipline violated");
+                let _ = self.lanes[worker].push(job);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn is_empty_hint(&self, worker: usize) -> bool {
+        self.lanes[worker].is_empty_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RtInner;
+
+    fn dummy_job(tag: usize) -> FastJob {
+        unsafe fn exec(_d: *mut (), _rt: &Arc<RtInner>, _w: usize) {}
+        FastJob {
+            data: tag as *mut (),
+            exec,
+        }
+    }
+
+    #[test]
+    fn distributed_lanes_route_per_worker() {
+        let q = DistributedLanes::new(2);
+        assert!(!q.centralized());
+        assert!(q.is_empty_hint(0));
+        q.push(0, WorkItem::fast(dummy_job(1))).unwrap();
+        q.push(0, WorkItem::fast(dummy_job(2))).unwrap();
+        assert!(q.pop(1).is_none(), "lanes are per-worker");
+        // Thief takes FIFO from the victim's lane.
+        let stolen = q.steal(1, 0).unwrap();
+        assert_eq!(stolen.token() as usize, 1);
+        // Owner takes LIFO.
+        let own = q.pop(0).unwrap();
+        assert_eq!(own.token() as usize, 2);
+    }
+
+    #[test]
+    fn take_retracts_own_tail_job() {
+        let q = DistributedLanes::new(1);
+        q.push(0, WorkItem::fast(dummy_job(7))).unwrap();
+        assert_eq!(q.take(0, 7 as *mut ()).unwrap().token() as usize, 7);
+        assert!(q.take(0, 7 as *mut ()).is_none(), "already taken");
+    }
+}

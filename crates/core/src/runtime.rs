@@ -1,23 +1,32 @@
-//! The runtime: worker threads, parking, job injection and the public entry
+//! The runtime layer: pool construction, job injection and the public entry
 //! points ([`Runtime::scope`], parallel loops, statistics).
 //!
-//! One thread is created per configured worker ("one thread per core" in the
-//! paper). External callers inject root jobs; workers run an idle loop of
-//! *inject → steal → park*. All parallel work happens on the workers; the
-//! injecting thread blocks on a latch (with the work-stealing guarantees,
-//! this keeps every scheduling decision inside the pool).
+//! The engine is layered (see `README.md` for the stack diagram):
+//!
+//! * the **worker layer** ([`crate::worker`]) runs the idle loop
+//!   *queue → inject → steal → park*;
+//! * the **queue layer** ([`crate::queue::TaskQueue`]) decides where ready
+//!   work lives — per-worker T.H.E. deques by default, or a centralized
+//!   pool (the omp/quark baselines) injected through [`Builder::task_queue`];
+//! * the **steal layer** ([`crate::policy::StealPolicy`]) decides the
+//!   thief-side protocol — flat-combining aggregation by default,
+//!   per-thief steals via [`Builder::steal_policy`];
+//! * the **dependency layer** ([`crate::frame`]) is shared by every policy.
+//!
+//! External callers inject root jobs; the injecting thread blocks on a
+//! latch (with the work-stealing guarantees, this keeps every scheduling
+//! decision inside the pool).
 
-use crate::adaptive::Adaptive;
 use crate::ctx::{Ctx, RawCtx};
-use crate::fastlane::FastLane;
-use crate::frame::{Frame, PromotionPolicy};
-use crate::stats::{self, StatsSnapshot, WorkerStats};
-use crate::steal::{run_grab, try_steal_once, Request};
+use crate::frame::PromotionPolicy;
+use crate::policy::{AggregatedStealing, PerThiefStealing, StealPolicy};
+use crate::queue::{DistributedLanes, TaskQueue};
+use crate::stats::{self, StatsSnapshot};
+use crate::worker::{current_worker_of, worker_main, ParkLot, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Scheduler tuning knobs. Defaults reproduce the paper's design; ablation
 /// benchmarks flip individual features off.
@@ -28,6 +37,8 @@ pub struct Tunables {
     /// Steal-request aggregation: the elected combiner serves every drained
     /// request. When `false`, the combiner serves only itself and fails the
     /// others (they retry), modelling a runtime without flat combining.
+    /// Mirror of the [`StealPolicy`] the runtime was built with; an explicit
+    /// [`Builder::steal_policy`] overrides it.
     pub aggregation: bool,
     /// Idle rounds of steal attempts before a worker parks.
     pub steal_rounds_before_park: u32,
@@ -47,20 +58,59 @@ impl Default for Tunables {
 }
 
 /// Builder for [`Runtime`].
+///
+/// # Environment overrides
+///
+/// Two variables override the corresponding *defaults* at
+/// [`Builder::build`] time, so binaries that don't pin a configuration can
+/// be tuned without recompiling (rayon's `RAYON_NUM_THREADS` precedent):
+///
+/// * `XKAAPI_WORKERS` — number of worker threads (≥ 1);
+/// * `XKAAPI_GRAIN_FACTOR` — parallel-loop grain divisor (≥ 1).
+///
+/// An explicit [`Builder::workers`] / [`Builder::grain_factor`] call wins
+/// over the environment: code that sized auxiliary structures (a custom
+/// [`TaskQueue`], `Reduction::with_slots`) to a requested worker count must
+/// never be resized from the outside underneath it. Malformed values are
+/// ignored with a one-line warning on stderr.
 pub struct Builder {
     workers: Option<usize>,
     tun: Tunables,
+    grain_explicit: bool,
     stack_size: usize,
+    queue: Option<Arc<dyn TaskQueue>>,
+    steal: Option<Arc<dyn StealPolicy>>,
 }
 
 impl Default for Builder {
     fn default() -> Self {
-        Builder { workers: None, tun: Tunables::default(), stack_size: 16 << 20 }
+        Builder {
+            workers: None,
+            tun: Tunables::default(),
+            grain_explicit: false,
+            stack_size: 16 << 20,
+            queue: None,
+            steal: None,
+        }
+    }
+}
+
+/// Parse a `≥ 1` integer environment override, warning once on junk.
+fn env_override(name: &str) -> Option<usize> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            eprintln!("xkaapi: ignoring invalid {name}={raw:?} (want an integer >= 1)");
+            None
+        }
     }
 }
 
 impl Builder {
-    /// Number of worker threads (default: available parallelism).
+    /// Number of worker threads (default: `XKAAPI_WORKERS` if set, else
+    /// available parallelism). An explicit call here wins over the
+    /// environment.
     pub fn workers(mut self, n: usize) -> Self {
         assert!(n >= 1, "at least one worker required");
         self.workers = Some(n);
@@ -73,16 +123,42 @@ impl Builder {
         self
     }
 
-    /// Enable/disable steal-request aggregation.
+    /// Enable/disable steal-request aggregation. Convenience for selecting
+    /// [`AggregatedStealing`] / [`PerThiefStealing`]; an explicit
+    /// [`Builder::steal_policy`] call wins over this flag.
     pub fn aggregation(mut self, on: bool) -> Self {
         self.tun.aggregation = on;
         self
     }
 
-    /// Parallel-loop grain factor (default chunk = `n / (factor * workers)`).
+    /// Install a thief-side steal protocol (steal layer).
+    pub fn steal_policy(mut self, p: Arc<dyn StealPolicy>) -> Self {
+        self.steal = Some(p);
+        self
+    }
+
+    /// Install a ready-work store (queue layer). Defaults to
+    /// [`DistributedLanes`] (one T.H.E. deque per worker). Centralized
+    /// implementations make every paradigm run through one shared pool —
+    /// see `xkaapi_omp::OmpCentralQueue` and `xkaapi_quark::QuarkCentralQueue`.
+    pub fn task_queue(mut self, q: Arc<dyn TaskQueue>) -> Self {
+        self.queue = Some(q);
+        self
+    }
+
+    /// Parallel-loop grain factor (default chunk = `n / (factor * workers)`,
+    /// with `XKAAPI_GRAIN_FACTOR` overriding the default factor). An
+    /// explicit call here wins over the environment.
     pub fn grain_factor(mut self, f: usize) -> Self {
         assert!(f >= 1);
         self.tun.grain_factor = f;
+        self.grain_explicit = true;
+        self
+    }
+
+    /// Idle steal rounds before a worker parks (park threshold).
+    pub fn steal_rounds_before_park(mut self, rounds: u32) -> Self {
+        self.tun.steal_rounds_before_park = rounds.max(1);
         self
     }
 
@@ -95,19 +171,37 @@ impl Builder {
 
     /// Create the runtime and start its workers.
     pub fn build(self) -> Runtime {
-        let nworkers = self.workers.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        });
-        let workers: Box<[Arc<Worker>]> =
-            (0..nworkers).map(|i| Arc::new(Worker::new(i))).collect();
+        let mut tun = self.tun;
+        if !self.grain_explicit {
+            if let Some(f) = env_override("XKAAPI_GRAIN_FACTOR") {
+                tun.grain_factor = f;
+            }
+        }
+        let nworkers = self
+            .workers
+            .or_else(|| env_override("XKAAPI_WORKERS"))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        let queue = self
+            .queue
+            .unwrap_or_else(|| Arc::new(DistributedLanes::new(nworkers)));
+        let steal_pol: Arc<dyn StealPolicy> = match self.steal {
+            Some(p) => p,
+            None if tun.aggregation => Arc::new(AggregatedStealing),
+            None => Arc::new(PerThiefStealing),
+        };
+        let workers: Box<[Arc<Worker>]> = (0..nworkers).map(|i| Arc::new(Worker::new(i))).collect();
         let inner = Arc::new(RtInner {
             workers,
             inject: Mutex::new(VecDeque::new()),
-            park_mx: Mutex::new(()),
-            park_cv: Condvar::new(),
-            sleepers: AtomicUsize::new(0),
+            park_lot: ParkLot::new(),
             shutdown: AtomicBool::new(false),
-            tun: self.tun,
+            tun,
+            queue,
+            steal_pol,
             threads: Mutex::new(Vec::new()),
         });
         for i in 0..nworkers {
@@ -132,126 +226,18 @@ pub struct Runtime {
 pub(crate) struct RtInner {
     pub(crate) workers: Box<[Arc<Worker>]>,
     pub(crate) inject: Mutex<VecDeque<Job>>,
-    park_mx: Mutex<()>,
-    park_cv: Condvar,
-    sleepers: AtomicUsize,
+    pub(crate) park_lot: ParkLot,
     pub(crate) shutdown: AtomicBool,
     pub(crate) tun: Tunables,
+    /// Queue layer: where ready work lives.
+    pub(crate) queue: Arc<dyn TaskQueue>,
+    /// Steal layer: the thief-side protocol.
+    pub(crate) steal_pol: Arc<dyn StealPolicy>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-}
-
-/// One worker: its frames (stealable task stacks), adaptive-work registry,
-/// steal point (request stack + combiner lock) and statistics.
-pub(crate) struct Worker {
-    #[allow(dead_code)] // identity, useful in debugging/traces
-    pub(crate) idx: usize,
-    /// Active frames on this worker, oldest first (thieves scan from the
-    /// oldest, as in the paper's victim-stack traversal).
-    pub(crate) frames: Mutex<Vec<Arc<Frame>>>,
-    /// Adaptive (splittable) work currently running on this worker.
-    pub(crate) adaptives: Mutex<Vec<Arc<dyn Adaptive>>>,
-    /// Combiner election: the thief holding this lock serves the victim's
-    /// pending steal requests.
-    pub(crate) steal_lock: Mutex<()>,
-    /// Treiber stack of posted steal requests.
-    pub(crate) req_head: AtomicPtr<Request>,
-    /// This worker's own request node, posted to victims when idle.
-    pub(crate) req: Request,
-    pub(crate) stats: WorkerStats,
-    /// Cilk-style fork-join fast lane (stack jobs, T.H.E. deque).
-    pub(crate) fast_lane: FastLane,
-    /// Recycled quiescent frames.
-    frame_pool: Mutex<Vec<Arc<Frame>>>,
-    rng: AtomicU64,
-}
-
-impl Worker {
-    fn new(idx: usize) -> Worker {
-        Worker {
-            idx,
-            frames: Mutex::new(Vec::new()),
-            adaptives: Mutex::new(Vec::new()),
-            steal_lock: Mutex::new(()),
-            req_head: AtomicPtr::new(std::ptr::null_mut()),
-            req: Request::new(idx),
-            stats: WorkerStats::default(),
-            fast_lane: FastLane::new(),
-            frame_pool: Mutex::new(Vec::new()),
-            rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15 ^ ((idx as u64 + 1) << 17)),
-        }
-    }
-
-    /// xorshift64* victim selector (relaxed: statistical quality only).
-    pub(crate) fn next_rand(&self) -> u64 {
-        let mut x = self.rng.load(Ordering::Relaxed);
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng.store(x, Ordering::Relaxed);
-        x
-    }
-
-    pub(crate) fn register_frame(&self, f: Arc<Frame>) {
-        self.frames.lock().push(f);
-    }
-
-    pub(crate) fn deregister_frame(&self, f: &Arc<Frame>) {
-        let mut frames = self.frames.lock();
-        if let Some(pos) = frames.iter().rposition(|x| Arc::ptr_eq(x, f)) {
-            frames.remove(pos);
-        }
-    }
-
-    /// Take a recycled frame, if any.
-    pub(crate) fn pop_pooled_frame(&self) -> Option<Arc<Frame>> {
-        self.frame_pool.lock().pop()
-    }
-
-    /// Recycle `f` if we are its only owner and it is quiescent.
-    pub(crate) fn recycle_frame(&self, f: Arc<Frame>) {
-        if Arc::strong_count(&f) == 1 && f.pending() == 0 {
-            f.reset();
-            let mut pool = self.frame_pool.lock();
-            if pool.len() < 64 {
-                pool.push(f);
-            }
-        }
-    }
-
-    pub(crate) fn register_adaptive(&self, a: Arc<dyn Adaptive>) {
-        self.adaptives.lock().push(a);
-    }
-
-    pub(crate) fn deregister_adaptive(&self, a: &Arc<dyn Adaptive>) {
-        let mut ads = self.adaptives.lock();
-        if let Some(pos) = ads.iter().rposition(|x| Arc::ptr_eq(x, a)) {
-            ads.remove(pos);
-        }
-    }
 }
 
 /// A root job injected from outside the pool.
 pub(crate) struct Job(pub(crate) Box<dyn FnOnce(&mut RawCtx) + Send>);
-
-// ---------------------------------------------------------------------------
-// Thread-local identity: which runtime/worker is this thread?
-
-thread_local! {
-    static CURRENT: std::cell::Cell<(usize, usize)> =
-        const { std::cell::Cell::new((0, usize::MAX)) };
-}
-
-pub(crate) fn set_current(rt: &Arc<RtInner>, widx: usize) {
-    CURRENT.with(|c| c.set((Arc::as_ptr(rt) as usize, widx)));
-}
-
-/// If the current thread is a worker of `rt`, its index.
-pub(crate) fn current_worker_of(rt: &Arc<RtInner>) -> Option<usize> {
-    let (ptr, idx) = CURRENT.with(|c| c.get());
-    (ptr == Arc::as_ptr(rt) as usize && idx != usize::MAX).then_some(idx)
-}
-
-// ---------------------------------------------------------------------------
 
 impl RtInner {
     #[inline]
@@ -259,15 +245,10 @@ impl RtInner {
         self.workers.len()
     }
 
-    /// Wake parked workers because new work appeared. Cheap when nobody
-    /// sleeps (one relaxed load).
+    /// Wake parked workers because new work appeared.
     #[inline]
     pub(crate) fn signal_work(&self) {
-        // Relaxed: a missed wake-up is repaired by the 500 µs park timeout.
-        if self.sleepers.load(Ordering::Relaxed) > 0 {
-            let _g = self.park_mx.lock();
-            self.park_cv.notify_all();
-        }
+        self.park_lot.signal();
     }
 
     pub(crate) fn pop_inject(&self) -> Option<Job> {
@@ -275,47 +256,6 @@ impl RtInner {
             return None;
         }
         self.inject.lock().pop_front()
-    }
-
-    fn park(&self) {
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        let mut g = self.park_mx.lock();
-        if !self.shutdown.load(Ordering::Acquire) && self.inject.lock().is_empty() {
-            // Timeout bounds the cost of a lost wake-up race.
-            self.park_cv.wait_for(&mut g, Duration::from_micros(500));
-        }
-        drop(g);
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn worker_main(rt: Arc<RtInner>, idx: usize) {
-    set_current(&rt, idx);
-    let mut idle_rounds: u32 = 0;
-    loop {
-        if rt.shutdown.load(Ordering::Acquire) {
-            break;
-        }
-        if let Some(job) = rt.pop_inject() {
-            let mut raw = RawCtx::new(Arc::clone(&rt), idx);
-            (job.0)(&mut raw);
-            idle_rounds = 0;
-            continue;
-        }
-        if let Some(grab) = try_steal_once(&rt, idx) {
-            run_grab(&rt, idx, grab);
-            idle_rounds = 0;
-            continue;
-        }
-        idle_rounds += 1;
-        if idle_rounds < rt.tun.steal_rounds_before_park {
-            std::hint::spin_loop();
-            if idle_rounds % 8 == 0 {
-                std::thread::yield_now();
-            }
-        } else {
-            rt.park();
-        }
     }
 }
 
@@ -329,7 +269,10 @@ struct ScopeLatch {
 
 impl ScopeLatch {
     fn new() -> Self {
-        ScopeLatch { mx: Mutex::new(false), cv: Condvar::new() }
+        ScopeLatch {
+            mx: Mutex::new(false),
+            cv: Condvar::new(),
+        }
     }
 
     fn set(&self) {
@@ -421,12 +364,8 @@ impl Runtime {
     }
 
     /// Parallel loop handing out whole chunks (`grain: None` = automatic).
-    pub fn foreach_chunks<F>(
-        &self,
-        range: std::ops::Range<usize>,
-        grain: Option<usize>,
-        body: F,
-    ) where
+    pub fn foreach_chunks<F>(&self, range: std::ops::Range<usize>, grain: Option<usize>, body: F)
+    where
         F: Fn(std::ops::Range<usize>) + Sync,
     {
         self.scope(|ctx| ctx.foreach_chunks(range, grain, &body));
@@ -464,15 +403,22 @@ impl Runtime {
     pub fn tunables(&self) -> Tunables {
         self.inner.tun
     }
+
+    /// Name of the queue-layer policy in effect.
+    pub fn queue_name(&self) -> &'static str {
+        self.inner.queue.name()
+    }
+
+    /// Name of the steal-layer policy in effect.
+    pub fn steal_policy_name(&self) -> &'static str {
+        self.inner.steal_pol.name()
+    }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        {
-            let _g = self.inner.park_mx.lock();
-            self.inner.park_cv.notify_all();
-        }
+        self.inner.park_lot.signal_all();
         let threads = std::mem::take(&mut *self.inner.threads.lock());
         for t in threads {
             let _ = t.join();
@@ -482,6 +428,10 @@ impl Drop for Runtime {
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Runtime").field("workers", &self.num_workers()).finish()
+        f.debug_struct("Runtime")
+            .field("workers", &self.num_workers())
+            .field("queue", &self.queue_name())
+            .field("steal", &self.steal_policy_name())
+            .finish()
     }
 }

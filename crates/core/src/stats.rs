@@ -5,7 +5,7 @@
 //! promoted to graph mode"), and the figure harnesses report them next to
 //! timings, mirroring the paper's discussion of steal-request counts.
 
-use crossbeam::utils::CachePadded;
+use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! counters {

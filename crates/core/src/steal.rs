@@ -15,11 +15,15 @@
 
 use crate::ctx::execute_task_at;
 use crate::frame::Frame;
+use crate::queue::WorkItem;
 use crate::runtime::RtInner;
 use crate::stats::WorkerStats;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 use std::sync::Arc;
+
+/// Boxed closure a thief executes (typically a stolen adaptive-loop slice).
+pub(crate) type RunFn = Box<dyn FnOnce(&Arc<RtInner>, usize) + Send>;
 
 /// Work handed to a thief.
 pub(crate) enum Grab {
@@ -28,7 +32,7 @@ pub(crate) enum Grab {
     /// A claimed data-flow task (state already `ST_STOLEN`).
     Task { frame: Arc<Frame>, idx: usize },
     /// A closure to run (typically a stolen slice of an adaptive loop).
-    Run(Box<dyn FnOnce(&Arc<RtInner>, usize) + Send>),
+    Run(RunFn),
 }
 
 pub(crate) const REQ_FREE: u8 = 0;
@@ -62,7 +66,7 @@ impl Request {
 }
 
 /// Push `req` onto `victim`'s request stack.
-fn post_request(victim: &crate::runtime::Worker, req: &Request) {
+fn post_request(victim: &crate::worker::Worker, req: &Request) {
     req.status.store(REQ_POSTED, Ordering::Relaxed);
     let req_ptr = req as *const Request as *mut Request;
     let mut head = victim.req_head.load(Ordering::Relaxed);
@@ -81,8 +85,10 @@ fn post_request(victim: &crate::runtime::Worker, req: &Request) {
 }
 
 /// Drain all posted requests from `victim` (combiner side).
-fn drain_requests(victim: &crate::runtime::Worker) -> Vec<&Request> {
-    let mut head = victim.req_head.swap(std::ptr::null_mut(), Ordering::Acquire);
+fn drain_requests(victim: &crate::worker::Worker) -> Vec<&Request> {
+    let mut head = victim
+        .req_head
+        .swap(std::ptr::null_mut(), Ordering::Acquire);
     let mut out = Vec::new();
     while !head.is_null() {
         // Safety: request nodes live inside `Arc<Worker>`s owned by the
@@ -100,17 +106,19 @@ fn drain_requests(victim: &crate::runtime::Worker) -> Vec<&Request> {
 /// matching `reqs` as far as it goes.
 fn serve(
     rt: &Arc<RtInner>,
-    victim: &crate::runtime::Worker,
+    victim_idx: usize,
     reqs: &[&Request],
     my_stats: &WorkerStats,
 ) -> Vec<Grab> {
+    let victim = &rt.workers[victim_idx];
     let k = reqs.len();
     let mut grabs: Vec<Grab> = Vec::with_capacity(k);
 
-    // 0. Fork-join fast lane (the Cilk-like stack of independent tasks).
+    // 0. Queue layer: the victim's share of the ready-work store (fork-join
+    // lane under DistributedLanes, the shared pool under a central queue).
     while grabs.len() < k {
-        match victim.fast_lane.steal() {
-            Some(j) => grabs.push(Grab::Fast(j)),
+        match rt.queue.steal(reqs[grabs.len()].thief, victim_idx) {
+            Some(item) => grabs.push(item.into_grab()),
             None => break,
         }
     }
@@ -123,9 +131,17 @@ fn serve(
             break;
         }
         let mut idxs = Vec::new();
-        f.steal_scan(k - grabs.len(), &rt.tun.promotion, &mut idxs, &mut promotions);
+        f.steal_scan(
+            k - grabs.len(),
+            &rt.tun.promotion,
+            &mut idxs,
+            &mut promotions,
+        );
         for idx in idxs {
-            grabs.push(Grab::Task { frame: Arc::clone(&f), idx });
+            grabs.push(Grab::Task {
+                frame: Arc::clone(&f),
+                idx,
+            });
         }
     }
     if promotions > 0 {
@@ -139,8 +155,7 @@ fn serve(
             if grabs.len() >= k {
                 break;
             }
-            let thieves: Vec<usize> =
-                reqs[grabs.len()..].iter().map(|r| r.thief).collect();
+            let thieves: Vec<usize> = reqs[grabs.len()..].iter().map(|r| r.thief).collect();
             let before = grabs.len();
             ad.split(&thieves, &mut grabs);
             debug_assert!(grabs.len() - before <= thieves.len());
@@ -202,12 +217,13 @@ pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
             _ => {}
         }
         if let Some(_guard) = victim.steal_lock.try_lock() {
-            // Elected combiner: serve every pending request in one pass.
+            // Elected combiner: serve a policy-sized batch of the pending
+            // requests in one pass (all of them under aggregation).
             let reqs = drain_requests(victim);
             if !reqs.is_empty() {
-                let k = if rt.tun.aggregation { reqs.len() } else { 1 };
+                let k = rt.steal_pol.serve_batch(reqs.len()).max(1);
                 let (serve_now, fail_now) = reqs.split_at(k.min(reqs.len()));
-                let grabs = serve(rt, victim, serve_now, &my.stats);
+                let grabs = serve(rt, v, serve_now, &my.stats);
                 WorkerStats::bump(&my.stats.combine_batches, 1);
                 WorkerStats::bump(&my.stats.combine_served, serve_now.len() as u64);
                 if serve_now.len() >= 2 {
@@ -222,6 +238,32 @@ pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
         }
         std::hint::spin_loop();
     }
+}
+
+/// Centralized-queue mode: claim every currently-ready task of `frame` and
+/// publish it into the shared queue (insertion-time scheduling, the
+/// QUARK/libGOMP model). Called by the engine on spawn and on completion;
+/// a no-op under distributed queues (thieves discover frames lazily).
+pub(crate) fn publish_ready(rt: &Arc<RtInner>, me: usize, frame: &Arc<Frame>) {
+    debug_assert!(rt.queue.centralized());
+    let mut idxs = Vec::new();
+    let mut promotions = 0u64;
+    frame.steal_scan(usize::MAX, &rt.tun.promotion, &mut idxs, &mut promotions);
+    if promotions > 0 {
+        WorkerStats::bump(&rt.workers[me].stats.promotions, promotions);
+    }
+    if idxs.is_empty() {
+        return;
+    }
+    for idx in idxs {
+        let item = WorkItem::task(Arc::clone(frame), idx);
+        if let Err(item) = rt.queue.push(me, item) {
+            // The queue refused the task; it is already claimed, so it must
+            // run now or never.
+            run_grab(rt, me, item.into_grab());
+        }
+    }
+    rt.signal_work();
 }
 
 /// Execute stolen work on worker `me`.

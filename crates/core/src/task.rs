@@ -43,7 +43,11 @@ unsafe impl Sync for Task {}
 
 impl Task {
     pub(crate) fn new(body: TaskBody, accesses: Box<[Access]>) -> Task {
-        Task { state: AtomicU8::new(ST_INIT), body: UnsafeCell::new(Some(body)), accesses }
+        Task {
+            state: AtomicU8::new(ST_INIT),
+            body: UnsafeCell::new(Some(body)),
+            accesses,
+        }
     }
 
     /// Current state (acquire: observing `ST_DONE` also acquires the task's
@@ -71,7 +75,10 @@ impl Task {
     /// Take the body. Must only be called by the claimant.
     #[inline]
     pub(crate) fn take_body(&self) -> TaskBody {
-        debug_assert!(matches!(self.state.load(Ordering::Relaxed), ST_OWNER | ST_STOLEN));
+        debug_assert!(matches!(
+            self.state.load(Ordering::Relaxed),
+            ST_OWNER | ST_STOLEN
+        ));
         // Safety: claim CAS won exactly once; only the claimant calls this.
         unsafe { (*self.body.get()).take().expect("task body taken twice") }
     }

@@ -210,7 +210,13 @@ fn foreach_chunks_partition() {
 #[test]
 fn foreach_reduce_sum() {
     let rt = rt(4);
-    let s = rt.foreach_reduce(0..100_000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+    let s = rt.foreach_reduce(
+        0..100_000,
+        None,
+        || 0u64,
+        |a, i| *a += i as u64,
+        |a, b| a + b,
+    );
     assert_eq!(s, 100_000u64 * 99_999 / 2);
 }
 
@@ -329,7 +335,11 @@ fn promotion_triggers_on_wide_dataflow() {
     // the frame before thieves wake).
     let rt = Runtime::builder()
         .workers(4)
-        .promotion(PromotionPolicy { promote_len: 8, promote_scans: 2, enabled: true })
+        .promotion(PromotionPolicy {
+            promote_len: 8,
+            promote_scans: 2,
+            enabled: true,
+        })
         .build();
     for round in 0..10 {
         rt.reset_stats();
@@ -373,14 +383,13 @@ fn concurrent_external_scopes() {
     for t in 0..4 {
         let rt = Arc::clone(&rt);
         handles.push(std::thread::spawn(move || {
-            let s = rt.foreach_reduce(
+            rt.foreach_reduce(
                 0..10_000,
                 None,
                 || 0u64,
                 |a, i| *a += (i + t) as u64,
                 |a, b| a + b,
-            );
-            s
+            )
         }));
     }
     for (t, h) in handles.into_iter().enumerate() {
@@ -414,10 +423,13 @@ fn partitioned_keyed_tiles() {
     rt.scope(|ctx| {
         for i in 0..2usize {
             let ph = p.clone();
-            ctx.spawn([p.access(Region::key2(i, 0), AccessMode::Write)], move |_| {
-                // Safety: disjoint keyed regions, serialized with the reader.
-                unsafe { (&mut *ph.view())[i] = (i + 1) as u64 }
-            });
+            ctx.spawn(
+                [p.access(Region::key2(i, 0), AccessMode::Write)],
+                move |_| {
+                    // Safety: disjoint keyed regions, serialized with the reader.
+                    unsafe { (&mut *ph.view())[i] = (i + 1) as u64 }
+                },
+            );
         }
         let ph = p.clone();
         let d = Arc::clone(&done);
@@ -439,7 +451,13 @@ fn partitioned_keyed_tiles() {
 #[test]
 fn aggregation_can_be_disabled() {
     let rt = Runtime::builder().workers(4).aggregation(false).build();
-    let s = rt.foreach_reduce(0..50_000, Some(16), || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+    let s = rt.foreach_reduce(
+        0..50_000,
+        Some(16),
+        || 0u64,
+        |a, i| *a += i as u64,
+        |a, b| a + b,
+    );
     assert_eq!(s, 50_000u64 * 49_999 / 2);
 }
 
@@ -575,7 +593,11 @@ fn builder_exposes_tunables() {
         .workers(2)
         .aggregation(false)
         .grain_factor(4)
-        .promotion(PromotionPolicy { enabled: false, promote_len: 5, promote_scans: 9 })
+        .promotion(PromotionPolicy {
+            enabled: false,
+            promote_len: 5,
+            promote_scans: 9,
+        })
         .stack_size(4 << 20)
         .build();
     let t = rt.tunables();

@@ -1,0 +1,232 @@
+//! The worker layer: per-worker state and the idle loop.
+//!
+//! One OS thread per configured worker ("one thread per core" in the
+//! paper). Each [`Worker`] owns the engine-side state thieves interact
+//! with — active frames, adaptive-work registry, the steal point (request
+//! stack + combiner lock) and statistics. The idle loop
+//! ([`worker_main`]) is the engine's outermost layer:
+//!
+//! ```text
+//! queue.pop → injected root jobs → steal (policy-driven) → park
+//! ```
+//!
+//! Parking is centralized in [`ParkLot`]: a worker that failed
+//! `Tunables::steal_rounds_before_park` consecutive acquisition attempts
+//! blocks on the lot's condvar with a 500 µs timeout (bounding lost
+//! wake-up races), and producers call [`ParkLot::signal`] — one relaxed
+//! load when nobody sleeps.
+
+use crate::adaptive::Adaptive;
+use crate::ctx::RawCtx;
+use crate::frame::Frame;
+use crate::runtime::RtInner;
+use crate::stats::WorkerStats;
+use crate::steal::{run_grab, try_steal_once, Request};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One worker: its frames (stealable task stacks), adaptive-work registry,
+/// steal point (request stack + combiner lock) and statistics.
+pub(crate) struct Worker {
+    #[allow(dead_code)] // identity, useful in debugging/traces
+    pub(crate) idx: usize,
+    /// Active frames on this worker, oldest first (thieves scan from the
+    /// oldest, as in the paper's victim-stack traversal).
+    pub(crate) frames: Mutex<Vec<Arc<Frame>>>,
+    /// Adaptive (splittable) work currently running on this worker.
+    pub(crate) adaptives: Mutex<Vec<Arc<dyn Adaptive>>>,
+    /// Combiner election: the thief holding this lock serves the victim's
+    /// pending steal requests.
+    pub(crate) steal_lock: Mutex<()>,
+    /// Treiber stack of posted steal requests.
+    pub(crate) req_head: AtomicPtr<Request>,
+    /// This worker's own request node, posted to victims when idle.
+    pub(crate) req: Request,
+    pub(crate) stats: WorkerStats,
+    /// Recycled quiescent frames.
+    frame_pool: Mutex<Vec<Arc<Frame>>>,
+    rng: AtomicU64,
+}
+
+impl Worker {
+    pub(crate) fn new(idx: usize) -> Worker {
+        Worker {
+            idx,
+            frames: Mutex::new(Vec::new()),
+            adaptives: Mutex::new(Vec::new()),
+            steal_lock: Mutex::new(()),
+            req_head: AtomicPtr::new(std::ptr::null_mut()),
+            req: Request::new(idx),
+            stats: WorkerStats::default(),
+            frame_pool: Mutex::new(Vec::new()),
+            rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15 ^ ((idx as u64 + 1) << 17)),
+        }
+    }
+
+    /// xorshift64* victim selector (relaxed: statistical quality only).
+    pub(crate) fn next_rand(&self) -> u64 {
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        x
+    }
+
+    pub(crate) fn register_frame(&self, f: Arc<Frame>) {
+        self.frames.lock().push(f);
+    }
+
+    pub(crate) fn deregister_frame(&self, f: &Arc<Frame>) {
+        let mut frames = self.frames.lock();
+        if let Some(pos) = frames.iter().rposition(|x| Arc::ptr_eq(x, f)) {
+            frames.remove(pos);
+        }
+    }
+
+    /// Take a recycled frame, if any.
+    pub(crate) fn pop_pooled_frame(&self) -> Option<Arc<Frame>> {
+        self.frame_pool.lock().pop()
+    }
+
+    /// Recycle `f` if we are its only owner and it is quiescent.
+    pub(crate) fn recycle_frame(&self, f: Arc<Frame>) {
+        if Arc::strong_count(&f) == 1 && f.pending() == 0 {
+            f.reset();
+            let mut pool = self.frame_pool.lock();
+            if pool.len() < 64 {
+                pool.push(f);
+            }
+        }
+    }
+
+    pub(crate) fn register_adaptive(&self, a: Arc<dyn Adaptive>) {
+        self.adaptives.lock().push(a);
+    }
+
+    pub(crate) fn deregister_adaptive(&self, a: &Arc<dyn Adaptive>) {
+        let mut ads = self.adaptives.lock();
+        if let Some(pos) = ads.iter().rposition(|x| Arc::ptr_eq(x, a)) {
+            ads.remove(pos);
+        }
+    }
+}
+
+/// The parking place idle workers block in, and producers signal.
+pub(crate) struct ParkLot {
+    mx: Mutex<()>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl ParkLot {
+    pub(crate) fn new() -> ParkLot {
+        ParkLot {
+            mx: Mutex::new(()),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Wake parked workers because new work appeared. Cheap when nobody
+    /// sleeps (one relaxed load).
+    #[inline]
+    pub(crate) fn signal(&self) {
+        // Relaxed: a missed wake-up is repaired by the 500 µs park timeout.
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _g = self.mx.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wake everyone unconditionally (shutdown).
+    pub(crate) fn signal_all(&self) {
+        let _g = self.mx.lock();
+        self.cv.notify_all();
+    }
+
+    /// Park unless `should_stay_awake` already holds; bounded by a 500 µs
+    /// timeout so a lost wake-up race costs at most one period.
+    pub(crate) fn park(&self, should_stay_awake: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.mx.lock();
+        if !should_stay_awake() {
+            self.cv.wait_for(&mut g, Duration::from_micros(500));
+        }
+        drop(g);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local identity: which runtime/worker is this thread?
+
+thread_local! {
+    static CURRENT: std::cell::Cell<(usize, usize)> =
+        const { std::cell::Cell::new((0, usize::MAX)) };
+}
+
+pub(crate) fn set_current(rt: &Arc<RtInner>, widx: usize) {
+    CURRENT.with(|c| c.set((Arc::as_ptr(rt) as usize, widx)));
+}
+
+/// If the current thread is a worker of `rt`, its index.
+pub(crate) fn current_worker_of(rt: &Arc<RtInner>) -> Option<usize> {
+    let (ptr, idx) = CURRENT.with(|c| c.get());
+    (ptr == Arc::as_ptr(rt) as usize && idx != usize::MAX).then_some(idx)
+}
+
+// ---------------------------------------------------------------------------
+
+/// Run one queued/injected/stolen piece of work for worker `idx`. Returns
+/// `false` when no work could be acquired anywhere.
+pub(crate) fn acquire_and_run(rt: &Arc<RtInner>, idx: usize) -> bool {
+    // 1. Queue layer: own lane (distributed) or the shared pool (central).
+    if let Some(item) = rt.queue.pop(idx) {
+        run_grab(rt, idx, item.into_grab());
+        return true;
+    }
+    // 2. Root jobs injected from outside the pool.
+    if let Some(job) = rt.pop_inject() {
+        let mut raw = RawCtx::new(Arc::clone(rt), idx);
+        (job.0)(&mut raw);
+        return true;
+    }
+    // 3. Steal layer: policy-driven victim probing.
+    if let Some(grab) = try_steal_once(rt, idx) {
+        run_grab(rt, idx, grab);
+        return true;
+    }
+    false
+}
+
+/// The worker idle loop: acquire work, else spin briefly, else park.
+pub(crate) fn worker_main(rt: Arc<RtInner>, idx: usize) {
+    set_current(&rt, idx);
+    let mut idle_rounds: u32 = 0;
+    loop {
+        if rt.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if acquire_and_run(&rt, idx) {
+            idle_rounds = 0;
+            continue;
+        }
+        idle_rounds += 1;
+        if idle_rounds < rt.tun.steal_rounds_before_park {
+            std::hint::spin_loop();
+            if idle_rounds.is_multiple_of(8) {
+                std::thread::yield_now();
+            }
+        } else {
+            let rt2 = &rt;
+            rt.park_lot.park(|| {
+                rt2.shutdown.load(Ordering::Acquire)
+                    || !rt2.inject.lock().is_empty()
+                    || !rt2.queue.is_empty_hint(idx)
+            });
+        }
+    }
+}

@@ -115,7 +115,10 @@ pub struct RunResult {
 pub fn run(scenario: &Scenario, mode: &ExecMode<'_>) -> RunResult {
     let (nx, ny, nz) = scenario.mesh;
     let mesh = Mesh::block(nx, ny, nz);
-    let mat = Material { subcycles: scenario.elem_subcycles, ..Material::default() };
+    let mat = Material {
+        subcycles: scenario.elem_subcycles,
+        ..Material::default()
+    };
     let mut state = State::new(&mesh, scenario.history_len, 0xEBF);
     let mut times = PhaseTimes::default();
     let mut last_candidates = 0;
@@ -130,7 +133,13 @@ pub fn run(scenario: &Scenario, mode: &ExecMode<'_>) -> RunResult {
 
         // REPERA
         let t0 = Instant::now();
-        let cands = repera(&mesh, &state, scenario.repera_intensity, scenario.gap_threshold, mode);
+        let cands = repera(
+            &mesh,
+            &state,
+            scenario.repera_intensity,
+            scenario.gap_threshold,
+            mode,
+        );
         times.repera += t0.elapsed().as_secs_f64();
         last_candidates = cands.len();
 
@@ -175,7 +184,12 @@ pub fn run(scenario: &Scenario, mode: &ExecMode<'_>) -> RunResult {
         times.other += t0.elapsed().as_secs_f64();
     }
 
-    RunResult { checksum: state.checksum(), times, last_candidates, h_order }
+    RunResult {
+        checksum: state.checksum(),
+        times,
+        last_candidates,
+        h_order,
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +199,11 @@ mod tests {
     use xkaapi_omp::{OmpPool, Schedule};
 
     fn small(name: &str) -> Scenario {
-        let mut s = if name == "MEPPEN" { Scenario::meppen(1) } else { Scenario::maxplane(1) };
+        let mut s = if name == "MEPPEN" {
+            Scenario::meppen(1)
+        } else {
+            Scenario::maxplane(1)
+        };
         s.steps = 2;
         s.other_work = 1000;
         s

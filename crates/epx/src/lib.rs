@@ -13,6 +13,9 @@
 //! of proprietary Fortran).
 
 #![warn(missing_docs)]
+// Numeric kernels index several arrays by the same loop variable; iterator
+// rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod driver;
 pub mod model;

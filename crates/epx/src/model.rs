@@ -58,7 +58,12 @@ impl Mesh {
         let mut facets = Vec::new();
         for j in 0..ny {
             for i in 0..nx {
-                facets.push([node(i, j, 0), node(i + 1, j, 0), node(i + 1, j + 1, 0), node(i, j + 1, 0)]);
+                facets.push([
+                    node(i, j, 0),
+                    node(i + 1, j, 0),
+                    node(i + 1, j + 1, 0),
+                    node(i, j + 1, 0),
+                ]);
                 facets.push([
                     node(i, j, nz),
                     node(i + 1, j, nz),
@@ -67,7 +72,12 @@ impl Mesh {
                 ]);
             }
         }
-        Mesh { coords, elems, facets, dims: (nx, ny, nz) }
+        Mesh {
+            coords,
+            elems,
+            facets,
+            dims: (nx, ny, nz),
+        }
     }
 
     /// Number of nodes.
@@ -97,7 +107,12 @@ pub struct Material {
 
 impl Default for Material {
     fn default() -> Self {
-        Material { stiffness: 100.0, yield_stress: 1.5, hardening: 10.0, subcycles: 1 }
+        Material {
+            stiffness: 100.0,
+            yield_stress: 1.5,
+            hardening: 10.0,
+            subcycles: 1,
+        }
     }
 }
 
@@ -147,7 +162,11 @@ impl State {
             vel: (0..nn)
                 .map(|i| {
                     let z = mesh.coords[i][2];
-                    [rng.gen_range(-0.01..0.01), rng.gen_range(-0.01..0.01), -0.5 - 0.01 * z]
+                    [
+                        rng.gen_range(-0.01..0.01),
+                        rng.gen_range(-0.01..0.01),
+                        -0.5 - 0.01 * z,
+                    ]
                 })
                 .collect(),
             force: vec![[0.0; 3]; nn],
@@ -323,14 +342,26 @@ mod tests {
     #[test]
     fn plasticity_accumulates_under_load() {
         let m = Mesh::block(1, 1, 1);
-        let mat = Material { stiffness: 100.0, yield_stress: 0.01, hardening: 1.0, subcycles: 1 };
+        let mat = Material {
+            stiffness: 100.0,
+            yield_stress: 0.01,
+            hardening: 1.0,
+            subcycles: 1,
+        };
         let mut s = State::new(&m, 0, 3);
         // big displacement gradient
         for (i, d) in s.disp.iter_mut().enumerate() {
             d[2] = i as f64 * 0.5;
         }
         let disp = s.disp.clone();
-        element_force(&m, &mat, &disp, &mut s.elem_state[0], &mut s.elem_force[0], 0);
+        element_force(
+            &m,
+            &mat,
+            &disp,
+            &mut s.elem_state[0],
+            &mut s.elem_force[0],
+            0,
+        );
         assert!(s.elem_state[0].plastic > 0.0);
     }
 

@@ -48,8 +48,8 @@ pub fn loopelm(mesh: &Mesh, mat: &Material, state: &mut State, mode: &ExecMode<'
     let elem_force = Ptr(state.elem_force.as_mut_ptr());
     let elem_body = |e: usize| {
         let (elem_state, elem_force) = (elem_state, elem_force); // whole-capture the Send wrappers
-        // Safety: distinct `e` → distinct slots; loops hand out disjoint
-        // index ranges.
+                                                                 // Safety: distinct `e` → distinct slots; loops hand out disjoint
+                                                                 // index ranges.
         let es = unsafe { &mut *elem_state.0.add(e) };
         let out = unsafe { &mut *elem_force.0.add(e) };
         element_force(mesh, mat, disp, es, out, e);
@@ -65,7 +65,8 @@ pub fn loopelm(mesh: &Mesh, mat: &Material, state: &mut State, mode: &ExecMode<'
     let elem_force_ro: &[[[f64; 3]; 8]] = &state.elem_force;
     let force = Ptr(state.force.as_mut_ptr());
     let node_body = |n: usize| {
-        let force = force; // whole-capture the Send wrapper
+        #[allow(clippy::redundant_locals)] // whole-capture the Send wrapper
+        let force = force;
         let f = unsafe { &mut *force.0.add(n) };
         *f = [0.0; 3];
         for &(e, slot) in &node_elems[n] {
@@ -111,7 +112,8 @@ pub fn repera(
     let facets: &[[usize; 4]] = &mesh.facets;
 
     let body = |n: usize| {
-        let per_node_ptr = per_node_ptr; // whole-capture the Send wrapper
+        #[allow(clippy::redundant_locals)] // whole-capture the Send wrapper
+        let per_node_ptr = per_node_ptr;
         let out = unsafe { &mut *per_node_ptr.0.add(n) };
         let p = [
             coords[n][0] + disp[n][0],
@@ -157,7 +159,11 @@ pub fn repera(
                 inside = (-0.05..=1.05).contains(&s) && (-0.05..=1.05).contains(&t);
             }
             if inside && gap.abs() <= threshold {
-                out.push(Candidate { node: n as u32, facet: fi as u32, gap });
+                out.push(Candidate {
+                    node: n as u32,
+                    facet: fi as u32,
+                    gap,
+                });
             }
         }
     };
@@ -195,8 +201,16 @@ pub fn assemble_h(cands: &[Candidate], min_size: usize) -> SkylineMatrix {
     let mut row_abs = vec![0.0f64; n];
     for i in 0..n {
         for j in h.jmin(i)..i {
-            let gi = if i < cands.len() { cands[i].gap } else { 1e-3 * i as f64 };
-            let gj = if j < cands.len() { cands[j].gap } else { 1e-3 * j as f64 };
+            let gi = if i < cands.len() {
+                cands[i].gap
+            } else {
+                1e-3 * i as f64
+            };
+            let gj = if j < cands.len() {
+                cands[j].gap
+            } else {
+                1e-3 * j as f64
+            };
             let v = 0.1 * (1.0 + gi * gj) * (1.0 / (1.0 + (i - j) as f64));
             h.set(i, j, v);
             row_abs[i] += v.abs();
@@ -234,7 +248,12 @@ mod tests {
         let rt = Runtime::new(4);
         loopelm(&mesh, &mat, &mut s_rt, &ExecMode::Xkaapi(&rt));
         let pool = OmpPool::new(4);
-        loopelm(&mesh, &mat, &mut s_omp, &ExecMode::Omp(&pool, Schedule::Dynamic(8)));
+        loopelm(
+            &mesh,
+            &mat,
+            &mut s_omp,
+            &ExecMode::Omp(&pool, Schedule::Dynamic(8)),
+        );
         for n in 0..mesh.num_nodes() {
             for c in 0..3 {
                 assert!((s_seq.force[n][c] - s_rt.force[n][c]).abs() < 1e-14);

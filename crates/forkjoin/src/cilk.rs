@@ -18,9 +18,11 @@ pub struct CilkPool {
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
+type InjectJob = Box<dyn FnOnce(&CilkCtx<'_>) + Send>;
+
 struct Inner {
     deques: Box<[TheDeque]>,
-    inject: Mutex<VecDeque<Box<dyn FnOnce(&CilkCtx<'_>) + Send>>>,
+    inject: Mutex<VecDeque<InjectJob>>,
     shutdown: AtomicBool,
     sleepers: AtomicUsize,
     park_mx: Mutex<()>,
@@ -73,7 +75,10 @@ where
                 }
             }
         }
-        JobRef { data: self as *const Self as *mut (), exec: exec::<F, R> }
+        JobRef {
+            data: self as *const Self as *mut (),
+            exec: exec::<F, R>,
+        }
     }
 }
 
@@ -88,7 +93,9 @@ impl CilkPool {
             sleepers: AtomicUsize::new(0),
             park_mx: Mutex::new(()),
             park_cv: Condvar::new(),
-            rngs: (0..n).map(|i| AtomicUsize::new(0x9E3779B9usize ^ (i << 16) ^ 1)).collect(),
+            rngs: (0..n)
+                .map(|i| AtomicUsize::new(0x9E3779B9usize ^ (i << 16) ^ 1))
+                .collect(),
         });
         let mut threads = Vec::new();
         for i in 0..n {
@@ -201,7 +208,10 @@ fn worker_main(inner: Arc<Inner>, me: usize) {
         }
         let injected = inner.inject.lock().pop_front();
         if let Some(f) = injected {
-            let ctx = CilkCtx { inner: &inner, widx: me };
+            let ctx = CilkCtx {
+                inner: &inner,
+                widx: me,
+            };
             f(&ctx);
             idle = 0;
             continue;
@@ -264,7 +274,10 @@ impl<'p> CilkCtx<'p> {
         let ra = catch_unwind(AssertUnwindSafe(|| fa(self)));
         // Try to take our own spawn back (fast path: not stolen).
         if let Some(mine) = self.inner.deques[self.widx].pop() {
-            debug_assert!(std::ptr::eq(mine.data, jref.data), "LIFO discipline violated");
+            debug_assert!(
+                std::ptr::eq(mine.data, jref.data),
+                "LIFO discipline violated"
+            );
             unsafe { mine.execute(self.widx) };
             return self.finish_join(ra, job);
         }
@@ -330,7 +343,7 @@ mod tests {
     #[test]
     fn join_borrows_environment() {
         let pool = CilkPool::new(2);
-        let data = vec![1, 2, 3, 4];
+        let data = [1, 2, 3, 4];
         let (s, l) = pool.run(|c| c.join(|_| data.iter().sum::<i32>(), |_| data.len()));
         assert_eq!((s, l), (10, 4));
     }

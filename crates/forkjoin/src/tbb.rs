@@ -27,7 +27,10 @@ struct WaitGroup {
 
 impl WaitGroup {
     fn new(n: usize) -> Arc<WaitGroup> {
-        Arc::new(WaitGroup { pending: AtomicUsize::new(n), panic: Mutex::new(None) })
+        Arc::new(WaitGroup {
+            pending: AtomicUsize::new(n),
+            panic: Mutex::new(None),
+        })
     }
 
     fn done(&self) {
@@ -72,7 +75,9 @@ impl TbbPool {
             sleepers: AtomicUsize::new(0),
             park_mx: Mutex::new(()),
             park_cv: Condvar::new(),
-            rngs: (0..n).map(|i| AtomicUsize::new(0xABCD_1234 ^ (i << 20) ^ 1)).collect(),
+            rngs: (0..n)
+                .map(|i| AtomicUsize::new(0xABCD_1234 ^ (i << 20) ^ 1))
+                .collect(),
         });
         let mut threads = Vec::new();
         for i in 0..n {
@@ -249,9 +254,10 @@ impl<'p> TbbCtx<'p> {
             let boxed: Box<dyn FnOnce(&TbbCtx<'_>) + Send + '_> = Box::new(body);
             // Safety: join blocks until the wait group clears.
             let boxed: TaskFn = unsafe { std::mem::transmute(boxed) };
-            self.inner.queues[self.widx]
-                .lock()
-                .push_back(TaskObj { f: boxed, wait: Arc::clone(&wg) });
+            self.inner.queues[self.widx].lock().push_back(TaskObj {
+                f: boxed,
+                wait: Arc::clone(&wg),
+            });
         }
         signal(self.inner);
         // Even a panicking continuation must wait for the forked branch:
@@ -259,7 +265,9 @@ impl<'p> TbbCtx<'p> {
         let ra = catch_unwind(AssertUnwindSafe(|| fa(self)));
         // Drain own queue / steal until the forked branch completed.
         while !wg.is_done() {
-            if let Some(t) = pop_local(self.inner, self.widx).or_else(|| try_steal(self.inner, self.widx)) {
+            if let Some(t) =
+                pop_local(self.inner, self.widx).or_else(|| try_steal(self.inner, self.widx))
+            {
                 run_task(self.inner, self.widx, t);
             } else {
                 std::hint::spin_loop();
@@ -314,7 +322,7 @@ mod tests {
     #[test]
     fn borrows_environment() {
         let pool = TbbPool::new(2);
-        let v = vec![5u64; 10];
+        let v = [5u64; 10];
         let (a, b) = pool.run(|c| c.join(|_| v.iter().sum::<u64>(), |_| v.len()));
         assert_eq!((a, b), (50, 10));
     }

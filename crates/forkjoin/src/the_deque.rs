@@ -13,6 +13,9 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicIsize, AtomicPtr, Ordering};
 
+/// Type-erased executor of a stack job record.
+pub type ExecFn = unsafe fn(*mut (), usize);
+
 /// A type-erased reference to a job record.
 ///
 /// `data` points at the record, `exec` knows how to run it. The record must
@@ -22,7 +25,7 @@ pub struct JobRef {
     /// Pointer to the job record.
     pub data: *mut (),
     /// Executor: runs the record on the given worker index.
-    pub exec: unsafe fn(*mut (), usize),
+    pub exec: ExecFn,
 }
 
 unsafe impl Send for JobRef {}
@@ -47,7 +50,7 @@ pub struct TheDeque {
     tail: AtomicIsize,
     lock: Mutex<()>,
     buf: Box<[AtomicPtr<()>; CAP]>,
-    execs: Box<[std::cell::Cell<Option<unsafe fn(*mut (), usize)>>; CAP]>,
+    execs: Box<[std::cell::Cell<Option<ExecFn>>; CAP]>,
 }
 
 // Safety: `execs` entries are written by the owner before the tail release
@@ -64,8 +67,10 @@ impl Default for TheDeque {
 impl TheDeque {
     /// Empty deque.
     pub fn new() -> TheDeque {
-        let buf: Vec<AtomicPtr<()>> = (0..CAP).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
-        let execs: Vec<std::cell::Cell<Option<unsafe fn(*mut (), usize)>>> =
+        let buf: Vec<AtomicPtr<()>> = (0..CAP)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        let execs: Vec<std::cell::Cell<Option<ExecFn>>> =
             (0..CAP).map(|_| std::cell::Cell::new(None)).collect();
         TheDeque {
             head: AtomicIsize::new(0),
@@ -161,7 +166,10 @@ mod tests {
             let v = unsafe { &*(data as *const AtomicUsize) };
             v.fetch_add(1, Ordering::Relaxed);
         }
-        JobRef { data: v as *const AtomicUsize as *mut (), exec }
+        JobRef {
+            data: v as *const AtomicUsize as *mut (),
+            exec,
+        }
     }
 
     #[test]
@@ -240,7 +248,7 @@ mod tests {
                     unsafe { j.execute(0) };
                     executed += 1;
                 }
-                if executed % 3 == 0 {
+                if executed.is_multiple_of(3) {
                     if let Some(j) = d.pop() {
                         unsafe { j.execute(0) };
                     }

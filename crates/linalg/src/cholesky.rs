@@ -151,7 +151,10 @@ pub fn cholesky_quark(q: &Quark, a: &mut TiledMatrix) -> Result<(), NotPositiveD
                 let tkk = TilePtr(a.tile_ptr(k, k), nb * nb);
                 let tmk = TilePtr(a.tile_ptr(m, k), nb * nb);
                 ctx.insert_task(
-                    [QuarkDep::input(tile_key(k, k)), QuarkDep::inout(tile_key(m, k))],
+                    [
+                        QuarkDep::input(tile_key(k, k)),
+                        QuarkDep::inout(tile_key(m, k)),
+                    ],
                     move |_| unsafe { trsm(tkk.as_slice(), tmk.as_mut_slice(), nb) },
                 );
             }
@@ -159,7 +162,10 @@ pub fn cholesky_quark(q: &Quark, a: &mut TiledMatrix) -> Result<(), NotPositiveD
                 let tmk = TilePtr(a.tile_ptr(m, k), nb * nb);
                 let tmm = TilePtr(a.tile_ptr(m, m), nb * nb);
                 ctx.insert_task(
-                    [QuarkDep::input(tile_key(m, k)), QuarkDep::inout(tile_key(m, m))],
+                    [
+                        QuarkDep::input(tile_key(m, k)),
+                        QuarkDep::inout(tile_key(m, m)),
+                    ],
                     move |_| unsafe { syrk(tmk.as_slice(), tmm.as_mut_slice(), nb) },
                 );
                 for n in k + 1..m {
@@ -306,7 +312,10 @@ pub fn cholesky_static(threads: usize, a: &mut TiledMatrix) -> Result<(), NotPos
                     }
                     // potrf(k) — owned by thread k % p
                     if k % threads == tid {
-                        if !wait(&|| progress[k * nt + k].load(Ordering::Acquire) == k, failed) {
+                        if !wait(
+                            &|| progress[k * nt + k].load(Ordering::Acquire) == k,
+                            failed,
+                        ) {
                             return;
                         }
                         let tkk = TilePtr(a_ref.tile_ptr(k, k), nb * nb);
@@ -367,9 +376,7 @@ pub fn cholesky_static(threads: usize, a: &mut TiledMatrix) -> Result<(), NotPos
                             let tmk = TilePtr(a_ref.tile_ptr(m, k), nb * nb);
                             let tnk = TilePtr(a_ref.tile_ptr(n, k), nb * nb);
                             let tmn = TilePtr(a_ref.tile_ptr(m, n), nb * nb);
-                            unsafe {
-                                gemm(tmk.as_slice(), tnk.as_slice(), tmn.as_mut_slice(), nb)
-                            };
+                            unsafe { gemm(tmk.as_slice(), tnk.as_slice(), tmn.as_mut_slice(), nb) };
                             progress[m * nt + n].store(k + 1, Ordering::Release);
                         }
                     }
@@ -460,10 +467,22 @@ mod tests {
         // gemm nt(nt-1)(nt-2)/6
         let nt = 6;
         let ops = cholesky_ops(nt);
-        let potrfs = ops.iter().filter(|o| matches!(o, CholOp::Potrf { .. })).count();
-        let trsms = ops.iter().filter(|o| matches!(o, CholOp::Trsm { .. })).count();
-        let syrks = ops.iter().filter(|o| matches!(o, CholOp::Syrk { .. })).count();
-        let gemms = ops.iter().filter(|o| matches!(o, CholOp::Gemm { .. })).count();
+        let potrfs = ops
+            .iter()
+            .filter(|o| matches!(o, CholOp::Potrf { .. }))
+            .count();
+        let trsms = ops
+            .iter()
+            .filter(|o| matches!(o, CholOp::Trsm { .. }))
+            .count();
+        let syrks = ops
+            .iter()
+            .filter(|o| matches!(o, CholOp::Syrk { .. }))
+            .count();
+        let gemms = ops
+            .iter()
+            .filter(|o| matches!(o, CholOp::Gemm { .. }))
+            .count();
         assert_eq!(potrfs, nt);
         assert_eq!(trsms, nt * (nt - 1) / 2);
         assert_eq!(syrks, nt * (nt - 1) / 2);
@@ -474,7 +493,10 @@ mod tests {
     fn ops_accesses_consistent() {
         for op in cholesky_ops(4) {
             let acc = op.accesses();
-            assert!(acc.iter().filter(|(_, w)| *w).count() == 1, "one written tile per op");
+            assert!(
+                acc.iter().filter(|(_, w)| *w).count() == 1,
+                "one written tile per op"
+            );
         }
     }
 }

@@ -14,7 +14,11 @@ pub struct NotPositiveDefinite {
 
 impl std::fmt::Display for NotPositiveDefinite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix not positive definite (tile column {})", self.column)
+        write!(
+            f,
+            "matrix not positive definite (tile column {})",
+            self.column
+        )
     }
 }
 

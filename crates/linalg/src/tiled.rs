@@ -23,9 +23,17 @@ impl TiledMatrix {
     /// Zero matrix of order `n` with tile size `nb` (n must be a multiple
     /// of nb for simplicity — generators pad as needed).
     pub fn zeros(n: usize, nb: usize) -> TiledMatrix {
-        assert!(nb >= 1 && n >= 1 && n % nb == 0, "n must be a multiple of nb");
+        assert!(
+            nb >= 1 && n >= 1 && n.is_multiple_of(nb),
+            "n must be a multiple of nb"
+        );
         let nt = n / nb;
-        TiledMatrix { n, nb, nt, tiles: (0..nt * nt).map(|_| vec![0.0; nb * nb]).collect() }
+        TiledMatrix {
+            n,
+            nb,
+            nt,
+            tiles: (0..nt * nt).map(|_| vec![0.0; nb * nb]).collect(),
+        }
     }
 
     /// Tile index in the flat tile vector.
@@ -90,7 +98,12 @@ impl TiledMatrix {
 
     /// Deep copy.
     pub fn clone_matrix(&self) -> TiledMatrix {
-        TiledMatrix { n: self.n, nb: self.nb, nt: self.nt, tiles: self.tiles.clone() }
+        TiledMatrix {
+            n: self.n,
+            nb: self.nb,
+            nt: self.nt,
+            tiles: self.tiles.clone(),
+        }
     }
 
     /// Max |aᵢⱼ − bᵢⱼ| over the lower triangle.

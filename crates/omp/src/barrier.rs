@@ -15,7 +15,11 @@ impl CentralBarrier {
     /// Barrier for `n` participants.
     pub fn new(n: usize) -> CentralBarrier {
         assert!(n >= 1);
-        CentralBarrier { n, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+        CentralBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
     }
 
     /// Number of participants.

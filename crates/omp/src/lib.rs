@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod queue;
+
+pub use queue::{CentralQueue, OmpCentralQueue};
 
 use barrier::CentralBarrier;
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -72,8 +74,9 @@ struct Inner {
     region: Mutex<Option<RegionSlot>>,
     region_cv: Condvar,
     gen: AtomicUsize,
-    /// Centralized task queue (the QUARK/libGOMP-style contention point).
-    tasks: Mutex<VecDeque<TaskNode>>,
+    /// Centralized task queue (the QUARK/libGOMP-style contention point),
+    /// the same structure [`queue::OmpCentralQueue`] exposes to the engine.
+    tasks: CentralQueue<TaskNode>,
     tasks_inflight: AtomicUsize,
     barrier: CentralBarrier,
     /// End-of-region rendezvous (master waits here).
@@ -107,7 +110,7 @@ impl OmpPool {
             region: Mutex::new(None),
             region_cv: Condvar::new(),
             gen: AtomicUsize::new(0),
-            tasks: Mutex::new(VecDeque::new()),
+            tasks: CentralQueue::new(),
             tasks_inflight: AtomicUsize::new(0),
             barrier: CentralBarrier::new(n),
             done_count: AtomicUsize::new(0),
@@ -147,7 +150,10 @@ impl OmpPool {
         let ptr: *const (dyn Fn(&OmpCtx<'_>) + Sync) = unsafe { std::mem::transmute(ptr) };
         {
             let mut slot = inner.region.lock();
-            debug_assert!(slot.is_none(), "nested/concurrent parallel regions not supported");
+            debug_assert!(
+                slot.is_none(),
+                "nested/concurrent parallel regions not supported"
+            );
             let gen = inner.gen.load(Ordering::Relaxed) + 1;
             *slot = Some(RegionSlot { body: ptr, gen });
             inner.done_count.store(0, Ordering::Relaxed);
@@ -283,12 +289,18 @@ fn record_panic(inner: &Inner, p: Box<dyn std::any::Any + Send>) {
 }
 
 fn pop_task(inner: &Inner) -> Option<TaskNode> {
-    inner.tasks.lock().pop_front()
+    inner.tasks.pop_front()
 }
 
 fn run_task(inner: &Arc<Inner>, tid: usize, node: TaskNode) {
-    let child_counter = Arc::new(TaskCounter { pending: AtomicUsize::new(0) });
-    let ctx = OmpCtx { inner, tid, counter: child_counter };
+    let child_counter = Arc::new(TaskCounter {
+        pending: AtomicUsize::new(0),
+    });
+    let ctx = OmpCtx {
+        inner,
+        tid,
+        counter: child_counter,
+    };
     let res = catch_unwind(AssertUnwindSafe(|| (node.f)(&ctx)));
     // Implicit wait for nested children before signalling completion
     // (OpenMP tied-task semantics at end of task region).
@@ -325,8 +337,14 @@ fn team_main(inner: Arc<Inner>, tid: usize) {
         };
         let Some(body_ptr) = body_ptr else { continue };
         let body: &(dyn Fn(&OmpCtx<'_>) + Sync) = unsafe { &*body_ptr };
-        let counter = Arc::new(TaskCounter { pending: AtomicUsize::new(0) });
-        let ctx = OmpCtx { inner: &inner, tid, counter };
+        let counter = Arc::new(TaskCounter {
+            pending: AtomicUsize::new(0),
+        });
+        let ctx = OmpCtx {
+            inner: &inner,
+            tid,
+            counter,
+        };
         let res = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
         if let Err(p) = res {
             record_panic(&inner, p);
@@ -377,7 +395,9 @@ impl<'r> OmpCtx<'r> {
             let ctx = OmpCtx {
                 inner,
                 tid: self.tid,
-                counter: Arc::new(TaskCounter { pending: AtomicUsize::new(0) }),
+                counter: Arc::new(TaskCounter {
+                    pending: AtomicUsize::new(0),
+                }),
             };
             f(&ctx);
             ctx.taskwait();
@@ -389,7 +409,9 @@ impl<'r> OmpCtx<'r> {
             let ctx = OmpCtx {
                 inner,
                 tid: self.tid,
-                counter: Arc::new(TaskCounter { pending: AtomicUsize::new(0) }),
+                counter: Arc::new(TaskCounter {
+                    pending: AtomicUsize::new(0),
+                }),
             };
             f(&ctx);
             ctx.taskwait();
@@ -401,7 +423,10 @@ impl<'r> OmpCtx<'r> {
         // Safety: tasks complete before the region ends (implicit barrier),
         // and `'r` outlives the region.
         let boxed: TaskFn = unsafe { std::mem::transmute(boxed) };
-        inner.tasks.lock().push_back(TaskNode { f: boxed, parent: Arc::clone(&self.counter) });
+        inner.tasks.push_back(TaskNode {
+            f: boxed,
+            parent: Arc::clone(&self.counter),
+        });
     }
 
     /// `#pragma omp taskwait`: wait for the children of the current task,
@@ -491,7 +516,11 @@ mod tests {
             after_wait.store(sum.load(Ordering::Relaxed), Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4950);
-        assert_eq!(after_wait.load(Ordering::Relaxed), 4950, "taskwait saw all children");
+        assert_eq!(
+            after_wait.load(Ordering::Relaxed),
+            4950,
+            "taskwait saw all children"
+        );
     }
 
     #[test]
@@ -580,6 +609,9 @@ mod tests {
         let sizes = sizes.lock();
         let total: usize = sizes.iter().sum();
         assert_eq!(total, 10_000);
-        assert!(*sizes.iter().max().unwrap() > 8, "guided starts with large chunks");
+        assert!(
+            *sizes.iter().max().unwrap() > 8,
+            "guided starts with large chunks"
+        );
     }
 }

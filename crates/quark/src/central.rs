@@ -17,6 +17,150 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+use xkaapi_core::{TaskQueue, WorkItem};
+
+/// QUARK's centralized ready list, extracted so the identical structure
+/// backs both [`CentralPool`]'s own scheduler and (via
+/// [`QuarkCentralQueue`]) the queue layer of the `xkaapi-core` engine:
+/// one global mutex-protected deque, priority pushes to the front, a
+/// condvar for parked workers and a lock-operation counter (the contention
+/// indicator reported next to Fig. 2).
+pub struct CentralReadyList<T> {
+    ready: Mutex<VecDeque<T>>,
+    ready_cv: Condvar,
+    ops: AtomicUsize,
+}
+
+impl<T> Default for CentralReadyList<T> {
+    fn default() -> Self {
+        CentralReadyList::new()
+    }
+}
+
+impl<T> CentralReadyList<T> {
+    /// Empty ready list.
+    pub fn new() -> CentralReadyList<T> {
+        CentralReadyList {
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            ops: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publish a ready item; `priority` puts it at the front (QUARK's
+    /// priority flag). One lock acquisition, one wake-up.
+    pub fn push(&self, item: T, priority: bool) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.ready.lock();
+        if priority {
+            q.push_front(item);
+        } else {
+            q.push_back(item);
+        }
+        self.ready_cv.notify_one();
+    }
+
+    /// Take the head item. One lock acquisition.
+    pub fn pop(&self) -> Option<T> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.ready.lock().pop_front()
+    }
+
+    /// Remove the last item matching `pred` (reverse scan under the lock).
+    pub fn take_last_matching(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.ready.lock();
+        let pos = q.iter().rposition(pred)?;
+        q.remove(pos)
+    }
+
+    /// Block up to `timeout` while the list is empty and `alive` holds.
+    pub fn wait_for_work(&self, timeout: Duration, alive: impl Fn() -> bool) {
+        let mut q = self.ready.lock();
+        if q.is_empty() && alive() {
+            self.ready_cv.wait_for(&mut q, timeout);
+        }
+    }
+
+    /// Wake every parked worker (shutdown).
+    pub fn notify_all(&self) {
+        let _g = self.ready.lock();
+        self.ready_cv.notify_all();
+    }
+
+    /// Racy emptiness snapshot.
+    pub fn is_empty(&self) -> bool {
+        self.ready.lock().is_empty()
+    }
+
+    /// Lock acquisitions so far (contention indicator).
+    pub fn ops(&self) -> usize {
+        self.ops.load(Ordering::Relaxed)
+    }
+}
+
+/// [`TaskQueue`] adapter: run the X-Kaapi engine's ready work through
+/// QUARK's [`CentralReadyList`] — every paradigm then schedules exactly the
+/// way the centralized QUARK backend does.
+pub struct QuarkCentralQueue {
+    list: CentralReadyList<WorkItem>,
+}
+
+impl Default for QuarkCentralQueue {
+    fn default() -> Self {
+        QuarkCentralQueue::new()
+    }
+}
+
+impl QuarkCentralQueue {
+    /// Empty queue; hand it to `xkaapi_core::Builder::task_queue`.
+    pub fn new() -> QuarkCentralQueue {
+        QuarkCentralQueue {
+            list: CentralReadyList::new(),
+        }
+    }
+
+    /// Ready-list lock acquisitions so far.
+    pub fn ops(&self) -> usize {
+        self.list.ops()
+    }
+}
+
+impl TaskQueue for QuarkCentralQueue {
+    fn name(&self) -> &'static str {
+        "central-quark"
+    }
+
+    fn centralized(&self) -> bool {
+        true
+    }
+
+    fn push(&self, _worker: usize, item: WorkItem) -> Result<(), WorkItem> {
+        self.list.push(item, false);
+        Ok(())
+    }
+
+    fn pop(&self, _worker: usize) -> Option<WorkItem> {
+        self.list.pop()
+    }
+
+    fn steal(&self, _thief: usize, _victim: usize) -> Option<WorkItem> {
+        self.list.pop()
+    }
+
+    fn take(&self, _worker: usize, token: *mut ()) -> Option<WorkItem> {
+        if token.is_null() {
+            return None;
+        }
+        self.list
+            .take_last_matching(|item| std::ptr::eq(item.token(), token))
+    }
+
+    fn is_empty_hint(&self, _worker: usize) -> bool {
+        self.list.is_empty()
+    }
+}
 
 pub(crate) type TaskClosure = Box<dyn FnOnce(usize) + Send>;
 
@@ -36,8 +180,7 @@ struct LastAccess {
 pub(crate) struct CentralState {
     nodes: Mutex<Vec<Arc<Node>>>,
     /// The centralized ready list — the contention point under study.
-    ready: Mutex<VecDeque<usize>>,
-    ready_cv: Condvar,
+    ready: CentralReadyList<usize>,
     /// address/key -> last access, for insertion-time dependence analysis.
     tracks: Mutex<HashMap<u64, LastAccess>>,
     inserted: AtomicUsize,
@@ -47,8 +190,6 @@ pub(crate) struct CentralState {
     window: usize,
     shutdown: AtomicBool,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    /// Counters for tests/benches: ready-queue lock acquisitions.
-    pub(crate) queue_ops: AtomicUsize,
 }
 
 /// The centralized-scheduler pool (QUARK's own design).
@@ -64,8 +205,7 @@ impl CentralPool {
         assert!(n >= 1 && window >= 1);
         let state = Arc::new(CentralState {
             nodes: Mutex::new(Vec::new()),
-            ready: Mutex::new(VecDeque::new()),
-            ready_cv: Condvar::new(),
+            ready: CentralReadyList::new(),
             tracks: Mutex::new(HashMap::new()),
             inserted: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
@@ -74,7 +214,6 @@ impl CentralPool {
             window,
             shutdown: AtomicBool::new(false),
             panic: Mutex::new(None),
-            queue_ops: AtomicUsize::new(0),
         });
         let mut threads = Vec::new();
         for i in 0..n {
@@ -95,17 +234,14 @@ impl CentralPool {
 
     /// Ready-queue lock acquisitions so far (contention indicator).
     pub fn queue_ops(&self) -> usize {
-        self.state.queue_ops.load(Ordering::Relaxed)
+        self.state.ready.ops()
     }
 }
 
 impl Drop for CentralPool {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::Release);
-        {
-            let _g = self.state.ready.lock();
-            self.state.ready_cv.notify_all();
-        }
+        self.state.ready.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -141,9 +277,10 @@ impl CentralState {
         {
             let mut tracks = self.tracks.lock();
             for d in deps {
-                let e = tracks
-                    .entry(d.key)
-                    .or_insert(LastAccess { last_writer: None, readers: Vec::new() });
+                let e = tracks.entry(d.key).or_insert(LastAccess {
+                    last_writer: None,
+                    readers: Vec::new(),
+                });
                 match d.mode {
                     DepMode::Input => {
                         preds.extend(e.last_writer);
@@ -184,24 +321,18 @@ impl CentralState {
     }
 
     fn push_ready(&self, id: usize, priority: bool) {
-        self.queue_ops.fetch_add(1, Ordering::Relaxed);
-        let mut q = self.ready.lock();
-        if priority {
-            q.push_front(id);
-        } else {
-            q.push_back(id);
-        }
-        self.ready_cv.notify_one();
+        self.ready.push(id, priority);
     }
 
     pub(crate) fn pop_ready(&self) -> Option<usize> {
-        self.queue_ops.fetch_add(1, Ordering::Relaxed);
-        self.ready.lock().pop_front()
+        self.ready.pop()
     }
 
     /// Execute one ready task; returns false if none was available.
     pub(crate) fn execute_one(&self, widx: usize) -> bool {
-        let Some(id) = self.pop_ready() else { return false };
+        let Some(id) = self.pop_ready() else {
+            return false;
+        };
         let node = Arc::clone(&self.nodes.lock()[id]);
         let f = node.f.lock().take().expect("quark task executed twice");
         if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(widx))) {
@@ -264,9 +395,8 @@ fn worker_main(st: Arc<CentralState>, widx: usize) {
         if st.execute_one(widx) {
             continue;
         }
-        let mut q = st.ready.lock();
-        if q.is_empty() && !st.shutdown.load(Ordering::Acquire) {
-            st.ready_cv.wait_for(&mut q, std::time::Duration::from_micros(500));
-        }
+        st.ready.wait_for_work(Duration::from_micros(500), || {
+            !st.shutdown.load(Ordering::Acquire)
+        });
     }
 }

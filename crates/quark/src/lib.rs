@@ -21,6 +21,8 @@
 
 pub mod central;
 
+pub use central::{CentralReadyList, QuarkCentralQueue};
+
 use central::CentralPool;
 use std::sync::Arc;
 use xkaapi_core::{Access, AccessMode, Ctx, Region, Runtime, Shared};
@@ -56,17 +58,26 @@ pub struct QuarkDep {
 impl QuarkDep {
     /// Read dependence on `key`.
     pub fn input(key: u64) -> QuarkDep {
-        QuarkDep { key, mode: DepMode::Input }
+        QuarkDep {
+            key,
+            mode: DepMode::Input,
+        }
     }
 
     /// Write dependence on `key`.
     pub fn output(key: u64) -> QuarkDep {
-        QuarkDep { key, mode: DepMode::Output }
+        QuarkDep {
+            key,
+            mode: DepMode::Output,
+        }
     }
 
     /// Read-write dependence on `key`.
     pub fn inout(key: u64) -> QuarkDep {
-        QuarkDep { key, mode: DepMode::Inout }
+        QuarkDep {
+            key,
+            mode: DepMode::Inout,
+        }
     }
 }
 
@@ -98,16 +109,21 @@ impl Quark {
     /// Create a QUARK with the given backend.
     pub fn new(backend: Backend) -> Quark {
         match backend {
-            Backend::Centralized { threads, window } => {
-                Quark { imp: Impl::Central(CentralPool::new(threads, window)) }
-            }
-            Backend::OnXkaapi(rt) => Quark { imp: Impl::Kaapi(rt) },
+            Backend::Centralized { threads, window } => Quark {
+                imp: Impl::Central(CentralPool::new(threads, window)),
+            },
+            Backend::OnXkaapi(rt) => Quark {
+                imp: Impl::Kaapi(rt),
+            },
         }
     }
 
     /// Convenience: centralized backend with QUARK's spirit defaults.
     pub fn new_centralized(threads: usize) -> Quark {
-        Quark::new(Backend::Centralized { threads, window: 5000 })
+        Quark::new(Backend::Centralized {
+            threads,
+            window: 5000,
+        })
     }
 
     /// Convenience: X-Kaapi backend.
@@ -142,7 +158,9 @@ impl Quark {
         match &self.imp {
             Impl::Central(pool) => {
                 let st = pool.state();
-                let mut ctx = QuarkCtx { imp: CtxImpl::Central(st) };
+                let mut ctx = QuarkCtx {
+                    imp: CtxImpl::Central(st),
+                };
                 let r = f(&mut ctx);
                 st.barrier(usize::MAX);
                 let panic = st.take_panic();
@@ -157,8 +175,13 @@ impl Quark {
                 // are keyed regions of this handle.
                 let space: Shared<()> = Shared::new(());
                 let space_id = space.id();
-                let mut qctx =
-                    QuarkCtx { imp: CtxImpl::Kaapi { ctx, space_id, _space: space } };
+                let mut qctx = QuarkCtx {
+                    imp: CtxImpl::Kaapi {
+                        ctx,
+                        space_id,
+                        _space: space,
+                    },
+                };
                 let r = f(&mut qctx);
                 if let CtxImpl::Kaapi { ctx, .. } = &mut qctx.imp {
                     ctx.sync();
@@ -421,7 +444,10 @@ mod tests {
 
     #[test]
     fn window_blocks_insertion() {
-        let q = Quark::new(Backend::Centralized { threads: 2, window: 8 });
+        let q = Quark::new(Backend::Centralized {
+            threads: 2,
+            window: 8,
+        });
         let max_inflight = AtomicUsize::new(0);
         let running = AtomicUsize::new(0);
         q.session(|ctx| {
@@ -446,11 +472,17 @@ mod tests {
             q.session(|ctx| {
                 let order = &order;
                 ctx.insert_task(
-                    [QuarkDep { key: 1, mode: DepMode::Value }],
+                    [QuarkDep {
+                        key: 1,
+                        mode: DepMode::Value,
+                    }],
                     move |_| order.lock().push(0usize),
                 );
                 ctx.insert_task(
-                    [QuarkDep { key: 1, mode: DepMode::Scratch }],
+                    [QuarkDep {
+                        key: 1,
+                        mode: DepMode::Scratch,
+                    }],
                     move |_| order.lock().push(1usize),
                 );
             });

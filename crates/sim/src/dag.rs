@@ -55,7 +55,10 @@ impl TaskDag {
         for (i, acc) in accesses.iter().enumerate() {
             preds.clear();
             for &(key, write) in acc {
-                let t = tracks.entry(key).or_insert(Track { last_writer: None, readers: Vec::new() });
+                let t = tracks.entry(key).or_insert(Track {
+                    last_writer: None,
+                    readers: Vec::new(),
+                });
                 if write {
                     preds.extend(t.last_writer);
                     preds.extend(t.readers.iter().copied());
@@ -99,7 +102,10 @@ impl TaskDag {
         for w in groups.windows(2) {
             let (a, b) = (w[0], w[1]);
             let bar = tasks.len() as u32;
-            tasks.push(SimTask { work_ns: 0, bytes: 0 });
+            tasks.push(SimTask {
+                work_ns: 0,
+                bytes: 0,
+            });
             succ.push(Vec::new());
             npred.push(0);
             for &x in &by_phase[&a] {
@@ -228,10 +234,10 @@ pub fn simulate_dag(platform: &Platform, dag: &TaskDag, policy: &DagPolicy, seed
         }
         DagPolicy::CentralQueue { .. } => central_q.extend(initial.iter().copied()),
         DagPolicy::Static { owner } => {
-            for c in 0..p {
+            for (c, q) in static_q.iter_mut().enumerate() {
                 for i in 0..n as u32 {
                     if owner[i as usize] as usize % p == c {
-                        static_q[c].push_back(i);
+                        q.push_back(i);
                     }
                 }
             }
@@ -289,15 +295,21 @@ pub fn simulate_dag(platform: &Platform, dag: &TaskDag, policy: &DagPolicy, seed
             loop {
                 let mut dispatched = false;
                 // Count idle cores for the aggregation model.
-                let idle: Vec<usize> =
-                    (0..p).filter(|&c| core_running[c].is_none() && core_busy_until[c] <= now).collect();
+                let idle: Vec<usize> = (0..p)
+                    .filter(|&c| core_running[c].is_none() && core_busy_until[c] <= now)
+                    .collect();
                 let n_idle = idle.len();
                 for &c in &idle {
                     if core_running[c].is_some() {
                         continue;
                     }
                     match policy {
-                        DagPolicy::WorkStealing { steal_ns, task_overhead_ns, aggregation, .. } => {
+                        DagPolicy::WorkStealing {
+                            steal_ns,
+                            task_overhead_ns,
+                            aggregation,
+                            ..
+                        } => {
                             // Local pop first.
                             if let Some(t) = local_q[c].pop_back() {
                                 start_task!(c as u32, t, now + task_overhead_ns);
@@ -329,7 +341,11 @@ pub fn simulate_dag(platform: &Platform, dag: &TaskDag, policy: &DagPolicy, seed
                                 dispatched = true;
                             }
                         }
-                        DagPolicy::CentralQueue { queue_ns, task_overhead_ns, .. } => {
+                        DagPolicy::CentralQueue {
+                            queue_ns,
+                            task_overhead_ns,
+                            ..
+                        } => {
                             if central_q.is_empty() {
                                 continue;
                             }
@@ -410,13 +426,25 @@ mod tests {
     use super::*;
 
     fn chain(n: usize, work: u64) -> TaskDag {
-        let tasks = vec![SimTask { work_ns: work, bytes: 0 }; n];
+        let tasks = vec![
+            SimTask {
+                work_ns: work,
+                bytes: 0
+            };
+            n
+        ];
         let acc: Vec<Vec<(u64, bool)>> = (0..n).map(|_| vec![(7, true)]).collect();
         TaskDag::from_accesses(tasks, &acc)
     }
 
     fn independent(n: usize, work: u64) -> TaskDag {
-        let tasks = vec![SimTask { work_ns: work, bytes: 0 }; n];
+        let tasks = vec![
+            SimTask {
+                work_ns: work,
+                bytes: 0
+            };
+            n
+        ];
         let acc: Vec<Vec<(u64, bool)>> = (0..n).map(|i| vec![(i as u64, true)]).collect();
         TaskDag::from_accesses(tasks, &acc)
     }
@@ -434,7 +462,12 @@ mod tests {
     fn chain_cannot_speed_up() {
         let p = Platform::magny_cours(8);
         let d = chain(100, 1_000);
-        let ws = DagPolicy::WorkStealing { steal_ns: 10, task_overhead_ns: 0, aggregation: true, spawn_ns: 0 };
+        let ws = DagPolicy::WorkStealing {
+            steal_ns: 10,
+            task_overhead_ns: 0,
+            aggregation: true,
+            spawn_ns: 0,
+        };
         let r = simulate_dag(&p, &d, &ws, 1);
         assert!(r.makespan_ns >= d.critical_path_ns());
     }
@@ -442,7 +475,12 @@ mod tests {
     #[test]
     fn independent_tasks_scale() {
         let d = independent(4_800, 10_000);
-        let ws = DagPolicy::WorkStealing { steal_ns: 200, task_overhead_ns: 50, aggregation: true, spawn_ns: 0 };
+        let ws = DagPolicy::WorkStealing {
+            steal_ns: 200,
+            task_overhead_ns: 50,
+            aggregation: true,
+            spawn_ns: 0,
+        };
         let t1 = simulate_dag(&Platform::magny_cours(1), &d, &ws, 1).makespan_ns;
         let t8 = simulate_dag(&Platform::magny_cours(8), &d, &ws, 1).makespan_ns;
         let t48 = simulate_dag(&Platform::magny_cours(48), &d, &ws, 1).makespan_ns;
@@ -457,7 +495,12 @@ mod tests {
         let d = independent(1_000, 5_000);
         for cores in [1, 4, 16, 48] {
             let p = Platform::magny_cours(cores);
-            let ws = DagPolicy::WorkStealing { steal_ns: 0, task_overhead_ns: 0, aggregation: true, spawn_ns: 0 };
+            let ws = DagPolicy::WorkStealing {
+                steal_ns: 0,
+                task_overhead_ns: 0,
+                aggregation: true,
+                spawn_ns: 0,
+            };
             let r = simulate_dag(&p, &d, &ws, 3);
             let bound = d.total_work_ns() / cores as u64;
             assert!(r.makespan_ns >= bound, "work/p bound at {cores} cores");
@@ -470,8 +513,17 @@ mod tests {
         // Fine tasks: queue serialization dominates; WS must win clearly.
         let d = independent(20_000, 1_000);
         let p = Platform::magny_cours(48);
-        let ws = DagPolicy::WorkStealing { steal_ns: 200, task_overhead_ns: 50, aggregation: true, spawn_ns: 0 };
-        let cq = DagPolicy::CentralQueue { queue_ns: 250, task_overhead_ns: 50, insert_ns: 0 };
+        let ws = DagPolicy::WorkStealing {
+            steal_ns: 200,
+            task_overhead_ns: 50,
+            aggregation: true,
+            spawn_ns: 0,
+        };
+        let cq = DagPolicy::CentralQueue {
+            queue_ns: 250,
+            task_overhead_ns: 50,
+            insert_ns: 0,
+        };
         let t_ws = simulate_dag(&p, &d, &ws, 1).makespan_ns;
         let r_cq = simulate_dag(&p, &d, &cq, 1);
         assert!(
@@ -488,8 +540,17 @@ mod tests {
         // Coarse tasks amortize the queue: within ~20 % of WS.
         let d = independent(960, 1_000_000);
         let p = Platform::magny_cours(48);
-        let ws = DagPolicy::WorkStealing { steal_ns: 200, task_overhead_ns: 50, aggregation: true, spawn_ns: 0 };
-        let cq = DagPolicy::CentralQueue { queue_ns: 250, task_overhead_ns: 50, insert_ns: 0 };
+        let ws = DagPolicy::WorkStealing {
+            steal_ns: 200,
+            task_overhead_ns: 50,
+            aggregation: true,
+            spawn_ns: 0,
+        };
+        let cq = DagPolicy::CentralQueue {
+            queue_ns: 250,
+            task_overhead_ns: 50,
+            insert_ns: 0,
+        };
         let t_ws = simulate_dag(&p, &d, &ws, 1).makespan_ns;
         let t_cq = simulate_dag(&p, &d, &cq, 1).makespan_ns;
         assert!((t_cq as f64) < (t_ws as f64) * 1.2);
@@ -510,12 +571,23 @@ mod tests {
     fn phase_barriers_serialize_phases() {
         // 2 phases of 10 independent tasks; barrier DAG's critical path is
         // two tasks long.
-        let tasks = vec![SimTask { work_ns: 100, bytes: 0 }; 20];
+        let tasks = vec![
+            SimTask {
+                work_ns: 100,
+                bytes: 0
+            };
+            20
+        ];
         let phases: Vec<u32> = (0..20).map(|i| (i / 10) as u32).collect();
         let d = TaskDag::from_phases(tasks, &phases);
         assert_eq!(d.critical_path_ns(), 200);
         let p = Platform::magny_cours(48);
-        let ws = DagPolicy::WorkStealing { steal_ns: 0, task_overhead_ns: 0, aggregation: true, spawn_ns: 0 };
+        let ws = DagPolicy::WorkStealing {
+            steal_ns: 0,
+            task_overhead_ns: 0,
+            aggregation: true,
+            spawn_ns: 0,
+        };
         let r = simulate_dag(&p, &d, &ws, 1);
         assert!(r.makespan_ns >= 200);
     }
@@ -524,11 +596,20 @@ mod tests {
     fn memory_bound_tasks_hit_bandwidth_ceiling() {
         // Tasks that stream 10 MB each: scaling stalls near the bandwidth
         // limit regardless of core count.
-        let tasks: Vec<SimTask> =
-            (0..960).map(|_| SimTask { work_ns: 10_000, bytes: 10 << 20 }).collect();
+        let tasks: Vec<SimTask> = (0..960)
+            .map(|_| SimTask {
+                work_ns: 10_000,
+                bytes: 10 << 20,
+            })
+            .collect();
         let acc: Vec<Vec<(u64, bool)>> = (0..960).map(|i| vec![(i as u64, true)]).collect();
         let d = TaskDag::from_accesses(tasks, &acc);
-        let ws = DagPolicy::WorkStealing { steal_ns: 100, task_overhead_ns: 10, aggregation: true, spawn_ns: 0 };
+        let ws = DagPolicy::WorkStealing {
+            steal_ns: 100,
+            task_overhead_ns: 10,
+            aggregation: true,
+            spawn_ns: 0,
+        };
         let t1 = simulate_dag(&Platform::magny_cours(1), &d, &ws, 1).makespan_ns;
         let t48 = simulate_dag(&Platform::magny_cours(48), &d, &ws, 1).makespan_ns;
         let s = t1 as f64 / t48 as f64;
@@ -544,18 +625,33 @@ mod tests {
         let mut tasks = Vec::new();
         let mut acc: Vec<Vec<(u64, bool)>> = Vec::new();
         for g in 0..50u64 {
-            tasks.push(SimTask { work_ns: 20_000, bytes: 0 });
+            tasks.push(SimTask {
+                work_ns: 20_000,
+                bytes: 0,
+            });
             acc.push(vec![(0, true)]); // spine
             for j in 0..47u64 {
-                tasks.push(SimTask { work_ns: 4_000, bytes: 0 });
+                tasks.push(SimTask {
+                    work_ns: 4_000,
+                    bytes: 0,
+                });
                 acc.push(vec![(0, false), (1000 + g * 100 + j, true)]);
             }
         }
         let d = TaskDag::from_accesses(tasks, &acc);
         let p = Platform::magny_cours(48);
-        let on = DagPolicy::WorkStealing { steal_ns: 400, task_overhead_ns: 20, aggregation: true, spawn_ns: 0 };
-        let off =
-            DagPolicy::WorkStealing { steal_ns: 400, task_overhead_ns: 20, aggregation: false, spawn_ns: 0 };
+        let on = DagPolicy::WorkStealing {
+            steal_ns: 400,
+            task_overhead_ns: 20,
+            aggregation: true,
+            spawn_ns: 0,
+        };
+        let off = DagPolicy::WorkStealing {
+            steal_ns: 400,
+            task_overhead_ns: 20,
+            aggregation: false,
+            spawn_ns: 0,
+        };
         let t_on = simulate_dag(&p, &d, &on, 7).makespan_ns;
         let t_off = simulate_dag(&p, &d, &off, 7).makespan_ns;
         assert!(t_on < t_off, "aggregation on {t_on} vs off {t_off}");

@@ -24,13 +24,22 @@ pub struct LoopWorkload {
 impl LoopWorkload {
     /// Uniform workload.
     pub fn uniform(n: usize, work_ns: u64, bytes_per_iter: u64) -> LoopWorkload {
-        LoopWorkload { iter_work_ns: vec![work_ns; n], bytes_per_iter }
+        LoopWorkload {
+            iter_work_ns: vec![work_ns; n],
+            bytes_per_iter,
+        }
     }
 
     /// Jittered workload: cost in `[base·(1−jitter), base·(1+jitter)]`,
     /// deterministic in `seed`. Models the element-dependent cost of the
     /// EPX loops (material state, plastic vs elastic elements…).
-    pub fn jittered(n: usize, base_ns: u64, jitter: f64, bytes_per_iter: u64, seed: u64) -> LoopWorkload {
+    pub fn jittered(
+        n: usize,
+        base_ns: u64,
+        jitter: f64,
+        bytes_per_iter: u64,
+        seed: u64,
+    ) -> LoopWorkload {
         assert!((0.0..1.0).contains(&jitter));
         let mut s = seed | 1;
         let iter_work_ns = (0..n)
@@ -43,7 +52,10 @@ impl LoopWorkload {
                 (base_ns as f64 * f) as u64
             })
             .collect();
-        LoopWorkload { iter_work_ns, bytes_per_iter }
+        LoopWorkload {
+            iter_work_ns,
+            bytes_per_iter,
+        }
     }
 
     /// Number of iterations.
@@ -109,7 +121,13 @@ pub struct LoopRun {
 }
 
 /// Effective duration of a chunk when all `active` cores stream memory.
-fn chunk_duration(platform: &Platform, w: &LoopWorkload, work_ns: u64, iters: usize, active: usize) -> u64 {
+fn chunk_duration(
+    platform: &Platform,
+    w: &LoopWorkload,
+    work_ns: u64,
+    iters: usize,
+    active: usize,
+) -> u64 {
     let bytes = w.bytes_per_iter * iters as u64;
     let per_node = active.min(platform.cores_per_node);
     work_ns + platform.mem_ns(bytes, per_node, active)
@@ -143,7 +161,11 @@ pub fn simulate_loop(platform: &Platform, w: &LoopWorkload, policy: &LoopPolicy)
             }
             run.makespan_ns = makespan;
         }
-        LoopPolicy::OmpDynamic { chunk, counter_ns } | LoopPolicy::OmpGuided { min: chunk, counter_ns } => {
+        LoopPolicy::OmpDynamic { chunk, counter_ns }
+        | LoopPolicy::OmpGuided {
+            min: chunk,
+            counter_ns,
+        } => {
             let guided = matches!(policy, LoopPolicy::OmpGuided { .. });
             let chunk = (*chunk).max(1);
             // Greedy event simulation: cores claim chunks through the
@@ -188,11 +210,11 @@ pub fn simulate_loop(platform: &Platform, w: &LoopWorkload, policy: &LoopPolicy)
             // Claim + execute one chunk for core `c` at time `t`; returns
             // the finish time.
             let exec_chunk = |lo: &mut [usize],
-                                  run: &mut LoopRun,
-                                  makespan: &mut u64,
-                                  c: usize,
-                                  hi_c: usize,
-                                  t: u64|
+                              run: &mut LoopRun,
+                              makespan: &mut u64,
+                              c: usize,
+                              hi_c: usize,
+                              t: u64|
              -> u64 {
                 let l = lo[c];
                 let h = (l + grain).min(hi_c);
@@ -203,8 +225,7 @@ pub fn simulate_loop(platform: &Platform, w: &LoopWorkload, policy: &LoopPolicy)
                 run.chunks += 1;
                 fin
             };
-            loop {
-                let Some(Reverse((t, c))) = heap.pop() else { break };
+            while let Some(Reverse((t, c))) = heap.pop() {
                 if lo[c] >= hi[c] {
                     // Idle: split the largest remaining slice. The thief
                     // immediately executes its first stolen chunk (no
@@ -252,11 +273,7 @@ pub fn simulate_loop(platform: &Platform, w: &LoopWorkload, policy: &LoopPolicy)
 }
 
 /// Convenience: speedup of `policy` at each core count in `cores`.
-pub fn loop_speedups(
-    w: &LoopWorkload,
-    policy: &LoopPolicy,
-    cores: &[usize],
-) -> Vec<(usize, f64)> {
+pub fn loop_speedups(w: &LoopWorkload, policy: &LoopPolicy, cores: &[usize]) -> Vec<(usize, f64)> {
     let t1 = simulate_loop(&Platform::magny_cours(1), w, policy).makespan_ns as f64;
     cores
         .iter()
@@ -287,9 +304,18 @@ mod tests {
         let w = compute_loop(20_000);
         for pol in [
             LoopPolicy::OmpStatic,
-            LoopPolicy::OmpDynamic { chunk: 64, counter_ns: 150 },
-            LoopPolicy::OmpGuided { min: 16, counter_ns: 150 },
-            LoopPolicy::KaapiAdaptive { grain: 64, steal_ns: 400 },
+            LoopPolicy::OmpDynamic {
+                chunk: 64,
+                counter_ns: 150,
+            },
+            LoopPolicy::OmpGuided {
+                min: 16,
+                counter_ns: 150,
+            },
+            LoopPolicy::KaapiAdaptive {
+                grain: 64,
+                steal_ns: 400,
+            },
         ] {
             let s = loop_speedups(&w, &pol, &[8, 48]);
             assert!(s[0].1 > 6.0, "{pol:?}: 8-core speedup {}", s[0].1);
@@ -301,9 +327,16 @@ mod tests {
     fn memory_bound_loop_saturates() {
         // 2 KB per cheap iteration: bandwidth-limited.
         let w = LoopWorkload::uniform(200_000, 500, 2_048);
-        let pol = LoopPolicy::KaapiAdaptive { grain: 256, steal_ns: 400 };
+        let pol = LoopPolicy::KaapiAdaptive {
+            grain: 256,
+            steal_ns: 400,
+        };
         let s = loop_speedups(&w, &pol, &[48]);
-        assert!(s[0].1 < 25.0, "memory-bound speedup should be limited: {}", s[0].1);
+        assert!(
+            s[0].1 < 25.0,
+            "memory-bound speedup should be limited: {}",
+            s[0].1
+        );
     }
 
     #[test]
@@ -311,8 +344,15 @@ mod tests {
         // Strong jitter: static suffers block imbalance; adaptive rebalances.
         let w = LoopWorkload::jittered(50_000, 30_000, 0.8, 0, 7);
         let s_static = loop_speedups(&w, &LoopPolicy::OmpStatic, &[48])[0].1;
-        let s_adapt =
-            loop_speedups(&w, &LoopPolicy::KaapiAdaptive { grain: 64, steal_ns: 400 }, &[48])[0].1;
+        let s_adapt = loop_speedups(
+            &w,
+            &LoopPolicy::KaapiAdaptive {
+                grain: 64,
+                steal_ns: 400,
+            },
+            &[48],
+        )[0]
+        .1;
         assert!(
             s_adapt > s_static,
             "adaptive {s_adapt:.1} should beat static {s_static:.1} under jitter"
@@ -322,9 +362,24 @@ mod tests {
     #[test]
     fn dynamic_counter_contention_bites_with_tiny_chunks() {
         let w = LoopWorkload::uniform(200_000, 2_000, 0);
-        let cheap = loop_speedups(&w, &LoopPolicy::OmpDynamic { chunk: 1, counter_ns: 150 }, &[48])[0].1;
-        let chunky =
-            loop_speedups(&w, &LoopPolicy::OmpDynamic { chunk: 256, counter_ns: 150 }, &[48])[0].1;
+        let cheap = loop_speedups(
+            &w,
+            &LoopPolicy::OmpDynamic {
+                chunk: 1,
+                counter_ns: 150,
+            },
+            &[48],
+        )[0]
+        .1;
+        let chunky = loop_speedups(
+            &w,
+            &LoopPolicy::OmpDynamic {
+                chunk: 256,
+                counter_ns: 150,
+            },
+            &[48],
+        )[0]
+        .1;
         assert!(chunky > cheap, "chunked {chunky:.1} vs per-iter {cheap:.1}");
     }
 
@@ -332,7 +387,14 @@ mod tests {
     fn iterations_all_executed_adaptive() {
         let w = compute_loop(9_973); // prime count
         let p = Platform::magny_cours(13);
-        let r = simulate_loop(&p, &w, &LoopPolicy::KaapiAdaptive { grain: 32, steal_ns: 300 });
+        let r = simulate_loop(
+            &p,
+            &w,
+            &LoopPolicy::KaapiAdaptive {
+                grain: 32,
+                steal_ns: 300,
+            },
+        );
         assert!(r.makespan_ns > 0);
         // chunks × grain must cover n
         assert!(r.chunks * 32 + 32 >= 9_973);
@@ -360,7 +422,14 @@ mod livelock_regression {
             for cores in [2usize, 5, 8, 16, 31, 48] {
                 let w = LoopWorkload::jittered(n, 1_574, 0.35, 96, 11);
                 let p = Platform::magny_cours(cores);
-                let r = simulate_loop(&p, &w, &LoopPolicy::KaapiAdaptive { grain: 64, steal_ns: 400 });
+                let r = simulate_loop(
+                    &p,
+                    &w,
+                    &LoopPolicy::KaapiAdaptive {
+                        grain: 64,
+                        steal_ns: 400,
+                    },
+                );
                 assert!(r.makespan_ns > 0, "n={n} cores={cores}");
                 // work conservation: chunk count covers all iterations
                 assert!(r.chunks * 64 + 64 >= n as u64, "n={n} cores={cores}");

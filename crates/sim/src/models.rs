@@ -166,7 +166,10 @@ mod tests {
             steal_ns: 250.0,
             depth: 35,
         };
-        let tbb = ForkJoinModel { task_overhead_ns: 95.0, ..kaapi };
+        let tbb = ForkJoinModel {
+            task_overhead_ns: 95.0,
+            ..kaapi
+        };
         assert!(tbb.slowdown_1core() > kaapi.slowdown_1core() * 2.0);
     }
 }

@@ -27,7 +27,7 @@ impl Platform {
     /// Bandwidth figures are representative of that generation
     /// (≈ 10 GB/s sustained per node, ≈ 60 GB/s machine-wide).
     pub fn magny_cours(cores: usize) -> Platform {
-        assert!(cores >= 1 && cores <= 48);
+        assert!((1..=48).contains(&cores));
         Platform {
             cores,
             cores_per_node: 6,

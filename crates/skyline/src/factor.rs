@@ -186,9 +186,7 @@ pub fn ldlt_xkaapi(rt: &Runtime, mut a: BlockSkyline) -> BlockSkyline {
     rt.scope(|ctx| {
         // Local views: safe because the declared keyed regions serialise
         // conflicting block accesses.
-        let view = |p: &Partitioned<BlockSkyline>| -> &BlockSkyline {
-            unsafe { &*p.view() }
-        };
+        let view = |p: &Partitioned<BlockSkyline>| -> &BlockSkyline { unsafe { &*p.view() } };
         let a0 = view(&part);
         for k in 0..nbl {
             let blk = RawSlice(a0.block_ptr(k, k), bs * bs);
@@ -489,7 +487,10 @@ mod tests {
             // what a dense enumeration would give
             nbl + nbl * (nbl - 1) + nbl * (nbl - 1) * (nbl - 2) / 6
         };
-        assert!(ops.len() < dense_count, "sparse DAG must be smaller than dense");
+        assert!(
+            ops.len() < dense_count,
+            "sparse DAG must be smaller than dense"
+        );
         // every trsm/syrk/gemm references stored blocks only
         for op in &ops {
             match *op {
@@ -507,8 +508,7 @@ mod tests {
     fn semi_definite_solve_projects() {
         // Singular system: duplicate constraint rows produce zero pivots;
         // solve must still return a finite vector with A·x = b on the range.
-        let mut a =
-            SkylineMatrix::from_profile((0..8usize).map(|i| i.saturating_sub(2)).collect());
+        let mut a = SkylineMatrix::from_profile((0..8usize).map(|i| i.saturating_sub(2)).collect());
         for i in 0..8usize {
             for j in i.saturating_sub(2)..=i {
                 if i == j {
@@ -520,7 +520,7 @@ mod tests {
         }
         let mut f = BlockSkyline::from_skyline(&a, 4);
         ldlt_seq(&mut f);
-        let b: Vec<f64> = a.mvp(&vec![1.0; 8]);
+        let b: Vec<f64> = a.mvp(&[1.0; 8]);
         let x = solve(&f, &b);
         assert!(x.iter().all(|v| v.is_finite()));
     }

@@ -26,7 +26,10 @@ impl SkylineMatrix {
     /// Zero matrix with the given row profile.
     pub fn from_profile(jmin: Vec<usize>) -> SkylineMatrix {
         let n = jmin.len();
-        assert!(jmin.iter().enumerate().all(|(i, &j)| j <= i), "jmin[i] must be <= i");
+        assert!(
+            jmin.iter().enumerate().all(|(i, &j)| j <= i),
+            "jmin[i] must be <= i"
+        );
         let mut start = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         for (i, &j) in jmin.iter().enumerate() {
@@ -34,7 +37,12 @@ impl SkylineMatrix {
             acc += i - j + 1;
         }
         start.push(acc);
-        SkylineMatrix { n, jmin, start, vals: vec![0.0; acc] }
+        SkylineMatrix {
+            n,
+            jmin,
+            start,
+            vals: vec![0.0; acc],
+        }
     }
 
     /// Row profile accessor.
@@ -287,7 +295,10 @@ mod tests {
         let target = 0.0359;
         let m = SkylineMatrix::generate_spd(2000, target, 5);
         let d = m.density();
-        assert!(d > target * 0.5 && d < target * 2.0, "density {d} vs target {target}");
+        assert!(
+            d > target * 0.5 && d < target * 2.0,
+            "density {d} vs target {target}"
+        );
     }
 
     #[test]

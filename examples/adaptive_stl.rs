@@ -6,28 +6,44 @@
 //! ```
 
 use std::time::Instant;
-use xkaapi_repro::astl;
-use xkaapi_repro::core::Runtime;
+use xkaapi::astl;
+use xkaapi::core::Runtime;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
     let rt = Runtime::new(4);
     println!("adaptive STL algorithms, n = {n}");
 
-    let mut data: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+    let mut data: Vec<u64> = (0..n as u64)
+        .map(|i| (i * 2_654_435_761) % 1_000_003)
+        .collect();
 
     let t0 = Instant::now();
-    astl::for_each_mut(&rt, &mut data, |x| *x = (*x).wrapping_mul(3).wrapping_add(1) % 1_000_003);
-    println!("for_each_mut   : {:7.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    astl::for_each_mut(&rt, &mut data, |x| {
+        *x = (*x).wrapping_mul(3).wrapping_add(1) % 1_000_003
+    });
+    println!(
+        "for_each_mut   : {:7.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     let mut squares = vec![0u64; n];
     let t0 = Instant::now();
     astl::transform(&rt, &data, &mut squares, |&x| (x * x) % 1_000_003);
-    println!("transform      : {:7.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "transform      : {:7.1} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     let t0 = Instant::now();
     let total: u64 = astl::reduce(&rt, &data, || 0u64, |a, &x| *a += x, |a, b| a + b);
-    println!("reduce         : {:7.1} ms (sum = {total})", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "reduce         : {:7.1} ms (sum = {total})",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     let mut scanned = data.clone();
     let t0 = Instant::now();
@@ -41,11 +57,18 @@ fn main() {
 
     let t0 = Instant::now();
     let pos = astl::find_first(&rt, &data, |&x| x == data[n / 2]);
-    println!("find_first     : {:7.1} ms (index {pos:?})", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "find_first     : {:7.1} ms (index {pos:?})",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     let t0 = Instant::now();
     let m = astl::min_element(&rt, &data).unwrap();
-    println!("min_element    : {:7.1} ms (data[{m}] = {})", t0.elapsed().as_secs_f64() * 1e3, data[m]);
+    println!(
+        "min_element    : {:7.1} ms (data[{m}] = {})",
+        t0.elapsed().as_secs_f64() * 1e3,
+        data[m]
+    );
 
     let t0 = Instant::now();
     astl::merge_sort(&rt, &mut data);

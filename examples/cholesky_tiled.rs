@@ -8,19 +8,23 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use xkaapi_repro::core::Runtime;
-use xkaapi_repro::linalg::{
+use xkaapi::core::Runtime;
+use xkaapi::linalg::{
     cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, flops, TiledMatrix,
 };
-use xkaapi_repro::quark::Quark;
+use xkaapi::quark::Quark;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
     let nb: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
     let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
-    assert!(n % nb == 0, "n must be a multiple of nb");
-    println!("tiled Cholesky: n={n}, nb={nb} ({}x{} tiles), {threads} threads", n / nb, n / nb);
+    assert!(n.is_multiple_of(nb), "n must be a multiple of nb");
+    println!(
+        "tiled Cholesky: n={n}, nb={nb} ({}x{} tiles), {threads} threads",
+        n / nb,
+        n / nb
+    );
 
     let orig = TiledMatrix::spd_random(n, nb, 42);
     let gf = |ns: u128| flops::cholesky(n) / ns as f64;
@@ -29,7 +33,11 @@ fn main() {
     let t0 = Instant::now();
     cholesky_seq(&mut a).expect("SPD");
     let t_seq = t0.elapsed().as_nanos();
-    println!("sequential      : {:8.1} ms  {:5.2} GFlop/s", t_seq as f64 / 1e6, gf(t_seq));
+    println!(
+        "sequential      : {:8.1} ms  {:5.2} GFlop/s",
+        t_seq as f64 / 1e6,
+        gf(t_seq)
+    );
     let reference = a;
 
     let rt = Arc::new(Runtime::new(threads));
@@ -79,5 +87,8 @@ fn main() {
         a.max_abs_diff_lower(&reference)
     );
 
-    println!("residual |A - L·Lᵀ| of the reference factor: {:.2e}", reference.cholesky_residual(&orig));
+    println!(
+        "residual |A - L·Lᵀ| of the reference factor: {:.2e}",
+        reference.cholesky_residual(&orig)
+    );
 }

@@ -6,11 +6,11 @@
 //! cargo run --release --example epx_sim [scale] [threads]
 //! ```
 
-use xkaapi_repro::core::Runtime;
-use xkaapi_repro::epx::{run, ExecMode, Scenario};
-use xkaapi_repro::omp::{OmpPool, Schedule};
+use xkaapi::core::Runtime;
+use xkaapi::epx::{run, ExecMode, Scenario};
+use xkaapi::omp::{OmpPool, Schedule};
 
-fn show(name: &str, r: &xkaapi_repro::epx::RunResult) {
+fn show(name: &str, r: &xkaapi::epx::RunResult) {
     let t = r.times;
     println!(
         "  {name:16} total {:7.3}s  (repera {:.3} | loopelm {:.3} | cholesky {:.3} | other {:.3})  checksum {:+.6}",

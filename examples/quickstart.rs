@@ -4,10 +4,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use xkaapi_repro::core::{Reduction, Runtime, Shared};
+use xkaapi::core::{Reduction, Runtime, Shared};
 
 fn main() {
-    let rt = Runtime::new(4);
+    // Builder defaults: available parallelism, overridable via
+    // XKAAPI_WORKERS / XKAAPI_GRAIN_FACTOR without recompiling.
+    let rt = Runtime::builder().build();
     println!("X-Kaapi quickstart on {} workers", rt.num_workers());
 
     // ------------------------------------------------------------------
@@ -28,7 +30,7 @@ fn main() {
 
     // ------------------------------------------------------------------
     // 2. Fork-join (Cilk-style): recursive divide and conquer.
-    fn fib(ctx: &mut xkaapi_repro::core::Ctx<'_>, n: u64) -> u64 {
+    fn fib(ctx: &mut xkaapi::core::Ctx<'_>, n: u64) -> u64 {
         if n < 2 {
             return n;
         }
@@ -40,7 +42,13 @@ fn main() {
 
     // ------------------------------------------------------------------
     // 3. Adaptive parallel loops: split on demand when workers idle.
-    let sum = rt.foreach_reduce(0..1_000_000, None, || 0u64, |s, i| *s += i as u64, |a, b| a + b);
+    let sum = rt.foreach_reduce(
+        0..1_000_000,
+        None,
+        || 0u64,
+        |s, i| *s += i as u64,
+        |a, b| a + b,
+    );
     println!("foreach:    sum(0..1e6) = {sum}");
 
     // Reductions through the cumulative-write access mode:

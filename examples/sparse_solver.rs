@@ -8,12 +8,16 @@
 //! ```
 
 use std::time::Instant;
-use xkaapi_repro::core::Runtime;
-use xkaapi_repro::omp::OmpPool;
-use xkaapi_repro::skyline::{ldlt_omp, ldlt_seq, ldlt_xkaapi, solve, BlockSkyline, SkylineMatrix};
+use xkaapi::core::Runtime;
+use xkaapi::omp::OmpPool;
+use xkaapi::skyline::{ldlt_omp, ldlt_seq, ldlt_xkaapi, solve, BlockSkyline, SkylineMatrix};
 
 fn residual(a: &SkylineMatrix, x: &[f64], b: &[f64]) -> f64 {
-    a.mvp(x).iter().zip(b).map(|(ax, bi)| (ax - bi).abs()).fold(0.0f64, f64::max)
+    a.mvp(x)
+        .iter()
+        .zip(b)
+        .map(|(ax, bi)| (ax - bi).abs())
+        .fold(0.0f64, f64::max)
 }
 
 fn main() {
@@ -42,7 +46,10 @@ fn main() {
         "sequential      : factor {:7.1} ms, |Ax-b|∞ = {:.2e}, |x-x*|∞ = {:.2e}",
         t_seq.as_secs_f64() * 1e3,
         residual(&a, &x, &b),
-        x.iter().zip(&x_true).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max)
+        x.iter()
+            .zip(&x_true)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0f64, f64::max)
     );
 
     // X-Kaapi data-flow

@@ -1,11 +1,18 @@
-//! # xkaapi-repro — workspace root
+//! # xkaapi — workspace facade
 //!
 //! Reproduction of *“X-Kaapi: a Multi Paradigm Runtime for Multicore
 //! Architectures”* (Gautier, Lementec, Faucher, Raffin — ICPP 2013 workshop
 //! P2S2). This root crate re-exports every workspace crate so the examples
 //! in `examples/` and the integration tests in `tests/` can reach the whole
-//! system through one dependency. See `README.md` for the tour and
-//! `DESIGN.md` for the system inventory.
+//! system through one dependency. See `README.md` for the tour and the
+//! layer-stack diagram (facade → paradigm front-ends → engine → queue/steal
+//! policies).
+//!
+//! The commonly-used engine types are additionally re-exported at the top
+//! level, so `xkaapi::Runtime` works alongside the per-subsystem paths
+//! (`xkaapi::core::Runtime`, `xkaapi::omp::OmpPool`, …).
+
+#![warn(missing_docs)]
 
 pub use xkaapi_astl as astl;
 pub use xkaapi_core as core;
@@ -16,3 +23,9 @@ pub use xkaapi_omp as omp;
 pub use xkaapi_quark as quark;
 pub use xkaapi_sim as sim;
 pub use xkaapi_skyline as skyline;
+
+pub use xkaapi_core::{
+    Access, AccessMode, AggregatedStealing, Builder, Ctx, DistributedLanes, HandleId, Partitioned,
+    PerThiefStealing, PromotionPolicy, Reduction, Region, Runtime, Shared, StatsSnapshot,
+    StealPolicy, TaskQueue, Tunables, WorkItem,
+};

@@ -1,0 +1,71 @@
+//! `XKAAPI_WORKERS` / `XKAAPI_GRAIN_FACTOR` environment overrides of
+//! [`xkaapi::core::Builder`]: the environment overrides *defaults* (so
+//! benches and examples built on `Runtime::builder().build()` are tunable
+//! without recompiling), while explicit setter calls always win (code that
+//! sized structures to a requested worker count must not be resized from
+//! the outside). Kept in a dedicated integration-test binary: environment
+//! variables are process-global, and this is the only test in this
+//! process, so mutating them cannot race another test.
+
+use xkaapi::core::Runtime;
+
+#[test]
+fn env_vars_override_defaults_but_not_explicit_settings() {
+    // Baseline: explicit settings, no env.
+    let rt = Runtime::builder().workers(2).grain_factor(5).build();
+    assert_eq!(rt.num_workers(), 2);
+    assert_eq!(rt.tunables().grain_factor, 5);
+    drop(rt);
+
+    // Single-threaded at this point (no other test in this binary, the
+    // runtime above has been dropped and its workers joined).
+    std::env::set_var("XKAAPI_WORKERS", "3");
+    std::env::set_var("XKAAPI_GRAIN_FACTOR", "11");
+
+    // Env overrides the defaults…
+    let rt = Runtime::builder().build();
+    assert_eq!(
+        rt.num_workers(),
+        3,
+        "XKAAPI_WORKERS must override the default"
+    );
+    assert_eq!(
+        rt.tunables().grain_factor,
+        11,
+        "XKAAPI_GRAIN_FACTOR must override"
+    );
+    // …and the overridden runtime still runs real work.
+    let s = rt.foreach_reduce(0..1000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+    assert_eq!(s, 499_500);
+    drop(rt);
+
+    // …but never explicit calls: sized-to-request structures (custom
+    // DistributedLanes, Reduction::with_slots) rely on this.
+    let rt = Runtime::builder().workers(2).grain_factor(5).build();
+    assert_eq!(
+        rt.num_workers(),
+        2,
+        "explicit workers() must beat the environment"
+    );
+    assert_eq!(
+        rt.tunables().grain_factor,
+        5,
+        "explicit grain_factor() must beat env"
+    );
+    drop(rt);
+
+    // Malformed values are ignored (with a warning), not fatal.
+    std::env::set_var("XKAAPI_WORKERS", "zero");
+    std::env::set_var("XKAAPI_GRAIN_FACTOR", "-4");
+    let rt = Runtime::builder().build();
+    assert!(rt.num_workers() >= 1);
+    assert_eq!(
+        rt.tunables().grain_factor,
+        8,
+        "junk env must fall back to the default"
+    );
+    drop(rt);
+
+    std::env::remove_var("XKAAPI_WORKERS");
+    std::env::remove_var("XKAAPI_GRAIN_FACTOR");
+}

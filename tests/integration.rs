@@ -3,14 +3,12 @@
 //! the theoretical scheduling bounds.
 
 use std::sync::Arc;
-use xkaapi_repro::core::Runtime;
-use xkaapi_repro::epx::{run as epx_run, ExecMode, Scenario};
-use xkaapi_repro::linalg::{
-    cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, TiledMatrix,
-};
-use xkaapi_repro::omp::{OmpPool, Schedule};
-use xkaapi_repro::quark::Quark;
-use xkaapi_repro::skyline::{ldlt_omp, ldlt_seq, ldlt_xkaapi, solve, BlockSkyline, SkylineMatrix};
+use xkaapi::core::Runtime;
+use xkaapi::epx::{run as epx_run, ExecMode, Scenario};
+use xkaapi::linalg::{cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, TiledMatrix};
+use xkaapi::omp::{OmpPool, Schedule};
+use xkaapi::quark::Quark;
+use xkaapi::skyline::{ldlt_omp, ldlt_seq, ldlt_xkaapi, solve, BlockSkyline, SkylineMatrix};
 
 #[test]
 fn cholesky_identical_across_all_runtimes() {
@@ -61,7 +59,11 @@ fn skyline_ldlt_identical_across_runtimes_and_solves() {
     let b = a.mvp(&x_true);
     for (name, f) in [("seq", &f_seq), ("xkaapi", &f_k), ("omp", &f_o)] {
         let x = solve(f, &b);
-        let err = x.iter().zip(&x_true).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+        let err = x
+            .iter()
+            .zip(&x_true)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0f64, f64::max);
         assert!(err < 1e-6, "{name}: solve error {err}");
     }
 }
@@ -69,7 +71,11 @@ fn skyline_ldlt_identical_across_runtimes_and_solves() {
 #[test]
 fn epx_scenarios_deterministic_across_modes() {
     for name in ["MEPPEN", "MAXPLANE"] {
-        let mut sc = if name == "MEPPEN" { Scenario::meppen(1) } else { Scenario::maxplane(1) };
+        let mut sc = if name == "MEPPEN" {
+            Scenario::meppen(1)
+        } else {
+            Scenario::maxplane(1)
+        };
         sc.steps = 2;
         sc.other_work = 100;
         sc.elem_subcycles = 4;
@@ -78,9 +84,15 @@ fn epx_scenarios_deterministic_across_modes() {
         let r_rt = epx_run(&sc, &ExecMode::Xkaapi(&rt));
         let pool = OmpPool::new(3);
         let r_omp = epx_run(&sc, &ExecMode::Omp(&pool, Schedule::Guided(8)));
-        assert!((r_seq.checksum - r_rt.checksum).abs() < 1e-9, "{name} xkaapi");
+        assert!(
+            (r_seq.checksum - r_rt.checksum).abs() < 1e-9,
+            "{name} xkaapi"
+        );
         assert!((r_seq.checksum - r_omp.checksum).abs() < 1e-9, "{name} omp");
-        assert_eq!(r_seq.last_candidates, r_rt.last_candidates, "{name} candidates");
+        assert_eq!(
+            r_seq.last_candidates, r_rt.last_candidates,
+            "{name} candidates"
+        );
         assert_eq!(r_seq.h_order, r_omp.h_order, "{name} H order");
     }
 }
@@ -97,9 +109,10 @@ fn quark_backends_agree_on_random_graphs() {
         state ^= state << 17;
         state
     };
-    let ops: Vec<(usize, usize, u64)> =
-        (0..300).map(|_| ((rng() % 16) as usize, (rng() % 16) as usize, rng() % 9 + 1)).collect();
-    let mut reference = vec![1u64; 16];
+    let ops: Vec<(usize, usize, u64)> = (0..300)
+        .map(|_| ((rng() % 16) as usize, (rng() % 16) as usize, rng() % 9 + 1))
+        .collect();
+    let mut reference = [1u64; 16];
     for &(a, b, c) in &ops {
         reference[a] = reference[a].wrapping_add(c.wrapping_mul(reference[b]));
     }
@@ -109,7 +122,7 @@ fn quark_backends_agree_on_random_graphs() {
     ] {
         let cells: Vec<Mutex<u64>> = (0..16).map(|_| Mutex::new(1)).collect();
         q.session(|ctx| {
-            use xkaapi_repro::quark::QuarkDep;
+            use xkaapi::quark::QuarkDep;
             for &(a, b, c) in &ops {
                 let cells = &cells;
                 if a == b {
@@ -138,11 +151,16 @@ fn quark_backends_agree_on_random_graphs() {
 
 #[test]
 fn simulator_bounds_on_real_cholesky_dag() {
-    use xkaapi_repro::sim::{simulate_dag, DagPolicy, Platform, SimTask, TaskDag};
+    use xkaapi::sim::{simulate_dag, DagPolicy, Platform, SimTask, TaskDag};
     // Build the DAG of a real tiled Cholesky and check classic bounds.
-    let ops = xkaapi_repro::linalg::cholesky_ops(12);
-    let tasks: Vec<SimTask> =
-        ops.iter().map(|_| SimTask { work_ns: 100_000, bytes: 0 }).collect();
+    let ops = xkaapi::linalg::cholesky_ops(12);
+    let tasks: Vec<SimTask> = ops
+        .iter()
+        .map(|_| SimTask {
+            work_ns: 100_000,
+            bytes: 0,
+        })
+        .collect();
     let acc: Vec<Vec<(u64, bool)>> = ops.iter().map(|o| o.accesses()).collect();
     let dag = TaskDag::from_accesses(tasks, &acc);
     let pol = DagPolicy::WorkStealing {
@@ -155,7 +173,10 @@ fn simulator_bounds_on_real_cholesky_dag() {
     assert!(t1 >= dag.total_work_ns());
     for cores in [4usize, 16, 48] {
         let tp = simulate_dag(&Platform::magny_cours(cores), &dag, &pol, 1).makespan_ns;
-        assert!(tp >= dag.total_work_ns() / cores as u64, "work bound at {cores}");
+        assert!(
+            tp >= dag.total_work_ns() / cores as u64,
+            "work bound at {cores}"
+        );
         assert!(tp >= dag.critical_path_ns(), "span bound at {cores}");
         assert!(tp <= t1, "no slowdown from parallelism at {cores}");
     }
@@ -165,7 +186,7 @@ fn simulator_bounds_on_real_cholesky_dag() {
 fn runtime_survives_mixed_paradigm_stress() {
     // Interleave dataflow chains, fork-join trees and adaptive loops on one
     // runtime instance, repeatedly.
-    use xkaapi_repro::core::Shared;
+    use xkaapi::core::Shared;
     let rt = Runtime::new(4);
     for round in 0..5u64 {
         let h = Shared::new(round);
@@ -178,7 +199,7 @@ fn runtime_survives_mixed_paradigm_stress() {
         assert_eq!(*h.get(), round + 20);
 
         let f = rt.scope(|ctx| {
-            fn fib(c: &mut xkaapi_repro::core::Ctx<'_>, n: u64) -> u64 {
+            fn fib(c: &mut xkaapi::core::Ctx<'_>, n: u64) -> u64 {
                 if n < 2 {
                     n
                 } else {
@@ -190,7 +211,13 @@ fn runtime_survives_mixed_paradigm_stress() {
         });
         assert_eq!(f, 610);
 
-        let s = rt.foreach_reduce(0..10_000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+        let s = rt.foreach_reduce(
+            0..10_000,
+            None,
+            || 0u64,
+            |a, i| *a += i as u64,
+            |a, b| a + b,
+        );
         assert_eq!(s, 49_995_000);
     }
 }

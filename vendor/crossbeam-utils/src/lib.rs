@@ -1,0 +1,138 @@
+//! Offline vendor stub: the subset of `crossbeam-utils` this workspace uses
+//! ([`CachePadded`] and [`Backoff`]), implemented from scratch. See
+//! `vendor/README.md` for why dependencies are vendored.
+
+/// Pads and aligns a value to (at least) the length of a cache line, so two
+/// `CachePadded` values in one array never share a line (no false sharing
+/// between per-worker counters).
+///
+/// 128-byte alignment covers the adjacent-line prefetcher on modern x86 and
+/// the 128-byte lines of some AArch64 parts, matching real crossbeam.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` to a cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops: spin with increasing pause counts,
+/// then start yielding the thread, signalling (via [`Backoff::is_completed`])
+/// when the caller should park instead.
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// Fresh backoff state.
+    pub fn new() -> Backoff {
+        Backoff {
+            step: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Reset after making progress.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Back off in a lock-free retry loop (spins only, never yields).
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Back off while waiting for another thread: spin first, then yield.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Has backoff escalated far enough that blocking would be better?
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new()
+    }
+}
+
+/// `crossbeam::utils`-style module path compatibility.
+pub mod utils {
+    pub use super::{Backoff, CachePadded};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_aligned_and_derefs() {
+        let xs: [CachePadded<u64>; 2] = [CachePadded::new(1), CachePadded::new(2)];
+        let a = &xs[0] as *const _ as usize;
+        let b = &xs[1] as *const _ as usize;
+        assert!(b - a >= 128, "adjacent elements share a cache line");
+        assert_eq!(*xs[0] + *xs[1], 3);
+        assert_eq!(CachePadded::new(7u8).into_inner(), 7);
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+        b.spin(); // must not panic or escalate past the spin limit
+    }
+}

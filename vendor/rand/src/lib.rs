@@ -1,0 +1,206 @@
+//! Offline vendor stub: the subset of the `rand` API this workspace uses —
+//! `StdRng::seed_from_u64`, `gen_range` over numeric ranges and `gen_bool` —
+//! built on splitmix64 + xoshiro256** (public-domain constructions).
+//!
+//! The workspace only uses seeded generators for reproducible test-matrix
+//! and scenario generation; statistical quality far beyond "well mixed,
+//! deterministic per seed" is not required. Note the streams differ from
+//! real `rand`'s `StdRng` (which is ChaCha-based): seeds produce different
+//! but equally deterministic matrices.
+
+/// Core RNG trait (the subset of `rand::Rng` used here).
+pub trait Rng {
+    /// Next uniformly-distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (numeric, half-open).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<std::ops::Range<T>>,
+    {
+        let r = range.into();
+        T::sample(self, r)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of [0,1]"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform sample of a whole primitive (only `f64` in `[0,1)` and
+    /// integer types are supported by this stub).
+    fn gen<T: SampleWhole>(&mut self) -> T {
+        T::whole(self)
+    }
+}
+
+/// Map a random word to `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly samplable from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Sample uniformly from `[range.start, range.end)`.
+    fn sample<G: Rng + ?Sized>(g: &mut G, range: std::ops::Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample<G: Rng + ?Sized>(g: &mut G, range: std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "gen_range: empty f64 range");
+        range.start + unit_f64(g.next_u64()) * (range.end - range.start)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample<G: Rng + ?Sized>(g: &mut G, range: std::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range: empty integer range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Multiply-shift rejection-free mapping; bias is < 2^-64 per
+                // sample, irrelevant for test-data generation.
+                let x = ((g.next_u64() as u128 * span) >> 64) as i128;
+                (range.start as i128 + x) as $t
+            }
+        }
+    )+};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types samplable as a whole (`rng.gen::<T>()`).
+pub trait SampleWhole: Sized {
+    /// Sample a value covering the type's natural domain.
+    fn whole<G: Rng + ?Sized>(g: &mut G) -> Self;
+}
+
+impl SampleWhole for f64 {
+    fn whole<G: Rng + ?Sized>(g: &mut G) -> f64 {
+        unit_f64(g.next_u64())
+    }
+}
+
+impl SampleWhole for u64 {
+    fn whole<G: Rng + ?Sized>(g: &mut G) -> u64 {
+        g.next_u64()
+    }
+}
+
+impl SampleWhole for bool {
+    fn whole<G: Rng + ?Sized>(g: &mut G) -> bool {
+        g.next_u64() & 1 == 1
+    }
+}
+
+/// Seedable construction (the subset of `rand::SeedableRng` used here).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator: xoshiro256** seeded via splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    //! Convenience re-exports matching `rand::prelude`.
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut g = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = g.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let i: usize = g.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_ballpark() {
+        let mut g = StdRng::seed_from_u64(11);
+        let hits = (0..40_000).filter(|_| g.gen_bool(0.85)).count();
+        let rate = hits as f64 / 40_000.0;
+        assert!((rate - 0.85).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn f64_range_covers_span() {
+        let mut g = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..1000).map(|_| g.gen_range(0.0..10.0)).collect();
+        assert!(samples.iter().any(|&x| x < 2.0));
+        assert!(samples.iter().any(|&x| x > 8.0));
+    }
+}
