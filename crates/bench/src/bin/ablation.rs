@@ -1,18 +1,22 @@
-//! Ablation study of the two scheduler optimisations the paper singles out
-//! (§II-C): steal-request **aggregation** and the **ready-list** (graph
-//! mode) acceleration — plus the adaptive-loop grain.
+//! Ablation study of the scheduler optimisations the paper singles out
+//! (§II-C): steal-request **aggregation**, the **ready-list** (graph mode)
+//! acceleration and write-only **renaming** (WAR/WAW elimination) — plus
+//! the adaptive-loop grain.
 //!
-//! Two parts:
+//! Three parts:
 //! 1. real-machine ablations on this host (multi-worker, 1 core —
 //!    correctness-preserving, contention-visible);
-//! 2. simulator ablations on the 48-core model, where the idle-thief
+//! 2. a deterministic data-flow probe (ready-set width of the war-chain
+//!    workload straight from the versioned dependency engine);
+//! 3. simulator ablations on the 48-core model, where the idle-thief
 //!    population that aggregation helps with actually exists.
 //!
 //! Usage: `ablation`
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use xkaapi_bench::{measure_ns, print_table, SchedPolicy};
-use xkaapi_core::{PromotionPolicy, Runtime, Shared};
+use xkaapi_core::dataflow::DataflowEngine;
+use xkaapi_core::{PromotionPolicy, RenamePolicy, Runtime, Shared};
 use xkaapi_sim::{simulate_dag, DagPolicy, Platform, SimTask, TaskDag};
 
 /// One mixed data-flow workload every scheduler policy must agree on:
@@ -33,8 +37,39 @@ fn policy_workload(rt: &Runtime) -> u64 {
     cells.iter().map(|c| *c.get()).sum()
 }
 
+/// The war-chain workload: `rounds` repeated whole-object overwrites of one
+/// renameable handle, each feeding `readers` readers. Renaming eliminates
+/// the WAR edges from round `r`'s readers to round `r+1`'s writer, so the
+/// rounds pipeline. Returns a checksum that must be identical under every
+/// renaming setting (readers accumulate order-independently).
+fn war_chain(rt: &Runtime, rounds: u64, readers: usize, len: usize) -> u64 {
+    let h = Shared::renameable_with(vec![0u64; len], move || vec![0u64; len]);
+    let sum = AtomicU64::new(0);
+    rt.scope(|ctx| {
+        let sum = &sum;
+        for round in 0..rounds {
+            let hw = h.clone();
+            ctx.spawn([h.write()], move |t| {
+                let mut g = t.write(&hw);
+                for (i, x) in g.iter_mut().enumerate() {
+                    *x = round * 31 + i as u64;
+                }
+            });
+            for _ in 0..readers {
+                let hr = h.clone();
+                ctx.spawn([h.read()], move |t| {
+                    let v: u64 = t.read(&hr).iter().sum();
+                    sum.fetch_add(v, Ordering::Relaxed);
+                });
+            }
+        }
+    });
+    let tail: u64 = h.get().iter().sum();
+    sum.load(Ordering::Relaxed).wrapping_add(tail)
+}
+
 fn main() {
-    println!("# Ablations: scheduler policy matrix, aggregation & ready-list promotion");
+    println!("# Ablations: scheduler policy matrix, aggregation, ready-list & renaming");
 
     // --- the engine's policy matrix: one enum flips queue & steal layer --
     let mut rows = Vec::new();
@@ -136,6 +171,73 @@ fn main() {
         "Real: 2000 fine tasks, 4 workers (this host)",
         &["variant", "time (ms)", "combines", "aggregated reqs"],
         &rows,
+    );
+
+    // --- real: renaming on/off on the war-chain workload -----------------
+    // Repeated whole-object overwrites feeding readers: without renaming
+    // every round serializes behind the previous round's readers (WAR) and
+    // writer (WAW); with renaming the writers get fresh version slots and
+    // the rounds pipeline across workers.
+    let (rounds, readers, len) = (64u64, 3usize, 512usize);
+    let mut rows = Vec::new();
+    let mut checksums = Vec::new();
+    for (label, renaming) in [("renaming ON", true), ("renaming OFF", false)] {
+        let rt = Runtime::builder().workers(4).renaming(renaming).build();
+        let mut sum = 0;
+        let t = measure_ns(5, || sum = war_chain(&rt, rounds, readers, len));
+        checksums.push(sum);
+        let s = rt.stats();
+        rows.push(vec![
+            label.into(),
+            format!("{:.2}", t as f64 / 1e6),
+            s.renames.to_string(),
+            s.tasks_executed_stolen.to_string(),
+            sum.to_string(),
+        ]);
+    }
+    assert!(
+        checksums.iter().all(|&c| c == checksums[0]),
+        "renaming changed the war-chain result: {checksums:?}"
+    );
+    print_table(
+        &format!(
+            "Real: war-chain, {rounds} overwrite rounds x {readers} readers, 4 workers \
+             (identical checksums)"
+        ),
+        &["variant", "time (ms)", "renames", "stolen", "checksum"],
+        &rows,
+    );
+
+    // --- deterministic: ready-set width straight from the dataflow core --
+    // Bind the war-chain access sequence into a standalone engine and
+    // measure how many tasks are concurrently ready before anything runs.
+    let h = Shared::renameable(0u64);
+    let width = |enabled: bool| {
+        let pol = RenamePolicy {
+            enabled,
+            ..Default::default()
+        };
+        let mut eng = DataflowEngine::new();
+        for _ in 0..rounds {
+            eng.bind(&[h.write()], &pol);
+            for _ in 0..readers {
+                eng.bind(&[h.read()], &pol);
+            }
+        }
+        eng.ready_width()
+    };
+    let (w_on, w_off) = (width(true), width(false));
+    assert!(
+        w_on > w_off,
+        "renaming must widen the war-chain ready set ({w_on} vs {w_off})"
+    );
+    print_table(
+        "Deterministic: initial ready-set width of the war-chain DAG",
+        &["variant", "ready width"],
+        &[
+            vec!["renaming ON".into(), w_on.to_string()],
+            vec!["renaming OFF".into(), w_off.to_string()],
+        ],
     );
 
     // --- real: park-threshold sweep (idle spin rounds before blocking) ---

@@ -11,7 +11,7 @@
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR1.json` (snapshot file
+//! * `smoke --json` — additionally writes `BENCH_PR2.json` (snapshot file
 //!   name pinned per PR so the perf trajectory accretes one file per PR).
 //!
 //! [`Ctx::join`]: xkaapi_core::Ctx::join
@@ -21,7 +21,7 @@ use xkaapi_bench::{gflops, measure_ns, print_table};
 use xkaapi_core::{Ctx, Runtime};
 use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR1.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR2.json";
 
 fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
     if n < 2 {
@@ -118,7 +118,7 @@ fn main() {
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 1,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 2,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \

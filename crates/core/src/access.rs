@@ -1,11 +1,18 @@
 //! Access modes and memory regions for data-flow dependency computation.
 //!
 //! X-Kaapi tasks declare *how* they touch shared memory: the runtime derives
-//! true (read-after-write) dependencies — and, without renaming, the
+//! true (read-after-write) dependencies — and, for exclusive accesses, the
 //! write-after-read / write-after-write orderings of the sequential program —
 //! from these declarations. A *region* names the part of a handle a task
 //! touches; two accesses conflict when their regions overlap and at least one
 //! of the modes writes (cumulative writes commute among themselves).
+//!
+//! The WAR/WAW orderings of a *write-only* access on a renameable handle are
+//! not hard conflicts: the versioned data-flow core ([`crate::dataflow`])
+//! eliminates them by handing the writer a fresh version of the data
+//! (*renaming*, see `DESIGN.md` §2). [`Access::conflicts_with`] stays
+//! conservative — it reports the pairwise ordering a runtime without
+//! renaming would enforce.
 
 use std::fmt;
 
@@ -31,16 +38,23 @@ pub(crate) fn fresh_handle_id() -> HandleId {
 /// The mode with which a task accesses a memory region.
 ///
 /// These are the four modes of the X-Kaapi model (read, write, exclusive and
-/// reduction). `Write` here is a full read-write ("exclusive") access; a
-/// write-only mode with renaming is a paper-mentioned optimisation that this
-/// reproduction does not implement (see `DESIGN.md`).
+/// reduction). `Write` and `Exclusive` differ semantically:
+///
+/// * `Write` is **write-only**: the task promises to fully overwrite the
+///   region without reading it. On a renameable handle the runtime may
+///   *rename* the access — hand the task a fresh version buffer — which
+///   eliminates its WAR/WAW ordering edges (`DESIGN.md` §2). A task that
+///   only partially writes a renamed region observes unspecified contents
+///   in the untouched part.
+/// * `Exclusive` is a read-write access: the task may read the previous
+///   value, so it always serializes behind earlier readers and writers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum AccessMode {
     /// Shared read access. Concurrent with other reads.
     Read,
-    /// Write-only access. Treated as exclusive (no renaming).
+    /// Write-only access (full overwrite; renameable, see `DESIGN.md` §2).
     Write,
-    /// Exclusive read-write access.
+    /// Exclusive read-write access (always serializing).
     Exclusive,
     /// Cumulative write (reduction). Commutes with other cumulative writes
     /// on the same region; ordered against reads and writes.
@@ -52,6 +66,12 @@ impl AccessMode {
     #[inline]
     pub fn writes(self) -> bool {
         !matches!(self, AccessMode::Read)
+    }
+
+    /// Is this the write-only mode whose WAR/WAW edges renaming can erase?
+    #[inline]
+    pub fn is_write_only(self) -> bool {
+        matches!(self, AccessMode::Write)
     }
 
     /// Do two accesses to the *same* region require an ordering edge?
@@ -133,6 +153,15 @@ pub struct Access {
     pub region: Region,
     /// How it is accessed.
     pub mode: AccessMode,
+    /// The handle can grow version slots, so a whole-object write-only
+    /// access may be renamed. Set by the renameable handle constructors.
+    renameable: bool,
+    /// Snapshot of the handle's committed `(seq << 16) | slot` word, taken
+    /// by the handle's access constructors. The data-flow engine seeds a
+    /// handle's version-chain state from the first access it sees, so a
+    /// fresh frame (a later scope) picks up the slot lineage and sequence
+    /// numbers a previous scope committed. Zero for plain handles.
+    pub(crate) lineage: u64,
 }
 
 impl Access {
@@ -143,7 +172,39 @@ impl Access {
             handle,
             region,
             mode,
+            renameable: false,
+            lineage: 0,
         }
+    }
+
+    /// Stamp the handle's committed-version snapshot (handle layer only).
+    #[inline]
+    pub(crate) fn with_lineage(mut self, lineage: u64) -> Self {
+        self.lineage = lineage;
+        self
+    }
+
+    /// Mark this access as renameable: the handle it names supports version
+    /// slots ([`Shared::renameable`](crate::Shared::renameable) /
+    /// [`Partitioned::renameable_with`](crate::Partitioned::renameable_with)).
+    ///
+    /// Only meaningful on a whole-object write-only access; flagging an
+    /// access whose handle has no slot table makes the granted task panic
+    /// when it touches the data. Prefer the handle's own constructors
+    /// ([`Shared::write`](crate::Shared::write),
+    /// [`Partitioned::write_all`](crate::Partitioned::write_all)): they
+    /// also stamp the committed-version snapshot that keeps slot routing
+    /// correct across scopes.
+    #[inline]
+    pub fn with_renaming(mut self) -> Self {
+        self.renameable = true;
+        self
+    }
+
+    /// May the versioned data-flow core rename this access?
+    #[inline]
+    pub fn can_rename(&self) -> bool {
+        self.renameable && self.mode.is_write_only() && matches!(self.region, Region::All)
     }
 
     /// Do two accesses require an ordering edge between their tasks?
@@ -155,12 +216,6 @@ impl Access {
             && self.mode.conflicts_with(other.mode)
             && self.region.overlaps(&other.region)
     }
-}
-
-/// Do any of task `a`'s accesses conflict with any of task `b`'s?
-#[inline]
-pub(crate) fn tasks_conflict(a: &[Access], b: &[Access]) -> bool {
-    a.iter().any(|x| b.iter().any(|y| x.conflicts_with(y)))
 }
 
 #[cfg(test)]
@@ -191,7 +246,7 @@ mod tests {
         assert!(!r(0, 10).overlaps(&r(10, 20)));
         assert!(r(0, 10).overlaps(&Region::All));
         assert!(r(3, 3).is_empty());
-        assert!(r(3, 3).is_empty());
+        assert!(!r(3, 4).is_empty());
     }
 
     #[test]
@@ -222,13 +277,29 @@ mod tests {
 
     #[test]
     fn task_conflicts_any_pair() {
+        let conflict =
+            |a: &[Access], b: &[Access]| a.iter().any(|x| b.iter().any(|y| x.conflicts_with(y)));
         let a = [
             Access::new(h(1), Region::key2(0, 0), AccessMode::Read),
             Access::new(h(1), Region::key2(0, 1), AccessMode::Write),
         ];
         let b = [Access::new(h(1), Region::key2(0, 0), AccessMode::Write)];
         let c = [Access::new(h(1), Region::key2(1, 1), AccessMode::Write)];
-        assert!(tasks_conflict(&a, &b));
-        assert!(!tasks_conflict(&a, &c));
+        assert!(conflict(&a, &b));
+        assert!(!conflict(&a, &c));
+    }
+
+    #[test]
+    fn rename_capability() {
+        let w = Access::new(h(1), Region::All, AccessMode::Write);
+        assert!(!w.can_rename(), "plain handles never rename");
+        assert!(w.with_renaming().can_rename());
+        // Only whole-object write-only accesses are candidates.
+        let e = Access::new(h(1), Region::All, AccessMode::Exclusive);
+        assert!(!e.with_renaming().can_rename());
+        let r = Access::new(h(1), Region::All, AccessMode::Read);
+        assert!(!r.with_renaming().can_rename());
+        let part = Access::new(h(1), Region::Range { start: 0, end: 4 }, AccessMode::Write);
+        assert!(!part.with_renaming().can_rename());
     }
 }

@@ -14,9 +14,10 @@
 //! the owner meets a task a thief claimed, it suspends and works as a thief
 //! itself until the task completes.
 
-use crate::access::Access;
+use crate::access::{Access, AccessMode, HandleId};
+use crate::dataflow::SlotBinding;
 use crate::frame::Frame;
-use crate::handle::{Reduction, Ref, RefMut, Shared};
+use crate::handle::{PartView, Partitioned, Reduction, Ref, RefMut, Shared};
 use crate::runtime::{RtInner, Runtime};
 use crate::stats::WorkerStats;
 use crate::steal::{run_grab, try_steal_once};
@@ -65,8 +66,13 @@ impl RawCtx {
     ) -> (Arc<Frame>, usize, Arc<Task>) {
         let frame = self.ensure_frame();
         let task = Arc::new(Task::new(body, accesses));
-        let idx = frame.push(Arc::clone(&task));
-        WorkerStats::bump(&self.rt.workers[self.widx].stats.tasks_spawned, 1);
+        let out = frame.push(Arc::clone(&task), &self.rt.tun.rename);
+        let idx = out.idx;
+        let stats = &self.rt.workers[self.widx].stats;
+        WorkerStats::bump(&stats.tasks_spawned, 1);
+        if out.renames > 0 {
+            WorkerStats::bump(&stats.renames, out.renames as u64);
+        }
         if self.rt.queue.centralized() {
             // Insertion-time scheduling: ready tasks go straight to the
             // shared queue (QUARK/libGOMP model), even with one worker.
@@ -182,7 +188,7 @@ pub(crate) fn execute_claimed(
     let res = catch_unwind(AssertUnwindSafe(|| body(&mut raw)));
     let fin = catch_unwind(AssertUnwindSafe(|| raw.finish()));
     task.complete();
-    frame.complete_task(idx);
+    frame.complete_task(idx, &task);
     if rt.queue.centralized() {
         // Completion may have released successors: publish them centrally.
         crate::steal::publish_ready(rt, widx, frame);
@@ -488,16 +494,78 @@ impl<'scope> Ctx<'scope> {
     #[cfg(not(debug_assertions))]
     fn check_granted(&self, _id: crate::access::HandleId, _write: bool) {}
 
+    /// Version-slot binding of this task's declared access on handle `id`
+    /// (`write` selects a writing access; reads fall back to any access on
+    /// the handle — a granted write implies read permission).
+    ///
+    /// `None` when there is no current bound task (scope root, fork-join
+    /// fast lane) — callers then route to the handle's committed slot.
+    fn slot_binding(&self, id: HandleId, write: bool) -> Option<SlotBinding> {
+        let cur = self.raw().cur.as_ref()?;
+        let binding = cur.binding();
+        if binding.len() != cur.accesses.len() {
+            return None; // task was never bound through a frame
+        }
+        let pos = if write {
+            cur.accesses
+                .iter()
+                .position(|a| a.handle == id && a.mode.writes())
+        } else {
+            cur.accesses
+                .iter()
+                .position(|a| a.handle == id && a.mode == AccessMode::Read)
+                .or_else(|| cur.accesses.iter().position(|a| a.handle == id))
+        }?;
+        Some(binding[pos])
+    }
+
     /// Borrow a handle this task declared read access on.
     pub fn read<'a, T>(&self, h: &'a Shared<T>) -> Ref<'a, T> {
         self.check_granted(h.id(), false);
-        h.borrow()
+        if !h.is_renameable() {
+            return h.borrow();
+        }
+        let slot = self
+            .slot_binding(h.id(), false)
+            .map(|b| b.slot)
+            .unwrap_or_else(|| h.committed_slot());
+        h.borrow_slot(slot)
     }
 
     /// Borrow a handle this task declared write/exclusive access on.
+    ///
+    /// A renamed write-only access is routed to its fresh version slot;
+    /// dropping the borrow commits the slot (`DESIGN.md` §2).
     pub fn write<'a, T>(&self, h: &'a Shared<T>) -> RefMut<'a, T> {
         self.check_granted(h.id(), true);
-        h.borrow_mut()
+        if !h.is_renameable() {
+            return h.borrow_mut();
+        }
+        match self.slot_binding(h.id(), true) {
+            Some(b) => h.borrow_slot_mut(b.slot, b.renamed.then_some(b.seq)),
+            None => h.borrow_slot_mut(h.committed_slot(), None),
+        }
+    }
+
+    /// Slot-routed raw view of a [`Partitioned`] handle this task declared
+    /// an access on. Equivalent to [`Partitioned::view`] for plain handles;
+    /// on renameable handles it resolves the version slot the access was
+    /// bound to, and dropping the view commits a renamed write.
+    ///
+    /// The pointer carries the same safety contract as
+    /// [`Partitioned::view`]: only touch regions the task declared.
+    pub fn view_of<'a, T: Send>(&self, p: &'a Partitioned<T>) -> PartView<'a, T> {
+        self.check_granted(p.id(), false);
+        if !p.is_renameable() {
+            return p.part_view(0, None);
+        }
+        match self
+            .slot_binding(p.id(), true)
+            .or_else(|| self.slot_binding(p.id(), false))
+        {
+            Some(b) => p.part_view(b.slot, b.renamed.then_some(b.seq)),
+            None => p.part_view(p.committed_slot(), None),
+        }
     }
 
     /// Fold into a reduction this task declared cumulative-write access on.

@@ -1,22 +1,29 @@
-//! Frames: per-parent task sequences with lazy dependency computation and
-//! the ready-list ("graph mode") acceleration.
+//! Frames: per-parent task sequences over the versioned data-flow core,
+//! with the ready-list ("graph mode") acceleration.
 //!
 //! A frame holds the children one task (or one scope) spawned, in program
-//! order. The owner executes them FIFO without ever computing dependencies
-//! (work-first). A thief proves a task ready by scanning the frame from the
-//! oldest task: every earlier, not-yet-completed task must be non-conflicting.
+//! order. Pushing a task *binds* it into the frame's [`DataflowEngine`]
+//! (version chains, see [`crate::dataflow`]): this records its predecessor
+//! set and its version-slot routing once, and both execution strategies
+//! read that single source of truth:
 //!
-//! When steal scans become expensive the frame is *promoted*: a dependency
-//! graph with per-task predecessor counts and a ready list is built once,
-//! then updated incrementally on push/completion, and steals degrade to a
-//! near-constant-time pop — this is the paper's "accelerating data structure
-//! for steal operations".
+//! * the owner executes FIFO without consulting dependencies at all
+//!   (work-first: program order is always valid);
+//! * a thief proves a task ready with an incremental check — every recorded
+//!   predecessor completed (replacing the seed's O(n²) pairwise conflict
+//!   scan);
+//! * when steal scans become frequent the frame is *promoted*: a dependency
+//!   graph with per-task predecessor counts and a ready list is derived
+//!   from the same predecessor sets, then updated incrementally on
+//!   push/completion, and steals degrade to a near-constant-time pop — the
+//!   paper's "accelerating data structure for steal operations".
 
-use crate::access::{tasks_conflict, Access, AccessMode, HandleId, Region};
+use crate::dataflow::DataflowEngine;
+use crate::policy::RenamePolicy;
 use crate::task::{Task, ST_INIT, ST_STOLEN};
 use parking_lot::Mutex;
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -42,23 +49,12 @@ impl Default for PromotionPolicy {
     }
 }
 
-/// Dependency tracking for one region of one handle.
-#[derive(Default)]
-struct TrackEntry {
-    last_writer: Option<usize>,
-    readers: Vec<usize>,
-    cumuls: Vec<usize>,
-}
-
-/// All tracks of one handle, split by region shape for fast exact matches.
-#[derive(Default)]
-struct HandleTracks {
-    all: Option<TrackEntry>,
-    keys: HashMap<u64, TrackEntry>,
-    ranges: Vec<(usize, usize, TrackEntry)>,
-}
-
 /// The promoted dependency graph of a frame.
+///
+/// A thin readiness-propagation layer (`npred` counters, successor lists,
+/// a ready list) over the predecessor sets the frame's [`DataflowEngine`]
+/// computed at push time — the graph holds no dependency logic of its own,
+/// so it can never disagree with the scan path.
 pub(crate) struct DepGraph {
     npred: Vec<usize>,
     succ: Vec<Vec<usize>>,
@@ -68,7 +64,6 @@ pub(crate) struct DepGraph {
     /// May contain stale entries (claimed by the owner FIFO path); poppers
     /// re-validate with the claim CAS.
     ready: VecDeque<usize>,
-    tracks: HashMap<HandleId, HandleTracks>,
 }
 
 impl DepGraph {
@@ -78,119 +73,19 @@ impl DepGraph {
             succ: Vec::new(),
             accounted: Vec::new(),
             ready: VecDeque::new(),
-            tracks: HashMap::new(),
         }
     }
 
-    /// Integrate task `idx` (must be called in program order).
-    fn integrate(&mut self, idx: usize, accesses: &[Access], already_done: bool) {
+    /// Integrate task `idx` with the predecessor set the version-chain
+    /// engine recorded for it (must be called in program order).
+    fn integrate(&mut self, idx: usize, preds: &[u32], already_done: bool) {
         debug_assert_eq!(self.npred.len(), idx);
         self.npred.push(0);
         self.succ.push(Vec::new());
         self.accounted.push(already_done);
-
-        // Collect predecessor edges from the per-region tracks.
-        let mut preds: Vec<usize> = Vec::new();
-        for a in accesses {
-            if a.region.is_empty() {
-                continue;
-            }
-            let ht = self.tracks.entry(a.handle).or_default();
-            // `All` region of this handle always overlaps.
-            let visit = |e: &TrackEntry, preds: &mut Vec<usize>| match a.mode {
-                AccessMode::Read => {
-                    preds.extend(e.last_writer);
-                    preds.extend(e.cumuls.iter().copied());
-                }
-                AccessMode::Write | AccessMode::Exclusive => {
-                    preds.extend(e.last_writer);
-                    preds.extend(e.readers.iter().copied());
-                    preds.extend(e.cumuls.iter().copied());
-                }
-                AccessMode::CumulWrite => {
-                    preds.extend(e.last_writer);
-                    preds.extend(e.readers.iter().copied());
-                }
-            };
-            match a.region {
-                Region::All => {
-                    if let Some(e) = &ht.all {
-                        visit(e, &mut preds);
-                    }
-                    for e in ht.keys.values() {
-                        visit(e, &mut preds);
-                    }
-                    for (_, _, e) in &ht.ranges {
-                        visit(e, &mut preds);
-                    }
-                }
-                Region::Key(k) => {
-                    if let Some(e) = &ht.all {
-                        visit(e, &mut preds);
-                    }
-                    if let Some(e) = ht.keys.get(&k) {
-                        visit(e, &mut preds);
-                    }
-                    // Mixed Key/Range on a handle is conservative aliasing.
-                    for (_, _, e) in &ht.ranges {
-                        visit(e, &mut preds);
-                    }
-                }
-                Region::Range { start, end } => {
-                    if let Some(e) = &ht.all {
-                        visit(e, &mut preds);
-                    }
-                    for e in ht.keys.values() {
-                        visit(e, &mut preds);
-                    }
-                    for (s, t, e) in &ht.ranges {
-                        if *s < end && start < *t {
-                            visit(e, &mut preds);
-                        }
-                    }
-                }
-            }
-
-            // Record this access into its exact-shape track.
-            let entry: &mut TrackEntry = match a.region {
-                Region::All => ht.all.get_or_insert_with(Default::default),
-                Region::Key(k) => ht.keys.entry(k).or_default(),
-                Region::Range { start, end } => {
-                    if let Some(pos) = ht
-                        .ranges
-                        .iter()
-                        .position(|(s, t, _)| *s == start && *t == end)
-                    {
-                        &mut ht.ranges[pos].2
-                    } else {
-                        ht.ranges.push((start, end, TrackEntry::default()));
-                        let last = ht.ranges.len() - 1;
-                        &mut ht.ranges[last].2
-                    }
-                }
-            };
-            match a.mode {
-                AccessMode::Read => entry.readers.push(idx),
-                AccessMode::Write | AccessMode::Exclusive => {
-                    entry.last_writer = Some(idx);
-                    entry.readers.clear();
-                    entry.cumuls.clear();
-                }
-                AccessMode::CumulWrite => entry.cumuls.push(idx),
-            }
-            // A whole-object write absorbs every finer-grained track.
-            if matches!(a.mode, AccessMode::Write | AccessMode::Exclusive)
-                && matches!(a.region, Region::All)
-            {
-                ht.keys.clear();
-                ht.ranges.clear();
-            }
-        }
-
-        preds.sort_unstable();
-        preds.dedup();
         let mut np = 0;
-        for p in preds {
+        for &p in preds {
+            let p = p as usize;
             debug_assert!(p < idx);
             if !self.accounted[p] {
                 self.succ[p].push(idx);
@@ -232,6 +127,17 @@ impl DepGraph {
 struct FrameInner {
     tasks: Vec<Arc<Task>>,
     graph: Option<DepGraph>,
+    /// The single dependency implementation both modes read: version
+    /// chains, predecessor sets, slot routing — filled at push time.
+    engine: DataflowEngine,
+}
+
+/// What `Frame::push` tells the caller.
+pub(crate) struct PushOutcome {
+    /// Frame index of the pushed task.
+    pub(crate) idx: usize,
+    /// Accesses of the task that were renamed (fresh version slots).
+    pub(crate) renames: u32,
 }
 
 /// A frame: the ordered children of one parent task (or scope).
@@ -259,6 +165,7 @@ impl Frame {
             inner: Mutex::new(FrameInner {
                 tasks: Vec::new(),
                 graph: None,
+                engine: DataflowEngine::new(),
             }),
             len: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
@@ -299,21 +206,31 @@ impl Frame {
             .store(self.len.load(Ordering::Acquire), Ordering::Relaxed);
     }
 
-    /// Append a task (owner only). Returns its index.
-    pub(crate) fn push(&self, task: Arc<Task>) -> usize {
+    /// Append a task (owner only): bind it into the version-chain engine
+    /// (recording its predecessor set and slot routing), then publish it.
+    pub(crate) fn push(&self, task: Arc<Task>, rename: &RenamePolicy) -> PushOutcome {
         self.pending.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();
-        let idx = inner.tasks.len();
-        let accesses: &[Access] = &task.accesses;
-        if let Some(g) = inner.graph.as_mut() {
+        let FrameInner {
+            tasks,
+            graph,
+            engine,
+        } = &mut *inner;
+        let idx = tasks.len();
+        let binding = engine.bind(&task.accesses, rename);
+        debug_assert_eq!(binding.index, idx);
+        let renames = binding.renames;
+        // Safety: the task only becomes reachable by claimants through
+        // `tasks` below; the frame lock publishes the binding first.
+        unsafe { task.set_binding(binding.slots) };
+        if let Some(g) = graph.as_mut() {
             // Graph already promoted: integrate incrementally. The task was
             // just created, it cannot be done.
-            let accesses = accesses.to_vec();
-            g.integrate(idx, &accesses, false);
+            g.integrate(idx, engine.preds(idx), false);
         }
-        inner.tasks.push(task);
-        self.len.store(inner.tasks.len(), Ordering::Release);
-        idx
+        tasks.push(task);
+        self.len.store(tasks.len(), Ordering::Release);
+        PushOutcome { idx, renames }
     }
 
     /// Clone of the task at `idx`.
@@ -322,14 +239,23 @@ impl Frame {
     }
 
     /// Record completion of the task at `idx` (claimant side, after the
-    /// task's `complete()`). Propagates readiness if the frame is promoted.
-    pub(crate) fn complete_task(&self, idx: usize) {
-        if self.graph_on.load(Ordering::SeqCst) {
+    /// task's `complete()`). Propagates readiness if the frame is promoted
+    /// and releases the task's version slots if it holds any. Tasks bound
+    /// only to slot 0 skip the lock entirely in scan mode — the owner's
+    /// hot completion path stays lock-free even in frames that rename.
+    pub(crate) fn complete_task(&self, idx: usize, task: &Task) {
+        let holds_slots = task.binding().iter().any(|b| b.slot != 0);
+        if self.graph_on.load(Ordering::SeqCst) || holds_slots {
             let mut inner = self.inner.lock();
-            let FrameInner { tasks, graph } = &mut *inner;
+            let FrameInner {
+                tasks,
+                graph,
+                engine,
+            } = &mut *inner;
             if let Some(g) = graph.as_mut() {
                 g.on_complete(idx, tasks);
             }
+            engine.complete(idx);
         }
         self.pending.fetch_sub(1, Ordering::AcqRel);
     }
@@ -376,36 +302,37 @@ impl Frame {
             && (inner.tasks.len() >= policy.promote_len || scans >= policy.promote_scans);
         if promote {
             *promotions += 1;
+            // Derive the graph from the predecessor sets the engine
+            // recorded at push time (one source of truth for both modes).
             let mut g = DepGraph::new();
-            for (idx, t) in inner.tasks.iter().enumerate() {
-                // SeqCst promotion protocol: `graph_on` is set before the
-                // states are read, so any completion not observed here will
-                // observe `graph_on == true` and take the lock (see
-                // `Task::complete` + `complete_task`).
-                let accesses = t.accesses.to_vec();
-                g.integrate(idx, &accesses, false);
-                // Mark already-done tasks by propagating their completion.
-                // (`graph_on` was published first; see below.)
-                let _ = idx;
+            let FrameInner { tasks, engine, .. } = &mut *inner;
+            for idx in 0..tasks.len() {
+                g.integrate(idx, engine.preds(idx), false);
             }
-            // Publish *before* reading task states for done-accounting.
+            // SeqCst promotion protocol: publish `graph_on` *before*
+            // reading task states for done-accounting, so any completion
+            // not observed here will observe `graph_on == true` and take
+            // the lock (see `Task::complete` + `complete_task`).
             self.graph_on.store(true, Ordering::SeqCst);
-            let done: Vec<usize> = inner
-                .tasks
+            let done: Vec<usize> = tasks
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| t.is_done())
                 .map(|(i, _)| i)
                 .collect();
-            let FrameInner { tasks, graph } = &mut *inner;
-            *graph = Some(g);
+            inner.graph = Some(g);
+            let FrameInner { tasks, graph, .. } = &mut *inner;
             let g = graph.as_mut().unwrap();
             for idx in done {
                 g.on_complete(idx, tasks);
             }
         }
 
-        let FrameInner { tasks, graph } = &mut *inner;
+        let FrameInner {
+            tasks,
+            graph,
+            engine,
+        } = &mut *inner;
         if let Some(g) = graph.as_mut() {
             while out.len() < max {
                 match g.pop_ready_claimed(tasks) {
@@ -416,10 +343,11 @@ impl Frame {
             return;
         }
 
-        // Scan mode: oldest-first readiness by pairwise conflict checks
-        // against earlier incomplete tasks (the paper's baseline steal).
+        // Scan mode: oldest-first incremental readiness against the version
+        // chains — a task is ready when every predecessor the engine
+        // recorded for it has completed (same edges graph mode uses).
         let n = tasks.len();
-        'cand: for i in 0..n {
+        for i in 0..n {
             if out.len() >= max {
                 break;
             }
@@ -427,10 +355,8 @@ impl Frame {
             if t.state() != ST_INIT {
                 continue;
             }
-            for u in tasks.iter().take(i) {
-                if !u.is_done() && tasks_conflict(&u.accesses, &t.accesses) {
-                    continue 'cand;
-                }
+            if !engine.preds(i).iter().all(|&p| tasks[p as usize].is_done()) {
+                continue;
             }
             if t.try_claim(ST_STOLEN) {
                 out.push(i);
@@ -446,6 +372,7 @@ impl Frame {
         let mut inner = self.inner.lock();
         inner.tasks.clear(); // keeps the Vec capacity
         inner.graph = None;
+        inner.engine.clear();
         drop(inner);
         self.len.store(0, Ordering::Relaxed);
         self.cursor.store(0, Ordering::Relaxed);
@@ -462,7 +389,7 @@ impl Frame {
             return None;
         }
         let mut inner = self.inner.lock();
-        let FrameInner { tasks, graph } = &mut *inner;
+        let FrameInner { tasks, graph, .. } = &mut *inner;
         graph.as_mut().and_then(|g| g.pop_ready_claimed(tasks))
     }
 
@@ -475,7 +402,7 @@ impl Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::access::{Access, AccessMode, Region};
+    use crate::access::{Access, AccessMode, HandleId, Region};
     use crate::task::{Task, ST_OWNER};
 
     fn task_with(accs: &[Access]) -> Arc<Task> {
@@ -483,6 +410,12 @@ mod tests {
             Box::new(|_| {}),
             accs.to_vec().into_boxed_slice(),
         ))
+    }
+
+    /// Push with default renaming knobs (renaming applies only to accesses
+    /// flagged renameable, so plain tests are unaffected).
+    fn push(f: &Frame, accs: &[Access]) {
+        f.push(task_with(accs), &RenamePolicy::default());
     }
 
     fn acc(h: u64, mode: AccessMode) -> Access {
@@ -493,7 +426,7 @@ mod tests {
     fn fifo_indices_in_program_order() {
         let f = Frame::new();
         for _ in 0..4 {
-            f.push(task_with(&[]));
+            push(&f, &[]);
         }
         assert_eq!(f.len(), 4);
         assert_eq!(f.pending(), 4);
@@ -502,8 +435,8 @@ mod tests {
     #[test]
     fn scan_finds_independent_tasks_ready() {
         let f = Frame::new();
-        f.push(task_with(&[]));
-        f.push(task_with(&[]));
+        push(&f, &[]);
+        push(&f, &[]);
         let mut out = Vec::new();
         let mut promos = 0;
         f.steal_scan(
@@ -523,8 +456,8 @@ mod tests {
         let f = Frame::new();
         let w = acc(9, AccessMode::Write);
         let r = acc(9, AccessMode::Read);
-        f.push(task_with(&[w]));
-        f.push(task_with(&[r]));
+        push(&f, &[w]);
+        push(&f, &[r]);
         let pol = PromotionPolicy {
             enabled: false,
             ..Default::default()
@@ -538,7 +471,7 @@ mod tests {
         let t0 = f.task(0);
         let _ = t0.take_body();
         t0.complete();
-        f.complete_task(0);
+        f.complete_task(0, &t0);
         let mut out2 = Vec::new();
         f.steal_scan(8, &pol, &mut out2, &mut promos);
         assert_eq!(out2, vec![1]);
@@ -547,10 +480,10 @@ mod tests {
     #[test]
     fn readers_run_concurrently_writers_serialize() {
         let f = Frame::new();
-        f.push(task_with(&[acc(1, AccessMode::Write)]));
-        f.push(task_with(&[acc(1, AccessMode::Read)]));
-        f.push(task_with(&[acc(1, AccessMode::Read)]));
-        f.push(task_with(&[acc(1, AccessMode::Write)]));
+        push(&f, &[acc(1, AccessMode::Write)]);
+        push(&f, &[acc(1, AccessMode::Read)]);
+        push(&f, &[acc(1, AccessMode::Read)]);
+        push(&f, &[acc(1, AccessMode::Write)]);
         let pol = PromotionPolicy {
             enabled: false,
             ..Default::default()
@@ -569,7 +502,7 @@ mod tests {
         let t = f.task(idx);
         let _ = t.take_body();
         t.complete();
-        f.complete_task(idx);
+        f.complete_task(idx, &t);
     }
 
     #[test]
@@ -580,9 +513,9 @@ mod tests {
             enabled: true,
         };
         let f = Frame::new();
-        f.push(task_with(&[acc(1, AccessMode::Write)]));
-        f.push(task_with(&[acc(1, AccessMode::Read)]));
-        f.push(task_with(&[acc(2, AccessMode::Write)]));
+        push(&f, &[acc(1, AccessMode::Write)]);
+        push(&f, &[acc(1, AccessMode::Read)]);
+        push(&f, &[acc(2, AccessMode::Write)]);
         let mut out = Vec::new();
         let mut promos = 0;
         f.steal_scan(8, &pol, &mut out, &mut promos);
@@ -606,14 +539,14 @@ mod tests {
             enabled: true,
         };
         let f = Frame::new();
-        f.push(task_with(&[acc(1, AccessMode::Write)]));
-        f.push(task_with(&[acc(1, AccessMode::Read)]));
+        push(&f, &[acc(1, AccessMode::Write)]);
+        push(&f, &[acc(1, AccessMode::Read)]);
         // Owner runs task 0 before any steal.
         let t0 = f.task(0);
         assert!(t0.try_claim(ST_OWNER));
         let _ = t0.take_body();
         t0.complete();
-        f.complete_task(0);
+        f.complete_task(0, &t0);
         let mut out = Vec::new();
         let mut promos = 0;
         f.steal_scan(8, &pol, &mut out, &mut promos);
@@ -628,14 +561,14 @@ mod tests {
             enabled: true,
         };
         let f = Frame::new();
-        f.push(task_with(&[acc(1, AccessMode::Write)]));
+        push(&f, &[acc(1, AccessMode::Write)]);
         let mut out = Vec::new();
         let mut promos = 0;
         f.steal_scan(0, &pol, &mut out, &mut promos); // max=0: no-op (pending>0, but max==0 short-circuits)
         f.steal_scan(8, &pol, &mut out, &mut promos);
         assert_eq!(out, vec![0]);
         // push after promotion: dependency on in-flight task 0
-        f.push(task_with(&[acc(1, AccessMode::Read)]));
+        push(&f, &[acc(1, AccessMode::Read)]);
         let mut out2 = Vec::new();
         f.steal_scan(8, &pol, &mut out2, &mut promos);
         assert!(out2.is_empty());
@@ -653,9 +586,9 @@ mod tests {
             enabled: true,
         };
         let f = Frame::new();
-        f.push(task_with(&[acc(3, AccessMode::CumulWrite)]));
-        f.push(task_with(&[acc(3, AccessMode::CumulWrite)]));
-        f.push(task_with(&[acc(3, AccessMode::Read)]));
+        push(&f, &[acc(3, AccessMode::CumulWrite)]);
+        push(&f, &[acc(3, AccessMode::CumulWrite)]);
+        push(&f, &[acc(3, AccessMode::Read)]);
         let mut out = Vec::new();
         let mut promos = 0;
         f.steal_scan(8, &pol, &mut out, &mut promos);
@@ -672,12 +605,9 @@ mod tests {
     fn keyed_regions_independent() {
         let f = Frame::new();
         let p = |i, j, m| Access::new(HandleId(7), Region::key2(i, j), m);
-        f.push(task_with(&[p(0, 0, AccessMode::Write)]));
-        f.push(task_with(&[p(1, 1, AccessMode::Write)]));
-        f.push(task_with(&[
-            p(0, 0, AccessMode::Read),
-            p(1, 1, AccessMode::Write),
-        ]));
+        push(&f, &[p(0, 0, AccessMode::Write)]);
+        push(&f, &[p(1, 1, AccessMode::Write)]);
+        push(&f, &[p(0, 0, AccessMode::Read), p(1, 1, AccessMode::Write)]);
         for pol in [
             PromotionPolicy {
                 enabled: false,
@@ -690,12 +620,12 @@ mod tests {
             },
         ] {
             let f2 = Frame::new();
-            f2.push(task_with(&[p(0, 0, AccessMode::Write)]));
-            f2.push(task_with(&[p(1, 1, AccessMode::Write)]));
-            f2.push(task_with(&[
-                p(0, 0, AccessMode::Read),
-                p(1, 1, AccessMode::Write),
-            ]));
+            push(&f2, &[p(0, 0, AccessMode::Write)]);
+            push(&f2, &[p(1, 1, AccessMode::Write)]);
+            push(
+                &f2,
+                &[p(0, 0, AccessMode::Read), p(1, 1, AccessMode::Write)],
+            );
             let mut out = Vec::new();
             let mut promos = 0;
             f2.steal_scan(8, &pol, &mut out, &mut promos);
@@ -714,13 +644,12 @@ mod tests {
         };
         let f = Frame::new();
         let p = |i, j, m| Access::new(HandleId(7), Region::key2(i, j), m);
-        f.push(task_with(&[p(0, 0, AccessMode::Write)]));
-        f.push(task_with(&[Access::new(
-            HandleId(7),
-            Region::All,
-            AccessMode::Write,
-        )]));
-        f.push(task_with(&[p(5, 5, AccessMode::Write)]));
+        push(&f, &[p(0, 0, AccessMode::Write)]);
+        push(
+            &f,
+            &[Access::new(HandleId(7), Region::All, AccessMode::Write)],
+        );
+        push(&f, &[p(5, 5, AccessMode::Write)]);
         let mut out = Vec::new();
         let mut promos = 0;
         f.steal_scan(8, &pol, &mut out, &mut promos);
@@ -743,5 +672,127 @@ mod tests {
         let p = f.take_panic().unwrap();
         assert_eq!(*p.downcast_ref::<&str>().unwrap(), "first");
         assert!(f.take_panic().is_none());
+    }
+
+    #[test]
+    fn renaming_widens_scan_ready_set() {
+        // w r w r: with renaming the second write-only access is renamed,
+        // so both writers are ready at once; without it the chain
+        // serializes.
+        let w = acc(11, AccessMode::Write).with_renaming();
+        let r = acc(11, AccessMode::Read);
+        let pol = PromotionPolicy {
+            enabled: false,
+            ..Default::default()
+        };
+        for (enabled, expect) in [(true, vec![0, 2]), (false, vec![0])] {
+            let rp = RenamePolicy {
+                enabled,
+                ..Default::default()
+            };
+            let f = Frame::new();
+            for a in [w, r, w, r] {
+                f.push(task_with(&[a]), &rp);
+            }
+            let mut out = Vec::new();
+            let mut promos = 0;
+            f.steal_scan(8, &pol, &mut out, &mut promos);
+            out.sort_unstable();
+            assert_eq!(out, expect, "renaming enabled={enabled}");
+        }
+    }
+
+    /// Property: scan mode and graph mode claim identical ready sets on
+    /// random access programs, with renaming both on and off — they share
+    /// one dependency engine, so they cannot disagree.
+    #[test]
+    fn scan_and_graph_readiness_agree_on_random_programs() {
+        // splitmix64, as in tests/properties.rs (dependency-free).
+        struct Rng(u64);
+        impl Rng {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+            fn below(&mut self, n: u64) -> u64 {
+                self.next() % n
+            }
+        }
+        let scan_pol = PromotionPolicy {
+            enabled: false,
+            ..Default::default()
+        };
+        let graph_pol = PromotionPolicy {
+            promote_len: 1,
+            promote_scans: 1,
+            enabled: true,
+        };
+        let mut rng = Rng(0x5CA9);
+        for case in 0..40 {
+            let rp = RenamePolicy {
+                enabled: case % 2 == 0,
+                max_live_slots: 1 + (case % 5) as u32,
+            };
+            let ntasks = 1 + rng.below(40) as usize;
+            let tasks: Vec<Vec<Access>> = (0..ntasks)
+                .map(|_| {
+                    (0..1 + rng.below(3))
+                        .map(|_| {
+                            let h = 1 + rng.below(4);
+                            let region = match rng.below(4) {
+                                0 => Region::All,
+                                1 => Region::key2(rng.below(2) as usize, rng.below(2) as usize),
+                                2 => {
+                                    let s = rng.below(8) as usize;
+                                    Region::Range {
+                                        start: s,
+                                        end: s + rng.below(8) as usize,
+                                    }
+                                }
+                                _ => Region::All,
+                            };
+                            let (mode, ren) = match rng.below(5) {
+                                0 | 1 => (AccessMode::Read, false),
+                                2 => (AccessMode::Write, true),
+                                3 => (AccessMode::Exclusive, false),
+                                _ => (AccessMode::CumulWrite, false),
+                            };
+                            let a = Access::new(HandleId(h), region, mode);
+                            if ren {
+                                a.with_renaming()
+                            } else {
+                                a
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let fs = Frame::new();
+            let fg = Frame::new();
+            for accs in &tasks {
+                fs.push(task_with(accs), &rp);
+                fg.push(task_with(accs), &rp);
+            }
+            let mut promos = 0;
+            let mut done = 0usize;
+            while done < ntasks {
+                let mut s = Vec::new();
+                let mut g = Vec::new();
+                fs.steal_scan(usize::MAX, &scan_pol, &mut s, &mut promos);
+                fg.steal_scan(usize::MAX, &graph_pol, &mut g, &mut promos);
+                s.sort_unstable();
+                g.sort_unstable();
+                assert_eq!(s, g, "case {case}: ready sets diverge after {done} done");
+                assert!(!s.is_empty(), "case {case}: no progress ({done}/{ntasks})");
+                for idx in s {
+                    finish(&fs, idx);
+                    finish(&fg, idx);
+                    done += 1;
+                }
+            }
+        }
     }
 }

@@ -20,6 +20,13 @@
 //!   frame from the oldest task;
 //! * **ready-list acceleration**: frames whose scans get expensive are
 //!   promoted to a dependency graph with a ready list — steals become pops;
+//! * **one dependency engine**: scan-mode readiness and the promoted graph
+//!   are both derived from the same versioned data-flow core
+//!   ([`dataflow`]), so the two modes can never disagree;
+//! * **renaming**: a write-only access on a renameable handle gets a fresh
+//!   version of the data instead of serializing behind earlier
+//!   readers/writers — WAR/WAW elimination (`DESIGN.md` §2,
+//!   [`Shared::renameable`]);
 //! * **request aggregation**: `N` concurrent steal requests to one victim
 //!   are served by a single elected combiner thief;
 //! * **adaptive tasks**: running tasks publish splitters invoked under the
@@ -58,6 +65,7 @@
 mod access;
 mod adaptive;
 mod ctx;
+pub mod dataflow;
 mod fastlane;
 mod foreach;
 mod frame;
@@ -73,9 +81,10 @@ mod worker;
 pub use access::{Access, AccessMode, HandleId, Region};
 pub use adaptive::{split_even, IntervalCell};
 pub use ctx::{with_runtime_ctx, Ctx};
+pub use dataflow::DataflowEngine;
 pub use frame::PromotionPolicy;
-pub use handle::{Partitioned, Reduction, Ref, RefMut, Shared};
-pub use policy::{AggregatedStealing, PerThiefStealing, StealPolicy};
+pub use handle::{PartView, Partitioned, Reduction, Ref, RefMut, Shared};
+pub use policy::{AggregatedStealing, PerThiefStealing, RenamePolicy, StealPolicy};
 pub use queue::{DistributedLanes, TaskQueue, WorkItem};
 pub use runtime::{Builder, Runtime, Tunables};
 pub use stats::StatsSnapshot;

@@ -1,4 +1,5 @@
-//! The steal layer: the thief-side protocol, behind [`StealPolicy`].
+//! Pluggable scheduler policies: the thief-side steal protocol
+//! ([`StealPolicy`]) and the write-only renaming knobs ([`RenamePolicy`]).
 //!
 //! Idle workers post request nodes onto a victim's Treiber stack and race
 //! for its steal lock; the winner (the *elected combiner*) drains every
@@ -55,9 +56,49 @@ impl StealPolicy for PerThiefStealing {
     }
 }
 
+/// Knobs for write-only **renaming** (WAR/WAW elimination, DESIGN.md §2).
+///
+/// A task declaring a write-only ([`AccessMode::Write`]) whole-object access
+/// on a renameable handle would normally be ordered after every earlier
+/// reader and writer of that object (the write-after-read / write-after-write
+/// orderings of the sequential program). Renaming hands the writer a *fresh
+/// version slot* of the data instead, so those ordering edges disappear and
+/// repeated overwrites pipeline across workers. The policy bounds how many
+/// uncommitted version buffers one handle may hold and provides the master
+/// switch the ablation benchmarks A/B.
+///
+/// [`AccessMode::Write`]: crate::AccessMode::Write
+#[derive(Clone, Copy, Debug)]
+pub struct RenamePolicy {
+    /// Master switch; `false` makes write-only behave like exclusive
+    /// (serializing) even on renameable handles.
+    pub enabled: bool,
+    /// Maximum live (not yet reclaimed) version slots per handle beyond the
+    /// original buffer. A write-only access that cannot get a slot under
+    /// this cap falls back to serializing semantics. Capped internally at
+    /// `u16::MAX - 1` (slot ids are packed into 16 bits).
+    pub max_live_slots: u32,
+}
+
+impl Default for RenamePolicy {
+    fn default() -> Self {
+        RenamePolicy {
+            enabled: true,
+            max_live_slots: 8,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rename_defaults() {
+        let p = RenamePolicy::default();
+        assert!(p.enabled);
+        assert!(p.max_live_slots >= 1);
+    }
 
     #[test]
     fn batch_sizes() {

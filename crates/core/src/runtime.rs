@@ -19,7 +19,7 @@
 
 use crate::ctx::{Ctx, RawCtx};
 use crate::frame::PromotionPolicy;
-use crate::policy::{AggregatedStealing, PerThiefStealing, StealPolicy};
+use crate::policy::{AggregatedStealing, PerThiefStealing, RenamePolicy, StealPolicy};
 use crate::queue::{DistributedLanes, TaskQueue};
 use crate::stats::{self, StatsSnapshot};
 use crate::worker::{current_worker_of, worker_main, ParkLot, Worker};
@@ -34,6 +34,8 @@ use std::sync::Arc;
 pub struct Tunables {
     /// Ready-list ("graph mode") promotion policy.
     pub promotion: PromotionPolicy,
+    /// Write-only renaming (WAR/WAW elimination) policy.
+    pub rename: RenamePolicy,
     /// Steal-request aggregation: the elected combiner serves every drained
     /// request. When `false`, the combiner serves only itself and fails the
     /// others (they retry), modelling a runtime without flat combining.
@@ -50,6 +52,7 @@ impl Default for Tunables {
     fn default() -> Self {
         Tunables {
             promotion: PromotionPolicy::default(),
+            rename: RenamePolicy::default(),
             aggregation: true,
             steal_rounds_before_park: 32,
             grain_factor: 8,
@@ -120,6 +123,20 @@ impl Builder {
     /// Override the graph-mode promotion policy.
     pub fn promotion(mut self, p: PromotionPolicy) -> Self {
         self.tun.promotion = p;
+        self
+    }
+
+    /// Enable/disable write-only renaming (WAR/WAW elimination) — the
+    /// master switch the ablation benchmarks A/B. Renaming only ever
+    /// applies to renameable handles ([`crate::Shared::renameable`]).
+    pub fn renaming(mut self, on: bool) -> Self {
+        self.tun.rename.enabled = on;
+        self
+    }
+
+    /// Override the full renaming policy (master switch + slot cap).
+    pub fn rename_policy(mut self, p: RenamePolicy) -> Self {
+        self.tun.rename = p;
         self
     }
 

@@ -54,6 +54,9 @@ counters! {
     splits,
     /// Frames promoted to graph mode (ready-list acceleration).
     promotions,
+    /// Write-only accesses renamed to a fresh version slot (WAR/WAW
+    /// ordering edges eliminated).
+    renames,
     /// Parallel-loop chunks executed.
     loop_chunks,
 }

@@ -10,6 +10,7 @@
 
 use crate::access::Access;
 use crate::ctx::RawCtx;
+use crate::dataflow::SlotBinding;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -34,10 +35,16 @@ pub(crate) struct Task {
     body: UnsafeCell<Option<TaskBody>>,
     /// Declared accesses; empty for independent (fork-join) tasks.
     pub(crate) accesses: Box<[Access]>,
+    /// Version-slot routing parallel to `accesses`, written once by
+    /// `Frame::push` (under the frame lock, before the task is claimable)
+    /// and read-only afterwards.
+    binding: UnsafeCell<Box<[SlotBinding]>>,
 }
 
-// Safety: `body` is only touched by the thread that won the claim CAS, and
-// `accesses` is immutable after construction.
+// Safety: `body` is only touched by the thread that won the claim CAS,
+// `accesses` is immutable after construction, and `binding` is written
+// exactly once before the task is published to any other thread (the frame
+// lock release in `Frame::push` is the publication fence).
 unsafe impl Send for Task {}
 unsafe impl Sync for Task {}
 
@@ -47,7 +54,25 @@ impl Task {
             state: AtomicU8::new(ST_INIT),
             body: UnsafeCell::new(Some(body)),
             accesses,
+            binding: UnsafeCell::new(Box::new([])),
         }
+    }
+
+    /// Install the slot routing computed by the data-flow engine.
+    ///
+    /// # Safety
+    /// Must be called at most once, before the task becomes reachable by
+    /// any other thread (`Frame::push` does so under the frame lock).
+    pub(crate) unsafe fn set_binding(&self, b: Box<[SlotBinding]>) {
+        unsafe { *self.binding.get() = b };
+    }
+
+    /// Slot routing, parallel to `accesses`. Empty for tasks that were
+    /// never bound through a frame (fork-join fast-lane jobs).
+    #[inline]
+    pub(crate) fn binding(&self) -> &[SlotBinding] {
+        // Safety: written once pre-publication; immutable afterwards.
+        unsafe { &*self.binding.get() }
     }
 
     /// Current state (acquire: observing `ST_DONE` also acquires the task's

@@ -627,6 +627,162 @@ fn reduction_reused_across_scopes() {
 }
 
 #[test]
+fn renaming_preserves_final_value() {
+    // Repeated whole-object overwrites on a renameable handle: renaming
+    // eliminates the WAR/WAW chain, yet the last write must win.
+    for workers in [1, 4] {
+        let rt = Runtime::new(workers);
+        rt.reset_stats();
+        let h = Shared::renameable(0u64);
+        rt.scope(|ctx| {
+            for i in 0..40u64 {
+                let hw = h.clone();
+                ctx.spawn([h.write()], move |t| *t.write(&hw) = i);
+                let hr = h.clone();
+                ctx.spawn([h.read()], move |t| {
+                    assert_eq!(*t.read(&hr), i, "reader must see its version");
+                });
+            }
+        });
+        assert_eq!(*h.get(), 39);
+        assert!(
+            rt.stats().renames > 0,
+            "war-chain on {workers} workers should rename"
+        );
+        assert_eq!(h.into_inner(), 39);
+    }
+}
+
+#[test]
+fn renaming_ablation_identical_checksums() {
+    // The same program under renaming on/off yields identical results.
+    let run = |renaming: bool| -> u64 {
+        let rt = Runtime::builder().workers(4).renaming(renaming).build();
+        // NB: `renameable_with`, not `renameable` — fresh buffers must have
+        // the same shape as the initial value (`Vec::default()` is empty).
+        let h = Shared::renameable_with(vec![0u64; 64], || vec![0u64; 64]);
+        let sum = Arc::new(AtomicUsize::new(0));
+        rt.scope(|ctx| {
+            for round in 0..24u64 {
+                let hw = h.clone();
+                ctx.spawn([h.write()], move |t| {
+                    let mut g = t.write(&hw);
+                    for (i, x) in g.iter_mut().enumerate() {
+                        *x = round * 31 + i as u64;
+                    }
+                });
+                for _ in 0..3 {
+                    let hr = h.clone();
+                    let s = Arc::clone(&sum);
+                    ctx.spawn([h.read()], move |t| {
+                        let v: u64 = t.read(&hr).iter().sum();
+                        s.fetch_add(v as usize, Ordering::Relaxed);
+                    });
+                }
+            }
+        });
+        let tail: u64 = h.get().iter().sum();
+        sum.load(Ordering::Relaxed) as u64 + tail
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn renaming_mixed_with_exclusive_and_regions() {
+    // Exclusive writes interleaved with renamed write-only ones follow the
+    // committed slot lineage.
+    let rt = rt(4);
+    for _ in 0..20 {
+        let h = Shared::renameable(0u64);
+        rt.scope(|ctx| {
+            let h1 = h.clone();
+            ctx.spawn([h.write()], move |t| *t.write(&h1) = 10);
+            let h2 = h.clone();
+            ctx.spawn([h.exclusive()], move |t| *t.write(&h2) += 1);
+            let h3 = h.clone();
+            ctx.spawn([h.write()], move |t| *t.write(&h3) = 100);
+            let h4 = h.clone();
+            ctx.spawn([h.exclusive()], move |t| *t.write(&h4) += 5);
+        });
+        assert_eq!(*h.get(), 105);
+    }
+}
+
+#[test]
+fn renaming_across_scopes_follows_committed_lineage() {
+    // Each scope gets a fresh frame (fresh engine): the chain state must be
+    // seeded from the handle's committed version, or scope 2 would read
+    // stale slot-0 data and its commits would lose the sequence CAS.
+    let rt = rt(4);
+    let h = Shared::renameable(0u64);
+    rt.scope(|ctx| {
+        for i in 1..=3u64 {
+            let hw = h.clone();
+            ctx.spawn([h.write()], move |t| *t.write(&hw) = i);
+            let hr = h.clone();
+            ctx.spawn([h.read()], move |t| assert_eq!(*t.read(&hr), i));
+        }
+    });
+    assert_eq!(*h.get(), 3);
+    // Scope 2: exclusive read-modify-write must see scope 1's result.
+    rt.scope(|ctx| {
+        let hw = h.clone();
+        ctx.spawn([h.exclusive()], move |t| *t.write(&hw) += 10);
+    });
+    assert_eq!(*h.get(), 13);
+    // Scope 3: renamed writes must commit over scope 1's sequence numbers.
+    rt.scope(|ctx| {
+        for i in [100u64, 101] {
+            let hw = h.clone();
+            ctx.spawn([h.write()], move |t| *t.write(&hw) = i);
+            let hr = h.clone();
+            ctx.spawn([h.read()], move |t| assert_eq!(*t.read(&hr), i));
+        }
+    });
+    assert_eq!(*h.get(), 101);
+    // Many more scopes: lineage stays coherent indefinitely.
+    for round in 0..20u64 {
+        rt.scope(|ctx| {
+            let hw = h.clone();
+            ctx.spawn([h.write()], move |t| *t.write(&hw) = round);
+            let hw2 = h.clone();
+            ctx.spawn([h.write()], move |t| *t.write(&hw2) = round + 1000);
+        });
+        assert_eq!(*h.get(), round + 1000, "scope round {round}");
+    }
+    assert_eq!(h.into_inner(), 19 + 1000);
+}
+
+#[test]
+fn partitioned_renameable_whole_object_writes() {
+    let rt = rt(4);
+    let p = Partitioned::renameable_with(vec![0u64; 8], || vec![0u64; 8]);
+    let sum = Arc::new(AtomicUsize::new(0));
+    rt.scope(|ctx| {
+        for round in 1..=10u64 {
+            let pw = p.clone();
+            ctx.spawn([p.write_all()], move |t| {
+                let v = t.view_of(&pw);
+                // Safety: whole-object write-only access was declared.
+                let buf = unsafe { &mut *v.ptr() };
+                buf.iter_mut().for_each(|x| *x = round);
+            });
+            let pr = p.clone();
+            let s = Arc::clone(&sum);
+            ctx.spawn([p.access(Region::All, AccessMode::Read)], move |t| {
+                let v = t.view_of(&pr);
+                // Safety: read access granted; writer of this version done.
+                let buf = unsafe { &*v.ptr() };
+                assert!(buf.iter().all(|&x| x == round));
+                s.fetch_add(buf[0] as usize, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), (1..=10usize).sum::<usize>());
+    assert!(p.get().iter().all(|&x| x == 10));
+}
+
+#[test]
 fn mixed_fastlane_and_dataflow_in_one_scope() {
     // joins (fast lane) interleaved with dataflow chains must both respect
     // their own ordering rules.

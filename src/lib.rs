@@ -25,7 +25,7 @@ pub use xkaapi_sim as sim;
 pub use xkaapi_skyline as skyline;
 
 pub use xkaapi_core::{
-    Access, AccessMode, AggregatedStealing, Builder, Ctx, DistributedLanes, HandleId, Partitioned,
-    PerThiefStealing, PromotionPolicy, Reduction, Region, Runtime, Shared, StatsSnapshot,
-    StealPolicy, TaskQueue, Tunables, WorkItem,
+    Access, AccessMode, AggregatedStealing, Builder, Ctx, DataflowEngine, DistributedLanes,
+    HandleId, Partitioned, PerThiefStealing, PromotionPolicy, Reduction, Region, RenamePolicy,
+    Runtime, Shared, StatsSnapshot, StealPolicy, TaskQueue, Tunables, WorkItem,
 };

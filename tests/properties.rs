@@ -84,6 +84,72 @@ fn dataflow_execution_is_sequentially_consistent() {
     }
 }
 
+/// Random programs of write-only overwrites, exclusive updates and reads
+/// over renameable handles produce the sequential-order result with
+/// renaming both on and off (scan mode and graph mode share one dependency
+/// engine; renaming only removes WAR/WAW edges, never RAW ones).
+#[test]
+fn renaming_preserves_sequential_semantics() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let mut rng = CaseRng::new(0xAE08);
+    for case in 0..16 {
+        let nh = rng.usize_range(1, 4);
+        let nops = rng.usize_range(1, 50);
+        let workers = rng.usize_range(1, 5);
+        // op = (handle, kind, value): kind 0 = write-only overwrite,
+        // 1 = exclusive add, 2 = read-accumulate into a checksum.
+        let ops: Vec<(usize, u64, u64)> = (0..nops)
+            .map(|_| (rng.usize_range(0, nh), rng.range(0, 3), rng.range(1, 100)))
+            .collect();
+        // Sequential reference.
+        let mut cells = vec![0u64; nh];
+        let mut checksum = 0u64;
+        for &(h, kind, v) in &ops {
+            match kind {
+                0 => cells[h] = v,
+                1 => cells[h] = cells[h].wrapping_add(v),
+                _ => checksum = checksum.wrapping_add(cells[h]),
+            }
+        }
+        for renaming in [true, false] {
+            let rt = xkaapi::Runtime::builder()
+                .workers(workers)
+                .renaming(renaming)
+                .build();
+            let handles: Vec<Shared<u64>> = (0..nh).map(|_| Shared::renameable(0)).collect();
+            let sum = AtomicU64::new(0);
+            rt.scope(|ctx| {
+                let sum = &sum;
+                for &(h, kind, v) in &ops {
+                    let hc = handles[h].clone();
+                    match kind {
+                        0 => ctx.spawn([handles[h].write()], move |t| *t.write(&hc) = v),
+                        1 => ctx.spawn([handles[h].exclusive()], move |t| {
+                            let mut g = t.write(&hc);
+                            *g = g.wrapping_add(v);
+                        }),
+                        _ => ctx.spawn([handles[h].read()], move |t| {
+                            sum.fetch_add(*t.read(&hc), Ordering::Relaxed);
+                        }),
+                    }
+                }
+            });
+            for (i, h) in handles.into_iter().enumerate() {
+                assert_eq!(
+                    h.into_inner(),
+                    cells[i],
+                    "case {case}: cell {i} (renaming={renaming}, workers={workers})"
+                );
+            }
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                checksum,
+                "case {case}: checksum (renaming={renaming}, workers={workers})"
+            );
+        }
+    }
+}
+
 /// foreach executes every index exactly once for arbitrary ranges, grains
 /// and worker counts.
 #[test]
