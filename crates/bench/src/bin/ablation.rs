@@ -1,7 +1,10 @@
 //! Ablation study of the scheduler optimisations the paper singles out
 //! (§II-C): steal-request **aggregation**, the **ready-list** (graph mode)
 //! acceleration and write-only **renaming** (WAR/WAW elimination) — plus
-//! the adaptive-loop grain.
+//! the adaptive-loop grain and the **victim-selection** sweep (uniform ×
+//! hierarchical × locality-first over the queue layers, with the
+//! same-node-steal locality property asserted on a modelled 2-node
+//! machine).
 //!
 //! Three parts:
 //! 1. real-machine ablations on this host (multi-worker, 1 core —
@@ -14,9 +17,9 @@
 //! Usage: `ablation`
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use xkaapi_bench::{measure_ns, print_table, SchedPolicy};
+use xkaapi_bench::{measure_ns, print_table, steal_heavy_workload, SchedPolicy, VictimPolicy};
 use xkaapi_core::dataflow::DataflowEngine;
-use xkaapi_core::{PromotionPolicy, RenamePolicy, Runtime, Shared};
+use xkaapi_core::{PromotionPolicy, RenamePolicy, Runtime, Shared, Topology};
 use xkaapi_sim::{simulate_dag, DagPolicy, Platform, SimTask, TaskDag};
 
 /// One mixed data-flow workload every scheduler policy must agree on:
@@ -104,6 +107,124 @@ fn main() {
             "checksum",
         ],
         &rows,
+    );
+
+    // --- victim-selection sweep: queue layers × victim policies on a ------
+    // modelled 2-node machine (8 workers, 4 per node). Victim selection is
+    // orthogonal to the queue layer, so centralized queues sweep it too;
+    // the steal-locality counters show where the grabs came from.
+    let vp_workers = 8usize;
+    let two_node = || Topology::two_level(vp_workers, 4);
+    let mut rows = Vec::new();
+    let mut checksums = Vec::new();
+    for queue in [
+        SchedPolicy::DistributedAggregated,
+        SchedPolicy::CentralOmp,
+        SchedPolicy::CentralQuark,
+    ] {
+        for victim in VictimPolicy::ALL {
+            let rt = queue.build_runtime_with(vp_workers, victim, two_node());
+            let mut sum = 0;
+            let t = measure_ns(3, || sum = steal_heavy_workload(&rt));
+            checksums.push(sum);
+            // Accumulate steals beyond the timed rounds so the locality
+            // counters show a real sample, not 3-round noise. Centralized
+            // queues are skipped: their workers drain the shared pool
+            // instead of stealing, so the counters legitimately stay ~0.
+            if queue == SchedPolicy::DistributedAggregated {
+                for _ in 0..300 {
+                    let s = rt.stats();
+                    if s.steals_local_node + s.steals_remote_node >= 100 {
+                        break;
+                    }
+                    assert_eq!(
+                        steal_heavy_workload(&rt),
+                        sum,
+                        "checksum drifted across rounds"
+                    );
+                }
+            }
+            let s = rt.stats();
+            rows.push(vec![
+                queue.label().into(),
+                victim.label().into(),
+                format!("{:.2}", t as f64 / 1e6),
+                s.steals_local_node.to_string(),
+                s.steals_remote_node.to_string(),
+                s.victim_escalations.to_string(),
+                sum.to_string(),
+            ]);
+        }
+    }
+    assert!(
+        checksums.iter().all(|&c| c == checksums[0]),
+        "victim policies disagree on the workload result: {checksums:?}"
+    );
+    print_table(
+        "Victim-policy sweep: 3 queue layers x 3 victim policies, 8 workers on 2 modelled nodes \
+         (identical checksums)",
+        &[
+            "queue layer",
+            "victim policy",
+            "time (ms)",
+            "local steals",
+            "remote steals",
+            "escalations",
+            "checksum",
+        ],
+        &rows,
+    );
+
+    // --- locality property: on the 2-node model, hierarchical victim ------
+    // selection must land strictly more same-node steals than uniform.
+    // Stats accumulate across rounds until both policies have a solid
+    // sample, washing out scheduling noise.
+    let accumulate = |victim: VictimPolicy| {
+        let rt =
+            SchedPolicy::DistributedAggregated.build_runtime_with(vp_workers, victim, two_node());
+        for _ in 0..2000 {
+            steal_heavy_workload(&rt);
+            let s = rt.stats();
+            if s.steals_local_node + s.steals_remote_node >= 400 {
+                break;
+            }
+        }
+        rt.stats()
+    };
+    let uni = accumulate(VictimPolicy::Uniform);
+    let hier = accumulate(VictimPolicy::Hierarchical);
+    assert!(
+        hier.steals_local_node > uni.steals_local_node,
+        "hierarchical must steal same-node strictly more than uniform \
+         (hier {}/{} vs uniform {}/{})",
+        hier.steals_local_node,
+        hier.steals_remote_node,
+        uni.steals_local_node,
+        uni.steals_remote_node
+    );
+    assert!(
+        hier.steal_locality_ratio() > uni.steal_locality_ratio(),
+        "hierarchical locality ratio must beat uniform: {:.3} vs {:.3}",
+        hier.steal_locality_ratio(),
+        uni.steal_locality_ratio()
+    );
+    print_table(
+        "Locality property: same-node steal share on 2 modelled nodes (asserted)",
+        &["victim policy", "local", "remote", "local share"],
+        &[
+            vec![
+                "uniform".into(),
+                uni.steals_local_node.to_string(),
+                uni.steals_remote_node.to_string(),
+                format!("{:.3}", uni.steal_locality_ratio()),
+            ],
+            vec![
+                "hierarchical".into(),
+                hier.steals_local_node.to_string(),
+                hier.steals_remote_node.to_string(),
+                format!("{:.3}", hier.steal_locality_ratio()),
+            ],
+        ],
     );
 
     // --- real: ready-list on/off on a wide data-flow frame --------------

@@ -8,20 +8,27 @@
 //! * **cholesky gflops** (data-flow): a tiled factorization on the
 //!   data-flow engine.
 //!
+//! Since PR 3 the snapshot also records the **steal-locality counters**
+//! of the victim-selection policies (uniform / hierarchical /
+//! locality-first on a modelled 2-node machine), so the perf trajectory
+//! tracks where steals land, not just how fast the paradigms run.
+//!
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR2.json` (snapshot file
+//! * `smoke --json` — additionally writes `BENCH_PR3.json` (snapshot file
 //!   name pinned per PR so the perf trajectory accretes one file per PR).
 //!
 //! [`Ctx::join`]: xkaapi_core::Ctx::join
 
 use std::time::Instant;
-use xkaapi_bench::{gflops, measure_ns, print_table};
-use xkaapi_core::{Ctx, Runtime};
+use xkaapi_bench::{
+    gflops, measure_ns, print_table, steal_heavy_workload, SchedPolicy, VictimPolicy,
+};
+use xkaapi_core::{Ctx, Runtime, Topology};
 use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR2.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR3.json";
 
 fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
     if n < 2 {
@@ -90,6 +97,59 @@ fn main() {
     });
     chol_gflops += gflops(cn, chol_ns);
 
+    // --- steal locality per victim policy (2 modelled NUMA nodes) -------
+    // A steal-heavy workload (busy data-flow chains + an adaptive
+    // reduction whose splits hand slices to requesting thieves) on 8
+    // workers / 2 modelled nodes; the per-policy counters (local vs remote
+    // steals, escalations) feed the perf-trajectory JSON alongside the
+    // paradigm timings. Rounds accumulate until the locality sample is
+    // solid, so the recorded ratios are not single-round noise.
+    let vp_workers = 8usize;
+    let mut victim_rows = Vec::new();
+    let mut victim_json = Vec::new();
+    for victim in VictimPolicy::ALL {
+        let rt_v = SchedPolicy::DistributedAggregated.build_runtime_with(
+            vp_workers,
+            victim,
+            Topology::two_level(vp_workers, 4),
+        );
+        let v_ns = measure_ns(3, || {
+            steal_heavy_workload(&rt_v);
+        });
+        for _ in 0..1000 {
+            let s = rt_v.stats();
+            if s.steals_local_node + s.steals_remote_node >= 300 {
+                break;
+            }
+            steal_heavy_workload(&rt_v);
+        }
+        let s = rt_v.stats();
+        victim_rows.push(vec![
+            format!("steals [{}]", victim.label()),
+            format!(
+                "{}/{} local",
+                s.steals_local_node,
+                s.steals_local_node + s.steals_remote_node
+            ),
+            format!(
+                "{:.2} ms, {} escalations, locality {:.3}",
+                v_ns as f64 / 1e6,
+                s.victim_escalations,
+                s.steal_locality_ratio()
+            ),
+        ]);
+        victim_json.push(format!(
+            "{{\"policy\": \"{}\", \"ns\": {v_ns}, \"steals_local_node\": {}, \
+             \"steals_remote_node\": {}, \"victim_escalations\": {}, \
+             \"locality_ratio\": {:.4}}}",
+            victim.label(),
+            s.steals_local_node,
+            s.steals_remote_node,
+            s.victim_escalations,
+            s.steal_locality_ratio()
+        ));
+    }
+
     let total_s = t0.elapsed().as_secs_f64();
     print_table(
         &format!("Perf snapshot ({workers} workers, {total_s:.1}s total)"),
@@ -113,18 +173,23 @@ fn main() {
                 format!("{chol_gflops:.2} GFlop/s"),
                 format!("n={cn} nb={nb} in {:.2} ms", chol_ns as f64 / 1e6),
             ],
+            victim_rows[0].clone(),
+            victim_rows[1].clone(),
+            victim_rows[2].clone(),
         ],
     );
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 2,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 3,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
              \"gb_per_s\": {foreach_gbs:.3}, \"melems_per_s\": {foreach_melems_per_s:.3}}},\n  \
              \"cholesky\": {{\"n\": {cn}, \"nb\": {nb}, \"ns\": {chol_ns}, \
-             \"gflops\": {chol_gflops:.3}}}\n}}\n"
+             \"gflops\": {chol_gflops:.3}}},\n  \
+             \"steal_locality\": {{\"workers\": {vp_workers}, \"nodes\": 2, \"policies\": [\n    {}\n  ]}}\n}}\n",
+            victim_json.join(",\n    ")
         );
         std::fs::write(SNAPSHOT_FILE, body).expect("write perf snapshot");
         println!("\nwrote {SNAPSHOT_FILE}");

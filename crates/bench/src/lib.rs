@@ -11,12 +11,56 @@
 
 pub mod policy;
 
-pub use policy::SchedPolicy;
+pub use policy::{SchedPolicy, VictimPolicy};
 
 use std::time::Instant;
 use xkaapi_linalg::{flops, CholOp, TiledMatrix};
 use xkaapi_sim::{DagPolicy, SimTask, TaskDag};
 use xkaapi_skyline::{BlockSkyline, SkyOp};
+
+/// ~µs of un-optimizable work (an LCG chain), so thieves can win task
+/// claims from the owner on a time-sliced host.
+#[inline]
+pub fn busy_work(tag: u64, iters: u64) -> u64 {
+    let mut acc = tag;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc)
+}
+
+/// Steal-heavy mixed workload shared by the steal-locality surfaces
+/// (`ablation`'s victim sweep and `smoke`'s locality counters): 16×25
+/// exclusive data-flow chains with busy links (data-flow steals) plus an
+/// adaptive reduction whose on-demand splits hand slices to requesting
+/// thieves (adaptive steals). Returns a schedule-independent checksum.
+pub fn steal_heavy_workload(rt: &xkaapi_core::Runtime) -> u64 {
+    use xkaapi_core::Shared;
+    let cells: Vec<Shared<u64>> = (0..16).map(|_| Shared::new(1)).collect();
+    rt.scope(|ctx| {
+        for round in 0..25u64 {
+            for (i, c) in cells.iter().enumerate() {
+                let cw = c.clone();
+                ctx.spawn([c.exclusive()], move |t| {
+                    busy_work(round, 2000);
+                    *t.write(&cw) += round + i as u64;
+                });
+            }
+        }
+    });
+    let chain_sum: u64 = cells.iter().map(|c| *c.get()).sum();
+    let loop_sum = rt.foreach_reduce(
+        0..40_000,
+        None,
+        || 0u64,
+        |a, i| {
+            busy_work(i as u64, 40);
+            *a += i as u64;
+        },
+        |a, b| a + b,
+    );
+    chain_sum.wrapping_add(loop_sum)
+}
 
 /// Median wall time of `f` over `iters` runs, in nanoseconds.
 pub fn measure_ns<F: FnMut()>(iters: usize, mut f: F) -> u64 {

@@ -8,9 +8,54 @@
 //! each hand-rolled their own worker loop and queue machinery).
 
 use std::sync::Arc;
-use xkaapi_core::{AggregatedStealing, PerThiefStealing, Runtime, StealPolicy, TaskQueue};
+use xkaapi_core::{
+    AggregatedStealing, HierarchicalVictim, LocalityFirst, PerThiefStealing, Runtime, StealPolicy,
+    TaskQueue, Topology, UniformVictim,
+};
 use xkaapi_omp::OmpCentralQueue;
 use xkaapi_quark::QuarkCentralQueue;
+
+/// Victim-selection dimension of the steal layer, swept orthogonally to
+/// the queue layer by `bench --bin ablation` (ISSUE 3: uniform ×
+/// hierarchical × locality-first on distributed and centralized queues).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Uniform random victim, full aggregation (the paper's default).
+    Uniform,
+    /// Same-node victims first, machine-wide after the fail streak grows;
+    /// bounded near-first combiner batches.
+    Hierarchical,
+    /// Victims ranked by topology distance with probabilistic ring
+    /// escalation; bounded near-first combiner batches.
+    LocalityFirst,
+}
+
+impl VictimPolicy {
+    /// Every victim policy, for exhaustive sweeps.
+    pub const ALL: [VictimPolicy; 3] = [
+        VictimPolicy::Uniform,
+        VictimPolicy::Hierarchical,
+        VictimPolicy::LocalityFirst,
+    ];
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            VictimPolicy::Uniform => "uniform",
+            VictimPolicy::Hierarchical => "hierarchical",
+            VictimPolicy::LocalityFirst => "locality-first",
+        }
+    }
+
+    /// The steal-layer policy object implementing this victim selection.
+    pub fn steal_policy(self) -> Arc<dyn StealPolicy> {
+        match self {
+            VictimPolicy::Uniform => Arc::new(UniformVictim),
+            VictimPolicy::Hierarchical => Arc::new(HierarchicalVictim::default()),
+            VictimPolicy::LocalityFirst => Arc::new(LocalityFirst::default()),
+        }
+    }
+}
 
 /// Full scheduler configuration, selectable from one value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,20 +95,41 @@ impl SchedPolicy {
 
     /// Build a runtime with `workers` workers under this configuration.
     pub fn build_runtime(self, workers: usize) -> Runtime {
+        self.builder(workers).build()
+    }
+
+    /// Build a runtime under this queue configuration with an explicit
+    /// victim-selection policy and machine topology — the full
+    /// queue-layer × victim-policy sweep surface. The victim policy
+    /// replaces this configuration's default steal layer (the queue layer
+    /// is unchanged, so centralized queues sweep victim policies too).
+    pub fn build_runtime_with(
+        self,
+        workers: usize,
+        victim: VictimPolicy,
+        topo: Topology,
+    ) -> Runtime {
+        self.builder(workers)
+            .steal_policy(victim.steal_policy())
+            .topology(topo)
+            .build()
+    }
+
+    fn builder(self, workers: usize) -> xkaapi_core::Builder {
         let builder = Runtime::builder().workers(workers);
         match self {
-            SchedPolicy::DistributedAggregated => builder
-                .steal_policy(Arc::new(AggregatedStealing) as Arc<dyn StealPolicy>)
-                .build(),
-            SchedPolicy::DistributedPerThief => builder
-                .steal_policy(Arc::new(PerThiefStealing) as Arc<dyn StealPolicy>)
-                .build(),
-            SchedPolicy::CentralOmp => builder
-                .task_queue(Arc::new(OmpCentralQueue::new()) as Arc<dyn TaskQueue>)
-                .build(),
-            SchedPolicy::CentralQuark => builder
-                .task_queue(Arc::new(QuarkCentralQueue::new()) as Arc<dyn TaskQueue>)
-                .build(),
+            SchedPolicy::DistributedAggregated => {
+                builder.steal_policy(Arc::new(AggregatedStealing) as Arc<dyn StealPolicy>)
+            }
+            SchedPolicy::DistributedPerThief => {
+                builder.steal_policy(Arc::new(PerThiefStealing) as Arc<dyn StealPolicy>)
+            }
+            SchedPolicy::CentralOmp => {
+                builder.task_queue(Arc::new(OmpCentralQueue::new()) as Arc<dyn TaskQueue>)
+            }
+            SchedPolicy::CentralQuark => {
+                builder.task_queue(Arc::new(QuarkCentralQueue::new()) as Arc<dyn TaskQueue>)
+            }
         }
     }
 }

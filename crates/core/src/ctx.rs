@@ -228,6 +228,7 @@ pub(crate) fn help_until(
             if let Some(idx) = frame.pop_ready_owner() {
                 let t = frame.task(idx);
                 execute_task_at(rt, widx, frame, idx, t, true);
+                rt.workers[widx].reset_fail_streak();
                 backoff.reset();
                 continue;
             }
@@ -241,6 +242,7 @@ pub(crate) fn help_until(
         if rt.queue.centralized() {
             if let Some(item) = rt.queue.pop(widx) {
                 run_grab(rt, widx, item.into_grab());
+                rt.workers[widx].reset_fail_streak();
                 backoff.reset();
                 continue;
             }
@@ -253,6 +255,7 @@ pub(crate) fn help_until(
         if let Some(job) = rt.pop_inject() {
             let mut raw = RawCtx::new(Arc::clone(rt), widx);
             (job.0)(&mut raw);
+            rt.workers[widx].reset_fail_streak();
             backoff.reset();
             continue;
         }

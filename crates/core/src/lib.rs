@@ -29,6 +29,12 @@
 //!   [`Shared::renameable`]);
 //! * **request aggregation**: `N` concurrent steal requests to one victim
 //!   are served by a single elected combiner thief;
+//! * **topology-aware stealing**: victim selection is a policy over the
+//!   machine [`Topology`] (worker→node map + distance matrix, shared with
+//!   the simulator's platform model) — uniform, hierarchical
+//!   (same-node-first with fail-streak escalation) or locality-first
+//!   (distance-ranked), with bounded near-first combiner batches
+//!   (`DESIGN.md` §3);
 //! * **adaptive tasks**: running tasks publish splitters invoked under the
 //!   victim's steal lock (at most one concurrent splitter per victim).
 //!
@@ -76,6 +82,7 @@ mod runtime;
 mod stats;
 mod steal;
 mod task;
+pub mod topology;
 mod worker;
 
 pub use access::{Access, AccessMode, HandleId, Region};
@@ -84,10 +91,14 @@ pub use ctx::{with_runtime_ctx, Ctx};
 pub use dataflow::DataflowEngine;
 pub use frame::PromotionPolicy;
 pub use handle::{PartView, Partitioned, Reduction, Ref, RefMut, Shared};
-pub use policy::{AggregatedStealing, PerThiefStealing, RenamePolicy, StealPolicy};
+pub use policy::{
+    uniform_victim, AggregatedStealing, HierarchicalVictim, LocalityFirst, PerThiefStealing,
+    RenamePolicy, StealPolicy, UniformVictim, VictimChoice,
+};
 pub use queue::{DistributedLanes, TaskQueue, WorkItem};
 pub use runtime::{Builder, Runtime, Tunables};
 pub use stats::StatsSnapshot;
+pub use topology::{DistanceMatrix, Topology};
 
 #[cfg(test)]
 mod tests;

@@ -22,6 +22,7 @@ use crate::frame::PromotionPolicy;
 use crate::policy::{AggregatedStealing, PerThiefStealing, RenamePolicy, StealPolicy};
 use crate::queue::{DistributedLanes, TaskQueue};
 use crate::stats::{self, StatsSnapshot};
+use crate::topology::Topology;
 use crate::worker::{current_worker_of, worker_main, ParkLot, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -44,6 +45,10 @@ pub struct Tunables {
     pub aggregation: bool,
     /// Idle rounds of steal attempts before a worker parks.
     pub steal_rounds_before_park: u32,
+    /// Park timeout in microseconds: the bound on how long a parked worker
+    /// sleeps before re-probing (repairs lost wake-up races). Historically
+    /// a hardcoded 500 µs.
+    pub park_timeout_us: u64,
     /// Default parallel-loop grain is `n / (grain_factor * workers)`.
     pub grain_factor: usize,
 }
@@ -55,6 +60,7 @@ impl Default for Tunables {
             rename: RenamePolicy::default(),
             aggregation: true,
             steal_rounds_before_park: 32,
+            park_timeout_us: 500,
             grain_factor: 8,
         }
     }
@@ -64,25 +70,32 @@ impl Default for Tunables {
 ///
 /// # Environment overrides
 ///
-/// Two variables override the corresponding *defaults* at
+/// These variables override the corresponding *defaults* at
 /// [`Builder::build`] time, so binaries that don't pin a configuration can
 /// be tuned without recompiling (rayon's `RAYON_NUM_THREADS` precedent):
 ///
 /// * `XKAAPI_WORKERS` — number of worker threads (≥ 1);
-/// * `XKAAPI_GRAIN_FACTOR` — parallel-loop grain divisor (≥ 1).
+/// * `XKAAPI_GRAIN_FACTOR` — parallel-loop grain divisor (≥ 1);
+/// * `XKAAPI_PARK_TIMEOUT_US` — idle-worker park timeout in µs (≥ 1);
+/// * `XKAAPI_STEAL_ROUNDS` — failed steal rounds before a worker parks
+///   (≥ 1).
 ///
-/// An explicit [`Builder::workers`] / [`Builder::grain_factor`] call wins
-/// over the environment: code that sized auxiliary structures (a custom
-/// [`TaskQueue`], `Reduction::with_slots`) to a requested worker count must
-/// never be resized from the outside underneath it. Malformed values are
-/// ignored with a one-line warning on stderr.
+/// An explicit setter call ([`Builder::workers`], [`Builder::grain_factor`],
+/// [`Builder::park_timeout_us`], [`Builder::steal_rounds_before_park`])
+/// wins over the environment: code that sized auxiliary structures (a
+/// custom [`TaskQueue`], `Reduction::with_slots`) to a requested worker
+/// count must never be resized from the outside underneath it. Malformed
+/// values are ignored with a one-line warning on stderr.
 pub struct Builder {
     workers: Option<usize>,
     tun: Tunables,
     grain_explicit: bool,
+    park_explicit: bool,
+    rounds_explicit: bool,
     stack_size: usize,
     queue: Option<Arc<dyn TaskQueue>>,
     steal: Option<Arc<dyn StealPolicy>>,
+    topo: Option<Topology>,
 }
 
 impl Default for Builder {
@@ -91,9 +104,12 @@ impl Default for Builder {
             workers: None,
             tun: Tunables::default(),
             grain_explicit: false,
+            park_explicit: false,
+            rounds_explicit: false,
             stack_size: 16 << 20,
             queue: None,
             steal: None,
+            topo: None,
         }
     }
 }
@@ -154,6 +170,15 @@ impl Builder {
         self
     }
 
+    /// Install an explicit machine [`Topology`] (worker→node mapping +
+    /// distance matrix) for topology-aware steal policies. Its worker
+    /// count must match the runtime's. Defaults to [`Topology::detect`]
+    /// (Linux sysfs, flat fallback).
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topo = Some(t);
+        self
+    }
+
     /// Install a ready-work store (queue layer). Defaults to
     /// [`DistributedLanes`] (one T.H.E. deque per worker). Centralized
     /// implementations make every paradigm run through one shared pool —
@@ -173,9 +198,21 @@ impl Builder {
         self
     }
 
-    /// Idle steal rounds before a worker parks (park threshold).
+    /// Idle steal rounds before a worker parks (park threshold; default
+    /// overridable via `XKAAPI_STEAL_ROUNDS`). An explicit call here wins
+    /// over the environment.
     pub fn steal_rounds_before_park(mut self, rounds: u32) -> Self {
         self.tun.steal_rounds_before_park = rounds.max(1);
+        self.rounds_explicit = true;
+        self
+    }
+
+    /// Park timeout in microseconds (default 500, overridable via
+    /// `XKAAPI_PARK_TIMEOUT_US`). An explicit call here wins over the
+    /// environment.
+    pub fn park_timeout_us(mut self, us: u64) -> Self {
+        self.tun.park_timeout_us = us.max(1);
+        self.park_explicit = true;
         self
     }
 
@@ -194,6 +231,16 @@ impl Builder {
                 tun.grain_factor = f;
             }
         }
+        if !self.park_explicit {
+            if let Some(us) = env_override("XKAAPI_PARK_TIMEOUT_US") {
+                tun.park_timeout_us = us as u64;
+            }
+        }
+        if !self.rounds_explicit {
+            if let Some(r) = env_override("XKAAPI_STEAL_ROUNDS") {
+                tun.steal_rounds_before_park = r.min(u32::MAX as usize) as u32;
+            }
+        }
         let nworkers = self
             .workers
             .or_else(|| env_override("XKAAPI_WORKERS"))
@@ -210,6 +257,17 @@ impl Builder {
             None if tun.aggregation => Arc::new(AggregatedStealing),
             None => Arc::new(PerThiefStealing),
         };
+        let topo = match self.topo {
+            Some(t) => {
+                assert_eq!(
+                    t.workers(),
+                    nworkers,
+                    "Builder::topology worker count must match the runtime's"
+                );
+                t
+            }
+            None => Topology::detect(nworkers),
+        };
         let workers: Box<[Arc<Worker>]> = (0..nworkers).map(|i| Arc::new(Worker::new(i))).collect();
         let inner = Arc::new(RtInner {
             workers,
@@ -219,6 +277,7 @@ impl Builder {
             tun,
             queue,
             steal_pol,
+            topo,
             threads: Mutex::new(Vec::new()),
         });
         for i in 0..nworkers {
@@ -250,6 +309,8 @@ pub(crate) struct RtInner {
     pub(crate) queue: Arc<dyn TaskQueue>,
     /// Steal layer: the thief-side protocol.
     pub(crate) steal_pol: Arc<dyn StealPolicy>,
+    /// Machine topology consulted by topology-aware steal policies.
+    pub(crate) topo: Topology,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -429,6 +490,12 @@ impl Runtime {
     /// Name of the steal-layer policy in effect.
     pub fn steal_policy_name(&self) -> &'static str {
         self.inner.steal_pol.name()
+    }
+
+    /// The machine topology this runtime schedules against (detected or
+    /// injected via [`Builder::topology`]).
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topo
     }
 }
 

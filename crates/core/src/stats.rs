@@ -59,6 +59,13 @@ counters! {
     renames,
     /// Parallel-loop chunks executed.
     loop_chunks,
+    /// Successful steals whose victim shared the thief's NUMA node.
+    steals_local_node,
+    /// Successful steals whose victim sat on a remote NUMA node.
+    steals_remote_node,
+    /// Victim choices where the policy deliberately left its preferred
+    /// (nearest) victim set because the local fail streak grew too long.
+    victim_escalations,
 }
 
 impl WorkerStats {
@@ -97,6 +104,18 @@ impl StatsSnapshot {
             0.0
         } else {
             self.tasks_executed_stolen as f64 / t as f64
+        }
+    }
+
+    /// Fraction of locality-classified steals that stayed on the thief's
+    /// NUMA node (`0.0` when no steal was classified — flat topologies
+    /// classify every steal as local).
+    pub fn steal_locality_ratio(&self) -> f64 {
+        let t = self.steals_local_node + self.steals_remote_node;
+        if t == 0 {
+            0.0
+        } else {
+            self.steals_local_node as f64 / t as f64
         }
     }
 }

@@ -12,6 +12,12 @@
 //! splitters of the victim's adaptive tasks. Because splitters only run
 //! under the victim's steal lock, at most one thief splits any adaptive task
 //! at a time — the synchronisation contract the adaptive model relies on.
+//!
+//! *Which* victim a thief probes, how many drained requests a combiner
+//! serves per pass and in what order are all delegated to the
+//! [`StealPolicy`](crate::StealPolicy) (topology-aware victim selection,
+//! bounded near-first batches — DESIGN.md §3); requests beyond a bounded
+//! batch are re-queued onto the victim's stack while it still has work.
 
 use crate::ctx::execute_task_at;
 use crate::frame::Frame;
@@ -19,7 +25,7 @@ use crate::queue::WorkItem;
 use crate::runtime::RtInner;
 use crate::stats::WorkerStats;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Boxed closure a thief executes (typically a stolen adaptive-loop slice).
@@ -46,6 +52,10 @@ pub(crate) struct Request {
     status: AtomicU8,
     /// Index of the requesting (thief) worker.
     pub(crate) thief: usize,
+    /// Set when a bounded combiner batch re-queued this request instead of
+    /// answering it; a request is re-queued at most once per post, bounding
+    /// how long a thief can be held inside one steal attempt.
+    requeued: AtomicBool,
     grab: UnsafeCell<Option<Grab>>,
 }
 
@@ -60,14 +70,16 @@ impl Request {
             next: AtomicPtr::new(std::ptr::null_mut()),
             status: AtomicU8::new(REQ_FREE),
             thief,
+            requeued: AtomicBool::new(false),
             grab: UnsafeCell::new(None),
         }
     }
 }
 
-/// Push `req` onto `victim`'s request stack.
-fn post_request(victim: &crate::worker::Worker, req: &Request) {
-    req.status.store(REQ_POSTED, Ordering::Relaxed);
+/// Push a (already `REQ_POSTED`) node onto `victim`'s request stack.
+/// Used both for fresh posts and for re-queueing requests a bounded
+/// combiner batch could not serve this pass.
+fn push_node(victim: &crate::worker::Worker, req: &Request) {
     let req_ptr = req as *const Request as *mut Request;
     let mut head = victim.req_head.load(Ordering::Relaxed);
     loop {
@@ -82,6 +94,13 @@ fn post_request(victim: &crate::worker::Worker, req: &Request) {
             Err(h) => head = h,
         }
     }
+}
+
+/// Push `req` onto `victim`'s request stack.
+fn post_request(victim: &crate::worker::Worker, req: &Request) {
+    req.status.store(REQ_POSTED, Ordering::Relaxed);
+    req.requeued.store(false, Ordering::Relaxed);
+    push_node(victim, req);
 }
 
 /// Drain all posted requests from `victim` (combiner side).
@@ -184,18 +203,38 @@ fn distribute(reqs: Vec<&Request>, grabs: Vec<Grab>) {
     }
 }
 
-/// One steal attempt by worker `me`: pick a random victim, post a request,
-/// participate in combining until answered. Returns work, or `None`.
+/// One steal attempt by worker `me`: ask the steal policy for a victim
+/// (topology- and fail-streak-aware), post a request, participate in
+/// combining until answered. Returns work, or `None`.
+///
+/// The thief's *fail streak* (consecutive answered-empty attempts, kept on
+/// the [`Worker`](crate::worker::Worker)) feeds the policy's victim
+/// escalation and the idle loop's park decision; it is reset here on a
+/// successful grab and by the idle loop on any acquired work.
 pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
     let p = rt.num_workers();
+    let my = &rt.workers[me];
     if p < 2 {
+        // No victims; still count the failure so a lone worker waiting for
+        // injected work escalates to parking.
+        my.note_steal_failure();
         return None;
     }
-    let my = &rt.workers[me];
-    // Random victim != me.
-    let mut v = (my.next_rand() % (p as u64 - 1)) as usize;
-    if v >= me {
-        v += 1;
+    let choice = {
+        let mut rng = || my.next_rand();
+        rt.steal_pol
+            .choose_victim(me, &mut rng, &rt.topo, my.fail_streak())
+    };
+    let v = if choice.victim == me || choice.victim >= p {
+        // Defensive against misbehaving external policies: fall back to a
+        // uniform legal victim rather than stealing from ourselves.
+        debug_assert!(false, "policy chose an invalid victim {}", choice.victim);
+        crate::policy::uniform_victim(me, p, &mut || my.next_rand())
+    } else {
+        choice.victim
+    };
+    if choice.escalated {
+        WorkerStats::bump(&my.stats.victim_escalations, 1);
     }
     let victim = &rt.workers[v];
     WorkerStats::bump(&my.stats.steal_attempts, 1);
@@ -208,30 +247,61 @@ pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
                 // Safety: combiner wrote the grab before the Release store.
                 let grab = unsafe { (*my.req.grab.get()).take() };
                 WorkerStats::bump(&my.stats.steal_hits, 1);
+                if rt.topo.same_node(me, v) {
+                    WorkerStats::bump(&my.stats.steals_local_node, 1);
+                } else {
+                    WorkerStats::bump(&my.stats.steals_remote_node, 1);
+                }
+                my.reset_fail_streak();
                 return grab;
             }
             REQ_EMPTY => {
                 my.req.status.store(REQ_FREE, Ordering::Relaxed);
+                my.note_steal_failure();
                 return None;
             }
             _ => {}
         }
         if let Some(_guard) = victim.steal_lock.try_lock() {
             // Elected combiner: serve a policy-sized batch of the pending
-            // requests in one pass (all of them under aggregation).
-            let reqs = drain_requests(victim);
+            // requests in one pass (all of them under full aggregation).
+            let mut reqs = drain_requests(victim);
             if !reqs.is_empty() {
-                let k = rt.steal_pol.serve_batch(reqs.len()).max(1);
-                let (serve_now, fail_now) = reqs.split_at(k.min(reqs.len()));
+                // Distance-aware service order: near thieves get the grabs
+                // first. The default policy keys everything 0, and the sort
+                // is stable, so arrival order is preserved there.
+                reqs.sort_by_key(|r| rt.steal_pol.thief_priority(v, r.thief, &rt.topo));
+                let k = rt.steal_pol.serve_batch(reqs.len()).max(1).min(reqs.len());
+                // Liveness: the combiner's own request must be in the batch
+                // it serves — otherwise a bounded batch could re-queue us
+                // forever while we keep doing everyone else's work.
+                if let Some(pos) = reqs[k..].iter().position(|r| r.thief == me) {
+                    reqs.swap(k - 1, k + pos);
+                }
+                let (serve_now, overflow) = reqs.split_at(k);
                 let grabs = serve(rt, v, serve_now, &my.stats);
                 WorkerStats::bump(&my.stats.combine_batches, 1);
                 WorkerStats::bump(&my.stats.combine_served, serve_now.len() as u64);
                 if serve_now.len() >= 2 {
                     WorkerStats::bump(&my.stats.aggregated_requests, serve_now.len() as u64);
                 }
+                let exhausted = grabs.len() < serve_now.len();
                 distribute(serve_now.to_vec(), grabs);
-                for req in fail_now {
-                    req.status.store(REQ_EMPTY, Ordering::Release);
+                // Fairness: requests beyond the batch bound are *not*
+                // failed while the victim still has work (the full batch
+                // got grabs) — re-queue them so the next combiner pass
+                // serves them. Once the victim ran dry mid-batch, answer
+                // the rest empty so those thieves move on. Each request is
+                // re-queued at most once per post: a thief in a join-wait
+                // help loop must get back to re-checking its wait condition
+                // within a bounded number of combiner passes, not be held
+                // captive for the victim's whole work stream.
+                for req in overflow {
+                    if exhausted || req.requeued.swap(true, Ordering::Relaxed) {
+                        req.status.store(REQ_EMPTY, Ordering::Release);
+                    } else {
+                        push_node(victim, req);
+                    }
                 }
             }
             continue; // re-check own status (we were among the drained)

@@ -10,11 +10,13 @@
 //! queue.pop → injected root jobs → steal (policy-driven) → park
 //! ```
 //!
-//! Parking is centralized in [`ParkLot`]: a worker that failed
-//! `Tunables::steal_rounds_before_park` consecutive acquisition attempts
-//! blocks on the lot's condvar with a 500 µs timeout (bounding lost
-//! wake-up races), and producers call [`ParkLot::signal`] — one relaxed
-//! load when nobody sleeps.
+//! Parking is centralized in [`ParkLot`]: a worker whose *steal fail
+//! streak* (consecutive failed acquisition attempts, tracked on the
+//! [`Worker`] so the steal policy sees it too) reaches
+//! `Tunables::steal_rounds_before_park` blocks on the lot's condvar with a
+//! `Tunables::park_timeout_us` timeout (bounding lost wake-up races), and
+//! producers call [`ParkLot::signal`] — one relaxed load when nobody
+//! sleeps.
 
 use crate::adaptive::Adaptive;
 use crate::ctx::RawCtx;
@@ -23,7 +25,7 @@ use crate::runtime::RtInner;
 use crate::stats::WorkerStats;
 use crate::steal::{run_grab, try_steal_once, Request};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +47,11 @@ pub(crate) struct Worker {
     /// This worker's own request node, posted to victims when idle.
     pub(crate) req: Request,
     pub(crate) stats: WorkerStats,
+    /// Consecutive failed steal attempts (reset on any acquired work).
+    /// Read by the steal policy for victim escalation and by the idle loop
+    /// for the park decision. Only the owning worker thread writes it, so
+    /// plain load/store suffices.
+    fail_streak: AtomicU32,
     /// Recycled quiescent frames.
     frame_pool: Mutex<Vec<Arc<Frame>>>,
     rng: AtomicU64,
@@ -60,9 +67,31 @@ impl Worker {
             req_head: AtomicPtr::new(std::ptr::null_mut()),
             req: Request::new(idx),
             stats: WorkerStats::default(),
+            fail_streak: AtomicU32::new(0),
             frame_pool: Mutex::new(Vec::new()),
             rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15 ^ ((idx as u64 + 1) << 17)),
         }
+    }
+
+    /// Current steal fail streak (consecutive failed attempts).
+    #[inline]
+    pub(crate) fn fail_streak(&self) -> u32 {
+        self.fail_streak.load(Ordering::Relaxed)
+    }
+
+    /// Record one more failed steal attempt (saturating).
+    #[inline]
+    pub(crate) fn note_steal_failure(&self) {
+        let s = self.fail_streak.load(Ordering::Relaxed);
+        if s < u32::MAX {
+            self.fail_streak.store(s + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reset the fail streak (work was acquired somewhere).
+    #[inline]
+    pub(crate) fn reset_fail_streak(&self) {
+        self.fail_streak.store(0, Ordering::Relaxed);
     }
 
     /// xorshift64* victim selector (relaxed: statistical quality only).
@@ -134,7 +163,7 @@ impl ParkLot {
     /// sleeps (one relaxed load).
     #[inline]
     pub(crate) fn signal(&self) {
-        // Relaxed: a missed wake-up is repaired by the 500 µs park timeout.
+        // Relaxed: a missed wake-up is repaired by the park timeout.
         if self.sleepers.load(Ordering::Relaxed) > 0 {
             let _g = self.mx.lock();
             self.cv.notify_all();
@@ -147,13 +176,14 @@ impl ParkLot {
         self.cv.notify_all();
     }
 
-    /// Park unless `should_stay_awake` already holds; bounded by a 500 µs
-    /// timeout so a lost wake-up race costs at most one period.
-    pub(crate) fn park(&self, should_stay_awake: impl Fn() -> bool) {
+    /// Park unless `should_stay_awake` already holds; bounded by `timeout`
+    /// (`Tunables::park_timeout_us`) so a lost wake-up race costs at most
+    /// one period.
+    pub(crate) fn park(&self, timeout: Duration, should_stay_awake: impl Fn() -> bool) {
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let mut g = self.mx.lock();
         if !should_stay_awake() {
-            self.cv.wait_for(&mut g, Duration::from_micros(500));
+            self.cv.wait_for(&mut g, timeout);
         }
         drop(g);
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -203,26 +233,32 @@ pub(crate) fn acquire_and_run(rt: &Arc<RtInner>, idx: usize) -> bool {
 }
 
 /// The worker idle loop: acquire work, else spin briefly, else park.
+///
+/// The park decision rides the worker's steal *fail streak* (maintained by
+/// the steal layer, reset on any acquired work): the same signal the steal
+/// policy uses to escalate from near victims to far ones, so a worker
+/// first exhausts its local node, then the remote ones, then blocks.
 pub(crate) fn worker_main(rt: Arc<RtInner>, idx: usize) {
     set_current(&rt, idx);
-    let mut idle_rounds: u32 = 0;
+    let my = &rt.workers[idx];
+    let park_timeout = Duration::from_micros(rt.tun.park_timeout_us);
     loop {
         if rt.shutdown.load(Ordering::Acquire) {
             break;
         }
         if acquire_and_run(&rt, idx) {
-            idle_rounds = 0;
+            my.reset_fail_streak();
             continue;
         }
-        idle_rounds += 1;
-        if idle_rounds < rt.tun.steal_rounds_before_park {
+        let streak = my.fail_streak();
+        if streak < rt.tun.steal_rounds_before_park {
             std::hint::spin_loop();
-            if idle_rounds.is_multiple_of(8) {
+            if streak.is_multiple_of(8) {
                 std::thread::yield_now();
             }
         } else {
             let rt2 = &rt;
-            rt.park_lot.park(|| {
+            rt.park_lot.park(park_timeout, || {
                 rt2.shutdown.load(Ordering::Acquire)
                     || !rt2.inject.lock().is_empty()
                     || !rt2.queue.is_empty_hint(idx)

@@ -8,6 +8,14 @@
 //! where the bandwidth share divides the node/machine ceilings among the
 //! memory-hungry tasks running concurrently — enough to reproduce *where
 //! speedup curves bend*, which is what the figures compare.
+//!
+//! The platform's NUMA shape is exported to the real engine through the
+//! *shared* topology representation ([`Platform::distance_matrix`] /
+//! [`Platform::topology`] build `xkaapi_core::topology` values), so a
+//! victim-selection policy studied on this 48-core model and one running
+//! on a real host agree on the distance matrix they consult.
+
+use xkaapi_core::topology::{DistanceMatrix, Topology};
 
 /// A simulated multicore machine.
 #[derive(Clone, Debug)]
@@ -47,6 +55,22 @@ impl Platform {
         self.cores.div_ceil(self.cores_per_node)
     }
 
+    /// Node distance matrix of this platform in the engine's shared
+    /// representation (SLIT convention: 10 local, 20 remote — the
+    /// Magny-Cours HT fabric is a flat remote mesh at this granularity).
+    pub fn distance_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::two_level(self.nodes(), DistanceMatrix::REMOTE)
+    }
+
+    /// Engine [`Topology`] of this platform: one worker per core, workers
+    /// mapped onto nodes exactly as [`Platform::node_of`] maps cores. Pass
+    /// it to `xkaapi_core::Builder::topology` to run the real engine
+    /// against the simulated machine shape.
+    pub fn topology(&self) -> Topology {
+        let worker_node = (0..self.cores).map(|c| self.node_of(c)).collect();
+        Topology::with_distances(worker_node, self.distance_matrix())
+    }
+
     /// Memory time for `bytes` when `active_on_node` / `active_total`
     /// memory-bound tasks share the domains (including the one asking).
     pub fn mem_ns(&self, bytes: u64, active_on_node: usize, active_total: usize) -> u64 {
@@ -84,5 +108,27 @@ mod tests {
         let all = p.mem_ns(1 << 30, 6, 48);
         assert!(all > six, "machine ceiling tighter than node share of 6");
         assert_eq!(p.mem_ns(0, 1, 1), 0);
+    }
+
+    /// The simulator's platform model and the engine's topology must agree
+    /// on the machine shape — they share one distance-matrix type.
+    #[test]
+    fn engine_topology_matches_platform() {
+        let p = Platform::magny_cours(48);
+        let t = p.topology();
+        assert_eq!(t.workers(), 48);
+        assert_eq!(t.nodes(), p.nodes());
+        for c in 0..48 {
+            assert_eq!(t.node_of(c), p.node_of(c), "core {c}");
+        }
+        let d = p.distance_matrix();
+        assert_eq!(d.get(0, 0), DistanceMatrix::LOCAL);
+        assert_eq!(d.get(0, 7), DistanceMatrix::REMOTE);
+        assert_eq!(t.distance(0, 5), DistanceMatrix::LOCAL);
+        assert_eq!(t.distance(0, 47), DistanceMatrix::REMOTE);
+        // Partial machines keep the same shape.
+        let t20 = Platform::magny_cours(20).topology();
+        assert_eq!(t20.nodes(), 4);
+        assert_eq!(t20.workers_on_node(3), &[18, 19]);
     }
 }

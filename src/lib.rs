@@ -25,7 +25,8 @@ pub use xkaapi_sim as sim;
 pub use xkaapi_skyline as skyline;
 
 pub use xkaapi_core::{
-    Access, AccessMode, AggregatedStealing, Builder, Ctx, DataflowEngine, DistributedLanes,
-    HandleId, Partitioned, PerThiefStealing, PromotionPolicy, Reduction, Region, RenamePolicy,
-    Runtime, Shared, StatsSnapshot, StealPolicy, TaskQueue, Tunables, WorkItem,
+    Access, AccessMode, AggregatedStealing, Builder, Ctx, DataflowEngine, DistanceMatrix,
+    DistributedLanes, HandleId, HierarchicalVictim, LocalityFirst, Partitioned, PerThiefStealing,
+    PromotionPolicy, Reduction, Region, RenamePolicy, Runtime, Shared, StatsSnapshot, StealPolicy,
+    TaskQueue, Topology, Tunables, UniformVictim, VictimChoice, WorkItem,
 };

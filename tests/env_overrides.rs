@@ -1,4 +1,5 @@
-//! `XKAAPI_WORKERS` / `XKAAPI_GRAIN_FACTOR` environment overrides of
+//! `XKAAPI_WORKERS` / `XKAAPI_GRAIN_FACTOR` / `XKAAPI_PARK_TIMEOUT_US` /
+//! `XKAAPI_STEAL_ROUNDS` environment overrides of
 //! [`xkaapi::core::Builder`]: the environment overrides *defaults* (so
 //! benches and examples built on `Runtime::builder().build()` are tunable
 //! without recompiling), while explicit setter calls always win (code that
@@ -12,15 +13,30 @@ use xkaapi::core::Runtime;
 #[test]
 fn env_vars_override_defaults_but_not_explicit_settings() {
     // Baseline: explicit settings, no env.
-    let rt = Runtime::builder().workers(2).grain_factor(5).build();
+    let rt = Runtime::builder()
+        .workers(2)
+        .grain_factor(5)
+        .park_timeout_us(250)
+        .steal_rounds_before_park(16)
+        .build();
     assert_eq!(rt.num_workers(), 2);
     assert_eq!(rt.tunables().grain_factor, 5);
+    assert_eq!(rt.tunables().park_timeout_us, 250);
+    assert_eq!(rt.tunables().steal_rounds_before_park, 16);
+    drop(rt);
+
+    // Historical hardcoded values are the defaults.
+    let rt = Runtime::builder().workers(1).build();
+    assert_eq!(rt.tunables().park_timeout_us, 500);
+    assert_eq!(rt.tunables().steal_rounds_before_park, 32);
     drop(rt);
 
     // Single-threaded at this point (no other test in this binary, the
     // runtime above has been dropped and its workers joined).
     std::env::set_var("XKAAPI_WORKERS", "3");
     std::env::set_var("XKAAPI_GRAIN_FACTOR", "11");
+    std::env::set_var("XKAAPI_PARK_TIMEOUT_US", "900");
+    std::env::set_var("XKAAPI_STEAL_ROUNDS", "7");
 
     // Env overrides the defaults…
     let rt = Runtime::builder().build();
@@ -34,6 +50,16 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         11,
         "XKAAPI_GRAIN_FACTOR must override"
     );
+    assert_eq!(
+        rt.tunables().park_timeout_us,
+        900,
+        "XKAAPI_PARK_TIMEOUT_US must override"
+    );
+    assert_eq!(
+        rt.tunables().steal_rounds_before_park,
+        7,
+        "XKAAPI_STEAL_ROUNDS must override"
+    );
     // …and the overridden runtime still runs real work.
     let s = rt.foreach_reduce(0..1000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
     assert_eq!(s, 499_500);
@@ -41,7 +67,12 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
 
     // …but never explicit calls: sized-to-request structures (custom
     // DistributedLanes, Reduction::with_slots) rely on this.
-    let rt = Runtime::builder().workers(2).grain_factor(5).build();
+    let rt = Runtime::builder()
+        .workers(2)
+        .grain_factor(5)
+        .park_timeout_us(123)
+        .steal_rounds_before_park(9)
+        .build();
     assert_eq!(
         rt.num_workers(),
         2,
@@ -52,11 +83,23 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         5,
         "explicit grain_factor() must beat env"
     );
+    assert_eq!(
+        rt.tunables().park_timeout_us,
+        123,
+        "explicit park_timeout_us() must beat env"
+    );
+    assert_eq!(
+        rt.tunables().steal_rounds_before_park,
+        9,
+        "explicit steal_rounds_before_park() must beat env"
+    );
     drop(rt);
 
     // Malformed values are ignored (with a warning), not fatal.
     std::env::set_var("XKAAPI_WORKERS", "zero");
     std::env::set_var("XKAAPI_GRAIN_FACTOR", "-4");
+    std::env::set_var("XKAAPI_PARK_TIMEOUT_US", "0");
+    std::env::set_var("XKAAPI_STEAL_ROUNDS", "lots");
     let rt = Runtime::builder().build();
     assert!(rt.num_workers() >= 1);
     assert_eq!(
@@ -64,8 +107,30 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         8,
         "junk env must fall back to the default"
     );
+    assert_eq!(
+        rt.tunables().park_timeout_us,
+        500,
+        "junk XKAAPI_PARK_TIMEOUT_US must fall back to the default"
+    );
+    assert_eq!(
+        rt.tunables().steal_rounds_before_park,
+        32,
+        "junk XKAAPI_STEAL_ROUNDS must fall back to the default"
+    );
+    // An env-tuned runtime still runs real work (exercises the tuned
+    // park path: tiny steal-round budget forces parking).
+    std::env::set_var("XKAAPI_PARK_TIMEOUT_US", "200");
+    std::env::set_var("XKAAPI_STEAL_ROUNDS", "1");
+    std::env::set_var("XKAAPI_WORKERS", "3");
+    std::env::set_var("XKAAPI_GRAIN_FACTOR", "11");
+    let rt = Runtime::builder().build();
+    assert_eq!(rt.tunables().steal_rounds_before_park, 1);
+    let s = rt.foreach_reduce(0..1000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+    assert_eq!(s, 499_500);
     drop(rt);
 
     std::env::remove_var("XKAAPI_WORKERS");
     std::env::remove_var("XKAAPI_GRAIN_FACTOR");
+    std::env::remove_var("XKAAPI_PARK_TIMEOUT_US");
+    std::env::remove_var("XKAAPI_STEAL_ROUNDS");
 }

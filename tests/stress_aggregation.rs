@@ -17,7 +17,10 @@
 //! the *result* equality is asserted on every round unconditionally.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use xkaapi::core::{Runtime, Shared};
+use std::sync::Arc;
+use xkaapi::core::{
+    HierarchicalVictim, LocalityFirst, Runtime, Shared, StealPolicy, Topology, UniformVictim,
+};
 
 const WORKERS: usize = 8;
 const CHAINS: usize = 32;
@@ -146,6 +149,68 @@ fn aggregation_on_off_identical_results_with_combiner_activity() {
         s_off.combine_served, s_off.combine_batches,
         "per-thief policy must serve exactly one request per combine"
     );
+}
+
+/// Topology-aware stealing preserves results on the aggregation stress
+/// workload: the victim-selection policies (hierarchical escalation,
+/// locality-first ring walk, bounded near-first combiner batches and the
+/// overflow-request re-queue they exercise) change only *where* steals
+/// land, never the visible semantics.
+#[test]
+fn topology_aware_stealing_preserves_results_under_stress() {
+    let expect = expected_chain();
+    let rt_ref = Runtime::builder().workers(WORKERS).build();
+    let (reference, wide_ref) = run_workload(&rt_ref);
+    assert!(reference.iter().all(|&c| c == expect));
+    drop(rt_ref);
+
+    // Tiny bounded batches (max_batch: 2 on 8 workers) force the overflow
+    // re-queue path constantly; an aggressive escalation threshold forces
+    // both the local-only and machine-wide victim regimes.
+    let policies: [(&str, Arc<dyn StealPolicy>); 4] = [
+        ("uniform", Arc::new(UniformVictim)),
+        (
+            "hierarchical",
+            Arc::new(HierarchicalVictim {
+                escalate_after: 2,
+                max_batch: 2,
+            }),
+        ),
+        (
+            "locality-first",
+            Arc::new(LocalityFirst {
+                escalate_after: 2,
+                max_batch: 2,
+            }),
+        ),
+        (
+            "hierarchical-wide",
+            Arc::new(HierarchicalVictim {
+                escalate_after: 64,
+                max_batch: usize::MAX,
+            }),
+        ),
+    ];
+    for (label, pol) in policies {
+        let rt = Runtime::builder()
+            .workers(WORKERS)
+            .steal_policy(pol)
+            .topology(Topology::two_level(WORKERS, 4))
+            .build();
+        for round in 0..3 {
+            let (chains, wide) = run_workload(&rt);
+            assert_eq!(chains, reference, "{label} round {round}: chains diverged");
+            assert_eq!(
+                wide, wide_ref,
+                "{label} round {round}: independent tasks diverged"
+            );
+        }
+        let s = rt.stats();
+        assert!(
+            s.steal_attempts > 0,
+            "{label}: no steal pressure at all: {s:?}"
+        );
+    }
 }
 
 /// The same stress shape through the engine's centralized queues: results

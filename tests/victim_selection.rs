@@ -1,0 +1,231 @@
+//! Victim-selection layer tests (DESIGN.md §3).
+//!
+//! Two levels:
+//!
+//! 1. **Deterministic**: [`StealPolicy::choose_victim`] is a pure function
+//!    of `(me, rng, topology, fail_streak)`, so a seeded xorshift closure
+//!    makes the policies' selection behaviour exactly checkable —
+//!    [`HierarchicalVictim`] stays on the thief's node below the
+//!    escalation threshold and goes machine-wide (flagged `escalated`)
+//!    above it; [`LocalityFirst`] concentrates picks on the nearest ring.
+//! 2. **End-to-end**: a runtime built with a hierarchical policy on a
+//!    modelled 2-node topology lands a strictly larger share of same-node
+//!    steals than the uniform baseline, observed through the
+//!    `steals_local_node` / `steals_remote_node` counters.
+
+use xkaapi::core::{
+    HierarchicalVictim, LocalityFirst, Runtime, Shared, StealPolicy, Topology, UniformVictim,
+};
+
+/// Seeded xorshift64* closure: the same seed replays the same choices.
+fn seeded_rng(mut x: u64) -> impl FnMut() -> u64 {
+    move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+}
+
+#[test]
+fn hierarchical_prefers_same_node_then_escalates() {
+    let topo = Topology::two_level(8, 4); // nodes {0..3} and {4..7}
+    let pol = HierarchicalVictim {
+        escalate_after: 4,
+        max_batch: 8,
+    };
+    let me = 1usize;
+
+    // Below the escalation threshold: every pick is a same-node sibling,
+    // never me, never flagged as escalated.
+    let mut rng = seeded_rng(0xDEAD_BEEF);
+    for fail_streak in 0..4 {
+        for _ in 0..200 {
+            let c = pol.choose_victim(me, &mut rng, &topo, fail_streak);
+            assert_ne!(c.victim, me);
+            assert!(
+                topo.same_node(me, c.victim),
+                "streak {fail_streak}: picked remote victim {} before escalation",
+                c.victim
+            );
+            assert!(!c.escalated);
+        }
+    }
+
+    // At the threshold: machine-wide picks, remote victims reachable and
+    // flagged as escalations.
+    let mut rng = seeded_rng(0xDEAD_BEEF);
+    let mut saw_remote = false;
+    for _ in 0..200 {
+        let c = pol.choose_victim(me, &mut rng, &topo, 4);
+        assert_ne!(c.victim, me);
+        assert!(c.escalated, "post-threshold picks must be escalations");
+        saw_remote |= !topo.same_node(me, c.victim);
+    }
+    assert!(saw_remote, "escalated picks must reach the remote node");
+
+    // Same seed, same choices: the selection is deterministic in the rng.
+    let replay = |seed| {
+        let mut rng = seeded_rng(seed);
+        (0..50)
+            .map(|_| pol.choose_victim(me, &mut rng, &topo, 2).victim)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(replay(7), replay(7));
+}
+
+#[test]
+fn hierarchical_alone_on_node_goes_machine_wide_unflagged() {
+    // Worker 6 is alone on node 2: no local victim exists, so machine-wide
+    // picks are not counted as escalations (nothing was skipped).
+    let topo = Topology::two_level(7, 3);
+    let pol = HierarchicalVictim::default();
+    let mut rng = seeded_rng(99);
+    for _ in 0..100 {
+        let c = pol.choose_victim(6, &mut rng, &topo, 0);
+        assert_ne!(c.victim, 6);
+        assert!(!c.escalated);
+    }
+}
+
+#[test]
+fn locality_first_concentrates_on_nearest_ring() {
+    let topo = Topology::two_level(8, 4);
+    let pol = LocalityFirst::default();
+    let mut rng = seeded_rng(0x5EED);
+    let (mut local, mut remote) = (0u32, 0u32);
+    for _ in 0..1000 {
+        let c = pol.choose_victim(0, &mut rng, &topo, 0);
+        assert_ne!(c.victim, 0);
+        if topo.same_node(0, c.victim) {
+            assert!(!c.escalated);
+            local += 1;
+        } else {
+            assert!(c.escalated, "remote pick must be flagged");
+            remote += 1;
+        }
+    }
+    // ~3/4 of picks stay in the nearest ring (geometric ring walk); a
+    // uniform picker would land ~3/7 locally. Split the difference.
+    assert!(
+        local > remote * 2,
+        "locality-first must concentrate near: {local} local vs {remote} remote"
+    );
+
+    // On a flat topology it degrades to uniform and never escalates.
+    let flat = Topology::flat(4);
+    for _ in 0..100 {
+        let c = pol.choose_victim(0, &mut rng, &flat, 0);
+        assert_ne!(c.victim, 0);
+        assert!(!c.escalated);
+    }
+}
+
+#[test]
+fn uniform_covers_all_victims_without_escalating() {
+    let topo = Topology::two_level(8, 4);
+    let mut rng = seeded_rng(3);
+    let mut seen = [false; 8];
+    for _ in 0..500 {
+        let c = UniformVictim.choose_victim(2, &mut rng, &topo, 10);
+        assert_ne!(c.victim, 2);
+        assert!(!c.escalated);
+        seen[c.victim] = true;
+    }
+    let covered = seen.iter().filter(|&&s| s).count();
+    assert_eq!(covered, 7, "uniform must reach every other worker");
+}
+
+/// The steal-heavy workload: one producer scope of busy data-flow chains
+/// (thieves can win claims from the owner) plus an adaptive reduction
+/// whose on-demand splits hand slices to requesting thieves. Checksum is
+/// schedule-independent.
+fn chain_workload(rt: &Runtime) -> u64 {
+    let cells: Vec<Shared<u64>> = (0..16).map(|_| Shared::new(1)).collect();
+    rt.scope(|ctx| {
+        for round in 0..25u64 {
+            for (i, c) in cells.iter().enumerate() {
+                let cw = c.clone();
+                ctx.spawn([c.exclusive()], move |t| {
+                    let mut acc = round;
+                    for k in 0..400u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    *t.write(&cw) += round + i as u64;
+                });
+            }
+        }
+    });
+    let chain_sum: u64 = cells.iter().map(|c| *c.get()).sum();
+    let loop_sum = rt.foreach_reduce(
+        0..10_000,
+        None,
+        || 0u64,
+        |a, i| {
+            let mut acc = i as u64;
+            for k in 0..20u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            *a += i as u64;
+        },
+        |a, b| a + b,
+    );
+    chain_sum.wrapping_add(loop_sum)
+}
+
+#[test]
+fn hierarchical_lands_more_same_node_steals_than_uniform() {
+    let workers = 8;
+    let build = |pol: std::sync::Arc<dyn StealPolicy>| {
+        Runtime::builder()
+            .workers(workers)
+            .steal_policy(pol)
+            .topology(Topology::two_level(workers, 4))
+            .build()
+    };
+    let rt_uni = build(std::sync::Arc::new(UniformVictim));
+    let rt_hier = build(std::sync::Arc::new(HierarchicalVictim::default()));
+
+    let expect = chain_workload(&rt_uni);
+    rt_uni.reset_stats();
+    rt_hier.reset_stats();
+
+    // Accumulate steals until both policies have a solid sample (stats
+    // accumulate across rounds; results asserted every round). With ~µs
+    // busy links plus adaptive splits, a few hundred classified steals
+    // arrive well within the round budget.
+    for _ in 0..400 {
+        assert_eq!(chain_workload(&rt_uni), expect);
+        assert_eq!(chain_workload(&rt_hier), expect);
+        let (u, h) = (rt_uni.stats(), rt_hier.stats());
+        if u.steals_local_node + u.steals_remote_node >= 200
+            && h.steals_local_node + h.steals_remote_node >= 200
+        {
+            break;
+        }
+    }
+
+    let (u, h) = (rt_uni.stats(), rt_hier.stats());
+    assert!(
+        u.steals_local_node + u.steals_remote_node >= 50,
+        "not enough steal pressure to classify locality: {u:?}"
+    );
+    assert!(
+        h.steal_locality_ratio() > u.steal_locality_ratio(),
+        "hierarchical locality ratio must beat uniform: {:.3} (={}/{}) vs {:.3} (={}/{})",
+        h.steal_locality_ratio(),
+        h.steals_local_node,
+        h.steals_remote_node,
+        u.steal_locality_ratio(),
+        u.steals_local_node,
+        u.steals_remote_node
+    );
+    // The hierarchical policy overwhelmingly stays on-node; uniform can't
+    // (only 3 of 7 victims are local).
+    assert!(
+        h.steals_local_node > h.steals_remote_node,
+        "hierarchical must steal mostly same-node: {h:?}"
+    );
+}
