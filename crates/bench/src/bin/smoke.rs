@@ -11,24 +11,29 @@
 //! Since PR 3 the snapshot also records the **steal-locality counters**
 //! of the victim-selection policies (uniform / hierarchical /
 //! locality-first on a modelled 2-node machine), so the perf trajectory
-//! tracks where steals land, not just how fast the paradigms run.
+//! tracks where steals land, not just how fast the paradigms run. Since
+//! PR 4 it additionally records a **submit_flood** run — many small root
+//! jobs from 4 submitter threads through the non-blocking
+//! `Runtime::submit` front door — with throughput and the per-lane drain
+//! counters of the sharded inject lanes.
 //!
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR3.json` (snapshot file
+//! * `smoke --json` — additionally writes `BENCH_PR4.json` (snapshot file
 //!   name pinned per PR so the perf trajectory accretes one file per PR).
 //!
 //! [`Ctx::join`]: xkaapi_core::Ctx::join
 
+use std::sync::Arc;
 use std::time::Instant;
 use xkaapi_bench::{
-    gflops, measure_ns, print_table, steal_heavy_workload, SchedPolicy, VictimPolicy,
+    busy_work, gflops, measure_ns, print_table, steal_heavy_workload, SchedPolicy, VictimPolicy,
 };
 use xkaapi_core::{Ctx, Runtime, Topology};
 use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR3.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR4.json";
 
 fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
     if n < 2 {
@@ -150,6 +155,67 @@ fn main() {
         ));
     }
 
+    // --- submit_flood: the injection subsystem under submitter pressure --
+    // 4 submitter threads flood the non-blocking `Runtime::submit` front
+    // door with small root jobs on 8 workers / 2 modelled NUMA nodes (so
+    // the sharded lanes actually shard); the snapshot records throughput,
+    // the per-lane submitted/drained counters and the own-vs-remote lane
+    // drain split of the worker side.
+    let sf_workers = 8usize;
+    let sf_submitters = 4u64;
+    let sf_jobs_per = 5_000u64;
+    let rt_sf = Arc::new(SchedPolicy::DistributedAggregated.build_runtime_with(
+        sf_workers,
+        VictimPolicy::Hierarchical,
+        Topology::two_level(sf_workers, 4),
+    ));
+    let flood = |rt: &Arc<Runtime>| {
+        let threads: Vec<_> = (0..sf_submitters)
+            .map(|s| {
+                let rt = Arc::clone(rt);
+                std::thread::spawn(move || {
+                    let handles: Vec<_> = (0..sf_jobs_per)
+                        .map(|i| {
+                            rt.submit(move |_ctx| busy_work(s * 7919 + i, 400))
+                                .expect("Block admission never rejects")
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.wait())
+                        .fold(0u64, u64::wrapping_add)
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .fold(0u64, u64::wrapping_add)
+    };
+    let mut sf_sum = 0u64;
+    let sf_ns = measure_ns(3, || sf_sum = flood(&rt_sf));
+    let sf_total = sf_submitters * sf_jobs_per;
+    let sf_jobs_per_s = sf_total as f64 / sf_ns as f64 * 1e9;
+    // Counters of exactly one flood (the timed rounds accumulate): reset,
+    // run once more, snapshot — so the recorded lane/drain counters are
+    // consistent with the `jobs` count in the same JSON object.
+    rt_sf.reset_stats();
+    let sf_check = flood(&rt_sf);
+    assert_eq!(sf_check, sf_sum, "flood checksum drifted across rounds");
+    let sf_stats = rt_sf.stats();
+    let sf_lanes = rt_sf.inject_lane_stats();
+    let lane_json = sf_lanes
+        .iter()
+        .enumerate()
+        .map(|(n, l)| {
+            format!(
+                "{{\"node\": {n}, \"submitted\": {}, \"drained\": {}}}",
+                l.submitted, l.drained
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+
     let total_s = t0.elapsed().as_secs_f64();
     print_table(
         &format!("Perf snapshot ({workers} workers, {total_s:.1}s total)"),
@@ -176,20 +242,41 @@ fn main() {
             victim_rows[0].clone(),
             victim_rows[1].clone(),
             victim_rows[2].clone(),
+            vec![
+                "submit_flood".into(),
+                format!("{:.2} Mjobs/s", sf_jobs_per_s / 1e6),
+                format!(
+                    "{sf_total} jobs from {sf_submitters} submitters in {:.2} ms; \
+                     lane drains own {} / remote {}",
+                    sf_ns as f64 / 1e6,
+                    sf_stats.inject_own_lane,
+                    sf_stats.inject_remote_lane
+                ),
+            ],
         ],
     );
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 3,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 4,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
              \"gb_per_s\": {foreach_gbs:.3}, \"melems_per_s\": {foreach_melems_per_s:.3}}},\n  \
              \"cholesky\": {{\"n\": {cn}, \"nb\": {nb}, \"ns\": {chol_ns}, \
              \"gflops\": {chol_gflops:.3}}},\n  \
-             \"steal_locality\": {{\"workers\": {vp_workers}, \"nodes\": 2, \"policies\": [\n    {}\n  ]}}\n}}\n",
-            victim_json.join(",\n    ")
+             \"steal_locality\": {{\"workers\": {vp_workers}, \"nodes\": 2, \"policies\": [\n    {}\n  ]}},\n  \
+             \"submit_flood\": {{\"workers\": {sf_workers}, \"nodes\": 2, \
+             \"submitters\": {sf_submitters}, \"jobs\": {sf_total}, \"ns\": {sf_ns}, \
+             \"jobs_per_s\": {sf_jobs_per_s:.0}, \"checksum\": {sf_sum}, \
+             \"jobs_submitted\": {}, \"jobs_rejected\": {}, \
+             \"inject_own_lane\": {}, \"inject_remote_lane\": {}, \
+             \"lanes\": [{lane_json}]}}\n}}\n",
+            victim_json.join(",\n    "),
+            sf_stats.jobs_submitted,
+            sf_stats.jobs_rejected,
+            sf_stats.inject_own_lane,
+            sf_stats.inject_remote_lane,
         );
         std::fs::write(SNAPSHOT_FILE, body).expect("write perf snapshot");
         println!("\nwrote {SNAPSHOT_FILE}");

@@ -252,10 +252,10 @@ pub(crate) fn help_until(
             backoff.reset();
             continue;
         }
-        if let Some(job) = rt.pop_inject() {
-            let mut raw = RawCtx::new(Arc::clone(rt), widx);
-            (job.0)(&mut raw);
-            rt.workers[widx].reset_fail_streak();
+        // Injection layer: a suspended worker can start a fresh root job
+        // (nearest lane first; the drain helper resets the fail streak and
+        // classifies own-/remote-lane acquisition).
+        if crate::worker::try_drain_inject(rt, widx) {
             backoff.reset();
             continue;
         }

@@ -1,0 +1,652 @@
+//! The injection subsystem: how root jobs enter the pool from outside
+//! (DESIGN.md §4).
+//!
+//! Historically injection was a blocking front door: one global
+//! `Mutex<VecDeque<Job>>` plus a latch the calling thread parked on until
+//! its scope completed. That shape is fine for fork-join benchmarks but
+//! wrong for a server reactor, which cannot afford a parked OS thread per
+//! in-flight request. This module replaces it with three pieces:
+//!
+//! * **join handles** — [`Runtime::submit`](crate::Runtime::submit)
+//!   enqueues a root job and returns a [`JoinHandle`] immediately; the
+//!   caller can [`wait`](JoinHandle::wait), poll
+//!   ([`try_result`](JoinHandle::try_result) / [`is_done`](JoinHandle::is_done))
+//!   or register an [`on_complete`](JoinHandle::on_complete) callback so an
+//!   async reactor is notified without parking a thread;
+//! * **sharded inject lanes** — one lane per NUMA node of the runtime's
+//!   [`Topology`], chosen by submitter hash, drained by workers nearest
+//!   the lane first (the locality-aware placement the topology layer
+//!   enables: a root job tends to start on the node whose lane it sat in);
+//! * **admission control** — an [`InjectPolicy`] caps the number of
+//!   pending (admitted but not yet started) root jobs; a flooded runtime
+//!   throttles submitters ([`OnFull::Block`]) or sheds load
+//!   ([`OnFull::Reject`]) instead of growing unboundedly.
+//!
+//! [`Runtime::scope`](crate::Runtime::scope) is re-expressed on top of the
+//! same machinery: submit (always admitted with blocking semantics — the
+//! caller is about to park anyway, which *is* the backpressure) followed by
+//! an immediate wait.
+
+use crate::ctx::{help_until, RawCtx};
+use crate::runtime::{Job, RtInner};
+use crate::topology::Topology;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+// ---------------------------------------------------------------------------
+// Admission policy
+
+/// What [`Runtime::submit`](crate::Runtime::submit) does when the inject
+/// lanes already hold [`InjectPolicy::max_pending`] admitted jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnFull {
+    /// Throttle: block the submitting thread until a worker drains a job.
+    #[default]
+    Block,
+    /// Shed: return [`SubmitError`] immediately (the closure is dropped).
+    Reject,
+}
+
+/// Admission/backpressure policy of the injection subsystem.
+///
+/// `max_pending` bounds the number of *admitted but not yet started* root
+/// jobs across all lanes; `on_full` decides whether a submitter at the
+/// bound throttles or is rejected. Configured via
+/// [`Builder::inject_policy`](crate::Builder::inject_policy) /
+/// [`Builder::max_pending`](crate::Builder::max_pending), with the
+/// `XKAAPI_MAX_PENDING` environment variable overriding the default bound.
+///
+/// [`Runtime::scope`](crate::Runtime::scope) always uses blocking
+/// admission regardless of `on_full`: a scope caller blocks until its job
+/// completes anyway, so blocking a little earlier at admission is the same
+/// contract (and keeps scope infallible under every policy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectPolicy {
+    /// Maximum admitted-but-not-started root jobs across all lanes (≥ 1).
+    pub max_pending: usize,
+    /// Behaviour of [`Runtime::submit`](crate::Runtime::submit) at the cap.
+    pub on_full: OnFull,
+}
+
+impl Default for InjectPolicy {
+    fn default() -> Self {
+        InjectPolicy {
+            max_pending: 4096,
+            on_full: OnFull::Block,
+        }
+    }
+}
+
+/// A submission was rejected by the admission layer
+/// ([`OnFull::Reject`] with [`InjectPolicy::max_pending`] jobs pending).
+/// The submitted closure has been dropped; resubmit to retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitError;
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submission rejected: inject lanes at max_pending and on_full = Reject"
+        )
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+// ---------------------------------------------------------------------------
+// Join state & handle
+
+/// Completion callback registered through [`JoinHandle::on_complete`].
+type CompleteFn = Box<dyn FnOnce() + Send>;
+
+/// Run one completion callback with panic containment: a callback often
+/// fires on a worker thread, and an unwinding worker would silently shrink
+/// the pool (job-body panics are already caught and routed to the handle —
+/// callbacks get the same never-unwind-the-worker treatment).
+fn run_callback(cb: CompleteFn) {
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(cb)).is_err() {
+        eprintln!("xkaapi: on_complete callback panicked (ignored)");
+    }
+}
+
+struct JoinInner<R> {
+    result: Option<std::thread::Result<R>>,
+    callbacks: Vec<CompleteFn>,
+}
+
+/// Shared completion cell between a submitted job and its [`JoinHandle`].
+pub(crate) struct JoinState<R> {
+    mx: Mutex<JoinInner<R>>,
+    cv: Condvar,
+    done: AtomicBool,
+}
+
+impl<R> JoinState<R> {
+    pub(crate) fn new() -> JoinState<R> {
+        JoinState {
+            mx: Mutex::new(JoinInner {
+                result: None,
+                callbacks: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Publish the result (first writer wins), wake waiters and fire the
+    /// registered callbacks. Idempotent: the abandonment guard may race a
+    /// normal completion without double-firing.
+    pub(crate) fn complete(&self, result: std::thread::Result<R>) {
+        let callbacks = {
+            let mut inner = self.mx.lock();
+            if inner.result.is_some() {
+                return;
+            }
+            inner.result = Some(result);
+            self.done.store(true, Ordering::Release);
+            // Notify while holding the lock, as the old scope latch did:
+            // waiters cannot observe `done` and race ahead mid-publication.
+            self.cv.notify_all();
+            std::mem::take(&mut inner.callbacks)
+        };
+        // Callbacks run outside the lock: they may take arbitrary user
+        // locks (wake a reactor, send on a channel).
+        for cb in callbacks {
+            run_callback(cb);
+        }
+    }
+
+    /// Block the calling (non-worker) thread until completion.
+    pub(crate) fn wait_blocking(&self) {
+        let mut inner = self.mx.lock();
+        while inner.result.is_none() {
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Take the result out (None while running; panics are preserved).
+    pub(crate) fn take_result(&self) -> Option<std::thread::Result<R>> {
+        self.mx.lock().result.take()
+    }
+}
+
+/// Drop guard a submitted job carries: if the runtime shuts down with the
+/// job still queued (the boxed closure is dropped unexecuted), the guard
+/// completes the state with a panic payload so waiters unblock instead of
+/// hanging forever.
+pub(crate) struct AbandonGuard<R> {
+    pub(crate) state: Arc<JoinState<R>>,
+}
+
+impl<R> Drop for AbandonGuard<R> {
+    fn drop(&mut self) {
+        if !self.state.is_done() {
+            self.state.complete(Err(Box::new(
+                "xkaapi: runtime shut down before the submitted job ran",
+            )));
+        }
+    }
+}
+
+/// Handle to a root job enqueued with
+/// [`Runtime::submit`](crate::Runtime::submit).
+///
+/// The handle is detachable: dropping it does **not** cancel the job (the
+/// job owns its half of the shared state and runs to completion). A panic
+/// inside the job is captured and re-raised at [`wait`](JoinHandle::wait) /
+/// [`try_result`](JoinHandle::try_result) time, mirroring
+/// `std::thread::JoinHandle`.
+pub struct JoinHandle<R> {
+    state: Arc<JoinState<R>>,
+    /// Weak so a forgotten handle cannot keep the runtime alive; used to
+    /// *help* (run pool work) instead of parking when `wait` is called on
+    /// a worker thread of the same runtime.
+    rt: Weak<RtInner>,
+}
+
+impl<R: Send> JoinHandle<R> {
+    pub(crate) fn new(state: Arc<JoinState<R>>, rt: &Arc<RtInner>) -> JoinHandle<R> {
+        JoinHandle {
+            state,
+            rt: Arc::downgrade(rt),
+        }
+    }
+
+    /// Has the job finished (completed or panicked)? Non-blocking; true
+    /// means [`try_result`](JoinHandle::try_result) will return the result.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// Non-blocking poll: `Some(result)` once the job finished, `None`
+    /// while it is still queued or running. Re-raises the job's panic.
+    ///
+    /// A successful poll takes the result out of the handle: a later
+    /// `try_result` returns `None` again, and a later
+    /// [`wait`](JoinHandle::wait) panics (double consumption).
+    pub fn try_result(&mut self) -> Option<R> {
+        match self.state.take_result() {
+            None => None,
+            Some(Ok(v)) => Some(v),
+            Some(Err(p)) => resume_unwind(p),
+        }
+    }
+
+    /// Block until the job completes and return its result, re-raising the
+    /// job's panic (after it has fully unwound inside the pool).
+    ///
+    /// Called from a worker thread of the same runtime, the "wait" is a
+    /// help loop — the worker keeps executing pool work (including, very
+    /// possibly, the submitted job itself) instead of parking, so waiting
+    /// inside a task cannot deadlock the pool.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the job's panic, and panics (with a message saying so) if
+    /// a successful [`try_result`](JoinHandle::try_result) already took the
+    /// result out of this handle.
+    pub fn wait(self) -> R {
+        if !self.state.is_done() {
+            match self.rt.upgrade() {
+                Some(rt) => match crate::worker::current_worker_of(&rt) {
+                    Some(widx) => {
+                        let st = &self.state;
+                        help_until(&rt, widx, None, || st.is_done());
+                    }
+                    None => self.state.wait_blocking(),
+                },
+                None => self.state.wait_blocking(),
+            }
+        }
+        match self
+            .state
+            .take_result()
+            .expect("JoinHandle::wait: result was already taken by try_result")
+        {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// Register a callback fired exactly once when the job completes
+    /// (panic or success), from the completing worker thread — or
+    /// immediately on the calling thread when the job already finished.
+    /// This is the reactor hook: wake an event loop, send on a channel,
+    /// notify an async waker — without any thread parked on the handle.
+    ///
+    /// A panicking callback is contained (caught, one-line warning), never
+    /// unwound through the completing worker: a callback panic must not
+    /// shrink the pool.
+    pub fn on_complete(&self, cb: impl FnOnce() + Send + 'static) {
+        let run_now = {
+            let mut inner = self.state.mx.lock();
+            if inner.result.is_some() || self.state.is_done() {
+                true
+            } else {
+                inner.callbacks.push(Box::new(cb) as CompleteFn);
+                return;
+            }
+        };
+        if run_now {
+            run_callback(Box::new(cb));
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for JoinHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("done", &self.state.is_done())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded inject lanes
+
+/// Per-lane counters of one inject lane, exposed through
+/// [`Runtime::inject_lane_stats`](crate::Runtime::inject_lane_stats) (one
+/// lane per NUMA node; `submitted`/`drained` diverge only transiently).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectLaneStats {
+    /// Root jobs enqueued into this lane.
+    pub submitted: u64,
+    /// Root jobs taken out of this lane by a worker.
+    pub drained: u64,
+}
+
+struct Lane {
+    q: Mutex<VecDeque<Job>>,
+    submitted: AtomicU64,
+    drained: AtomicU64,
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane {
+            q: Mutex::new(VecDeque::new()),
+            submitted: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The sharded inject queue: one lane per NUMA node, submitter-hashed on
+/// entry, drained nearest-lane-first by workers, bounded by an
+/// [`InjectPolicy`].
+pub(crate) struct InjectLanes {
+    lanes: Box<[Lane]>,
+    /// node → lane visit order: own lane first, then ascending SLIT
+    /// distance (ties broken by lane index, deterministically).
+    drain_order: Box<[Box<[usize]>]>,
+    policy: InjectPolicy,
+    /// Admitted-but-not-yet-drained jobs, across all lanes. Incremented at
+    /// admission (before the push), decremented at drain.
+    pending: AtomicUsize,
+    /// Submitters currently blocked in [`OnFull::Block`] admission.
+    waiters: AtomicUsize,
+    room_mx: Mutex<()>,
+    room_cv: Condvar,
+    /// Lifetime totals (survive lane drains; reset with the stats).
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Admission ticket: proof that `pending` was incremented.
+#[derive(Debug)]
+pub(crate) struct Admission;
+
+thread_local! {
+    /// Lazily-assigned submitter identity used to hash external threads
+    /// onto lanes (spreads concurrent submitters; one thread sticks to one
+    /// lane, keeping its root jobs' locality stable).
+    static SUBMITTER_ID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+static NEXT_SUBMITTER: AtomicUsize = AtomicUsize::new(0);
+
+fn submitter_id() -> usize {
+    SUBMITTER_ID.with(|c| {
+        let mut id = c.get();
+        if id == usize::MAX {
+            id = NEXT_SUBMITTER.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+        }
+        id
+    })
+}
+
+impl InjectLanes {
+    pub(crate) fn new(topo: &Topology, policy: InjectPolicy) -> InjectLanes {
+        let nodes = topo.nodes().max(1);
+        let lanes: Box<[Lane]> = (0..nodes).map(|_| Lane::new()).collect();
+        let drain_order: Box<[Box<[usize]>]> = (0..nodes)
+            .map(|me| {
+                let mut order: Vec<usize> = (0..nodes).collect();
+                order.sort_by_key(|&n| (topo.distances().get(me, n), n));
+                debug_assert_eq!(order[0], me, "own lane must sort first (SLIT local)");
+                order.into_boxed_slice()
+            })
+            .collect();
+        InjectLanes {
+            lanes,
+            drain_order,
+            policy,
+            pending: AtomicUsize::new(0),
+            waiters: AtomicUsize::new(0),
+            room_mx: Mutex::new(()),
+            room_cv: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lanes (one per NUMA node).
+    #[inline]
+    pub(crate) fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane the calling thread hashes to.
+    #[inline]
+    pub(crate) fn lane_of_submitter(&self) -> usize {
+        submitter_id() % self.lanes.len()
+    }
+
+    /// Try to reserve a pending slot without blocking.
+    fn try_admit(&self) -> Option<Admission> {
+        let mut cur = self.pending.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.policy.max_pending {
+                return None;
+            }
+            match self.pending.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Admission),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Admission under the configured policy: `Err(SubmitError)` only under
+    /// [`OnFull::Reject`] at the cap.
+    pub(crate) fn admit(&self) -> Result<Admission, SubmitError> {
+        match self.policy.on_full {
+            OnFull::Reject => self.try_admit().ok_or_else(|| {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                SubmitError
+            }),
+            OnFull::Block => Ok(self.admit_blocking()),
+        }
+    }
+
+    /// Admission that always succeeds, blocking until a slot frees (what
+    /// `Runtime::scope` uses regardless of the policy's `on_full`).
+    pub(crate) fn admit_blocking(&self) -> Admission {
+        loop {
+            if let Some(a) = self.try_admit() {
+                return a;
+            }
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            let mut g = self.room_mx.lock();
+            // Re-check under the lock: a drain between the failed CAS and
+            // the lock would otherwise be a lost wake-up.
+            if self.pending.load(Ordering::Relaxed) >= self.policy.max_pending {
+                self.room_cv.wait(&mut g);
+            }
+            drop(g);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Enqueue an admitted job into `lane`.
+    pub(crate) fn push(&self, _admission: Admission, lane: usize, job: Job) {
+        debug_assert!(lane < self.lanes.len());
+        self.lanes[lane].q.lock().push_back(job);
+        self.lanes[lane].submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an inline (worker-context) submission that bypassed the lanes.
+    pub(crate) fn note_inline_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drain one job for a worker on NUMA `node`: its own node's lane
+    /// first, then remote lanes in ascending distance order. Returns the
+    /// job and the lane it came from (callers classify own/remote drains).
+    pub(crate) fn pop_for(&self, node: usize) -> Option<(Job, usize)> {
+        if self.pending.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let node = if node < self.drain_order.len() {
+            node
+        } else {
+            0
+        };
+        for &lane in self.drain_order[node].iter() {
+            let job = self.lanes[lane].q.lock().pop_front();
+            if let Some(job) = job {
+                self.lanes[lane].drained.fetch_add(1, Ordering::Relaxed);
+                self.pending.fetch_sub(1, Ordering::Release);
+                if self.waiters.load(Ordering::SeqCst) > 0 {
+                    let _g = self.room_mx.lock();
+                    self.room_cv.notify_all();
+                }
+                return Some((job, lane));
+            }
+        }
+        None
+    }
+
+    /// Cheap "any pending root jobs?" hint (park heuristic).
+    #[inline]
+    pub(crate) fn has_pending_hint(&self) -> bool {
+        self.pending.load(Ordering::Relaxed) > 0
+    }
+
+    /// Lifetime totals: jobs admitted into lanes or run inline.
+    #[inline]
+    pub(crate) fn total_submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime totals: submissions shed by [`OnFull::Reject`].
+    #[inline]
+    pub(crate) fn total_rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Per-lane counter snapshot.
+    pub(crate) fn lane_stats(&self) -> Vec<InjectLaneStats> {
+        self.lanes
+            .iter()
+            .map(|l| InjectLaneStats {
+                submitted: l.submitted.load(Ordering::Relaxed),
+                drained: l.drained.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Reset every counter (not the pending count — that is live state).
+    pub(crate) fn reset_counters(&self) {
+        self.submitted.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        for l in self.lanes.iter() {
+            l.submitted.store(0, Ordering::Relaxed);
+            l.drained.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Build the boxed root-job closure for a submission: runs the scope body,
+/// publishes the result into `state` (the [`AbandonGuard`] turns a
+/// never-ran job into a panic payload instead of a hang).
+pub(crate) fn make_job<F, R>(state: Arc<JoinState<R>>, f: F) -> Job
+where
+    F: for<'s> FnOnce(&mut crate::ctx::Ctx<'s>) -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let guard = AbandonGuard { state };
+    Job(Box::new(move |raw: &mut RawCtx| {
+        let r = raw.run_scoped_catch(f);
+        guard.state.complete(r);
+        drop(guard); // completed: the guard's drop sees `done` and no-ops
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::DistanceMatrix;
+
+    fn job(tag: &'static str) -> Job {
+        Job(Box::new(move |_raw| {
+            let _ = tag;
+        }))
+    }
+
+    #[test]
+    fn drain_order_prefers_near_lanes() {
+        // 3 nodes in a line: 0 -16- 1 -16- 2, 0 -22- 2.
+        let d = DistanceMatrix::from_rows(&[vec![10, 16, 22], vec![16, 10, 16], vec![22, 16, 10]]);
+        let topo = Topology::with_distances(vec![0, 1, 2], d);
+        let lanes = InjectLanes::new(&topo, InjectPolicy::default());
+        assert_eq!(lanes.lanes(), 3);
+        let a = lanes.admit().unwrap();
+        lanes.push(a, 2, job("far"));
+        let a = lanes.admit().unwrap();
+        lanes.push(a, 1, job("mid"));
+        // A worker on node 0 drains lane 1 (distance 16) before lane 2 (22).
+        let (_, lane) = lanes.pop_for(0).unwrap();
+        assert_eq!(lane, 1);
+        let (_, lane) = lanes.pop_for(0).unwrap();
+        assert_eq!(lane, 2);
+        assert!(lanes.pop_for(0).is_none());
+    }
+
+    #[test]
+    fn own_lane_drained_first() {
+        let topo = Topology::two_level(4, 2);
+        let lanes = InjectLanes::new(&topo, InjectPolicy::default());
+        assert_eq!(lanes.lanes(), 2);
+        let a = lanes.admit().unwrap();
+        lanes.push(a, 0, job("node0"));
+        let a = lanes.admit().unwrap();
+        lanes.push(a, 1, job("node1"));
+        assert!(lanes.has_pending_hint());
+        let (_, lane) = lanes.pop_for(1).unwrap();
+        assert_eq!(lane, 1, "own node's lane must be drained first");
+        let (_, lane) = lanes.pop_for(1).unwrap();
+        assert_eq!(lane, 0);
+        assert!(!lanes.has_pending_hint());
+        let s = lanes.lane_stats();
+        assert_eq!((s[0].submitted, s[0].drained), (1, 1));
+        assert_eq!((s[1].submitted, s[1].drained), (1, 1));
+        assert_eq!(lanes.total_submitted(), 2);
+    }
+
+    #[test]
+    fn reject_at_cap() {
+        let topo = Topology::flat(1);
+        let lanes = InjectLanes::new(
+            &topo,
+            InjectPolicy {
+                max_pending: 2,
+                on_full: OnFull::Reject,
+            },
+        );
+        let a1 = lanes.admit().unwrap();
+        let a2 = lanes.admit().unwrap();
+        assert_eq!(lanes.admit().unwrap_err(), SubmitError);
+        assert_eq!(lanes.total_rejected(), 1);
+        lanes.push(a1, 0, job("a"));
+        lanes.push(a2, 0, job("b"));
+        let _ = lanes.pop_for(0).unwrap();
+        assert!(lanes.admit().is_ok(), "drain must free an admission slot");
+    }
+
+    #[test]
+    fn abandon_guard_completes_dropped_jobs() {
+        let state = Arc::new(JoinState::<u32>::new());
+        let j = make_job(Arc::clone(&state), |_ctx| 7u32);
+        assert!(!state.is_done());
+        drop(j); // never executed: the guard publishes an abandonment panic
+        assert!(state.is_done());
+        assert!(state.take_result().unwrap().is_err());
+    }
+}

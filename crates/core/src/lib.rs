@@ -36,7 +36,12 @@
 //!   (distance-ranked), with bounded near-first combiner batches
 //!   (`DESIGN.md` §3);
 //! * **adaptive tasks**: running tasks publish splitters invoked under the
-//!   victim's steal lock (at most one concurrent splitter per victim).
+//!   victim's steal lock (at most one concurrent splitter per victim);
+//! * **non-blocking injection**: [`Runtime::submit`] enqueues a root job
+//!   into sharded per-NUMA-node inject lanes and returns a [`JoinHandle`]
+//!   immediately (wait / poll / `on_complete` callback), with an
+//!   [`InjectPolicy`] admission layer that throttles or sheds a flood of
+//!   submissions (`DESIGN.md` §4); [`Runtime::scope`] is submit + wait.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +81,7 @@ mod fastlane;
 mod foreach;
 mod frame;
 mod handle;
+mod inject;
 mod policy;
 mod queue;
 mod runtime;
@@ -91,6 +97,7 @@ pub use ctx::{with_runtime_ctx, Ctx};
 pub use dataflow::DataflowEngine;
 pub use frame::PromotionPolicy;
 pub use handle::{PartView, Partitioned, Reduction, Ref, RefMut, Shared};
+pub use inject::{InjectLaneStats, InjectPolicy, JoinHandle, OnFull, SubmitError};
 pub use policy::{
     uniform_victim, AggregatedStealing, HierarchicalVictim, LocalityFirst, PerThiefStealing,
     RenamePolicy, StealPolicy, UniformVictim, VictimChoice,

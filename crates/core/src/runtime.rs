@@ -1,10 +1,14 @@
 //! The runtime layer: pool construction, job injection and the public entry
-//! points ([`Runtime::scope`], parallel loops, statistics).
+//! points ([`Runtime::submit`], [`Runtime::scope`], parallel loops,
+//! statistics).
 //!
 //! The engine is layered (see `README.md` for the stack diagram):
 //!
 //! * the **worker layer** ([`crate::worker`]) runs the idle loop
 //!   *queue → inject → steal → park*;
+//! * the **injection layer** ([`crate::inject`]) is how root jobs enter
+//!   from outside the pool: sharded per-NUMA-node lanes with admission
+//!   control, [`JoinHandle`]s for non-blocking callers;
 //! * the **queue layer** ([`crate::queue::TaskQueue`]) decides where ready
 //!   work lives — per-worker T.H.E. deques by default, or a centralized
 //!   pool (the omp/quark baselines) injected through [`Builder::task_queue`];
@@ -13,19 +17,21 @@
 //!   per-thief steals via [`Builder::steal_policy`];
 //! * the **dependency layer** ([`crate::frame`]) is shared by every policy.
 //!
-//! External callers inject root jobs; the injecting thread blocks on a
-//! latch (with the work-stealing guarantees, this keeps every scheduling
-//! decision inside the pool).
+//! External callers inject root jobs without parking a thread per scope:
+//! [`Runtime::submit`] returns a [`JoinHandle`] immediately, and
+//! [`Runtime::scope`] is submit followed by an immediate wait.
 
 use crate::ctx::{Ctx, RawCtx};
 use crate::frame::PromotionPolicy;
+use crate::inject::{
+    make_job, InjectLaneStats, InjectLanes, InjectPolicy, JoinHandle, JoinState, SubmitError,
+};
 use crate::policy::{AggregatedStealing, PerThiefStealing, RenamePolicy, StealPolicy};
 use crate::queue::{DistributedLanes, TaskQueue};
 use crate::stats::{self, StatsSnapshot};
 use crate::topology::Topology;
 use crate::worker::{current_worker_of, worker_main, ParkLot, Worker};
-use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -51,6 +57,10 @@ pub struct Tunables {
     pub park_timeout_us: u64,
     /// Default parallel-loop grain is `n / (grain_factor * workers)`.
     pub grain_factor: usize,
+    /// Injection admission/backpressure policy (pending root-job cap and
+    /// behaviour at the cap). `XKAAPI_MAX_PENDING` overrides the default
+    /// cap.
+    pub inject: InjectPolicy,
 }
 
 impl Default for Tunables {
@@ -62,6 +72,7 @@ impl Default for Tunables {
             steal_rounds_before_park: 32,
             park_timeout_us: 500,
             grain_factor: 8,
+            inject: InjectPolicy::default(),
         }
     }
 }
@@ -78,10 +89,13 @@ impl Default for Tunables {
 /// * `XKAAPI_GRAIN_FACTOR` — parallel-loop grain divisor (≥ 1);
 /// * `XKAAPI_PARK_TIMEOUT_US` — idle-worker park timeout in µs (≥ 1);
 /// * `XKAAPI_STEAL_ROUNDS` — failed steal rounds before a worker parks
-///   (≥ 1).
+///   (≥ 1);
+/// * `XKAAPI_MAX_PENDING` — pending root-job cap of the injection
+///   admission layer (≥ 1; the `on_full` behaviour is code-only).
 ///
 /// An explicit setter call ([`Builder::workers`], [`Builder::grain_factor`],
-/// [`Builder::park_timeout_us`], [`Builder::steal_rounds_before_park`])
+/// [`Builder::park_timeout_us`], [`Builder::steal_rounds_before_park`],
+/// [`Builder::max_pending`], [`Builder::inject_policy`])
 /// wins over the environment: code that sized auxiliary structures (a
 /// custom [`TaskQueue`], `Reduction::with_slots`) to a requested worker
 /// count must never be resized from the outside underneath it. Malformed
@@ -92,6 +106,7 @@ pub struct Builder {
     grain_explicit: bool,
     park_explicit: bool,
     rounds_explicit: bool,
+    pending_explicit: bool,
     stack_size: usize,
     queue: Option<Arc<dyn TaskQueue>>,
     steal: Option<Arc<dyn StealPolicy>>,
@@ -106,6 +121,7 @@ impl Default for Builder {
             grain_explicit: false,
             park_explicit: false,
             rounds_explicit: false,
+            pending_explicit: false,
             stack_size: 16 << 20,
             queue: None,
             steal: None,
@@ -216,6 +232,28 @@ impl Builder {
         self
     }
 
+    /// Injection admission policy: pending root-job cap and behaviour at
+    /// the cap ([`crate::OnFull::Block`] throttles submitters,
+    /// [`crate::OnFull::Reject`] sheds load). An explicit call here wins
+    /// over the `XKAAPI_MAX_PENDING` environment override.
+    pub fn inject_policy(mut self, p: InjectPolicy) -> Self {
+        assert!(p.max_pending >= 1, "max_pending must be >= 1");
+        self.tun.inject = p;
+        self.pending_explicit = true;
+        self
+    }
+
+    /// Pending root-job cap of the injection admission layer (default
+    /// 4096, overridable via `XKAAPI_MAX_PENDING`); keeps the configured
+    /// `on_full` behaviour. An explicit call here wins over the
+    /// environment.
+    pub fn max_pending(mut self, n: usize) -> Self {
+        assert!(n >= 1, "max_pending must be >= 1");
+        self.tun.inject.max_pending = n;
+        self.pending_explicit = true;
+        self
+    }
+
     /// Worker thread stack size in bytes (default 16 MiB — recursive
     /// fork-join work runs on worker stacks).
     pub fn stack_size(mut self, bytes: usize) -> Self {
@@ -239,6 +277,11 @@ impl Builder {
         if !self.rounds_explicit {
             if let Some(r) = env_override("XKAAPI_STEAL_ROUNDS") {
                 tun.steal_rounds_before_park = r.min(u32::MAX as usize) as u32;
+            }
+        }
+        if !self.pending_explicit {
+            if let Some(n) = env_override("XKAAPI_MAX_PENDING") {
+                tun.inject.max_pending = n;
             }
         }
         let nworkers = self
@@ -269,9 +312,10 @@ impl Builder {
             None => Topology::detect(nworkers),
         };
         let workers: Box<[Arc<Worker>]> = (0..nworkers).map(|i| Arc::new(Worker::new(i))).collect();
+        let inject = InjectLanes::new(&topo, tun.inject);
         let inner = Arc::new(RtInner {
             workers,
-            inject: Mutex::new(VecDeque::new()),
+            inject,
             park_lot: ParkLot::new(),
             shutdown: AtomicBool::new(false),
             tun,
@@ -301,7 +345,9 @@ pub struct Runtime {
 
 pub(crate) struct RtInner {
     pub(crate) workers: Box<[Arc<Worker>]>,
-    pub(crate) inject: Mutex<VecDeque<Job>>,
+    /// Injection layer: sharded per-node root-job lanes with admission
+    /// control (see [`crate::inject`]).
+    pub(crate) inject: InjectLanes,
     pub(crate) park_lot: ParkLot,
     pub(crate) shutdown: AtomicBool,
     pub(crate) tun: Tunables,
@@ -328,51 +374,7 @@ impl RtInner {
     pub(crate) fn signal_work(&self) {
         self.park_lot.signal();
     }
-
-    pub(crate) fn pop_inject(&self) -> Option<Job> {
-        if self.inject.lock().is_empty() {
-            return None;
-        }
-        self.inject.lock().pop_front()
-    }
 }
-
-// ---------------------------------------------------------------------------
-// Latch for external scope callers.
-
-struct ScopeLatch {
-    mx: Mutex<bool>,
-    cv: Condvar,
-}
-
-impl ScopeLatch {
-    fn new() -> Self {
-        ScopeLatch {
-            mx: Mutex::new(false),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn set(&self) {
-        let mut done = self.mx.lock();
-        *done = true;
-        // Notify while holding the lock: the waiter cannot observe `done`
-        // and destroy the latch before we are finished touching it.
-        self.cv.notify_all();
-    }
-
-    fn wait(&self) {
-        let mut done = self.mx.lock();
-        while !*done {
-            self.cv.wait(&mut done);
-        }
-    }
-}
-
-/// Raw pointer wrapper to smuggle caller-stack slots into the injected job.
-/// Sound because the caller blocks on the latch until the job completes.
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
 
 impl Runtime {
     /// Runtime with `workers` threads and default tunables.
@@ -390,9 +392,61 @@ impl Runtime {
         self.inner.num_workers()
     }
 
+    /// Enqueue a root job and return a [`JoinHandle`] **without waiting for
+    /// the job to run**: the handle is the non-blocking front door servers
+    /// and async reactors feed the pool through ([`JoinHandle::wait`] /
+    /// [`JoinHandle::try_result`] / [`JoinHandle::on_complete`]).
+    ///
+    /// Admission follows the runtime's [`InjectPolicy`]: at
+    /// `max_pending` queued jobs the call either blocks until a worker
+    /// drains a lane ([`crate::OnFull::Block`], the default — never
+    /// returns `Err`) or returns [`SubmitError`] immediately
+    /// ([`crate::OnFull::Reject`]; the closure is dropped). The job lands
+    /// in the submitting thread's hashed per-NUMA-node inject lane and is
+    /// picked up by workers nearest that lane first.
+    ///
+    /// Called from inside a worker of this pool, the job runs **inline**
+    /// (immediately, on the calling worker, like a nested [`Runtime::scope`])
+    /// and the returned handle is already complete — tasks can submit
+    /// follow-up roots without any deadlock risk and without consuming an
+    /// admission slot.
+    ///
+    /// A panic inside the job is captured and re-raised at
+    /// [`JoinHandle::wait`] / [`JoinHandle::try_result`].
+    pub fn submit<F, R>(&self, f: F) -> Result<JoinHandle<R>, SubmitError>
+    where
+        F: for<'s> FnOnce(&mut Ctx<'s>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let state = Arc::new(JoinState::new());
+        if let Some(widx) = current_worker_of(&self.inner) {
+            // Worker context: run inline (a queued job could deadlock a
+            // 1-worker pool whose only worker then waits on the handle).
+            self.inner.inject.note_inline_submit();
+            let mut raw = RawCtx::new(Arc::clone(&self.inner), widx);
+            state.complete(raw.run_scoped_catch(f));
+            return Ok(JoinHandle::new(state, &self.inner));
+        }
+        let admission = self.inner.inject.admit()?;
+        let lane = self.inner.inject.lane_of_submitter();
+        self.inner
+            .inject
+            .push(admission, lane, make_job(Arc::clone(&state), f));
+        self.inner.signal_work();
+        Ok(JoinHandle::new(state, &self.inner))
+    }
+
     /// Run `f` with a task context, blocking until every task spawned inside
     /// (transitively) has completed. Panics raised by tasks are propagated
     /// after all siblings finished.
+    ///
+    /// This is sugar for [`Runtime::submit`] + [`JoinHandle::wait`] on the
+    /// same machinery (same inject lanes, same completion state), with two
+    /// scope-specific guarantees: admission always *blocks* (a scope
+    /// caller parks until completion anyway, so it is never rejected, even
+    /// under [`crate::OnFull::Reject`]), and because the caller provably
+    /// outlives the job, the closure may borrow from the caller's stack
+    /// (no `'static` bound — the rayon-style scope contract).
     pub fn scope<'scope, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&mut Ctx<'scope>) -> R + Send,
@@ -403,30 +457,28 @@ impl Runtime {
             let mut raw = RawCtx::new(Arc::clone(&self.inner), widx);
             return raw.run_scoped(f);
         }
-        let mut result: Option<std::thread::Result<R>> = None;
-        let latch = ScopeLatch::new();
-        let result_ptr = SendPtr(&mut result as *mut _);
-        let latch_ptr = SendPtr(&latch as *const ScopeLatch as *mut ScopeLatch);
+        let state = Arc::new(JoinState::<R>::new());
+        let st = Arc::clone(&state);
         let job_fn = move |raw: &mut RawCtx| {
-            // capture the Send wrappers whole, not their pointer fields
-            let (result_ptr, latch_ptr) = (result_ptr, latch_ptr);
-            let r = raw.run_scoped_catch(f);
-            // Safety: the caller is blocked on the latch; the slots outlive us.
-            unsafe {
-                *result_ptr.0 = Some(r);
-                (*latch_ptr.0).set();
-            }
+            st.complete(raw.run_scoped_catch(f));
         };
         // Safety: lifetime erasure of the job closure; the caller blocks on
-        // the latch until the job has run to completion, so every borrow the
-        // closure captures outlives its execution (rayon-style scope).
+        // the join state until the job has run to completion, so every
+        // borrow the closure captures outlives its execution (rayon-style
+        // scope). The erased `Arc<JoinState<R>>` the job holds is only
+        // dropped (never dereferenced into `R`) after completion.
         let boxed: Box<dyn FnOnce(&mut RawCtx) + Send> = Box::new(job_fn);
         let boxed: Box<dyn FnOnce(&mut RawCtx) + Send + 'static> =
             unsafe { std::mem::transmute(boxed) };
-        self.inner.inject.lock().push_back(Job(boxed));
+        let admission = self.inner.inject.admit_blocking();
+        let lane = self.inner.inject.lane_of_submitter();
+        self.inner.inject.push(admission, lane, Job(boxed));
         self.inner.signal_work();
-        latch.wait();
-        match result.expect("scope job did not report a result") {
+        state.wait_blocking();
+        match state
+            .take_result()
+            .expect("scope job did not report a result")
+        {
             Ok(v) => v,
             Err(p) => std::panic::resume_unwind(p),
         }
@@ -468,13 +520,33 @@ impl Runtime {
     }
 
     /// Aggregated scheduler statistics since construction (or last reset).
+    /// `jobs_submitted` / `jobs_rejected` come from the injection layer's
+    /// global counters (submissions happen on external threads), the rest
+    /// from the per-worker counters.
     pub fn stats(&self) -> StatsSnapshot {
-        stats::aggregate(self.inner.workers.iter().map(|w| &w.stats))
+        let mut snap = stats::aggregate(self.inner.workers.iter().map(|w| &w.stats));
+        snap.jobs_submitted += self.inner.inject.total_submitted();
+        snap.jobs_rejected += self.inner.inject.total_rejected();
+        snap
     }
 
-    /// Reset all statistics counters.
+    /// Reset all statistics counters (per-worker and injection-layer).
     pub fn reset_stats(&self) {
         stats::reset_all(self.inner.workers.iter().map(|w| &w.stats));
+        self.inner.inject.reset_counters();
+    }
+
+    /// Number of inject lanes (one per NUMA node of the topology).
+    pub fn inject_lane_count(&self) -> usize {
+        self.inner.inject.lanes()
+    }
+
+    /// Per-lane injection counters (`submitted`/`drained` per NUMA-node
+    /// lane), indexed by node id. The bench harnesses report these next to
+    /// the aggregate `inject_own_lane` / `inject_remote_lane` worker
+    /// counters.
+    pub fn inject_lane_stats(&self) -> Vec<InjectLaneStats> {
+        self.inner.inject.lane_stats()
     }
 
     /// The tunables this runtime was built with.

@@ -66,6 +66,19 @@ counters! {
     /// Victim choices where the policy deliberately left its preferred
     /// (nearest) victim set because the local fail streak grew too long.
     victim_escalations,
+    /// Root jobs admitted through the injection layer (submit/scope, lanes
+    /// or inline). Maintained globally by the inject lanes — submissions
+    /// happen on external threads — and merged in by `Runtime::stats`.
+    jobs_submitted,
+    /// Submissions shed by the admission layer (`OnFull::Reject` at
+    /// `max_pending`). Maintained globally, merged in by `Runtime::stats`.
+    jobs_rejected,
+    /// Injected root jobs a worker drained from its own NUMA node's lane.
+    inject_own_lane,
+    /// Injected root jobs a worker drained from a remote node's lane
+    /// (its own lanes were empty). Counts as acquired work for the steal
+    /// fail streak, exactly like an own-lane drain.
+    inject_remote_lane,
 }
 
 impl WorkerStats {

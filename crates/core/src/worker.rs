@@ -210,6 +210,29 @@ pub(crate) fn current_worker_of(rt: &Arc<RtInner>) -> Option<usize> {
 
 // ---------------------------------------------------------------------------
 
+/// Acquire one injected root job for worker `idx` — own node's lane first,
+/// then remote lanes in ascending distance order — and run it. Any lane
+/// drain (own *or* remote) resets the steal fail streak: acquired work is
+/// acquired work, wherever the lane sat; the drain is classified under
+/// `inject_own_lane` / `inject_remote_lane` so the locality of the
+/// injection path stays observable.
+pub(crate) fn try_drain_inject(rt: &Arc<RtInner>, idx: usize) -> bool {
+    let node = rt.topo.node_of(idx);
+    let Some((job, lane)) = rt.inject.pop_for(node) else {
+        return false;
+    };
+    let my = &rt.workers[idx];
+    if lane == node {
+        WorkerStats::bump(&my.stats.inject_own_lane, 1);
+    } else {
+        WorkerStats::bump(&my.stats.inject_remote_lane, 1);
+    }
+    my.reset_fail_streak();
+    let mut raw = RawCtx::new(Arc::clone(rt), idx);
+    (job.0)(&mut raw);
+    true
+}
+
 /// Run one queued/injected/stolen piece of work for worker `idx`. Returns
 /// `false` when no work could be acquired anywhere.
 pub(crate) fn acquire_and_run(rt: &Arc<RtInner>, idx: usize) -> bool {
@@ -218,10 +241,9 @@ pub(crate) fn acquire_and_run(rt: &Arc<RtInner>, idx: usize) -> bool {
         run_grab(rt, idx, item.into_grab());
         return true;
     }
-    // 2. Root jobs injected from outside the pool.
-    if let Some(job) = rt.pop_inject() {
-        let mut raw = RawCtx::new(Arc::clone(rt), idx);
-        (job.0)(&mut raw);
+    // 2. Injection layer: root jobs from outside the pool, nearest lane
+    //    first.
+    if try_drain_inject(rt, idx) {
         return true;
     }
     // 3. Steal layer: policy-driven victim probing.
@@ -260,7 +282,7 @@ pub(crate) fn worker_main(rt: Arc<RtInner>, idx: usize) {
             let rt2 = &rt;
             rt.park_lot.park(park_timeout, || {
                 rt2.shutdown.load(Ordering::Acquire)
-                    || !rt2.inject.lock().is_empty()
+                    || rt2.inject.has_pending_hint()
                     || !rt2.queue.is_empty_hint(idx)
             });
         }

@@ -1,5 +1,5 @@
 //! `XKAAPI_WORKERS` / `XKAAPI_GRAIN_FACTOR` / `XKAAPI_PARK_TIMEOUT_US` /
-//! `XKAAPI_STEAL_ROUNDS` environment overrides of
+//! `XKAAPI_STEAL_ROUNDS` / `XKAAPI_MAX_PENDING` environment overrides of
 //! [`xkaapi::core::Builder`]: the environment overrides *defaults* (so
 //! benches and examples built on `Runtime::builder().build()` are tunable
 //! without recompiling), while explicit setter calls always win (code that
@@ -18,17 +18,20 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         .grain_factor(5)
         .park_timeout_us(250)
         .steal_rounds_before_park(16)
+        .max_pending(77)
         .build();
     assert_eq!(rt.num_workers(), 2);
     assert_eq!(rt.tunables().grain_factor, 5);
     assert_eq!(rt.tunables().park_timeout_us, 250);
     assert_eq!(rt.tunables().steal_rounds_before_park, 16);
+    assert_eq!(rt.tunables().inject.max_pending, 77);
     drop(rt);
 
     // Historical hardcoded values are the defaults.
     let rt = Runtime::builder().workers(1).build();
     assert_eq!(rt.tunables().park_timeout_us, 500);
     assert_eq!(rt.tunables().steal_rounds_before_park, 32);
+    assert_eq!(rt.tunables().inject.max_pending, 4096);
     drop(rt);
 
     // Single-threaded at this point (no other test in this binary, the
@@ -37,6 +40,7 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     std::env::set_var("XKAAPI_GRAIN_FACTOR", "11");
     std::env::set_var("XKAAPI_PARK_TIMEOUT_US", "900");
     std::env::set_var("XKAAPI_STEAL_ROUNDS", "7");
+    std::env::set_var("XKAAPI_MAX_PENDING", "123");
 
     // Env overrides the defaults…
     let rt = Runtime::builder().build();
@@ -60,6 +64,11 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         7,
         "XKAAPI_STEAL_ROUNDS must override"
     );
+    assert_eq!(
+        rt.tunables().inject.max_pending,
+        123,
+        "XKAAPI_MAX_PENDING must override"
+    );
     // …and the overridden runtime still runs real work.
     let s = rt.foreach_reduce(0..1000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
     assert_eq!(s, 499_500);
@@ -72,6 +81,10 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         .grain_factor(5)
         .park_timeout_us(123)
         .steal_rounds_before_park(9)
+        .inject_policy(xkaapi::core::InjectPolicy {
+            max_pending: 55,
+            on_full: xkaapi::core::OnFull::Reject,
+        })
         .build();
     assert_eq!(
         rt.num_workers(),
@@ -93,6 +106,12 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         9,
         "explicit steal_rounds_before_park() must beat env"
     );
+    assert_eq!(
+        rt.tunables().inject.max_pending,
+        55,
+        "explicit inject_policy() must beat env"
+    );
+    assert_eq!(rt.tunables().inject.on_full, xkaapi::core::OnFull::Reject);
     drop(rt);
 
     // Malformed values are ignored (with a warning), not fatal.
@@ -100,6 +119,7 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     std::env::set_var("XKAAPI_GRAIN_FACTOR", "-4");
     std::env::set_var("XKAAPI_PARK_TIMEOUT_US", "0");
     std::env::set_var("XKAAPI_STEAL_ROUNDS", "lots");
+    std::env::set_var("XKAAPI_MAX_PENDING", "0");
     let rt = Runtime::builder().build();
     assert!(rt.num_workers() >= 1);
     assert_eq!(
@@ -117,20 +137,35 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         32,
         "junk XKAAPI_STEAL_ROUNDS must fall back to the default"
     );
+    assert_eq!(
+        rt.tunables().inject.max_pending,
+        4096,
+        "junk XKAAPI_MAX_PENDING must fall back to the default"
+    );
     // An env-tuned runtime still runs real work (exercises the tuned
     // park path: tiny steal-round budget forces parking).
     std::env::set_var("XKAAPI_PARK_TIMEOUT_US", "200");
     std::env::set_var("XKAAPI_STEAL_ROUNDS", "1");
     std::env::set_var("XKAAPI_WORKERS", "3");
     std::env::set_var("XKAAPI_GRAIN_FACTOR", "11");
+    std::env::set_var("XKAAPI_MAX_PENDING", "2");
     let rt = Runtime::builder().build();
     assert_eq!(rt.tunables().steal_rounds_before_park, 1);
+    assert_eq!(rt.tunables().inject.max_pending, 2);
     let s = rt.foreach_reduce(0..1000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
     assert_eq!(s, 499_500);
+    // The env-bounded admission window still serves submit traffic (Block
+    // throttles the submitter at 2 pending jobs, nothing is lost).
+    let handles: Vec<_> = (0..16u64)
+        .map(|i| rt.submit(move |_ctx| i * 2).unwrap())
+        .collect();
+    let total: u64 = handles.into_iter().map(|h| h.wait()).sum();
+    assert_eq!(total, (0..16u64).map(|i| i * 2).sum());
     drop(rt);
 
     std::env::remove_var("XKAAPI_WORKERS");
     std::env::remove_var("XKAAPI_GRAIN_FACTOR");
     std::env::remove_var("XKAAPI_PARK_TIMEOUT_US");
     std::env::remove_var("XKAAPI_STEAL_ROUNDS");
+    std::env::remove_var("XKAAPI_MAX_PENDING");
 }
