@@ -239,7 +239,10 @@ where
     {
         let (dl, dr) = data.split_at_mut(mid);
         let (sl, sr) = scratch.split_at_mut(mid);
-        ctx.join(|c| sort_rec(c, dl, sl), |c| sort_rec(c, dr, sr));
+        // Builder-lowered fork-join (DESIGN.md §5): the forked half rides
+        // the fast lane at the default band, exactly like Ctx::join.
+        ctx.task()
+            .join(|c| sort_rec(c, dl, sl), |c| sort_rec(c, dr, sr));
     }
     // merge halves into scratch, then copy back
     {

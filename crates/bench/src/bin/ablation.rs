@@ -45,6 +45,26 @@ fn policy_workload(rt: &Runtime) -> u64 {
     cells.iter().map(|c| *c.get()).sum()
 }
 
+/// The identical workload spawned through the attribute-carrying task
+/// builder at default attributes (`ctx.task().…spawn`). Under `Priority`
+/// defaults and no affinity the builder lowers to exactly the legacy spawn
+/// path, so its checksum must equal [`policy_workload`]'s on every
+/// queue × steal policy — the ISSUE 5 acceptance gate.
+fn policy_workload_builder(rt: &Runtime) -> u64 {
+    let cells: Vec<Shared<u64>> = (0..16).map(|_| Shared::new(1)).collect();
+    rt.scope(|ctx| {
+        for round in 0..25u64 {
+            for (i, c) in cells.iter().enumerate() {
+                let cw = c.clone();
+                ctx.task().exclusive(c).spawn(move |t| {
+                    *t.write(&cw) += round + i as u64;
+                });
+            }
+        }
+    });
+    cells.iter().map(|c| *c.get()).sum()
+}
+
 /// The war-chain workload: `rounds` repeated whole-object overwrites of one
 /// renameable handle, each feeding `readers` readers. Renaming eliminates
 /// the WAR edges from round `r`'s readers to round `r+1`'s writer, so the
@@ -116,12 +136,23 @@ fn main() {
     println!("# Ablations: scheduler policy matrix, aggregation, ready-list & renaming");
 
     // --- the engine's policy matrix: one enum flips queue & steal layer --
+    // Each configuration runs the workload twice: once through the legacy
+    // `Ctx::spawn` front door and once through the attribute-carrying
+    // builder at default attributes. The two must agree with each other
+    // and across every queue × steal policy (ISSUE 5 acceptance gate).
     let mut rows = Vec::new();
     let mut checksums = Vec::new();
     for pol in SchedPolicy::ALL {
         let rt = pol.build_runtime(4);
         let mut sum = 0;
         let t = measure_ns(5, || sum = policy_workload(&rt));
+        let built = policy_workload_builder(&rt);
+        assert_eq!(
+            sum,
+            built,
+            "builder-vs-legacy checksum mismatch under {}",
+            pol.label()
+        );
         checksums.push(sum);
         let s = rt.stats();
         rows.push(vec![
@@ -130,7 +161,7 @@ fn main() {
             format!("{:.2}", t as f64 / 1e6),
             s.tasks_executed_stolen.to_string(),
             s.combine_served.to_string(),
-            sum.to_string(),
+            format!("{sum} (= builder)"),
         ]);
     }
     assert!(
@@ -138,7 +169,8 @@ fn main() {
         "scheduler policies disagree on the workload result: {checksums:?}"
     );
     print_table(
-        "Engine policy matrix: 16 chains x 25 exclusive writers, 4 workers (identical checksums)",
+        "Engine policy matrix: 16 chains x 25 exclusive writers, 4 workers \
+         (identical checksums, legacy spawn == builder)",
         &[
             "policy",
             "queue/steal",

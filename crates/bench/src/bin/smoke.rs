@@ -15,25 +15,30 @@
 //! PR 4 it additionally records a **submit_flood** run — many small root
 //! jobs from 4 submitter threads through the non-blocking
 //! `Runtime::submit` front door — with throughput and the per-lane drain
-//! counters of the sharded inject lanes.
+//! counters of the sharded inject lanes. Since PR 5 it records a
+//! **priority_flood** run: a mixed-band flood through the
+//! attribute-carrying `Runtime::task()` builder with `Affinity::Auto`
+//! lane targeting, reporting per-band completion latency and the
+//! per-lane placement counters.
 //!
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR4.json` (snapshot file
+//! * `smoke --json` — additionally writes `BENCH_PR5.json` (snapshot file
 //!   name pinned per PR so the perf trajectory accretes one file per PR).
 //!
 //! [`Ctx::join`]: xkaapi_core::Ctx::join
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use xkaapi_bench::{
     busy_work, gflops, measure_ns, print_table, steal_heavy_workload, SchedPolicy, VictimPolicy,
 };
-use xkaapi_core::{Ctx, Runtime, Topology};
+use xkaapi_core::{Affinity, Ctx, Priority, Runtime, Shared, Topology};
 use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR4.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR5.json";
 
 fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
     if n < 2 {
@@ -216,6 +221,95 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
 
+    // --- priority_flood: mixed-band builder submits with Auto affinity --
+    // One submitter floods the attribute-carrying front door with equal
+    // thirds of High/Normal/Low jobs, interleaved; Affinity::Auto + two
+    // handles homed on the two modelled nodes split the flood across the
+    // inject lanes by data ownership. Recorded: per-band completion
+    // latency (mean/max since flood start, stamped by on_complete) and
+    // the per-lane placement counters.
+    let pf_workers = 8usize;
+    let pf_per_band = 2_000u64;
+    let rt_pf = Arc::new(SchedPolicy::DistributedAggregated.build_runtime_with(
+        pf_workers,
+        VictimPolicy::Hierarchical,
+        Topology::two_level(pf_workers, 4),
+    ));
+    let pf_homes: Vec<Shared<u64>> = (0..2)
+        .map(|n| {
+            let h = Shared::new(0u64);
+            h.set_home(n);
+            h
+        })
+        .collect();
+    const PF_BANDS: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+    // (latency sum, latency max, count) per band.
+    let pf_lat: Arc<Vec<[AtomicU64; 3]>> = Arc::new(
+        (0..3)
+            .map(|_| [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)])
+            .collect(),
+    );
+    let pf_t0 = Instant::now();
+    let mut pf_handles = Vec::with_capacity((pf_per_band * 3) as usize);
+    for i in 0..pf_per_band * 3 {
+        let prio = PF_BANDS[(i % 3) as usize];
+        let home = &pf_homes[(i % 2) as usize];
+        let h = rt_pf
+            .task()
+            .priority(prio)
+            .affinity(Affinity::Auto)
+            .reads(home)
+            .submit(move |_ctx| busy_work(i, 2_000))
+            .expect("Block admission never rejects");
+        let lat = Arc::clone(&pf_lat);
+        let band = prio.band();
+        h.on_complete(move || {
+            let ns = pf_t0.elapsed().as_nanos() as u64;
+            lat[band][0].fetch_add(ns, Ordering::Relaxed);
+            lat[band][1].fetch_max(ns, Ordering::Relaxed);
+            lat[band][2].fetch_add(1, Ordering::Relaxed);
+        });
+        pf_handles.push(h);
+    }
+    let mut pf_sum = 0u64;
+    for h in pf_handles {
+        pf_sum = pf_sum.wrapping_add(h.wait());
+    }
+    let pf_ns = pf_t0.elapsed().as_nanos() as u64;
+    let pf_lanes = rt_pf.inject_lane_stats();
+    let pf_band_json: Vec<String> = PF_BANDS
+        .iter()
+        .map(|p| {
+            let b = &pf_lat[p.band()];
+            let (sum, max, count) = (
+                b[0].load(Ordering::Relaxed),
+                b[1].load(Ordering::Relaxed),
+                b[2].load(Ordering::Relaxed).max(1),
+            );
+            format!(
+                "{{\"band\": \"{}\", \"jobs\": {count}, \"mean_latency_ns\": {}, \
+                 \"max_latency_ns\": {max}}}",
+                p.label(),
+                sum / count
+            )
+        })
+        .collect();
+    let pf_lane_json = pf_lanes
+        .iter()
+        .enumerate()
+        .map(|(n, l)| {
+            format!(
+                "{{\"node\": {n}, \"submitted\": {}, \"drained\": {}}}",
+                l.submitted, l.drained
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let pf_mean_ms = |p: Priority| {
+        let b = &pf_lat[p.band()];
+        b[0].load(Ordering::Relaxed) as f64 / b[2].load(Ordering::Relaxed).max(1) as f64 / 1e6
+    };
+
     let total_s = t0.elapsed().as_secs_f64();
     print_table(
         &format!("Perf snapshot ({workers} workers, {total_s:.1}s total)"),
@@ -253,12 +347,32 @@ fn main() {
                     sf_stats.inject_remote_lane
                 ),
             ],
+            vec![
+                "priority_flood".into(),
+                format!(
+                    "mean lat H/N/L {:.2}/{:.2}/{:.2} ms",
+                    pf_mean_ms(Priority::High),
+                    pf_mean_ms(Priority::Normal),
+                    pf_mean_ms(Priority::Low)
+                ),
+                format!(
+                    "{} mixed-band jobs in {:.2} ms; lane placement {}",
+                    pf_per_band * 3,
+                    pf_ns as f64 / 1e6,
+                    pf_lanes
+                        .iter()
+                        .enumerate()
+                        .map(|(n, l)| format!("node{n}:{}", l.submitted))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ),
+            ],
         ],
     );
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 4,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 5,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
@@ -271,12 +385,18 @@ fn main() {
              \"jobs_per_s\": {sf_jobs_per_s:.0}, \"checksum\": {sf_sum}, \
              \"jobs_submitted\": {}, \"jobs_rejected\": {}, \
              \"inject_own_lane\": {}, \"inject_remote_lane\": {}, \
-             \"lanes\": [{lane_json}]}}\n}}\n",
+             \"lanes\": [{lane_json}]}},\n  \
+             \"priority_flood\": {{\"workers\": {pf_workers}, \"nodes\": 2, \
+             \"jobs\": {}, \"ns\": {pf_ns}, \"checksum\": {pf_sum}, \
+             \"bands\": [\n    {}\n  ], \
+             \"lanes\": [{pf_lane_json}]}}\n}}\n",
             victim_json.join(",\n    "),
             sf_stats.jobs_submitted,
             sf_stats.jobs_rejected,
             sf_stats.inject_own_lane,
             sf_stats.inject_remote_lane,
+            pf_per_band * 3,
+            pf_band_json.join(",\n    "),
         );
         std::fs::write(SNAPSHOT_FILE, body).expect("write perf snapshot");
         println!("\nwrote {SNAPSHOT_FILE}");

@@ -162,6 +162,13 @@ pub struct Access {
     /// fresh frame (a later scope) picks up the slot lineage and sequence
     /// numbers a previous scope committed. Zero for plain handles.
     pub(crate) lineage: u64,
+    /// Snapshot of the handle's *home NUMA node* (`u32::MAX` = unknown),
+    /// stamped by the handle's access constructors alongside `lineage`.
+    /// [`Affinity::Auto`](crate::Affinity::Auto) derives a task's target
+    /// node from these stamps. Homes come from an explicit
+    /// [`Shared::set_home`](crate::Shared::set_home) or from first-touch
+    /// (the node of the first worker that wrote through the handle).
+    pub(crate) home: u32,
 }
 
 impl Access {
@@ -174,6 +181,7 @@ impl Access {
             mode,
             renameable: false,
             lineage: 0,
+            home: u32::MAX,
         }
     }
 
@@ -182,6 +190,21 @@ impl Access {
     pub(crate) fn with_lineage(mut self, lineage: u64) -> Self {
         self.lineage = lineage;
         self
+    }
+
+    /// Stamp the handle's home-node snapshot (handle layer only;
+    /// `u32::MAX` = unknown).
+    #[inline]
+    pub(crate) fn with_home(mut self, home: u32) -> Self {
+        self.home = home;
+        self
+    }
+
+    /// NUMA node owning the handle's data, if known — the signal
+    /// [`Affinity::Auto`](crate::Affinity::Auto) placement reads.
+    #[inline]
+    pub fn home_node(&self) -> Option<usize> {
+        (self.home != u32::MAX).then_some(self.home as usize)
     }
 
     /// Mark this access as renameable: the handle it names supports version

@@ -18,6 +18,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// thieves awaiting work; it appends at most `thieves.len()` grabs to `out`.
 pub(crate) trait Adaptive: Send + Sync {
     fn split(&self, thieves: &[usize], out: &mut Vec<Grab>);
+
+    /// Priority band of this adaptive work (see [`crate::Priority::band`]):
+    /// when a victim hosts several splittable sources, the combiner invokes
+    /// higher-band splitters first.
+    fn band(&self) -> u8 {
+        crate::attrs::NORMAL_BAND
+    }
 }
 
 /// A `[begin, end)` iteration interval packed into one atomic word.

@@ -15,6 +15,7 @@
 //! itself until the task completes.
 
 use crate::access::{Access, AccessMode, HandleId};
+use crate::attrs::{Affinity, Priority, TaskAttrs};
 use crate::dataflow::SlotBinding;
 use crate::frame::Frame;
 use crate::handle::{PartView, Partitioned, Reduction, Ref, RefMut, Shared};
@@ -62,10 +63,11 @@ impl RawCtx {
     pub(crate) fn spawn_raw(
         &mut self,
         accesses: Box<[Access]>,
+        attrs: TaskAttrs,
         body: TaskBody,
     ) -> (Arc<Frame>, usize, Arc<Task>) {
         let frame = self.ensure_frame();
-        let task = Arc::new(Task::new(body, accesses));
+        let task = Arc::new(Task::new(body, accesses, attrs));
         let out = frame.push(Arc::clone(&task), &self.rt.tun.rename);
         let idx = out.idx;
         let stats = &self.rt.workers[self.widx].stats;
@@ -308,11 +310,34 @@ impl<'scope> Ctx<'scope> {
     /// Create a task. Non-blocking: the caller continues immediately; the
     /// runtime honours the sequential semantics through the declared
     /// `accesses` (conflicting tasks execute in program order).
+    ///
+    /// This is [`Ctx::task`] with default attributes — use the builder to
+    /// attach a [`Priority`] or an [`Affinity`] to the spawn.
     pub fn spawn<F>(&mut self, accesses: impl IntoIterator<Item = Access>, f: F)
     where
         F: FnOnce(&mut Ctx<'scope>) + Send + 'scope,
     {
-        let accesses: Box<[Access]> = accesses.into_iter().collect();
+        self.spawn_with(accesses.into_iter().collect(), TaskAttrs::default(), f);
+    }
+
+    /// Start building an attribute-carrying task:
+    /// `ctx.task().reads(&a).writes(&b).priority(Priority::High).spawn(f)`.
+    /// The builder accumulates access declarations and a [`TaskAttrs`]
+    /// descriptor, then lowers through exactly the same spawn path as
+    /// [`Ctx::spawn`] (which is this builder with default attributes).
+    pub fn task<'b>(&'b mut self) -> TaskBuilder<'b, 'scope> {
+        TaskBuilder {
+            ctx: self,
+            accesses: Vec::new(),
+            attrs: TaskAttrs::default(),
+        }
+    }
+
+    /// Attribute-aware spawn shared by [`Ctx::spawn`] and [`TaskBuilder`].
+    fn spawn_with<F>(&mut self, accesses: Box<[Access]>, attrs: TaskAttrs, f: F)
+    where
+        F: FnOnce(&mut Ctx<'scope>) + Send + 'scope,
+    {
         let body: Box<dyn FnOnce(&mut RawCtx) + Send + 'scope> = Box::new(move |raw| {
             let mut ctx = Ctx {
                 raw,
@@ -323,7 +348,7 @@ impl<'scope> Ctx<'scope> {
         // Safety: 'scope outlives the moment the scope's sync completes, and
         // every spawned task completes before that sync returns.
         let body: TaskBody = unsafe { std::mem::transmute(body) };
-        self.raw_mut().spawn_raw(accesses, body);
+        self.raw_mut().spawn_raw(accesses, attrs, body);
     }
 
     /// Wait until every task spawned so far in this context completed
@@ -341,6 +366,20 @@ impl<'scope> Ctx<'scope> {
     /// and thieves receive it through the same aggregated steal protocol
     /// as data-flow tasks.
     pub fn join<RA, RB, FA, FB>(&mut self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        FA: FnOnce(&mut Ctx<'scope>) -> RA,
+        FB: FnOnce(&mut Ctx<'scope>) -> RB + Send,
+        RB: Send,
+    {
+        self.join_with(TaskAttrs::default(), fa, fb)
+    }
+
+    /// Attribute-aware fork-join shared by [`Ctx::join`] and
+    /// [`TaskBuilder::join`]: the forked branch's stack job is pushed at
+    /// the attributes' priority band (thieves and the owner's idle pops
+    /// drain higher bands first; the default band is the historical
+    /// T.H.E. lane).
+    fn join_with<RA, RB, FA, FB>(&mut self, attrs: TaskAttrs, fa: FA, fb: FB) -> (RA, RB)
     where
         FA: FnOnce(&mut Ctx<'scope>) -> RA,
         FB: FnOnce(&mut Ctx<'scope>) -> RB + Send,
@@ -413,7 +452,10 @@ impl<'scope> Ctx<'scope> {
         let jref = jref_of(&job);
         let pushed = rt
             .queue
-            .push(widx, crate::queue::WorkItem::fast(jref))
+            .push(
+                widx,
+                crate::queue::WorkItem::fast_banded(jref, attrs.band()),
+            )
             .is_ok();
         if pushed {
             WorkerStats::bump(&rt.workers[widx].stats.tasks_spawned, 1);
@@ -539,8 +581,16 @@ impl<'scope> Ctx<'scope> {
     ///
     /// A renamed write-only access is routed to its fresh version slot;
     /// dropping the borrow commits the slot (`DESIGN.md` §2).
+    ///
+    /// The first write through a handle also records the writing worker's
+    /// NUMA node as the handle's *home* (first-touch), the signal
+    /// [`Affinity::Auto`] placement reads.
     pub fn write<'a, T>(&self, h: &'a Shared<T>) -> RefMut<'a, T> {
         self.check_granted(h.id(), true);
+        {
+            let raw = self.raw();
+            h.note_first_touch(raw.rt.topo.node_of(raw.widx));
+        }
         if !h.is_renameable() {
             return h.borrow_mut();
         }
@@ -559,6 +609,19 @@ impl<'scope> Ctx<'scope> {
     /// [`Partitioned::view`]: only touch regions the task declared.
     pub fn view_of<'a, T: Send>(&self, p: &'a Partitioned<T>) -> PartView<'a, T> {
         self.check_granted(p.id(), false);
+        {
+            // First-touch is a *write* policy: a read-only view scheduled
+            // before the first writer must not claim the home node.
+            let raw = self.raw();
+            let writes = raw.cur.as_ref().is_some_and(|cur| {
+                cur.accesses
+                    .iter()
+                    .any(|a| a.handle == p.id() && a.mode.writes())
+            });
+            if writes {
+                p.note_first_touch(raw.rt.topo.node_of(raw.widx));
+            }
+        }
         if !p.is_renameable() {
             return p.part_view(0, None);
         }
@@ -586,6 +649,122 @@ impl<'scope> Ctx<'scope> {
         red.merge_pending();
         // Safety: scheduler ordered us after all writers.
         unsafe { &*red.data_ptr() }
+    }
+}
+
+/// Builder for an attribute-carrying task, started with [`Ctx::task`]
+/// (`DESIGN.md` §5).
+///
+/// Accumulates access declarations and a [`TaskAttrs`] descriptor, then
+/// terminates in [`TaskBuilder::spawn`] (a non-blocking data-flow task,
+/// exactly [`Ctx::spawn`]'s semantics) or [`TaskBuilder::join`] (a
+/// fork-join pair on the fast lane). The attributes are consumed at every
+/// layer the task crosses: the [`Priority`] band orders queue pops, ready
+/// lists and steal scans, and the [`Affinity`] steers which thief a ready
+/// task is served to.
+///
+/// ```
+/// use xkaapi_core::{Affinity, Priority, Runtime, Shared};
+/// let rt = Runtime::new(2);
+/// let (a, b) = (Shared::new(0u64), Shared::new(0u64));
+/// rt.scope(|ctx| {
+///     let (aw, ar, bw) = (a.clone(), a.clone(), b.clone());
+///     ctx.task()
+///         .writes(&a)
+///         .priority(Priority::High)
+///         .spawn(move |t| *t.write(&aw) = 21);
+///     ctx.task()
+///         .reads(&a)
+///         .writes(&b)
+///         .affinity(Affinity::Auto)
+///         .spawn(move |t| *t.write(&bw) = 2 * *t.read(&ar));
+/// });
+/// assert_eq!(*b.get(), 42);
+/// ```
+#[must_use = "a TaskBuilder does nothing until a terminator (.spawn, .join, .foreach…)"]
+pub struct TaskBuilder<'b, 'scope> {
+    pub(crate) ctx: &'b mut Ctx<'scope>,
+    pub(crate) accesses: Vec<Access>,
+    pub(crate) attrs: TaskAttrs,
+}
+
+impl<'b, 'scope> TaskBuilder<'b, 'scope> {
+    /// Declare a whole-object read access on `h`.
+    pub fn reads<T: ?Sized>(mut self, h: &Shared<T>) -> Self {
+        self.accesses.push(h.read());
+        self
+    }
+
+    /// Declare a whole-object write-only access on `h` (renameable on
+    /// renameable handles, see `DESIGN.md` §2).
+    pub fn writes<T: ?Sized>(mut self, h: &Shared<T>) -> Self {
+        self.accesses.push(h.write());
+        self
+    }
+
+    /// Declare a whole-object exclusive read-write access on `h`.
+    pub fn exclusive<T: ?Sized>(mut self, h: &Shared<T>) -> Self {
+        self.accesses.push(h.exclusive());
+        self
+    }
+
+    /// Declare an explicit access (regions, [`Partitioned`] handles,
+    /// reductions — anything the plain helpers don't cover).
+    pub fn access(mut self, a: Access) -> Self {
+        self.accesses.push(a);
+        self
+    }
+
+    /// Declare several explicit accesses at once.
+    pub fn accesses(mut self, accs: impl IntoIterator<Item = Access>) -> Self {
+        self.accesses.extend(accs);
+        self
+    }
+
+    /// Set the priority band (default [`Priority::Normal`]: today's
+    /// scheduling order, unchanged).
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.attrs.priority = p;
+        self
+    }
+
+    /// Set the data-affinity request (default [`Affinity::None`]).
+    pub fn affinity(mut self, a: Affinity) -> Self {
+        self.attrs.affinity = a;
+        self
+    }
+
+    /// Spawn the task. Non-blocking, identical semantics to
+    /// [`Ctx::spawn`]; the accumulated attributes ride the task through
+    /// the queue, steal and dependency layers.
+    pub fn spawn<F>(self, f: F)
+    where
+        F: FnOnce(&mut Ctx<'scope>) + Send + 'scope,
+    {
+        let TaskBuilder {
+            ctx,
+            accesses,
+            attrs,
+        } = self;
+        ctx.spawn_with(accesses.into_boxed_slice(), attrs, f);
+    }
+
+    /// Run a fork-join pair: `fb` becomes a stealable fast-lane job pushed
+    /// at this builder's priority band, `fa` runs inline, then the pair
+    /// synchronises — [`Ctx::join`] with attributes. Fork-join jobs are
+    /// independent by construction, so access declarations are ignored
+    /// here (declare them on spawned tasks instead).
+    pub fn join<RA, RB, FA, FB>(self, fa: FA, fb: FB) -> (RA, RB)
+    where
+        FA: FnOnce(&mut Ctx<'scope>) -> RA,
+        FB: FnOnce(&mut Ctx<'scope>) -> RB + Send,
+        RB: Send,
+    {
+        debug_assert!(
+            self.accesses.is_empty(),
+            "fork-join tasks are independent; access declarations are ignored"
+        );
+        self.ctx.join_with(self.attrs, fa, fb)
     }
 }
 

@@ -12,7 +12,8 @@
 //! owner-claims and thief-splits conserve iterations exactly.
 
 use crate::adaptive::{split_even, Adaptive, IntervalCell};
-use crate::ctx::{help_until, Ctx, RawCtx};
+use crate::attrs::TaskAttrs;
+use crate::ctx::{help_until, Ctx, RawCtx, TaskBuilder};
 use crate::runtime::RtInner;
 use crate::stats::WorkerStats;
 use crate::steal::Grab;
@@ -39,6 +40,10 @@ struct LoopCtl {
     /// Set after a body panic: remaining iterations are drained unexecuted.
     poisoned: AtomicBool,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Scheduling attributes of the whole loop (builder-lowered): the
+    /// priority band orders this loop's splitters against other adaptive
+    /// work on the same victim.
+    attrs: TaskAttrs,
 }
 
 impl LoopCtl {
@@ -83,6 +88,10 @@ fn runner(ctl: Arc<LoopCtl>, range: Range<usize>) -> Grab {
 }
 
 impl Adaptive for LoopWork {
+    fn band(&self) -> u8 {
+        self.ctl.attrs.band()
+    }
+
     fn split(&self, thieves: &[usize], out: &mut Vec<Grab>) {
         let k = thieves.len();
         if k == 0 || self.ctl.poisoned.load(Ordering::Acquire) {
@@ -104,6 +113,10 @@ struct MasterLoop {
 }
 
 impl Adaptive for MasterLoop {
+    fn band(&self) -> u8 {
+        self.ctl.attrs.band()
+    }
+
     fn split(&self, thieves: &[usize], out: &mut Vec<Grab>) {
         if self.ctl.poisoned.load(Ordering::Acquire) {
             return;
@@ -187,6 +200,7 @@ pub(crate) fn foreach_run(
     widx: usize,
     range: Range<usize>,
     grain: Option<usize>,
+    attrs: TaskAttrs,
     body: &(dyn Fn(Range<usize>, usize) + Sync),
 ) {
     let n = range.end.saturating_sub(range.start);
@@ -222,6 +236,7 @@ pub(crate) fn foreach_run(
         touched,
         poisoned: AtomicBool::new(false),
         panic: Mutex::new(None),
+        attrs,
     });
 
     let master: Arc<dyn Adaptive> = Arc::new(MasterLoop {
@@ -279,11 +294,23 @@ impl<'scope> Ctx<'scope> {
         grain: Option<usize>,
         body: &(dyn Fn(Range<usize>, usize) + Sync),
     ) {
+        self.foreach_worker_chunks_with(range, grain, TaskAttrs::default(), body);
+    }
+
+    /// Attribute-aware chunked loop shared by the plain loop entry points
+    /// and [`TaskBuilder::foreach`] / [`TaskBuilder::foreach_chunks`].
+    pub(crate) fn foreach_worker_chunks_with(
+        &mut self,
+        range: Range<usize>,
+        grain: Option<usize>,
+        attrs: TaskAttrs,
+        body: &(dyn Fn(Range<usize>, usize) + Sync),
+    ) {
         let (rt, widx) = {
             let raw: &RawCtx = self.as_raw();
             (Arc::clone(&raw.rt), raw.widx)
         };
-        foreach_run(&rt, widx, range, grain, body);
+        foreach_run(&rt, widx, range, grain, attrs, body);
     }
 
     /// Parallel reduction: fold every index into per-worker accumulators,
@@ -318,5 +345,36 @@ impl<'scope> Ctx<'scope> {
             }
         }
         acc
+    }
+}
+
+impl<'b, 'scope> TaskBuilder<'b, 'scope> {
+    /// Run an adaptive parallel loop carrying this builder's attributes —
+    /// [`Ctx::foreach`] with a [`TaskAttrs`] descriptor. The priority band
+    /// orders this loop's splitters against other adaptive work on the
+    /// same victim: when thieves ask a worker hosting several loops for
+    /// work, the higher-band loop's slices are handed out first.
+    pub fn foreach<F>(self, range: Range<usize>, body: &F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let attrs = self.attrs;
+        self.ctx
+            .foreach_worker_chunks_with(range, None, attrs, &|r: Range<usize>, _w| {
+                for i in r {
+                    body(i);
+                }
+            });
+    }
+
+    /// Chunked variant of [`TaskBuilder::foreach`]
+    /// ([`Ctx::foreach_chunks`] with attributes).
+    pub fn foreach_chunks<F>(self, range: Range<usize>, grain: Option<usize>, body: &F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let attrs = self.attrs;
+        self.ctx
+            .foreach_worker_chunks_with(range, grain, attrs, &|r: Range<usize>, _w| body(r));
     }
 }

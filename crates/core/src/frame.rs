@@ -18,6 +18,7 @@
 //!   push/completion, and steals degrade to a near-constant-time pop — the
 //!   paper's "accelerating data structure for steal operations".
 
+use crate::attrs::{NORMAL_BAND, PRIORITY_BANDS};
 use crate::dataflow::DataflowEngine;
 use crate::policy::RenamePolicy;
 use crate::task::{Task, ST_INIT, ST_STOLEN};
@@ -60,10 +61,12 @@ pub(crate) struct DepGraph {
     succ: Vec<Vec<usize>>,
     /// Completion already propagated (or task was done at promotion time).
     accounted: Vec<bool>,
-    /// Indices of tasks believed ready (state `ST_INIT`, `npred == 0`).
+    /// Indices of tasks believed ready (state `ST_INIT`, `npred == 0`),
+    /// one list per priority band — thieves drain high bands first, FIFO
+    /// within a band (the default band reproduces the unbanded order).
     /// May contain stale entries (claimed by the owner FIFO path); poppers
     /// re-validate with the claim CAS.
-    ready: VecDeque<usize>,
+    ready: [VecDeque<usize>; PRIORITY_BANDS],
 }
 
 impl DepGraph {
@@ -72,13 +75,14 @@ impl DepGraph {
             npred: Vec::new(),
             succ: Vec::new(),
             accounted: Vec::new(),
-            ready: VecDeque::new(),
+            ready: std::array::from_fn(|_| VecDeque::new()),
         }
     }
 
     /// Integrate task `idx` with the predecessor set the version-chain
-    /// engine recorded for it (must be called in program order).
-    fn integrate(&mut self, idx: usize, preds: &[u32], already_done: bool) {
+    /// engine recorded for it (must be called in program order). `band` is
+    /// the task's priority band (ready-list routing).
+    fn integrate(&mut self, idx: usize, preds: &[u32], already_done: bool, band: u8) {
         debug_assert_eq!(self.npred.len(), idx);
         self.npred.push(0);
         self.succ.push(Vec::new());
@@ -94,7 +98,7 @@ impl DepGraph {
         }
         self.npred[idx] = np;
         if np == 0 && !already_done {
-            self.ready.push_back(idx);
+            self.ready[band as usize].push_back(idx);
         }
     }
 
@@ -108,16 +112,19 @@ impl DepGraph {
         for s in succs {
             self.npred[s] -= 1;
             if self.npred[s] == 0 && tasks[s].state() == ST_INIT {
-                self.ready.push_back(s);
+                self.ready[tasks[s].band() as usize].push_back(s);
             }
         }
     }
 
-    /// Pop a ready task index whose claim CAS succeeds for a thief.
+    /// Pop a ready task index whose claim CAS succeeds for a thief,
+    /// highest priority band first.
     fn pop_ready_claimed(&mut self, tasks: &[Arc<Task>]) -> Option<usize> {
-        while let Some(idx) = self.ready.pop_front() {
-            if tasks[idx].try_claim(ST_STOLEN) {
-                return Some(idx);
+        for band in self.ready.iter_mut() {
+            while let Some(idx) = band.pop_front() {
+                if tasks[idx].try_claim(ST_STOLEN) {
+                    return Some(idx);
+                }
             }
         }
         None
@@ -130,6 +137,10 @@ struct FrameInner {
     /// The single dependency implementation both modes read: version
     /// chains, predecessor sets, slot routing — filled at push time.
     engine: DataflowEngine,
+    /// Any pushed task outside the default priority band? When false the
+    /// scan path stays single-pass (the hot default); when true scans run
+    /// one pass per band, highest first.
+    banded: bool,
 }
 
 /// What `Frame::push` tells the caller.
@@ -166,6 +177,7 @@ impl Frame {
                 tasks: Vec::new(),
                 graph: None,
                 engine: DataflowEngine::new(),
+                banded: false,
             }),
             len: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
@@ -215,6 +227,7 @@ impl Frame {
             tasks,
             graph,
             engine,
+            banded,
         } = &mut *inner;
         let idx = tasks.len();
         let binding = engine.bind(&task.accesses, rename);
@@ -223,10 +236,13 @@ impl Frame {
         // Safety: the task only becomes reachable by claimants through
         // `tasks` below; the frame lock publishes the binding first.
         unsafe { task.set_binding(binding.slots) };
+        if task.band() != NORMAL_BAND {
+            *banded = true;
+        }
         if let Some(g) = graph.as_mut() {
             // Graph already promoted: integrate incrementally. The task was
             // just created, it cannot be done.
-            g.integrate(idx, engine.preds(idx), false);
+            g.integrate(idx, engine.preds(idx), false, task.band());
         }
         tasks.push(task);
         self.len.store(tasks.len(), Ordering::Release);
@@ -251,6 +267,7 @@ impl Frame {
                 tasks,
                 graph,
                 engine,
+                ..
             } = &mut *inner;
             if let Some(g) = graph.as_mut() {
                 g.on_complete(idx, tasks);
@@ -306,8 +323,8 @@ impl Frame {
             // recorded at push time (one source of truth for both modes).
             let mut g = DepGraph::new();
             let FrameInner { tasks, engine, .. } = &mut *inner;
-            for idx in 0..tasks.len() {
-                g.integrate(idx, engine.preds(idx), false);
+            for (idx, task) in tasks.iter().enumerate() {
+                g.integrate(idx, engine.preds(idx), false, task.band());
             }
             // SeqCst promotion protocol: publish `graph_on` *before*
             // reading task states for done-accounting, so any completion
@@ -332,6 +349,7 @@ impl Frame {
             tasks,
             graph,
             engine,
+            banded,
         } = &mut *inner;
         if let Some(g) = graph.as_mut() {
             while out.len() < max {
@@ -345,21 +363,34 @@ impl Frame {
 
         // Scan mode: oldest-first incremental readiness against the version
         // chains — a task is ready when every predecessor the engine
-        // recorded for it has completed (same edges graph mode uses).
+        // recorded for it has completed (same edges graph mode uses). When
+        // the frame holds tasks outside the default priority band, the scan
+        // runs one pass per band (highest first) so high-priority ready
+        // tasks are claimed before low-priority ones; single-band frames
+        // (the common case) keep the single oldest-first pass.
         let n = tasks.len();
-        for i in 0..n {
+        let passes = if *banded { PRIORITY_BANDS } else { 1 };
+        for pass in 0..passes {
             if out.len() >= max {
                 break;
             }
-            let t = &tasks[i];
-            if t.state() != ST_INIT {
-                continue;
-            }
-            if !engine.preds(i).iter().all(|&p| tasks[p as usize].is_done()) {
-                continue;
-            }
-            if t.try_claim(ST_STOLEN) {
-                out.push(i);
+            for i in 0..n {
+                if out.len() >= max {
+                    break;
+                }
+                let t = &tasks[i];
+                if *banded && t.band() as usize != pass {
+                    continue;
+                }
+                if t.state() != ST_INIT {
+                    continue;
+                }
+                if !engine.preds(i).iter().all(|&p| tasks[p as usize].is_done()) {
+                    continue;
+                }
+                if t.try_claim(ST_STOLEN) {
+                    out.push(i);
+                }
             }
         }
     }
@@ -373,6 +404,7 @@ impl Frame {
         inner.tasks.clear(); // keeps the Vec capacity
         inner.graph = None;
         inner.engine.clear();
+        inner.banded = false;
         drop(inner);
         self.len.store(0, Ordering::Relaxed);
         self.cursor.store(0, Ordering::Relaxed);
@@ -409,6 +441,7 @@ mod tests {
         Arc::new(Task::new(
             Box::new(|_| {}),
             accs.to_vec().into_boxed_slice(),
+            crate::attrs::TaskAttrs::default(),
         ))
     }
 

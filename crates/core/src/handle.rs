@@ -75,6 +75,11 @@ struct RenameState<T: ?Sized> {
 
 struct SharedInner<T: ?Sized> {
     id: HandleId,
+    /// NUMA node owning this handle's data (`u32::MAX` = unknown). Set
+    /// explicitly ([`Shared::set_home`]) or by first-touch (the node of
+    /// the first worker that wrote through the handle); stamped into
+    /// access descriptors so `Affinity::Auto` can steer placement.
+    home: AtomicU32,
     /// `Some` iff the handle supports renaming.
     rename: Option<RenameState<T>>,
     main: Slot<T>,
@@ -140,6 +145,26 @@ impl<T: ?Sized> SharedInner<T> {
             Some(rs) => rs.committed.load(Ordering::Acquire),
         }
     }
+
+    /// Home-node snapshot stamped into access descriptors.
+    #[inline]
+    fn home_u32(&self) -> u32 {
+        self.home.load(Ordering::Relaxed)
+    }
+
+    /// First-touch: record `node` as the handle's home unless one is
+    /// already known (one relaxed CAS, won exactly once per handle).
+    #[inline]
+    fn note_first_touch(&self, node: usize) {
+        if self.home.load(Ordering::Relaxed) == u32::MAX {
+            let _ = self.home.compare_exchange(
+                u32::MAX,
+                node as u32,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
 }
 
 /// Commit-on-completion guard of a renamed write: dropping it publishes
@@ -202,6 +227,7 @@ impl<T> Shared<T> {
         Shared {
             inner: Arc::new(SharedInner {
                 id: fresh_handle_id(),
+                home: AtomicU32::new(u32::MAX),
                 rename: None,
                 main: Slot::new(value),
             }),
@@ -287,6 +313,7 @@ impl<T: Send + 'static> Shared<T> {
         Shared {
             inner: Arc::new(SharedInner {
                 id: fresh_handle_id(),
+                home: AtomicU32::new(u32::MAX),
                 rename: Some(RenameState {
                     committed: AtomicU64::new(0),
                     slots: Mutex::new(Vec::new()),
@@ -311,10 +338,35 @@ impl<T: ?Sized> Shared<T> {
         self.inner.rename.is_some()
     }
 
+    /// NUMA node owning this handle's data, if known (explicit
+    /// [`Shared::set_home`] or first-touch by a writing task).
+    #[inline]
+    pub fn home_node(&self) -> Option<usize> {
+        let h = self.inner.home_u32();
+        (h != u32::MAX).then_some(h as usize)
+    }
+
+    /// Declare which NUMA node owns this handle's data. Subsequent access
+    /// declarations carry the stamp, so tasks and root jobs built with
+    /// [`Affinity::Auto`](crate::Affinity::Auto) are steered toward this
+    /// node's workers.
+    #[inline]
+    pub fn set_home(&self, node: usize) {
+        self.inner.home.store(node as u32, Ordering::Relaxed);
+    }
+
+    /// First-touch home recording (context layer: called on task writes).
+    #[inline]
+    pub(crate) fn note_first_touch(&self, node: usize) {
+        self.inner.note_first_touch(node);
+    }
+
     /// Declare a whole-object read access.
     #[inline]
     pub fn read(&self) -> Access {
-        Access::new(self.id(), Region::All, AccessMode::Read).with_lineage(self.inner.lineage())
+        Access::new(self.id(), Region::All, AccessMode::Read)
+            .with_lineage(self.inner.lineage())
+            .with_home(self.inner.home_u32())
     }
 
     /// Declare a whole-object write-only access. On a renameable handle the
@@ -323,7 +375,8 @@ impl<T: ?Sized> Shared<T> {
     #[inline]
     pub fn write(&self) -> Access {
         let a = Access::new(self.id(), Region::All, AccessMode::Write)
-            .with_lineage(self.inner.lineage());
+            .with_lineage(self.inner.lineage())
+            .with_home(self.inner.home_u32());
         if self.is_renameable() {
             a.with_renaming()
         } else {
@@ -336,19 +389,24 @@ impl<T: ?Sized> Shared<T> {
     pub fn exclusive(&self) -> Access {
         Access::new(self.id(), Region::All, AccessMode::Exclusive)
             .with_lineage(self.inner.lineage())
+            .with_home(self.inner.home_u32())
     }
 
     /// Declare a read access to a sub-region.
     #[inline]
     pub fn read_region(&self, region: Region) -> Access {
-        Access::new(self.id(), region, AccessMode::Read).with_lineage(self.inner.lineage())
+        Access::new(self.id(), region, AccessMode::Read)
+            .with_lineage(self.inner.lineage())
+            .with_home(self.inner.home_u32())
     }
 
     /// Declare a write access to a sub-region (partial writes are never
     /// renamed — the untouched part must come from the previous version).
     #[inline]
     pub fn write_region(&self, region: Region) -> Access {
-        Access::new(self.id(), region, AccessMode::Write).with_lineage(self.inner.lineage())
+        Access::new(self.id(), region, AccessMode::Write)
+            .with_lineage(self.inner.lineage())
+            .with_home(self.inner.home_u32())
     }
 
     /// Slot currently holding the committed value (fallback routing for
@@ -524,6 +582,7 @@ impl<T: Send + 'static> Partitioned<T> {
         Partitioned {
             inner: Arc::new(SharedInner {
                 id: fresh_handle_id(),
+                home: AtomicU32::new(u32::MAX),
                 rename: Some(RenameState {
                     committed: AtomicU64::new(0),
                     slots: Mutex::new(Vec::new()),
@@ -541,6 +600,7 @@ impl<T: Send> Partitioned<T> {
         Partitioned {
             inner: Arc::new(SharedInner {
                 id: fresh_handle_id(),
+                home: AtomicU32::new(u32::MAX),
                 rename: None,
                 main: Slot::new(value),
             }),
@@ -559,10 +619,32 @@ impl<T: Send> Partitioned<T> {
         self.inner.rename.is_some()
     }
 
+    /// NUMA node owning this handle's data, if known.
+    #[inline]
+    pub fn home_node(&self) -> Option<usize> {
+        let h = self.inner.home_u32();
+        (h != u32::MAX).then_some(h as usize)
+    }
+
+    /// Declare which NUMA node owns this handle's data (see
+    /// [`Shared::set_home`]).
+    #[inline]
+    pub fn set_home(&self, node: usize) {
+        self.inner.home.store(node as u32, Ordering::Relaxed);
+    }
+
+    /// First-touch home recording (context layer).
+    #[inline]
+    pub(crate) fn note_first_touch(&self, node: usize) {
+        self.inner.note_first_touch(node);
+    }
+
     /// Declare an access to `region` with `mode`.
     #[inline]
     pub fn access(&self, region: Region, mode: AccessMode) -> Access {
-        Access::new(self.id(), region, mode).with_lineage(self.inner.lineage())
+        Access::new(self.id(), region, mode)
+            .with_lineage(self.inner.lineage())
+            .with_home(self.inner.home_u32())
     }
 
     /// Declare a whole-object write-only access (renameable on handles
@@ -570,7 +652,8 @@ impl<T: Send> Partitioned<T> {
     #[inline]
     pub fn write_all(&self) -> Access {
         let a = Access::new(self.id(), Region::All, AccessMode::Write)
-            .with_lineage(self.inner.lineage());
+            .with_lineage(self.inner.lineage())
+            .with_home(self.inner.home_u32());
         if self.is_renameable() {
             a.with_renaming()
         } else {

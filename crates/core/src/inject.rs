@@ -27,6 +27,7 @@
 //! caller is about to park anyway, which *is* the backpressure) followed by
 //! an immediate wait.
 
+use crate::attrs::PRIORITY_BANDS;
 use crate::ctx::{help_until, RawCtx};
 use crate::runtime::{Job, RtInner};
 use crate::topology::Topology;
@@ -58,6 +59,17 @@ pub enum OnFull {
 /// [`Builder::inject_policy`](crate::Builder::inject_policy) /
 /// [`Builder::max_pending`](crate::Builder::max_pending), with the
 /// `XKAAPI_MAX_PENDING` environment variable overriding the default bound.
+///
+/// Admission is **priority-ordered** (`DESIGN.md` §5): [`Priority::High`]
+/// and [`Priority::Normal`] submissions admit up to the full `max_pending`,
+/// while [`Priority::Low`] submissions see only half of it (at least 1) —
+/// under pressure, low-priority load is shed (or throttled) while headroom
+/// remains for the higher bands, so a high-priority job is never rejected
+/// while low-priority ones are still being admitted.
+///
+/// [`Priority::High`]: crate::Priority::High
+/// [`Priority::Normal`]: crate::Priority::Normal
+/// [`Priority::Low`]: crate::Priority::Low
 ///
 /// [`Runtime::scope`](crate::Runtime::scope) always uses blocking
 /// admission regardless of `on_full`: a scope caller blocks until its job
@@ -116,6 +128,11 @@ fn run_callback(cb: CompleteFn) {
 struct JoinInner<R> {
     result: Option<std::thread::Result<R>>,
     callbacks: Vec<CompleteFn>,
+    /// The `Future` adapter's registered waker: a single slot, replaced on
+    /// re-poll (a future has one current waker; accumulating one callback
+    /// per pending poll would grow unboundedly under busy executors).
+    #[cfg(feature = "future")]
+    waker: Option<std::task::Waker>,
 }
 
 /// Shared completion cell between a submitted job and its [`JoinHandle`].
@@ -131,6 +148,8 @@ impl<R> JoinState<R> {
             mx: Mutex::new(JoinInner {
                 result: None,
                 callbacks: Vec::new(),
+                #[cfg(feature = "future")]
+                waker: None,
             }),
             cv: Condvar::new(),
             done: AtomicBool::new(false),
@@ -146,6 +165,8 @@ impl<R> JoinState<R> {
     /// registered callbacks. Idempotent: the abandonment guard may race a
     /// normal completion without double-firing.
     pub(crate) fn complete(&self, result: std::thread::Result<R>) {
+        #[cfg(feature = "future")]
+        let waker;
         let callbacks = {
             let mut inner = self.mx.lock();
             if inner.result.is_some() {
@@ -156,10 +177,19 @@ impl<R> JoinState<R> {
             // Notify while holding the lock, as the old scope latch did:
             // waiters cannot observe `done` and race ahead mid-publication.
             self.cv.notify_all();
+            #[cfg(feature = "future")]
+            {
+                waker = inner.waker.take();
+            }
             std::mem::take(&mut inner.callbacks)
         };
-        // Callbacks run outside the lock: they may take arbitrary user
-        // locks (wake a reactor, send on a channel).
+        // Callbacks (and the future's waker) run outside the lock: they
+        // may take arbitrary user locks (wake a reactor, send on a
+        // channel).
+        #[cfg(feature = "future")]
+        if let Some(w) = waker {
+            w.wake();
+        }
         for cb in callbacks {
             run_callback(cb);
         }
@@ -176,6 +206,31 @@ impl<R> JoinState<R> {
     /// Take the result out (None while running; panics are preserved).
     pub(crate) fn take_result(&self) -> Option<std::thread::Result<R>> {
         self.mx.lock().result.take()
+    }
+
+    /// One atomic poll step for the `Future` adapter: take the result if
+    /// it is there, otherwise install `waker` in the single waker slot
+    /// (replacing a stale one; re-polls with the same waker are free) —
+    /// all under the state lock, so a completion can never slip between
+    /// the check and the registration (no lost wake-up).
+    ///
+    /// # Panics
+    /// If the job completed but the result was already consumed (a
+    /// `try_result`/`wait` raced this future).
+    #[cfg(feature = "future")]
+    pub(crate) fn poll_take(&self, waker: &std::task::Waker) -> Option<std::thread::Result<R>> {
+        let mut inner = self.mx.lock();
+        if let Some(r) = inner.result.take() {
+            return Some(r);
+        }
+        if self.done.load(Ordering::Acquire) {
+            panic!("xkaapi: JoinHandle future polled after its result was already taken");
+        }
+        match &mut inner.waker {
+            Some(w) if w.will_wake(waker) => {}
+            slot => *slot = Some(waker.clone()),
+        }
+        None
     }
 }
 
@@ -311,6 +366,35 @@ impl<R> std::fmt::Debug for JoinHandle<R> {
     }
 }
 
+/// Async adapter (the ROADMAP injection follow-up), behind the `future`
+/// feature gate: a [`JoinHandle`] is a `Future` resolving to the job's
+/// result, wired over the same completion path as
+/// [`JoinHandle::on_complete`] — no reactor or runtime of our own, any
+/// executor's waker plugs straight in. The job's panic is re-raised at
+/// `poll` time, mirroring [`JoinHandle::wait`].
+///
+/// Each pending poll installs the current waker in a single slot under
+/// the state lock (replacing a stale waker, free when it
+/// [`will_wake`](std::task::Waker::will_wake) the same task), so a
+/// completion can never race between the readiness check and the
+/// registration, and a busy executor re-polling many times cannot grow
+/// state.
+#[cfg(feature = "future")]
+impl<R: Send> std::future::Future for JoinHandle<R> {
+    type Output = R;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> std::task::Poll<R> {
+        // `JoinHandle` is `Unpin` (an `Arc` and a `Weak`), so projecting
+        // out of the pin is trivially sound.
+        let this = self.get_mut();
+        match this.state.poll_take(cx.waker()) {
+            Some(Ok(v)) => std::task::Poll::Ready(v),
+            Some(Err(p)) => resume_unwind(p),
+            None => std::task::Poll::Pending,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Sharded inject lanes
 
@@ -326,7 +410,9 @@ pub struct InjectLaneStats {
 }
 
 struct Lane {
-    q: Mutex<VecDeque<Job>>,
+    /// One FIFO per priority band (0 = high): workers drain lower band
+    /// indices first, FIFO within a band.
+    q: Mutex<[VecDeque<Job>; PRIORITY_BANDS]>,
     submitted: AtomicU64,
     drained: AtomicU64,
 }
@@ -334,16 +420,17 @@ struct Lane {
 impl Lane {
     fn new() -> Lane {
         Lane {
-            q: Mutex::new(VecDeque::new()),
+            q: Mutex::new(std::array::from_fn(|_| VecDeque::new())),
             submitted: AtomicU64::new(0),
             drained: AtomicU64::new(0),
         }
     }
 }
 
-/// The sharded inject queue: one lane per NUMA node, submitter-hashed on
-/// entry, drained nearest-lane-first by workers, bounded by an
-/// [`InjectPolicy`].
+/// The sharded inject queue: one priority-banded lane per NUMA node,
+/// submitter-hashed (or affinity-targeted) on entry, drained by workers
+/// band-major (all lanes' high band before any lane's next band, own lane
+/// first within a band), bounded by an [`InjectPolicy`].
 pub(crate) struct InjectLanes {
     lanes: Box<[Lane]>,
     /// node → lane visit order: own lane first, then ascending SLIT
@@ -423,11 +510,24 @@ impl InjectLanes {
         submitter_id() % self.lanes.len()
     }
 
-    /// Try to reserve a pending slot without blocking.
-    fn try_admit(&self) -> Option<Admission> {
+    /// Effective admission limit of a priority band: the full cap for the
+    /// high and default bands, half of it (at least 1) for the low band —
+    /// the per-priority shedding order ("reject low before high").
+    fn band_limit(&self, band: u8) -> usize {
+        if (band as usize) < PRIORITY_BANDS - 1 {
+            self.policy.max_pending
+        } else {
+            (self.policy.max_pending / 2).max(1)
+        }
+    }
+
+    /// Try to reserve a pending slot for a `band` submission without
+    /// blocking.
+    fn try_admit(&self, band: u8) -> Option<Admission> {
+        let limit = self.band_limit(band);
         let mut cur = self.pending.load(Ordering::Relaxed);
         loop {
-            if cur >= self.policy.max_pending {
+            if cur >= limit {
                 return None;
             }
             match self.pending.compare_exchange_weak(
@@ -443,29 +543,30 @@ impl InjectLanes {
     }
 
     /// Admission under the configured policy: `Err(SubmitError)` only under
-    /// [`OnFull::Reject`] at the cap.
-    pub(crate) fn admit(&self) -> Result<Admission, SubmitError> {
+    /// [`OnFull::Reject`] at the band's cap.
+    pub(crate) fn admit(&self, band: u8) -> Result<Admission, SubmitError> {
         match self.policy.on_full {
-            OnFull::Reject => self.try_admit().ok_or_else(|| {
+            OnFull::Reject => self.try_admit(band).ok_or_else(|| {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 SubmitError
             }),
-            OnFull::Block => Ok(self.admit_blocking()),
+            OnFull::Block => Ok(self.admit_blocking(band)),
         }
     }
 
     /// Admission that always succeeds, blocking until a slot frees (what
-    /// `Runtime::scope` uses regardless of the policy's `on_full`).
-    pub(crate) fn admit_blocking(&self) -> Admission {
+    /// `Runtime::scope` uses — at the default band — regardless of the
+    /// policy's `on_full`).
+    pub(crate) fn admit_blocking(&self, band: u8) -> Admission {
         loop {
-            if let Some(a) = self.try_admit() {
+            if let Some(a) = self.try_admit(band) {
                 return a;
             }
             self.waiters.fetch_add(1, Ordering::SeqCst);
             let mut g = self.room_mx.lock();
             // Re-check under the lock: a drain between the failed CAS and
             // the lock would otherwise be a lost wake-up.
-            if self.pending.load(Ordering::Relaxed) >= self.policy.max_pending {
+            if self.pending.load(Ordering::Relaxed) >= self.band_limit(band) {
                 self.room_cv.wait(&mut g);
             }
             drop(g);
@@ -473,10 +574,11 @@ impl InjectLanes {
         }
     }
 
-    /// Enqueue an admitted job into `lane`.
-    pub(crate) fn push(&self, _admission: Admission, lane: usize, job: Job) {
+    /// Enqueue an admitted job into `lane` at priority band `band`.
+    pub(crate) fn push(&self, _admission: Admission, lane: usize, band: u8, job: Job) {
         debug_assert!(lane < self.lanes.len());
-        self.lanes[lane].q.lock().push_back(job);
+        let band = (band as usize).min(PRIORITY_BANDS - 1);
+        self.lanes[lane].q.lock()[band].push_back(job);
         self.lanes[lane].submitted.fetch_add(1, Ordering::Relaxed);
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
@@ -486,9 +588,12 @@ impl InjectLanes {
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Drain one job for a worker on NUMA `node`: its own node's lane
-    /// first, then remote lanes in ascending distance order. Returns the
-    /// job and the lane it came from (callers classify own/remote drains).
+    /// Drain one job for a worker on NUMA `node`, band-major: every lane's
+    /// high band (own lane first, then ascending distance) before any
+    /// lane's next band — priority outranks locality across lanes, and
+    /// within one band the drain order is exactly the pre-band
+    /// nearest-lane-first walk. Returns the job and the lane it came from
+    /// (callers classify own/remote drains).
     pub(crate) fn pop_for(&self, node: usize) -> Option<(Job, usize)> {
         if self.pending.load(Ordering::Relaxed) == 0 {
             return None;
@@ -498,16 +603,18 @@ impl InjectLanes {
         } else {
             0
         };
-        for &lane in self.drain_order[node].iter() {
-            let job = self.lanes[lane].q.lock().pop_front();
-            if let Some(job) = job {
-                self.lanes[lane].drained.fetch_add(1, Ordering::Relaxed);
-                self.pending.fetch_sub(1, Ordering::Release);
-                if self.waiters.load(Ordering::SeqCst) > 0 {
-                    let _g = self.room_mx.lock();
-                    self.room_cv.notify_all();
+        for band in 0..PRIORITY_BANDS {
+            for &lane in self.drain_order[node].iter() {
+                let job = self.lanes[lane].q.lock()[band].pop_front();
+                if let Some(job) = job {
+                    self.lanes[lane].drained.fetch_add(1, Ordering::Relaxed);
+                    self.pending.fetch_sub(1, Ordering::Release);
+                    if self.waiters.load(Ordering::SeqCst) > 0 {
+                        let _g = self.room_mx.lock();
+                        self.room_cv.notify_all();
+                    }
+                    return Some((job, lane));
                 }
-                return Some((job, lane));
             }
         }
         None
@@ -572,6 +679,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attrs::NORMAL_BAND;
     use crate::topology::DistanceMatrix;
 
     fn job(tag: &'static str) -> Job {
@@ -587,10 +695,10 @@ mod tests {
         let topo = Topology::with_distances(vec![0, 1, 2], d);
         let lanes = InjectLanes::new(&topo, InjectPolicy::default());
         assert_eq!(lanes.lanes(), 3);
-        let a = lanes.admit().unwrap();
-        lanes.push(a, 2, job("far"));
-        let a = lanes.admit().unwrap();
-        lanes.push(a, 1, job("mid"));
+        let a = lanes.admit(NORMAL_BAND).unwrap();
+        lanes.push(a, 2, NORMAL_BAND, job("far"));
+        let a = lanes.admit(NORMAL_BAND).unwrap();
+        lanes.push(a, 1, NORMAL_BAND, job("mid"));
         // A worker on node 0 drains lane 1 (distance 16) before lane 2 (22).
         let (_, lane) = lanes.pop_for(0).unwrap();
         assert_eq!(lane, 1);
@@ -604,10 +712,10 @@ mod tests {
         let topo = Topology::two_level(4, 2);
         let lanes = InjectLanes::new(&topo, InjectPolicy::default());
         assert_eq!(lanes.lanes(), 2);
-        let a = lanes.admit().unwrap();
-        lanes.push(a, 0, job("node0"));
-        let a = lanes.admit().unwrap();
-        lanes.push(a, 1, job("node1"));
+        let a = lanes.admit(NORMAL_BAND).unwrap();
+        lanes.push(a, 0, NORMAL_BAND, job("node0"));
+        let a = lanes.admit(NORMAL_BAND).unwrap();
+        lanes.push(a, 1, NORMAL_BAND, job("node1"));
         assert!(lanes.has_pending_hint());
         let (_, lane) = lanes.pop_for(1).unwrap();
         assert_eq!(lane, 1, "own node's lane must be drained first");
@@ -621,6 +729,27 @@ mod tests {
     }
 
     #[test]
+    fn high_band_drains_before_low_across_lanes() {
+        // Priority outranks locality: a remote lane's high-band job beats
+        // the own lane's normal/low jobs.
+        let topo = Topology::two_level(4, 2);
+        let lanes = InjectLanes::new(&topo, InjectPolicy::default());
+        let a = lanes.admit(2).unwrap();
+        lanes.push(a, 0, 2, job("own-low"));
+        let a = lanes.admit(NORMAL_BAND).unwrap();
+        lanes.push(a, 0, NORMAL_BAND, job("own-normal"));
+        let a = lanes.admit(0).unwrap();
+        lanes.push(a, 1, 0, job("remote-high"));
+        let (_, lane) = lanes.pop_for(0).unwrap();
+        assert_eq!(lane, 1, "remote high band must beat own lower bands");
+        let (_, lane) = lanes.pop_for(0).unwrap();
+        assert_eq!(lane, 0);
+        let (_, lane) = lanes.pop_for(0).unwrap();
+        assert_eq!(lane, 0);
+        assert!(lanes.pop_for(0).is_none());
+    }
+
+    #[test]
     fn reject_at_cap() {
         let topo = Topology::flat(1);
         let lanes = InjectLanes::new(
@@ -630,14 +759,44 @@ mod tests {
                 on_full: OnFull::Reject,
             },
         );
-        let a1 = lanes.admit().unwrap();
-        let a2 = lanes.admit().unwrap();
-        assert_eq!(lanes.admit().unwrap_err(), SubmitError);
+        let a1 = lanes.admit(NORMAL_BAND).unwrap();
+        let a2 = lanes.admit(NORMAL_BAND).unwrap();
+        assert_eq!(lanes.admit(NORMAL_BAND).unwrap_err(), SubmitError);
         assert_eq!(lanes.total_rejected(), 1);
-        lanes.push(a1, 0, job("a"));
-        lanes.push(a2, 0, job("b"));
+        lanes.push(a1, 0, NORMAL_BAND, job("a"));
+        lanes.push(a2, 0, NORMAL_BAND, job("b"));
         let _ = lanes.pop_for(0).unwrap();
-        assert!(lanes.admit().is_ok(), "drain must free an admission slot");
+        assert!(
+            lanes.admit(NORMAL_BAND).is_ok(),
+            "drain must free an admission slot"
+        );
+    }
+
+    #[test]
+    fn low_band_is_shed_before_high() {
+        let topo = Topology::flat(1);
+        let lanes = InjectLanes::new(
+            &topo,
+            InjectPolicy {
+                max_pending: 4,
+                on_full: OnFull::Reject,
+            },
+        );
+        // Fill to the low band's limit (max_pending / 2 = 2).
+        let _a1 = lanes.admit(NORMAL_BAND).unwrap();
+        let _a2 = lanes.admit(NORMAL_BAND).unwrap();
+        assert_eq!(
+            lanes.admit(2).unwrap_err(),
+            SubmitError,
+            "low band must shed at half the cap"
+        );
+        // High and normal still have headroom up to the full cap.
+        let _a3 = lanes.admit(0).unwrap();
+        let _a4 = lanes.admit(NORMAL_BAND).unwrap();
+        // At the full cap everyone is rejected — never high before low.
+        assert!(lanes.admit(0).is_err());
+        assert!(lanes.admit(NORMAL_BAND).is_err());
+        assert!(lanes.admit(2).is_err());
     }
 
     #[test]

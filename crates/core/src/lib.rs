@@ -39,9 +39,17 @@
 //!   victim's steal lock (at most one concurrent splitter per victim);
 //! * **non-blocking injection**: [`Runtime::submit`] enqueues a root job
 //!   into sharded per-NUMA-node inject lanes and returns a [`JoinHandle`]
-//!   immediately (wait / poll / `on_complete` callback), with an
+//!   immediately (wait / poll / `on_complete` callback, and an
+//!   `impl Future` behind the default-on `future` feature), with an
 //!   [`InjectPolicy`] admission layer that throttles or sheds a flood of
-//!   submissions (`DESIGN.md` §4); [`Runtime::scope`] is submit + wait.
+//!   submissions (`DESIGN.md` §4); [`Runtime::scope`] is submit + wait;
+//! * **task attributes**: every front door lowers to one [`TaskAttrs`]
+//!   descriptor via the [`Ctx::task`] / [`Runtime::task`] builders
+//!   (`DESIGN.md` §5) — [`Priority`] bands order queue pops, ready lists,
+//!   steal scans and inject drains (low is shed before high at the
+//!   admission cap), and [`Affinity`] steers work toward the NUMA node
+//!   owning its data (lane targeting on submit, affine grab matching in
+//!   the steal combiner, handle homes from `set_home` or first-touch).
 //!
 //! ## Quickstart
 //!
@@ -75,6 +83,7 @@
 
 mod access;
 mod adaptive;
+pub mod attrs;
 mod ctx;
 pub mod dataflow;
 mod fastlane;
@@ -82,6 +91,7 @@ mod foreach;
 mod frame;
 mod handle;
 mod inject;
+mod pin;
 mod policy;
 mod queue;
 mod runtime;
@@ -93,7 +103,8 @@ mod worker;
 
 pub use access::{Access, AccessMode, HandleId, Region};
 pub use adaptive::{split_even, IntervalCell};
-pub use ctx::{with_runtime_ctx, Ctx};
+pub use attrs::{Affinity, Priority, TaskAttrs, PRIORITY_BANDS};
+pub use ctx::{with_runtime_ctx, Ctx, TaskBuilder};
 pub use dataflow::DataflowEngine;
 pub use frame::PromotionPolicy;
 pub use handle::{PartView, Partitioned, Reduction, Ref, RefMut, Shared};
@@ -103,7 +114,7 @@ pub use policy::{
     RenamePolicy, StealPolicy, UniformVictim, VictimChoice,
 };
 pub use queue::{DistributedLanes, TaskQueue, WorkItem};
-pub use runtime::{Builder, Runtime, Tunables};
+pub use runtime::{Builder, JobBuilder, Runtime, Tunables};
 pub use stats::StatsSnapshot;
 pub use topology::{DistanceMatrix, Topology};
 

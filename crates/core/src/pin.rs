@@ -1,0 +1,97 @@
+//! Best-effort worker pinning (`sched_setaffinity`) — the topology
+//! follow-up that turns the worker→core map from nominal into real.
+//!
+//! The workspace is built offline (no `libc` crate available), so the
+//! Linux syscall is issued directly with inline assembly on the
+//! architectures we run on. Everything is **best effort** by contract:
+//! a missing platform, a core id outside the process's cpuset, or a
+//! denied syscall simply leaves the thread unpinned and the mapping
+//! nominal — [`Builder::pin_workers`](crate::Builder::pin_workers)
+//! documents exactly that fallback.
+
+/// `cpu_set_t` is 1024 bits in the kernel ABI.
+const CPU_SET_BITS: usize = 1024;
+const CPU_SET_WORDS: usize = CPU_SET_BITS / 64;
+
+/// Pin the calling thread to `core` (a kernel cpu id). Returns `true` on
+/// success, `false` on any failure or on unsupported platforms — callers
+/// must treat `false` as "keep the nominal mapping", never as an error.
+pub(crate) fn pin_current_thread(core: usize) -> bool {
+    if core >= CPU_SET_BITS {
+        return false;
+    }
+    let mut mask = [0u64; CPU_SET_WORDS];
+    mask[core / 64] = 1u64 << (core % 64);
+    sched_setaffinity_self(&mask)
+}
+
+/// `sched_setaffinity(0, sizeof mask, mask)` for the calling thread.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn sched_setaffinity_self(mask: &[u64; CPU_SET_WORDS]) -> bool {
+    const SYS_SCHED_SETAFFINITY: i64 = 203;
+    let ret: i64;
+    // Safety: the syscall reads `mask` (never writes), the pointer and
+    // length describe a live buffer, and pid 0 means "calling thread".
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+            in("rdi") 0usize,                       // pid 0 = current thread
+            in("rsi") CPU_SET_WORDS * 8,            // mask size in bytes
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// `sched_setaffinity(0, sizeof mask, mask)` for the calling thread.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn sched_setaffinity_self(mask: &[u64; CPU_SET_WORDS]) -> bool {
+    const SYS_SCHED_SETAFFINITY: i64 = 122;
+    let ret: i64;
+    // Safety: see the x86_64 variant.
+    unsafe {
+        std::arch::asm!(
+            "svc 0",
+            in("x8") SYS_SCHED_SETAFFINITY,
+            inlateout("x0") 0usize => ret,
+            in("x1") CPU_SET_WORDS * 8,
+            in("x2") mask.as_ptr(),
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Unsupported platform: no pinning, nominal mapping kept.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn sched_setaffinity_self(_mask: &[u64; CPU_SET_WORDS]) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_core_is_refused() {
+        assert!(!pin_current_thread(CPU_SET_BITS));
+        assert!(!pin_current_thread(usize::MAX));
+    }
+
+    #[test]
+    fn pinning_is_best_effort_and_does_not_crash() {
+        // On Linux this usually succeeds for cpu 0; elsewhere (or in a
+        // restricted cpuset) it returns false. Either way the thread keeps
+        // running — which is the whole contract.
+        let _ = pin_current_thread(0);
+        let _ = pin_current_thread(9999);
+        assert_eq!(1 + 1, 2);
+    }
+}

@@ -21,41 +21,74 @@
 //!   implementations live with the baselines they were extracted from:
 //!   `xkaapi_omp::OmpCentralQueue` and `xkaapi_quark::QuarkCentralQueue`.
 //!
+//! Since the task-attribute redesign (`DESIGN.md` §5) every queue is
+//! **priority-banded**: a [`WorkItem`] carries the band of the
+//! [`Priority`](crate::Priority) it was created with, implementations keep
+//! one sub-queue per band and pop the highest non-empty band first. The
+//! default band preserves each queue's historical order exactly (owner
+//! LIFO / thief FIFO for the distributed lanes, FIFO for the central
+//! pools), so attribute-free programs schedule identically to before.
+//!
 //! Every front-end paradigm — data-flow spawns, fork-join joins, adaptive
 //! loops — runs through whichever queue the [`Runtime`](crate::Runtime) was
 //! built with, which is what lets one binary A/B centralized against
 //! distributed scheduling without switching codebases.
 
+use crate::attrs::{NORMAL_BAND, PRIORITY_BANDS};
 use crate::fastlane::{FastJob, FastLane};
 use crate::frame::Frame;
 use crate::steal::Grab;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One unit of ready work, opaque to [`TaskQueue`] implementors.
 ///
 /// Internally this wraps the engine's `Grab`: a fork-join stack job, a
 /// claimed data-flow task, or a closure (stolen loop slice). External
-/// implementations only store and return items; [`WorkItem::token`] is the
-/// only inspection they need (to honor [`TaskQueue::take`]).
+/// implementations only store and return items; [`WorkItem::token`] and
+/// [`WorkItem::band`] are the only inspection they need (to honor
+/// [`TaskQueue::take`] and the banded pop order).
 pub struct WorkItem {
     pub(crate) grab: Grab,
+    /// Priority band (0 = high); see [`crate::Priority::band`].
+    band: u8,
 }
 
 impl WorkItem {
     pub(crate) fn fast(job: FastJob) -> WorkItem {
         WorkItem {
             grab: Grab::Fast(job),
+            band: NORMAL_BAND,
         }
     }
 
+    pub(crate) fn fast_banded(job: FastJob, band: u8) -> WorkItem {
+        WorkItem {
+            grab: Grab::Fast(job),
+            band,
+        }
+    }
+
+    /// A claimed data-flow task; the band comes from the task's attributes.
     pub(crate) fn task(frame: Arc<Frame>, idx: usize) -> WorkItem {
+        let band = frame.task(idx).band();
         WorkItem {
             grab: Grab::Task { frame, idx },
+            band,
         }
     }
 
     pub(crate) fn into_grab(self) -> Grab {
         self.grab
+    }
+
+    /// Priority band of this item: 0 = high, [`PRIORITY_BANDS`]` - 1` =
+    /// low. Implementations must pop lower band indices first and keep
+    /// their historical order within a band.
+    #[inline]
+    pub fn band(&self) -> usize {
+        (self.band as usize).min(PRIORITY_BANDS - 1)
     }
 
     /// Identity token of a fork-join stack job (null for any other item).
@@ -77,7 +110,10 @@ impl std::fmt::Debug for WorkItem {
             Grab::Task { .. } => "task",
             Grab::Run(_) => "run",
         };
-        f.debug_struct("WorkItem").field("kind", &kind).finish()
+        f.debug_struct("WorkItem")
+            .field("kind", &kind)
+            .field("band", &self.band)
+            .finish()
     }
 }
 
@@ -86,6 +122,14 @@ impl std::fmt::Debug for WorkItem {
 /// Implementations must be safe for concurrent use by every worker of one
 /// runtime. `worker`/`victim`/`thief` arguments are worker indices in
 /// `0..num_workers`.
+///
+/// # Priority contract
+///
+/// [`WorkItem::band`] partitions items into [`PRIORITY_BANDS`] bands.
+/// `pop`/`steal` must return items from the lowest-numbered (highest
+/// priority) non-empty band first; within one band the queue's natural
+/// order applies. Items of the default band must behave exactly as they
+/// did before bands existed.
 pub trait TaskQueue: Send + Sync {
     /// Short human-readable name (ablation tables).
     fn name(&self) -> &'static str;
@@ -102,10 +146,12 @@ pub trait TaskQueue: Send + Sync {
     fn push(&self, worker: usize, item: WorkItem) -> Result<(), WorkItem>;
 
     /// Pop work for `worker` without a steal protocol (own lane LIFO for
-    /// distributed queues, shared FIFO for centralized ones).
+    /// distributed queues, shared FIFO for centralized ones), highest
+    /// priority band first.
     fn pop(&self, worker: usize) -> Option<WorkItem>;
 
-    /// Steal on behalf of `thief` from `victim`'s share of the queue.
+    /// Steal on behalf of `thief` from `victim`'s share of the queue,
+    /// highest priority band first.
     fn steal(&self, thief: usize, victim: usize) -> Option<WorkItem>;
 
     /// Retract the exact item identified by `token` (see
@@ -117,20 +163,118 @@ pub trait TaskQueue: Send + Sync {
     fn is_empty_hint(&self, worker: usize) -> bool;
 }
 
-/// Default distributed queue: one fixed-capacity T.H.E. deque per worker.
+/// A non-default band's side deque: a mutexed FIFO/LIFO with an atomic
+/// length mirror, so the hot attribute-free path pays one relaxed load —
+/// never a lock — to skip an empty side band.
+struct SideLane {
+    len: std::sync::atomic::AtomicUsize,
+    q: Mutex<VecDeque<FastJob>>,
+}
+
+impl SideLane {
+    fn new() -> SideLane {
+        SideLane {
+            len: std::sync::atomic::AtomicUsize::new(0),
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    #[inline]
+    fn is_empty_hint(&self) -> bool {
+        self.len.load(std::sync::atomic::Ordering::Relaxed) == 0
+    }
+
+    fn push_back(&self, job: FastJob) {
+        let mut q = self.q.lock();
+        q.push_back(job);
+        self.len
+            .store(q.len(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Owner side: LIFO. `None` without locking when the hint says empty.
+    fn pop_back(&self) -> Option<FastJob> {
+        if self.is_empty_hint() {
+            return None;
+        }
+        let mut q = self.q.lock();
+        let job = q.pop_back();
+        self.len
+            .store(q.len(), std::sync::atomic::Ordering::Relaxed);
+        job
+    }
+
+    /// Thief side: FIFO. `None` without locking when the hint says empty.
+    fn pop_front(&self) -> Option<FastJob> {
+        if self.is_empty_hint() {
+            return None;
+        }
+        let mut q = self.q.lock();
+        let job = q.pop_front();
+        self.len
+            .store(q.len(), std::sync::atomic::Ordering::Relaxed);
+        job
+    }
+
+    /// Retract the job identified by `token`, youngest match first.
+    fn take(&self, token: *mut ()) -> Option<FastJob> {
+        if self.is_empty_hint() {
+            return None;
+        }
+        let mut q = self.q.lock();
+        let pos = q.iter().rposition(|j| std::ptr::eq(j.data, token))?;
+        let job = q.remove(pos);
+        self.len
+            .store(q.len(), std::sync::atomic::Ordering::Relaxed);
+        job
+    }
+}
+
+/// One worker's share of [`DistributedLanes`]: the default band keeps the
+/// original fixed-capacity T.H.E. deque (owner LIFO with one fence, thief
+/// FIFO under the lane lock — the hot path, untouched), while the
+/// non-default bands are small side deques whose emptiness is checked with
+/// one relaxed load. Fork-join joins default to the normal band, so the
+/// side lanes stay cold unless a front-end asks for an explicit priority.
+struct BandedLane {
+    high: SideLane,
+    normal: FastLane,
+    low: SideLane,
+}
+
+impl BandedLane {
+    fn new() -> BandedLane {
+        BandedLane {
+            high: SideLane::new(),
+            normal: FastLane::new(),
+            low: SideLane::new(),
+        }
+    }
+
+    fn side(&self, band: usize) -> Option<&SideLane> {
+        match band {
+            0 => Some(&self.high),
+            2 => Some(&self.low),
+            _ => None,
+        }
+    }
+}
+
+/// Default distributed queue: one priority-banded T.H.E. deque per worker.
 ///
-/// The owner pushes and pops at the tail with one fence (Cilk-5's
-/// work-first discipline); thieves take from the head under the lane lock.
-/// This is the paper's fast lane, now one policy among several.
+/// In the default band the owner pushes and pops at the tail with one fence
+/// (Cilk-5's work-first discipline) and thieves take from the head under
+/// the lane lock — the paper's fast lane, bit-for-bit the pre-band
+/// behaviour. High/low bands ride per-worker side deques consulted before/
+/// after the fast lane.
 pub struct DistributedLanes {
-    lanes: Box<[FastLane]>,
+    lanes: Box<[BandedLane]>,
 }
 
 impl DistributedLanes {
     /// One lane per worker.
     pub fn new(workers: usize) -> DistributedLanes {
         DistributedLanes {
-            lanes: (0..workers).map(|_| FastLane::new()).collect(),
+            lanes: (0..workers).map(|_| BandedLane::new()).collect(),
         }
     }
 }
@@ -145,37 +289,77 @@ impl TaskQueue for DistributedLanes {
     }
 
     fn push(&self, worker: usize, item: WorkItem) -> Result<(), WorkItem> {
+        let band = item.band();
         match item.grab {
             Grab::Fast(job) => {
-                if self.lanes[worker].push(job) {
-                    Ok(())
-                } else {
-                    Err(WorkItem::fast(job))
+                let lane = &self.lanes[worker];
+                match lane.side(band) {
+                    Some(side) => {
+                        side.push_back(job);
+                        Ok(())
+                    }
+                    None => {
+                        if lane.normal.push(job) {
+                            Ok(())
+                        } else {
+                            Err(WorkItem::fast_banded(job, band as u8))
+                        }
+                    }
                 }
             }
             // Data-flow tasks stay in their frames under this policy; loop
             // slices travel through the steal protocol. Refusing them makes
             // the engine run the item inline.
-            grab => Err(WorkItem { grab }),
+            grab => Err(WorkItem {
+                grab,
+                band: band as u8,
+            }),
         }
     }
 
     fn pop(&self, worker: usize) -> Option<WorkItem> {
-        self.lanes[worker].pop().map(WorkItem::fast)
+        let lane = &self.lanes[worker];
+        // Owner order: high band first (LIFO within the deque), then the
+        // default T.H.E. lane, then low.
+        if let Some(job) = lane.high.pop_back() {
+            return Some(WorkItem::fast_banded(job, 0));
+        }
+        if let Some(job) = lane.normal.pop() {
+            return Some(WorkItem::fast(job));
+        }
+        lane.low.pop_back().map(|j| WorkItem::fast_banded(j, 2))
     }
 
     fn steal(&self, _thief: usize, victim: usize) -> Option<WorkItem> {
-        self.lanes[victim].steal().map(WorkItem::fast)
+        let lane = &self.lanes[victim];
+        // Thief order: high band FIFO, then the default lane's head, low
+        // band last.
+        if let Some(job) = lane.high.pop_front() {
+            return Some(WorkItem::fast_banded(job, 0));
+        }
+        if let Some(job) = lane.normal.steal() {
+            return Some(WorkItem::fast(job));
+        }
+        lane.low.pop_front().map(|j| WorkItem::fast_banded(j, 2))
     }
 
     fn take(&self, worker: usize, token: *mut ()) -> Option<WorkItem> {
-        // Joins nest properly, so if the job is still queued it is the tail.
-        match self.lanes[worker].pop() {
+        let lane = &self.lanes[worker];
+        // Side bands: token scan (joins in these bands nest too, but a
+        // foreign-band job must never disturb the default lane's tail).
+        for (band, side) in [(0u8, &lane.high), (2u8, &lane.low)] {
+            if let Some(job) = side.take(token) {
+                return Some(WorkItem::fast_banded(job, band));
+            }
+        }
+        // Default band: joins nest properly, so if the job is still queued
+        // it is the tail.
+        match lane.normal.pop() {
             Some(job) if std::ptr::eq(job.data, token) => Some(WorkItem::fast(job)),
             Some(job) => {
                 // Not ours (a foreign push slipped in): put it back.
                 debug_assert!(false, "fast-lane LIFO discipline violated");
-                let _ = self.lanes[worker].push(job);
+                let _ = lane.normal.push(job);
                 None
             }
             None => None,
@@ -183,7 +367,8 @@ impl TaskQueue for DistributedLanes {
     }
 
     fn is_empty_hint(&self, worker: usize) -> bool {
-        self.lanes[worker].is_empty_hint()
+        let lane = &self.lanes[worker];
+        lane.normal.is_empty_hint() && lane.high.is_empty_hint() && lane.low.is_empty_hint()
     }
 }
 
@@ -222,5 +407,31 @@ mod tests {
         q.push(0, WorkItem::fast(dummy_job(7))).unwrap();
         assert_eq!(q.take(0, 7 as *mut ()).unwrap().token() as usize, 7);
         assert!(q.take(0, 7 as *mut ()).is_none(), "already taken");
+    }
+
+    #[test]
+    fn bands_pop_high_before_default_before_low() {
+        let q = DistributedLanes::new(1);
+        q.push(0, WorkItem::fast_banded(dummy_job(30), 2)).unwrap();
+        q.push(0, WorkItem::fast(dummy_job(20))).unwrap();
+        q.push(0, WorkItem::fast_banded(dummy_job(10), 0)).unwrap();
+        assert!(!q.is_empty_hint(0));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(0))
+            .map(|i| i.token() as usize)
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert!(q.is_empty_hint(0));
+    }
+
+    #[test]
+    fn take_finds_banded_jobs_without_touching_default_lane() {
+        let q = DistributedLanes::new(1);
+        q.push(0, WorkItem::fast(dummy_job(8))).unwrap();
+        q.push(0, WorkItem::fast_banded(dummy_job(2), 0)).unwrap();
+        let got = q.take(0, 2 as *mut ()).unwrap();
+        assert_eq!(got.token() as usize, 2);
+        assert_eq!(got.band(), 0);
+        // The default-band job is still the retractable tail.
+        assert_eq!(q.take(0, 8 as *mut ()).unwrap().token() as usize, 8);
     }
 }

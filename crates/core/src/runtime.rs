@@ -21,8 +21,11 @@
 //! [`Runtime::submit`] returns a [`JoinHandle`] immediately, and
 //! [`Runtime::scope`] is submit followed by an immediate wait.
 
+use crate::access::Access;
+use crate::attrs::{Affinity, Priority, TaskAttrs, NORMAL_BAND};
 use crate::ctx::{Ctx, RawCtx};
 use crate::frame::PromotionPolicy;
+use crate::handle::{Partitioned, Shared};
 use crate::inject::{
     make_job, InjectLaneStats, InjectLanes, InjectPolicy, JoinHandle, JoinState, SubmitError,
 };
@@ -61,6 +64,10 @@ pub struct Tunables {
     /// behaviour at the cap). `XKAAPI_MAX_PENDING` overrides the default
     /// cap.
     pub inject: InjectPolicy,
+    /// Pin worker threads to their topology cores (`sched_setaffinity`,
+    /// best effort: unsupported platforms and failed syscalls silently
+    /// keep the nominal mapping). `XKAAPI_PIN` overrides the default.
+    pub pin_workers: bool,
 }
 
 impl Default for Tunables {
@@ -73,6 +80,7 @@ impl Default for Tunables {
             park_timeout_us: 500,
             grain_factor: 8,
             inject: InjectPolicy::default(),
+            pin_workers: false,
         }
     }
 }
@@ -91,11 +99,14 @@ impl Default for Tunables {
 /// * `XKAAPI_STEAL_ROUNDS` — failed steal rounds before a worker parks
 ///   (≥ 1);
 /// * `XKAAPI_MAX_PENDING` — pending root-job cap of the injection
-///   admission layer (≥ 1; the `on_full` behaviour is code-only).
+///   admission layer (≥ 1; the `on_full` behaviour is code-only);
+/// * `XKAAPI_PIN` — pin worker threads to their topology cores
+///   (`1/0`, `true/false`, `on/off`, `yes/no`).
 ///
 /// An explicit setter call ([`Builder::workers`], [`Builder::grain_factor`],
 /// [`Builder::park_timeout_us`], [`Builder::steal_rounds_before_park`],
-/// [`Builder::max_pending`], [`Builder::inject_policy`])
+/// [`Builder::max_pending`], [`Builder::inject_policy`],
+/// [`Builder::pin_workers`])
 /// wins over the environment: code that sized auxiliary structures (a
 /// custom [`TaskQueue`], `Reduction::with_slots`) to a requested worker
 /// count must never be resized from the outside underneath it. Malformed
@@ -107,6 +118,7 @@ pub struct Builder {
     park_explicit: bool,
     rounds_explicit: bool,
     pending_explicit: bool,
+    pin_explicit: bool,
     stack_size: usize,
     queue: Option<Arc<dyn TaskQueue>>,
     steal: Option<Arc<dyn StealPolicy>>,
@@ -122,6 +134,7 @@ impl Default for Builder {
             park_explicit: false,
             rounds_explicit: false,
             pending_explicit: false,
+            pin_explicit: false,
             stack_size: 16 << 20,
             queue: None,
             steal: None,
@@ -137,6 +150,20 @@ fn env_override(name: &str) -> Option<usize> {
         Ok(n) if n >= 1 => Some(n),
         _ => {
             eprintln!("xkaapi: ignoring invalid {name}={raw:?} (want an integer >= 1)");
+            None
+        }
+    }
+}
+
+/// Parse a boolean environment override (`1/0`, `true/false`, `on/off`,
+/// `yes/no`), warning on junk.
+fn env_flag(name: &str) -> Option<bool> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => {
+            eprintln!("xkaapi: ignoring invalid {name}={raw:?} (want a boolean)");
             None
         }
     }
@@ -254,6 +281,17 @@ impl Builder {
         self
     }
 
+    /// Pin worker threads to their topology cores via `sched_setaffinity`
+    /// (best effort: platforms without the syscall — or cores the process
+    /// may not use — silently keep the nominal, unpinned mapping). Default
+    /// `false`, overridable via the `XKAAPI_PIN` environment variable; an
+    /// explicit call here wins over the environment.
+    pub fn pin_workers(mut self, pin: bool) -> Self {
+        self.tun.pin_workers = pin;
+        self.pin_explicit = true;
+        self
+    }
+
     /// Worker thread stack size in bytes (default 16 MiB — recursive
     /// fork-join work runs on worker stacks).
     pub fn stack_size(mut self, bytes: usize) -> Self {
@@ -282,6 +320,11 @@ impl Builder {
         if !self.pending_explicit {
             if let Some(n) = env_override("XKAAPI_MAX_PENDING") {
                 tun.inject.max_pending = n;
+            }
+        }
+        if !self.pin_explicit {
+            if let Some(pin) = env_flag("XKAAPI_PIN") {
+                tun.pin_workers = pin;
             }
         }
         let nworkers = self
@@ -418,6 +461,47 @@ impl Runtime {
         F: for<'s> FnOnce(&mut Ctx<'s>) -> R + Send + 'static,
         R: Send + 'static,
     {
+        self.submit_with(TaskAttrs::default(), &[], f)
+    }
+
+    /// Start building an attribute-carrying root job: set a [`Priority`]
+    /// (admission shed order, lane drain order) and an [`Affinity`]
+    /// (which NUMA node's inject lane the job lands in), then terminate
+    /// with [`JobBuilder::submit`] or [`JobBuilder::detach`].
+    /// [`Runtime::submit`] is this builder with default attributes.
+    ///
+    /// ```
+    /// use xkaapi_core::{Affinity, Priority, Runtime};
+    /// let rt = Runtime::new(2);
+    /// let h = rt
+    ///     .task()
+    ///     .priority(Priority::High)
+    ///     .affinity(Affinity::Auto)
+    ///     .submit(|ctx| ctx.join(|_| 6, |_| 7))
+    ///     .unwrap();
+    /// assert_eq!(h.wait(), (6, 7));
+    /// ```
+    pub fn task(&self) -> JobBuilder<'_> {
+        JobBuilder {
+            rt: self,
+            attrs: TaskAttrs::default(),
+            hints: Vec::new(),
+        }
+    }
+
+    /// Attribute-aware submission shared by [`Runtime::submit`] and
+    /// [`JobBuilder`]: admission at the priority's band, lane chosen by
+    /// the resolved affinity (falling back to the submitter hash).
+    fn submit_with<F, R>(
+        &self,
+        attrs: TaskAttrs,
+        hints: &[Access],
+        f: F,
+    ) -> Result<JoinHandle<R>, SubmitError>
+    where
+        F: for<'s> FnOnce(&mut Ctx<'s>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
         let state = Arc::new(JoinState::new());
         if let Some(widx) = current_worker_of(&self.inner) {
             // Worker context: run inline (a queued job could deadlock a
@@ -427,11 +511,16 @@ impl Runtime {
             state.complete(raw.run_scoped_catch(f));
             return Ok(JoinHandle::new(state, &self.inner));
         }
-        let admission = self.inner.inject.admit()?;
-        let lane = self.inner.inject.lane_of_submitter();
-        self.inner
-            .inject
-            .push(admission, lane, make_job(Arc::clone(&state), f));
+        let admission = self.inner.inject.admit(attrs.band())?;
+        let lane = attrs
+            .resolve_node(hints, self.inner.inject.lanes())
+            .unwrap_or_else(|| self.inner.inject.lane_of_submitter());
+        self.inner.inject.push(
+            admission,
+            lane,
+            attrs.band(),
+            make_job(Arc::clone(&state), f),
+        );
         self.inner.signal_work();
         Ok(JoinHandle::new(state, &self.inner))
     }
@@ -470,9 +559,11 @@ impl Runtime {
         let boxed: Box<dyn FnOnce(&mut RawCtx) + Send> = Box::new(job_fn);
         let boxed: Box<dyn FnOnce(&mut RawCtx) + Send + 'static> =
             unsafe { std::mem::transmute(boxed) };
-        let admission = self.inner.inject.admit_blocking();
+        let admission = self.inner.inject.admit_blocking(NORMAL_BAND);
         let lane = self.inner.inject.lane_of_submitter();
-        self.inner.inject.push(admission, lane, Job(boxed));
+        self.inner
+            .inject
+            .push(admission, lane, NORMAL_BAND, Job(boxed));
         self.inner.signal_work();
         state.wait_blocking();
         match state
@@ -589,5 +680,84 @@ impl std::fmt::Debug for Runtime {
             .field("queue", &self.queue_name())
             .field("steal", &self.steal_policy_name())
             .finish()
+    }
+}
+
+/// Builder for an attribute-carrying **root job** — the injection-layer
+/// twin of [`TaskBuilder`](crate::TaskBuilder), started with
+/// [`Runtime::task`].
+///
+/// Access declarations on a root job ([`JobBuilder::reads`] /
+/// [`JobBuilder::writes`] / [`JobBuilder::access`]) are *affinity hints*:
+/// a root job computes its real dependencies inside its own scope, but
+/// [`Affinity::Auto`] uses the hints' handle homes to pick the inject lane
+/// of the node owning the data, so workers of that node (which drain their
+/// own lane first) start the job. [`Priority`] selects the admission band
+/// (low is shed before high at the cap) and the lane's drain band.
+#[must_use = "a JobBuilder does nothing until .submit(f) or .detach(f)"]
+pub struct JobBuilder<'rt> {
+    rt: &'rt Runtime,
+    attrs: TaskAttrs,
+    hints: Vec<Access>,
+}
+
+impl<'rt> JobBuilder<'rt> {
+    /// Set the priority band.
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.attrs.priority = p;
+        self
+    }
+
+    /// Set the data-affinity request.
+    pub fn affinity(mut self, a: Affinity) -> Self {
+        self.attrs.affinity = a;
+        self
+    }
+
+    /// Affinity hint: the job will read `h` (steers [`Affinity::Auto`]
+    /// toward the handle's home node).
+    pub fn reads<T: ?Sized>(mut self, h: &Shared<T>) -> Self {
+        self.hints.push(h.read());
+        self
+    }
+
+    /// Affinity hint: the job will write `h` (writing hints outrank
+    /// reading ones for [`Affinity::Auto`]).
+    pub fn writes<T: ?Sized>(mut self, h: &Shared<T>) -> Self {
+        self.hints.push(h.write());
+        self
+    }
+
+    /// Affinity hint: the job will overwrite the [`Partitioned`] handle.
+    pub fn writes_all<T: Send>(mut self, p: &Partitioned<T>) -> Self {
+        self.hints.push(p.write_all());
+        self
+    }
+
+    /// Affinity hint from an explicit access descriptor.
+    pub fn access(mut self, a: Access) -> Self {
+        self.hints.push(a);
+        self
+    }
+
+    /// Submit the job and return its [`JoinHandle`] without waiting (the
+    /// attribute-carrying [`Runtime::submit`]). Admission follows the
+    /// runtime's [`InjectPolicy`] at this builder's priority band.
+    pub fn submit<F, R>(self, f: F) -> Result<JoinHandle<R>, SubmitError>
+    where
+        F: for<'s> FnOnce(&mut Ctx<'s>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.rt.submit_with(self.attrs, &self.hints, f)
+    }
+
+    /// Submit the job fire-and-forget: no handle, the job still runs to
+    /// completion (dropping a [`JoinHandle`] never cancels).
+    pub fn detach<F, R>(self, f: F) -> Result<(), SubmitError>
+    where
+        F: for<'s> FnOnce(&mut Ctx<'s>) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        self.submit(f).map(drop)
     }
 }

@@ -79,6 +79,14 @@ counters! {
     /// (its own lanes were empty). Counts as acquired work for the steal
     /// fail streak, exactly like an own-lane drain.
     inject_remote_lane,
+    /// Served steal grabs whose task affinity resolved to a NUMA node and
+    /// that were handed to a thief on that node (the combiner's
+    /// data-affine grab matching, `DESIGN.md` §5).
+    affine_placements,
+    /// Worker threads successfully pinned to their topology core
+    /// (`Builder::pin_workers` / `XKAAPI_PIN`; best effort, at most one
+    /// per worker).
+    workers_pinned,
 }
 
 impl WorkerStats {

@@ -167,9 +167,12 @@ fn serve(
         WorkerStats::bump(&my_stats.promotions, promotions);
     }
 
-    // 2. Adaptive tasks: invoke splitters for the still-unserved thieves.
+    // 2. Adaptive tasks: invoke splitters for the still-unserved thieves,
+    //    higher-priority adaptives first (stable: registration order within
+    //    one band — attribute-free loops keep the historical order).
     if grabs.len() < k {
-        let ads: Vec<Arc<dyn crate::adaptive::Adaptive>> = victim.adaptives.lock().clone();
+        let mut ads: Vec<Arc<dyn crate::adaptive::Adaptive>> = victim.adaptives.lock().clone();
+        ads.sort_by_key(|a| a.band());
         for ad in ads {
             if grabs.len() >= k {
                 break;
@@ -184,6 +187,49 @@ fn serve(
         }
     }
     grabs
+}
+
+/// Data-affine grab assignment (the placement half of `DESIGN.md` §5):
+/// `distribute` hands `grabs[i]` to `reqs[i]`, so before it runs, reorder
+/// the grabs so a claimed task whose [`Affinity`](crate::Affinity)
+/// resolves to a NUMA node lands on a thief of that node when one is in
+/// the served batch. Best-effort single pass: a swap never displaces a
+/// grab that was itself affine-matched to its thief.
+fn place_affine(rt: &Arc<RtInner>, reqs: &[&Request], grabs: &mut [Grab], my_stats: &WorkerStats) {
+    if rt.topo.is_flat() || grabs.is_empty() {
+        return;
+    }
+    let nodes = rt.topo.nodes();
+    let target_of = |g: &Grab| -> Option<usize> {
+        match g {
+            Grab::Task { frame, idx } => frame.task(*idx).target_node(nodes),
+            _ => None,
+        }
+    };
+    let mut targets: Vec<Option<usize>> = grabs.iter().map(target_of).collect();
+    if targets.iter().all(Option::is_none) {
+        return; // attribute-free batch: nothing to place
+    }
+    let thief_node = |j: usize| rt.topo.node_of(reqs[j].thief);
+    let mut placed = 0u64;
+    for i in 0..grabs.len() {
+        let Some(target) = targets[i] else { continue };
+        if thief_node(i) == target {
+            placed += 1;
+            continue;
+        }
+        let better = (0..grabs.len()).find(|&j| {
+            j != i && thief_node(j) == target && targets[j].is_none_or(|t| t != thief_node(j))
+        });
+        if let Some(j) = better {
+            grabs.swap(i, j);
+            targets.swap(i, j);
+            placed += 1;
+        }
+    }
+    if placed > 0 {
+        WorkerStats::bump(&my_stats.affine_placements, placed);
+    }
 }
 
 /// Answer `reqs` with `grabs` (missing ones get `REQ_EMPTY`).
@@ -279,7 +325,8 @@ pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
                     reqs.swap(k - 1, k + pos);
                 }
                 let (serve_now, overflow) = reqs.split_at(k);
-                let grabs = serve(rt, v, serve_now, &my.stats);
+                let mut grabs = serve(rt, v, serve_now, &my.stats);
+                place_affine(rt, serve_now, &mut grabs, &my.stats);
                 WorkerStats::bump(&my.stats.combine_batches, 1);
                 WorkerStats::bump(&my.stats.combine_served, serve_now.len() as u64);
                 if serve_now.len() >= 2 {

@@ -9,6 +9,7 @@
 //! plays on deque indices: owner and thief can never both run a task.
 
 use crate::access::Access;
+use crate::attrs::TaskAttrs;
 use crate::ctx::RawCtx;
 use crate::dataflow::SlotBinding;
 use std::cell::UnsafeCell;
@@ -35,6 +36,9 @@ pub(crate) struct Task {
     body: UnsafeCell<Option<TaskBody>>,
     /// Declared accesses; empty for independent (fork-join) tasks.
     pub(crate) accesses: Box<[Access]>,
+    /// Scheduling attributes (priority band, data affinity) — immutable
+    /// after construction, consumed by the queue/steal/inject layers.
+    pub(crate) attrs: TaskAttrs,
     /// Version-slot routing parallel to `accesses`, written once by
     /// `Frame::push` (under the frame lock, before the task is claimable)
     /// and read-only afterwards.
@@ -49,13 +53,27 @@ unsafe impl Send for Task {}
 unsafe impl Sync for Task {}
 
 impl Task {
-    pub(crate) fn new(body: TaskBody, accesses: Box<[Access]>) -> Task {
+    pub(crate) fn new(body: TaskBody, accesses: Box<[Access]>, attrs: TaskAttrs) -> Task {
         Task {
             state: AtomicU8::new(ST_INIT),
             body: UnsafeCell::new(Some(body)),
             accesses,
+            attrs,
             binding: UnsafeCell::new(Box::new([])),
         }
+    }
+
+    /// Priority band of this task (0 = high, see [`crate::Priority`]).
+    #[inline]
+    pub(crate) fn band(&self) -> u8 {
+        self.attrs.band()
+    }
+
+    /// Target NUMA node this task's affinity resolves to against a
+    /// topology with `nodes` nodes (`None` = no preference).
+    #[inline]
+    pub(crate) fn target_node(&self, nodes: usize) -> Option<usize> {
+        self.attrs.resolve_node(&self.accesses, nodes)
     }
 
     /// Install the slot routing computed by the data-flow engine.
@@ -123,7 +141,11 @@ mod tests {
     use crate::access::{Access, AccessMode, HandleId, Region};
 
     fn mk(accesses: &[Access]) -> Task {
-        Task::new(Box::new(|_| {}), accesses.to_vec().into_boxed_slice())
+        Task::new(
+            Box::new(|_| {}),
+            accesses.to_vec().into_boxed_slice(),
+            TaskAttrs::default(),
+        )
     }
 
     #[test]

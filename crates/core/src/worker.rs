@@ -263,6 +263,14 @@ pub(crate) fn acquire_and_run(rt: &Arc<RtInner>, idx: usize) -> bool {
 pub(crate) fn worker_main(rt: Arc<RtInner>, idx: usize) {
     set_current(&rt, idx);
     let my = &rt.workers[idx];
+    if rt.tun.pin_workers {
+        // Best-effort pinning to the topology's core (the detected or
+        // declared machine shape). Failure keeps the nominal mapping; the
+        // counter records how many workers actually stuck.
+        if crate::pin::pin_current_thread(rt.topo.core_of(idx)) {
+            WorkerStats::bump(&my.stats.workers_pinned, 1);
+        }
+    }
     let park_timeout = Duration::from_micros(rt.tun.park_timeout_us);
     loop {
         if rt.shutdown.load(Ordering::Acquire) {

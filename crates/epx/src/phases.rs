@@ -56,7 +56,10 @@ pub fn loopelm(mesh: &Mesh, mat: &Material, state: &mut State, mode: &ExecMode<'
     };
     match mode {
         ExecMode::Seq => (0..ne).for_each(elem_body),
-        ExecMode::Xkaapi(rt) => rt.foreach(0..ne, elem_body),
+        // Ported to the attribute-carrying builder (DESIGN.md §5): the
+        // element loop is the phase's bulk work, lowered with explicit
+        // TaskAttrs like every other paradigm front-end.
+        ExecMode::Xkaapi(rt) => rt.scope(|ctx| ctx.task().foreach(0..ne, &elem_body)),
         ExecMode::Omp(pool, sched) => pool.parallel_for(0..ne, *sched, elem_body),
     }
 
@@ -78,7 +81,7 @@ pub fn loopelm(mesh: &Mesh, mat: &Material, state: &mut State, mode: &ExecMode<'
     };
     match mode {
         ExecMode::Seq => (0..nn).for_each(node_body),
-        ExecMode::Xkaapi(rt) => rt.foreach(0..nn, node_body),
+        ExecMode::Xkaapi(rt) => rt.scope(|ctx| ctx.task().foreach(0..nn, &node_body)),
         ExecMode::Omp(pool, sched) => pool.parallel_for(0..nn, *sched, node_body),
     }
 }
@@ -169,7 +172,7 @@ pub fn repera(
     };
     match mode {
         ExecMode::Seq => (0..nn).for_each(body),
-        ExecMode::Xkaapi(rt) => rt.foreach(0..nn, body),
+        ExecMode::Xkaapi(rt) => rt.scope(|ctx| ctx.task().foreach(0..nn, &body)),
         ExecMode::Omp(pool, sched) => pool.parallel_for(0..nn, *sched, body),
     }
     per_node.into_iter().flatten().collect()

@@ -7,10 +7,12 @@
 
 pub mod cholesky;
 pub mod kernels;
+pub mod pipeline;
 pub mod tiled;
 
 pub use cholesky::{
     cholesky_ops, cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, CholOp,
 };
 pub use kernels::{flops, NotPositiveDefinite};
+pub use pipeline::{power_sweep_seq, power_sweep_xkaapi};
 pub use tiled::{tile_key, TiledMatrix};

@@ -77,10 +77,13 @@ impl<T> CentralQueue<T> {
 }
 
 /// [`TaskQueue`] adapter: the engine's ready work flows through one
-/// [`CentralQueue`], every worker pushing to and popping from the same
-/// mutex-protected FIFO (the libGOMP weight class).
+/// [`CentralQueue`] per priority band, every worker pushing to and popping
+/// from the same mutex-protected FIFOs (the libGOMP weight class). Pops
+/// drain the highest non-empty band first; within one band the order is
+/// the historical global FIFO, so attribute-free programs behave exactly
+/// as before the bands existed.
 pub struct OmpCentralQueue {
-    q: CentralQueue<WorkItem>,
+    bands: [CentralQueue<WorkItem>; xkaapi_core::PRIORITY_BANDS],
 }
 
 impl Default for OmpCentralQueue {
@@ -93,13 +96,13 @@ impl OmpCentralQueue {
     /// Empty queue; hand it to `xkaapi_core::Builder::task_queue`.
     pub fn new() -> OmpCentralQueue {
         OmpCentralQueue {
-            q: CentralQueue::new(),
+            bands: std::array::from_fn(|_| CentralQueue::new()),
         }
     }
 
-    /// Lock acquisitions so far (contention indicator).
+    /// Lock acquisitions so far (contention indicator), across all bands.
     pub fn ops(&self) -> usize {
-        self.q.ops()
+        self.bands.iter().map(CentralQueue::ops).sum()
     }
 }
 
@@ -113,28 +116,29 @@ impl TaskQueue for OmpCentralQueue {
     }
 
     fn push(&self, _worker: usize, item: WorkItem) -> Result<(), WorkItem> {
-        self.q.push_back(item);
+        self.bands[item.band()].push_back(item);
         Ok(())
     }
 
     fn pop(&self, _worker: usize) -> Option<WorkItem> {
-        self.q.pop_front()
+        self.bands.iter().find_map(CentralQueue::pop_front)
     }
 
     fn steal(&self, _thief: usize, _victim: usize) -> Option<WorkItem> {
-        self.q.pop_front()
+        self.bands.iter().find_map(CentralQueue::pop_front)
     }
 
     fn take(&self, _worker: usize, token: *mut ()) -> Option<WorkItem> {
         if token.is_null() {
             return None;
         }
-        self.q
-            .take_last_matching(|item| std::ptr::eq(item.token(), token))
+        self.bands
+            .iter()
+            .find_map(|q| q.take_last_matching(|item| std::ptr::eq(item.token(), token)))
     }
 
     fn is_empty_hint(&self, _worker: usize) -> bool {
-        self.q.is_empty()
+        self.bands.iter().all(CentralQueue::is_empty)
     }
 }
 

@@ -102,9 +102,12 @@ impl<T> CentralReadyList<T> {
 
 /// [`TaskQueue`] adapter: run the X-Kaapi engine's ready work through
 /// QUARK's [`CentralReadyList`] — every paradigm then schedules exactly the
-/// way the centralized QUARK backend does.
+/// way the centralized QUARK backend does. One ready list per priority
+/// band: QUARK's boolean priority flag generalises to the engine's
+/// [`WorkItem::band`], popped highest band first (FIFO within a band, so
+/// attribute-free programs keep the historical order).
 pub struct QuarkCentralQueue {
-    list: CentralReadyList<WorkItem>,
+    bands: [CentralReadyList<WorkItem>; xkaapi_core::PRIORITY_BANDS],
 }
 
 impl Default for QuarkCentralQueue {
@@ -117,13 +120,13 @@ impl QuarkCentralQueue {
     /// Empty queue; hand it to `xkaapi_core::Builder::task_queue`.
     pub fn new() -> QuarkCentralQueue {
         QuarkCentralQueue {
-            list: CentralReadyList::new(),
+            bands: std::array::from_fn(|_| CentralReadyList::new()),
         }
     }
 
-    /// Ready-list lock acquisitions so far.
+    /// Ready-list lock acquisitions so far, across all bands.
     pub fn ops(&self) -> usize {
-        self.list.ops()
+        self.bands.iter().map(CentralReadyList::ops).sum()
     }
 }
 
@@ -137,28 +140,29 @@ impl TaskQueue for QuarkCentralQueue {
     }
 
     fn push(&self, _worker: usize, item: WorkItem) -> Result<(), WorkItem> {
-        self.list.push(item, false);
+        self.bands[item.band()].push(item, false);
         Ok(())
     }
 
     fn pop(&self, _worker: usize) -> Option<WorkItem> {
-        self.list.pop()
+        self.bands.iter().find_map(CentralReadyList::pop)
     }
 
     fn steal(&self, _thief: usize, _victim: usize) -> Option<WorkItem> {
-        self.list.pop()
+        self.bands.iter().find_map(CentralReadyList::pop)
     }
 
     fn take(&self, _worker: usize, token: *mut ()) -> Option<WorkItem> {
         if token.is_null() {
             return None;
         }
-        self.list
-            .take_last_matching(|item| std::ptr::eq(item.token(), token))
+        self.bands
+            .iter()
+            .find_map(|l| l.take_last_matching(|item| std::ptr::eq(item.token(), token)))
     }
 
     fn is_empty_hint(&self, _worker: usize) -> bool {
-        self.list.is_empty()
+        self.bands.iter().all(CentralReadyList::is_empty)
     }
 }
 

@@ -25,7 +25,7 @@ pub use central::{CentralReadyList, QuarkCentralQueue};
 
 use central::CentralPool;
 use std::sync::Arc;
-use xkaapi_core::{Access, AccessMode, Ctx, Region, Runtime, Shared};
+use xkaapi_core::{Access, AccessMode, Ctx, Priority, Region, Runtime, Shared};
 
 /// Argument access mode of a QUARK task (the `INPUT`/`OUTPUT`/`INOUT`/
 /// `VALUE`/`SCRATCH` flags of `QUARK_Insert_Task`).
@@ -217,9 +217,11 @@ impl<'a, 'scope> QuarkCtx<'a, 'scope> {
         self.insert_task_prio(deps, false, f);
     }
 
-    /// Insert a task with the QUARK priority flag (centralized backend puts
-    /// it at the front of the ready list; X-Kaapi ignores it — stealing has
-    /// no global order).
+    /// Insert a task with the QUARK priority flag. The centralized backend
+    /// puts it at the front of the ready list; the X-Kaapi backend lowers
+    /// it to [`Priority::High`] through the task builder, so the engine's
+    /// banded queues, ready lists and steal scans drain it before
+    /// normal-priority work — the same flag, honoured by both runtimes.
     pub fn insert_task_prio<F>(
         &mut self,
         deps: impl IntoIterator<Item = QuarkDep>,
@@ -250,7 +252,15 @@ impl<'a, 'scope> QuarkCtx<'a, 'scope> {
                         Some(Access::new(*space_id, Region::Key(d.key), mode))
                     })
                     .collect();
-                ctx.spawn(accesses, move |c| f(c.worker_index()));
+                let prio = if priority {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                ctx.task()
+                    .accesses(accesses)
+                    .priority(prio)
+                    .spawn(move |c| f(c.worker_index()));
             }
         }
     }

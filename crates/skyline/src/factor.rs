@@ -11,7 +11,7 @@
 
 use crate::kernels::{gemm_ldlt, ldlt_diag, syrk_ldlt, trsm_ldlt};
 use crate::storage::BlockSkyline;
-use xkaapi_core::{AccessMode, Partitioned, Region, Runtime};
+use xkaapi_core::{AccessMode, Partitioned, Priority, Region, Runtime};
 use xkaapi_omp::OmpPool;
 
 /// One operation of the blocked skyline LDLᵀ DAG (exported for the
@@ -191,13 +191,14 @@ pub fn ldlt_xkaapi(rt: &Runtime, mut a: BlockSkyline) -> BlockSkyline {
         for k in 0..nbl {
             let blk = RawSlice(a0.block_ptr(k, k), bs * bs);
             let dk = RawSlice(a0.d[k * bs..].as_ptr() as *mut f64, bs);
-            ctx.spawn(
-                [
-                    reg(block_key(k, k), AccessMode::Exclusive),
-                    reg(d_key(nbl, k), AccessMode::Write),
-                ],
-                move |_| unsafe { ldlt_diag(blk.get_mut(), dk.get_mut(), bs) },
-            );
+            // The diagonal factorisation is the critical path of the whole
+            // DAG: spawn it through the builder at high priority so banded
+            // queues/ready lists drain it before the update tasks.
+            ctx.task()
+                .access(reg(block_key(k, k), AccessMode::Exclusive))
+                .access(reg(d_key(nbl, k), AccessMode::Write))
+                .priority(Priority::High)
+                .spawn(move |_| unsafe { ldlt_diag(blk.get_mut(), dk.get_mut(), bs) });
             for m in k + 1..nbl {
                 if a0.is_empty(m, k) {
                     continue;

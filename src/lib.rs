@@ -25,8 +25,9 @@ pub use xkaapi_sim as sim;
 pub use xkaapi_skyline as skyline;
 
 pub use xkaapi_core::{
-    Access, AccessMode, AggregatedStealing, Builder, Ctx, DataflowEngine, DistanceMatrix,
-    DistributedLanes, HandleId, HierarchicalVictim, LocalityFirst, Partitioned, PerThiefStealing,
-    PromotionPolicy, Reduction, Region, RenamePolicy, Runtime, Shared, StatsSnapshot, StealPolicy,
-    TaskQueue, Topology, Tunables, UniformVictim, VictimChoice, WorkItem,
+    Access, AccessMode, Affinity, AggregatedStealing, Builder, Ctx, DataflowEngine, DistanceMatrix,
+    DistributedLanes, HandleId, HierarchicalVictim, JobBuilder, LocalityFirst, Partitioned,
+    PerThiefStealing, Priority, PromotionPolicy, Reduction, Region, RenamePolicy, Runtime, Shared,
+    StatsSnapshot, StealPolicy, TaskAttrs, TaskBuilder, TaskQueue, Topology, Tunables,
+    UniformVictim, VictimChoice, WorkItem,
 };

@@ -1,5 +1,6 @@
 //! `XKAAPI_WORKERS` / `XKAAPI_GRAIN_FACTOR` / `XKAAPI_PARK_TIMEOUT_US` /
-//! `XKAAPI_STEAL_ROUNDS` / `XKAAPI_MAX_PENDING` environment overrides of
+//! `XKAAPI_STEAL_ROUNDS` / `XKAAPI_MAX_PENDING` / `XKAAPI_PIN` environment
+//! overrides of
 //! [`xkaapi::core::Builder`]: the environment overrides *defaults* (so
 //! benches and examples built on `Runtime::builder().build()` are tunable
 //! without recompiling), while explicit setter calls always win (code that
@@ -19,12 +20,18 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         .park_timeout_us(250)
         .steal_rounds_before_park(16)
         .max_pending(77)
+        .pin_workers(true)
         .build();
     assert_eq!(rt.num_workers(), 2);
     assert_eq!(rt.tunables().grain_factor, 5);
     assert_eq!(rt.tunables().park_timeout_us, 250);
     assert_eq!(rt.tunables().steal_rounds_before_park, 16);
     assert_eq!(rt.tunables().inject.max_pending, 77);
+    assert!(rt.tunables().pin_workers);
+    // Pinning is best effort: whether or not the syscall stuck, the
+    // runtime computes correctly.
+    let s = rt.foreach_reduce(0..1000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
+    assert_eq!(s, 499_500);
     drop(rt);
 
     // Historical hardcoded values are the defaults.
@@ -32,6 +39,7 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     assert_eq!(rt.tunables().park_timeout_us, 500);
     assert_eq!(rt.tunables().steal_rounds_before_park, 32);
     assert_eq!(rt.tunables().inject.max_pending, 4096);
+    assert!(!rt.tunables().pin_workers, "pinning defaults off");
     drop(rt);
 
     // Single-threaded at this point (no other test in this binary, the
@@ -41,6 +49,7 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     std::env::set_var("XKAAPI_PARK_TIMEOUT_US", "900");
     std::env::set_var("XKAAPI_STEAL_ROUNDS", "7");
     std::env::set_var("XKAAPI_MAX_PENDING", "123");
+    std::env::set_var("XKAAPI_PIN", "1");
 
     // Env overrides the defaults…
     let rt = Runtime::builder().build();
@@ -69,6 +78,7 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         123,
         "XKAAPI_MAX_PENDING must override"
     );
+    assert!(rt.tunables().pin_workers, "XKAAPI_PIN must override");
     // …and the overridden runtime still runs real work.
     let s = rt.foreach_reduce(0..1000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
     assert_eq!(s, 499_500);
@@ -85,6 +95,7 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
             max_pending: 55,
             on_full: xkaapi::core::OnFull::Reject,
         })
+        .pin_workers(false)
         .build();
     assert_eq!(
         rt.num_workers(),
@@ -112,6 +123,10 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         "explicit inject_policy() must beat env"
     );
     assert_eq!(rt.tunables().inject.on_full, xkaapi::core::OnFull::Reject);
+    assert!(
+        !rt.tunables().pin_workers,
+        "explicit pin_workers(false) must beat XKAAPI_PIN=1"
+    );
     drop(rt);
 
     // Malformed values are ignored (with a warning), not fatal.
@@ -120,6 +135,7 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     std::env::set_var("XKAAPI_PARK_TIMEOUT_US", "0");
     std::env::set_var("XKAAPI_STEAL_ROUNDS", "lots");
     std::env::set_var("XKAAPI_MAX_PENDING", "0");
+    std::env::set_var("XKAAPI_PIN", "maybe");
     let rt = Runtime::builder().build();
     assert!(rt.num_workers() >= 1);
     assert_eq!(
@@ -141,6 +157,10 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         rt.tunables().inject.max_pending,
         4096,
         "junk XKAAPI_MAX_PENDING must fall back to the default"
+    );
+    assert!(
+        !rt.tunables().pin_workers,
+        "junk XKAAPI_PIN must fall back to the default"
     );
     // An env-tuned runtime still runs real work (exercises the tuned
     // park path: tiny steal-round budget forces parking).
@@ -168,4 +188,5 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     std::env::remove_var("XKAAPI_PARK_TIMEOUT_US");
     std::env::remove_var("XKAAPI_STEAL_ROUNDS");
     std::env::remove_var("XKAAPI_MAX_PENDING");
+    std::env::remove_var("XKAAPI_PIN");
 }

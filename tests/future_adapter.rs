@@ -1,0 +1,135 @@
+//! The `future` feature's async adapter: `JoinHandle` as a `Future`,
+//! polled with a hand-rolled waker and **no reactor** — the wake-up rides
+//! the existing `on_complete` callback path (ROADMAP injection follow-up).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+use xkaapi::core::Runtime;
+
+/// Hand-rolled waker: counts wake-ups, drives no executor.
+struct CountingWake {
+    hits: AtomicUsize,
+}
+
+impl Wake for CountingWake {
+    fn wake(self: Arc<Self>) {
+        self.hits.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn waker() -> (Arc<CountingWake>, Waker) {
+    let w = Arc::new(CountingWake {
+        hits: AtomicUsize::new(0),
+    });
+    (Arc::clone(&w), Waker::from(w))
+}
+
+fn wait_until(secs: u64, what: &str, cond: impl Fn() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(secs),
+            "timed out waiting for {what}"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Pending while the job runs; the completion wakes the registered waker;
+/// the next poll is Ready with the job's value.
+#[test]
+fn poll_pending_then_woken_then_ready() {
+    let rt = Runtime::new(2);
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let mut fut = rt
+        .submit(move |_| {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            42u64
+        })
+        .unwrap();
+    let (wake, waker) = waker();
+    let mut cx = Context::from_waker(&waker);
+    assert!(matches!(Pin::new(&mut fut).poll(&mut cx), Poll::Pending));
+    assert_eq!(wake.hits.load(Ordering::SeqCst), 0, "no spurious wake");
+    gate.store(true, Ordering::Release);
+    wait_until(20, "completion to fire the waker", || {
+        wake.hits.load(Ordering::SeqCst) >= 1
+    });
+    assert_eq!(Pin::new(&mut fut).poll(&mut cx), Poll::Ready(42));
+}
+
+/// A job that already finished resolves on the first poll — no waker is
+/// ever registered or woken.
+#[test]
+fn already_complete_job_is_ready_immediately() {
+    let rt = Runtime::new(2);
+    let mut fut = rt.submit(|_| "done").unwrap();
+    wait_until(20, "job to finish", || fut.is_done());
+    let (wake, waker) = waker();
+    let mut cx = Context::from_waker(&waker);
+    assert_eq!(Pin::new(&mut fut).poll(&mut cx), Poll::Ready("done"));
+    assert_eq!(wake.hits.load(Ordering::SeqCst), 0);
+}
+
+/// A panicking job re-raises its panic at poll time, like `wait`.
+#[test]
+fn poll_reraises_the_job_panic() {
+    let rt = Runtime::new(2);
+    let mut fut = rt.submit(|_| -> u32 { panic!("async boom") }).unwrap();
+    wait_until(20, "job to finish", || fut.is_done());
+    let (_, waker) = waker();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut cx = Context::from_waker(&waker);
+        let _ = Pin::new(&mut fut).poll(&mut cx);
+    }))
+    .expect_err("poll must re-raise the panic");
+    assert!(err
+        .downcast_ref::<&str>()
+        .is_some_and(|m| m.contains("async boom")));
+}
+
+/// Re-polling with a fresh waker replaces the registered one: only the
+/// *latest* waker is woken on completion (single-slot registration — a
+/// busy executor re-polling many times cannot grow state, and stale
+/// wakers are never fired).
+#[test]
+fn repolls_register_the_current_waker() {
+    let rt = Runtime::new(2);
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let mut fut = rt
+        .submit(move |_| {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            1u8
+        })
+        .unwrap();
+    let (wake1, waker1) = waker();
+    let (wake2, waker2) = waker();
+    assert!(matches!(
+        Pin::new(&mut fut).poll(&mut Context::from_waker(&waker1)),
+        Poll::Pending
+    ));
+    assert!(matches!(
+        Pin::new(&mut fut).poll(&mut Context::from_waker(&waker2)),
+        Poll::Pending
+    ));
+    gate.store(true, Ordering::Release);
+    wait_until(20, "completion to fire the latest waker", || {
+        wake2.hits.load(Ordering::SeqCst) >= 1
+    });
+    // The stale waker was replaced, never woken.
+    assert_eq!(wake1.hits.load(Ordering::SeqCst), 0);
+    assert_eq!(
+        Pin::new(&mut fut).poll(&mut Context::from_waker(&waker1)),
+        Poll::Ready(1)
+    );
+}
