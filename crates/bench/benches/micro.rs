@@ -73,6 +73,44 @@ fn bench_spawn(b: &mut Bench) {
     });
 }
 
+/// The PR 6 spawn fast path, layer by layer: the legacy `ctx.spawn`
+/// (always default attributes), the builder at default attributes (must
+/// monomorphize onto the same `#[inline]` path — any gap here is lowering
+/// overhead), the attributed builder (takes the `#[cold]` slow path and
+/// activates banded queues), and the fork-join fast lane for scale.
+fn bench_spawn_layers(b: &mut Bench) {
+    use xkaapi_core::Priority;
+    let rt = Runtime::new(1);
+    b.run("spawn-layers", "legacy ctx.spawn", 1000, || {
+        rt.scope(|ctx| {
+            for _ in 0..1000 {
+                ctx.spawn([], |_| {});
+            }
+        });
+    });
+    b.run("spawn-layers", "builder, defaulted", 1000, || {
+        rt.scope(|ctx| {
+            for _ in 0..1000 {
+                ctx.task().spawn(|_| {});
+            }
+        });
+    });
+    b.run("spawn-layers", "builder, priority(High)", 1000, || {
+        rt.scope(|ctx| {
+            for _ in 0..1000 {
+                ctx.task().priority(Priority::High).spawn(|_| {});
+            }
+        });
+    });
+    b.run("spawn-layers", "join (fork-join lane)", 1000, || {
+        rt.scope(|ctx| {
+            for _ in 0..1000 {
+                ctx.join(|_| {}, |_| {});
+            }
+        });
+    });
+}
+
 fn bench_deque(b: &mut Bench) {
     let d = TheDeque::new();
     let sink = AtomicUsize::new(0);
@@ -217,6 +255,7 @@ fn main() {
         iters: if quick { 3 } else { 11 },
     };
     bench_spawn(&mut b);
+    bench_spawn_layers(&mut b);
     bench_deque(&mut b);
     bench_policy_matrix(&mut b);
     bench_dataflow(&mut b);

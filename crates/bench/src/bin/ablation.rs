@@ -65,6 +65,37 @@ fn policy_workload_builder(rt: &Runtime) -> u64 {
     cells.iter().map(|c| *c.get()).sum()
 }
 
+/// The identical workload again, this time with non-default attributes on
+/// every spawn (alternating High/Low bands + `Affinity::Auto`), so each
+/// task takes the `#[cold]` attributed lowering and activates the banded
+/// side structures. Attributes are scheduling hints, never semantics: the
+/// checksum must equal the defaulted runs' — and the time delta against
+/// [`policy_workload_builder`] is the measured cost of carrying
+/// attributes (the PR 6 defaulted-vs-attributed ablation).
+fn policy_workload_attributed(rt: &Runtime) -> u64 {
+    use xkaapi_core::{Affinity, Priority};
+    let cells: Vec<Shared<u64>> = (0..16).map(|_| Shared::new(1)).collect();
+    rt.scope(|ctx| {
+        for round in 0..25u64 {
+            for (i, c) in cells.iter().enumerate() {
+                let cw = c.clone();
+                ctx.task()
+                    .exclusive(c)
+                    .priority(if i % 2 == 0 {
+                        Priority::High
+                    } else {
+                        Priority::Low
+                    })
+                    .affinity(Affinity::Auto)
+                    .spawn(move |t| {
+                        *t.write(&cw) += round + i as u64;
+                    });
+            }
+        }
+    });
+    cells.iter().map(|c| *c.get()).sum()
+}
+
 /// The war-chain workload: `rounds` repeated whole-object overwrites of one
 /// renameable handle, each feeding `readers` readers. Renaming eliminates
 /// the WAR edges from round `r`'s readers to round `r+1`'s writer, so the
@@ -178,6 +209,60 @@ fn main() {
             "stolen",
             "combine served",
             "checksum",
+        ],
+        &rows,
+    );
+
+    // --- the spawn fast path: defaulted vs attributed lowering -----------
+    // The same chains workload through the builder, once at default
+    // attributes (monomorphized `#[inline]` path, banded structures stay
+    // dormant) and once fully attributed (`#[cold]` path, bands + Auto
+    // affinity active). Identical checksums are asserted; the time gap is
+    // what attribute-carrying actually costs per configuration, and the
+    // `tasks_with_attrs` counter proves which path ran.
+    let mut rows = Vec::new();
+    for pol in SchedPolicy::ALL {
+        let rt = pol.build_runtime(4);
+        let mut fast = 0;
+        let t_fast = measure_ns(5, || fast = policy_workload_builder(&rt));
+        let fast_attr_tasks = rt.stats().tasks_with_attrs;
+        assert_eq!(
+            fast_attr_tasks,
+            0,
+            "defaulted builder spawns took the attributed path under {}",
+            pol.label()
+        );
+        let mut slow = 0;
+        let t_slow = measure_ns(5, || slow = policy_workload_attributed(&rt));
+        assert_eq!(
+            fast,
+            slow,
+            "attributes changed the workload result under {}",
+            pol.label()
+        );
+        let slow_attr_tasks = rt.stats().tasks_with_attrs;
+        assert!(
+            slow_attr_tasks >= 16 * 25,
+            "attributed spawns must be counted under {} (got {slow_attr_tasks})",
+            pol.label()
+        );
+        rows.push(vec![
+            pol.label().into(),
+            format!("{:.2}", t_fast as f64 / 1e6),
+            format!("{:.2}", t_slow as f64 / 1e6),
+            format!("{:+.1}%", (t_slow as f64 / t_fast as f64 - 1.0) * 100.0),
+            slow_attr_tasks.to_string(),
+        ]);
+    }
+    print_table(
+        "Spawn lowering: defaulted (#[inline]) vs attributed (#[cold]) builder, \
+         4 workers (identical checksums)",
+        &[
+            "policy",
+            "defaulted (ms)",
+            "attributed (ms)",
+            "delta",
+            "tasks_with_attrs",
         ],
         &rows,
     );

@@ -24,8 +24,13 @@
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR5.json` (snapshot file
-//!   name pinned per PR so the perf trajectory accretes one file per PR).
+//! * `smoke --json` — additionally writes `BENCH_PR6.json` (snapshot file
+//!   name pinned per PR so the perf trajectory accretes one file per PR);
+//! * `smoke --check` — the **regression gate** (PR 6): compares this run's
+//!   fib/foreach/cholesky/submit_flood numbers against the
+//!   highest-numbered committed `BENCH_PR*.json` and exits non-zero when
+//!   any metric lost more than the tolerance (10% default,
+//!   `XKAAPI_BENCH_TOLERANCE` overrides — see `xkaapi_bench::check`).
 //!
 //! [`Ctx::join`]: xkaapi_core::Ctx::join
 
@@ -38,7 +43,7 @@ use xkaapi_bench::{
 use xkaapi_core::{Affinity, Ctx, Priority, Runtime, Shared, Topology};
 use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR5.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR6.json";
 
 fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
     if n < 2 {
@@ -60,6 +65,7 @@ fn fib_tasks(n: u64) -> u64 {
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let check = std::env::args().any(|a| a == "--check");
     // Builder defaults: XKAAPI_WORKERS (if set) or available parallelism —
     // the snapshot is tunable without recompiling.
     let rt = Runtime::builder().build();
@@ -372,7 +378,7 @@ fn main() {
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 5,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 6,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
@@ -400,5 +406,53 @@ fn main() {
         );
         std::fs::write(SNAPSHOT_FILE, body).expect("write perf snapshot");
         println!("\nwrote {SNAPSHOT_FILE}");
+    }
+
+    if check {
+        use xkaapi_bench::check::{self, GateMetric, GATE_METRICS};
+        let fresh = [fib_mtasks_per_s, foreach_gbs, chol_gflops, sf_jobs_per_s];
+        let fresh: Vec<GateMetric> = GATE_METRICS
+            .iter()
+            .zip(fresh)
+            .map(|(&(bench, key), value)| GateMetric { bench, key, value })
+            .collect();
+        let (pr, path) = check::find_latest_snapshot(std::path::Path::new("."))
+            .expect("--check needs a committed BENCH_PR*.json to gate against");
+        let text = std::fs::read_to_string(&path).expect("read baseline snapshot");
+        let baseline = check::extract_metrics(&text);
+        let tol = check::tolerance_from_env();
+        let regressions = check::compare(&baseline, &fresh, tol);
+        println!(
+            "\n## Regression gate vs {} (tolerance {:.0}%)\n",
+            path.display(),
+            tol * 100.0
+        );
+        for b in &baseline {
+            let f = fresh.iter().find(|f| f.key == b.key).unwrap();
+            println!(
+                "  {:<14} {:<14} baseline {:>12.3}  fresh {:>12.3}  ({:+.1}%)",
+                b.bench,
+                b.key,
+                b.value,
+                f.value,
+                (f.value / b.value - 1.0) * 100.0
+            );
+        }
+        if regressions.is_empty() {
+            println!("\ngate PASS: no metric lost more than {:.0}%", tol * 100.0);
+        } else {
+            for r in &regressions {
+                eprintln!(
+                    "gate FAIL: {} {} regressed {:.1}% vs BENCH_PR{pr}.json \
+                     (baseline {:.3}, fresh {:.3})",
+                    r.bench,
+                    r.key,
+                    -r.change() * 100.0,
+                    r.baseline,
+                    r.fresh
+                );
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -1,0 +1,185 @@
+//! Render the perf trajectory across the committed `BENCH_PR*.json`
+//! snapshots: an ASCII table plus bar strips on stdout, and a
+//! dependency-free SVG line chart (`bench_trend.svg`) suitable as a CI
+//! artifact.
+//!
+//! Usage: `trend [dir]` — scans `dir` (default `.`) for `BENCH_PR*.json`,
+//! reads the four gated metrics of each (see `xkaapi_bench::check`), and
+//! writes `bench_trend.svg` into the same directory. Metrics missing from
+//! old snapshots (e.g. `jobs_per_s` before PR 4) simply start later in
+//! the series.
+
+use std::path::{Path, PathBuf};
+use xkaapi_bench::check::{leaf_value, GATE_METRICS};
+use xkaapi_bench::print_table;
+
+/// `(pr, metric values in GATE_METRICS order, missing = NaN)`.
+struct Snapshot {
+    pr: u32,
+    values: [f64; GATE_METRICS.len()],
+}
+
+fn load_snapshots(dir: &Path) -> Vec<Snapshot> {
+    let mut snaps: Vec<(u32, PathBuf)> = Vec::new();
+    for entry in dir.read_dir().expect("read snapshot dir").flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(n) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            snaps.push((n, entry.path()));
+        }
+    }
+    snaps.sort_unstable_by_key(|(n, _)| *n);
+    snaps
+        .into_iter()
+        .map(|(pr, path)| {
+            let text = std::fs::read_to_string(&path).expect("read snapshot");
+            let mut values = [f64::NAN; GATE_METRICS.len()];
+            for (v, &(_, key)) in values.iter_mut().zip(GATE_METRICS.iter()) {
+                if let Some(x) = leaf_value(&text, key) {
+                    *v = x;
+                }
+            }
+            Snapshot { pr, values }
+        })
+        .collect()
+}
+
+/// A unicode bar strip scaled to the series maximum (NaN renders empty).
+fn strip(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.iter().copied().fold(0.0f64, f64::max);
+    series
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() || max <= 0.0 {
+                ' '
+            } else {
+                BARS[((v / max * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+fn svg(snaps: &[Snapshot]) -> String {
+    const W: f64 = 640.0;
+    const PLOT_H: f64 = 110.0;
+    const PAD_L: f64 = 70.0;
+    const PAD_R: f64 = 20.0;
+    let h = PLOT_H * GATE_METRICS.len() as f64 + 30.0;
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{h}\" \
+         font-family=\"monospace\" font-size=\"11\">\n\
+         <rect width=\"{W}\" height=\"{h}\" fill=\"white\"/>\n\
+         <text x=\"{PAD_L}\" y=\"16\" font-size=\"13\">xkaapi perf trajectory \
+         (BENCH_PR*.json)</text>\n"
+    );
+    let xs: Vec<f64> = (0..snaps.len())
+        .map(|i| {
+            PAD_L
+                + (W - PAD_L - PAD_R)
+                    * if snaps.len() > 1 {
+                        i as f64 / (snaps.len() - 1) as f64
+                    } else {
+                        0.5
+                    }
+        })
+        .collect();
+    for (m, &(bench, key)) in GATE_METRICS.iter().enumerate() {
+        let top = 24.0 + PLOT_H * m as f64;
+        let base = top + PLOT_H - 24.0;
+        let series: Vec<f64> = snaps.iter().map(|s| s.values[m]).collect();
+        let max = series.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+        let y = |v: f64| base - (v / max) * (PLOT_H - 40.0);
+        let pts: Vec<String> = series
+            .iter()
+            .zip(&xs)
+            .filter(|(v, _)| v.is_finite())
+            .map(|(&v, &x)| format!("{x:.1},{:.1}", y(v)))
+            .collect();
+        out += &format!(
+            "<text x=\"6\" y=\"{:.1}\">{bench}</text>\n\
+             <text x=\"6\" y=\"{:.1}\" fill=\"gray\">{key}</text>\n\
+             <line x1=\"{PAD_L}\" y1=\"{base:.1}\" x2=\"{:.1}\" y2=\"{base:.1}\" \
+             stroke=\"#ccc\"/>\n\
+             <polyline points=\"{}\" fill=\"none\" stroke=\"#2266cc\" \
+             stroke-width=\"2\"/>\n",
+            top + 34.0,
+            top + 48.0,
+            W - PAD_R,
+            pts.join(" ")
+        );
+        for (s, &x) in snaps.iter().zip(&xs) {
+            let v = s.values[m];
+            if !v.is_finite() {
+                continue;
+            }
+            out += &format!(
+                "<circle cx=\"{x:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#2266cc\"/>\n\
+                 <text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n\
+                 <text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\" \
+                 fill=\"gray\">PR{}</text>\n",
+                y(v),
+                y(v) - 8.0,
+                fmt_val(v),
+                base + 14.0,
+                s.pr
+            );
+        }
+    }
+    out += "</svg>\n";
+    out
+}
+
+fn fmt_val(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let snaps = load_snapshots(&dir);
+    if snaps.is_empty() {
+        eprintln!("no BENCH_PR*.json snapshots in {}", dir.display());
+        std::process::exit(1);
+    }
+    let mut rows = Vec::new();
+    for (m, &(bench, key)) in GATE_METRICS.iter().enumerate() {
+        let series: Vec<f64> = snaps.iter().map(|s| s.values[m]).collect();
+        rows.push(vec![
+            format!("{bench} ({key})"),
+            strip(&series),
+            series
+                .iter()
+                .zip(&snaps)
+                .map(|(&v, s)| {
+                    if v.is_finite() {
+                        format!("PR{}:{}", s.pr, fmt_val(v))
+                    } else {
+                        format!("PR{}:-", s.pr)
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    print_table(
+        &format!("Perf trend over {} snapshots", snaps.len()),
+        &["metric", "trend", "values"],
+        &rows,
+    );
+    let path = dir.join("bench_trend.svg");
+    std::fs::write(&path, svg(&snaps)).expect("write trend svg");
+    println!("\nwrote {}", path.display());
+}

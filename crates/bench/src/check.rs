@@ -1,0 +1,233 @@
+//! The permanent perf-regression gate behind `smoke -- --check`.
+//!
+//! Every PR commits its perf snapshot as `BENCH_PR<N>.json`; the gate
+//! re-measures the four headline metrics and compares them against the
+//! **highest-numbered committed snapshot**, failing when any metric lost
+//! more than the tolerance (default 10%, `XKAAPI_BENCH_TOLERANCE`
+//! overrides). The JSON is parsed by unique leaf key — each gated metric
+//! key appears exactly once per snapshot file — so the gate needs no JSON
+//! dependency and keeps working across snapshot-schema growth, as long as
+//! the leaf keys stay stable.
+//!
+//! Missing metrics are skipped, not failed: older snapshots predate some
+//! benches (`jobs_per_s` only exists from PR 4 on), and a gate that
+//! refuses to compare against history would have to be deleted the first
+//! time the snapshot schema grows.
+
+use std::path::{Path, PathBuf};
+
+/// The gated metrics: `(bench, unique JSON leaf key)`.
+///
+/// Each key appears exactly once in a snapshot file, so a substring
+/// search finds the right number without a JSON parser.
+pub const GATE_METRICS: [(&str, &str); 4] = [
+    ("fib", "mtasks_per_s"),
+    ("foreach", "gb_per_s"),
+    ("cholesky", "gflops"),
+    ("submit_flood", "jobs_per_s"),
+];
+
+/// Relative loss a metric may show before the gate fails (0.10 = 10%).
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// Environment override for the gate tolerance (a fraction, e.g. `0.25`).
+pub const TOLERANCE_ENV: &str = "XKAAPI_BENCH_TOLERANCE";
+
+/// One gated measurement, either read from a snapshot or freshly run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateMetric {
+    /// Bench the metric belongs to (`fib`, `foreach`, …).
+    pub bench: &'static str,
+    /// JSON leaf key (`mtasks_per_s`, …) — higher is better for all of them.
+    pub key: &'static str,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// One gate failure: `fresh` lost more than `tol` relative to `baseline`.
+#[derive(Clone, Copy, Debug)]
+pub struct Regression {
+    /// Bench that regressed.
+    pub bench: &'static str,
+    /// Leaf key of the regressed metric.
+    pub key: &'static str,
+    /// Value recorded in the committed snapshot.
+    pub baseline: f64,
+    /// Value measured by this run.
+    pub fresh: f64,
+}
+
+impl Regression {
+    /// Relative change of `fresh` vs `baseline` (negative = loss).
+    pub fn change(&self) -> f64 {
+        self.fresh / self.baseline - 1.0
+    }
+}
+
+/// Parse the number following the unique `"key":` occurrence in `json`.
+///
+/// Returns `None` when the key is absent or not followed by a number.
+pub fn leaf_value(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)?;
+    let rest = json[at + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract every gated metric present in a snapshot's JSON text.
+pub fn extract_metrics(json: &str) -> Vec<GateMetric> {
+    GATE_METRICS
+        .iter()
+        .filter_map(|&(bench, key)| {
+            leaf_value(json, key).map(|value| GateMetric { bench, key, value })
+        })
+        .collect()
+}
+
+/// Find the highest-numbered `BENCH_PR<N>.json` in `dir`.
+pub fn find_latest_snapshot(dir: &Path) -> Option<(u32, PathBuf)> {
+    let mut best: Option<(u32, PathBuf)> = None;
+    for entry in dir.read_dir().ok()?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let n: u32 = match name
+            .strip_prefix("BENCH_PR")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse().ok())
+        {
+            Some(n) => n,
+            None => continue,
+        };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, entry.path()));
+        }
+    }
+    best
+}
+
+/// Gate tolerance from [`TOLERANCE_ENV`]: a fraction in `(0, 10]`; unset,
+/// junk, or out-of-range values fall back to [`DEFAULT_TOLERANCE`].
+pub fn tolerance_from_env() -> f64 {
+    tolerance_from(std::env::var(TOLERANCE_ENV).ok().as_deref())
+}
+
+/// Pure core of [`tolerance_from_env`], testable without touching the
+/// process environment.
+pub fn tolerance_from(raw: Option<&str>) -> f64 {
+    match raw.and_then(|s| s.trim().parse::<f64>().ok()) {
+        Some(t) if t > 0.0 && t <= 10.0 => t,
+        _ => DEFAULT_TOLERANCE,
+    }
+}
+
+/// Compare a fresh run against a committed baseline.
+///
+/// Returns one [`Regression`] per metric whose fresh value dropped below
+/// `baseline × (1 − tol)`. Metrics absent from either side are skipped
+/// (old snapshots predate some benches).
+pub fn compare(baseline: &[GateMetric], fresh: &[GateMetric], tol: f64) -> Vec<Regression> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let f = fresh.iter().find(|f| f.key == b.key)?;
+            (b.value > 0.0 && f.value < b.value * (1.0 - tol)).then_some(Regression {
+                bench: b.bench,
+                key: b.key,
+                baseline: b.value,
+                fresh: f.value,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP: &str = r#"{
+  "pr": 6,
+  "fib": {"n": 22, "ns": 2500000, "mtasks_per_s": 11.462},
+  "foreach": {"gb_per_s": 19.7, "melems_per_s": 821.0},
+  "cholesky": {"gflops": 5.78},
+  "submit_flood": {"jobs_per_s": 1157000, "checksum": 12}
+}"#;
+
+    #[test]
+    fn leaf_parsing_reads_each_gated_key() {
+        assert_eq!(leaf_value(SNAP, "mtasks_per_s"), Some(11.462));
+        assert_eq!(leaf_value(SNAP, "gb_per_s"), Some(19.7));
+        assert_eq!(leaf_value(SNAP, "gflops"), Some(5.78));
+        assert_eq!(leaf_value(SNAP, "jobs_per_s"), Some(1_157_000.0));
+        assert_eq!(leaf_value(SNAP, "absent"), None);
+        assert_eq!(leaf_value("{\"gflops\": junk}", "gflops"), None);
+    }
+
+    #[test]
+    fn extract_skips_missing_metrics() {
+        let old = r#"{"pr": 1, "fib": {"mtasks_per_s": 13.78}, "cholesky": {"gflops": 6.77}}"#;
+        let m = extract_metrics(old);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|g| g.key != "jobs_per_s"));
+    }
+
+    #[test]
+    fn compare_flags_only_losses_beyond_tolerance() {
+        let base = extract_metrics(SNAP);
+        // Identical run: clean.
+        assert!(compare(&base, &base, 0.10).is_empty());
+        // 5% loss everywhere: inside the default 10% tolerance.
+        let slower: Vec<GateMetric> = base
+            .iter()
+            .map(|g| GateMetric {
+                value: g.value * 0.95,
+                ..*g
+            })
+            .collect();
+        assert!(compare(&base, &slower, 0.10).is_empty());
+        // 20% loss on one metric: flagged, with the right direction.
+        let mut bad = base.clone();
+        bad[2].value *= 0.8;
+        let regs = compare(&base, &bad, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].bench, "cholesky");
+        assert!(regs[0].change() < -0.15);
+        // Gains are never flagged.
+        let faster: Vec<GateMetric> = base
+            .iter()
+            .map(|g| GateMetric {
+                value: g.value * 2.0,
+                ..*g
+            })
+            .collect();
+        assert!(compare(&base, &faster, 0.10).is_empty());
+    }
+
+    #[test]
+    fn tolerance_parses_and_falls_back_on_junk() {
+        assert_eq!(tolerance_from(None), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from(Some("0.25")), 0.25);
+        assert_eq!(tolerance_from(Some(" 0.5 ")), 0.5);
+        assert_eq!(tolerance_from(Some("banana")), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from(Some("-1")), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from(Some("0")), DEFAULT_TOLERANCE);
+        assert_eq!(tolerance_from(Some("999")), DEFAULT_TOLERANCE);
+    }
+
+    #[test]
+    fn latest_snapshot_picks_highest_pr() {
+        let dir = std::env::temp_dir().join(format!("xkaapi-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [1, 4, 11] {
+            std::fs::write(dir.join(format!("BENCH_PR{n}.json")), "{}").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_PRx.json"), "{}").unwrap();
+        std::fs::write(dir.join("notes.md"), "").unwrap();
+        let (n, path) = find_latest_snapshot(&dir).unwrap();
+        assert_eq!(n, 11);
+        assert!(path.ends_with("BENCH_PR11.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod policy;
 
 pub use policy::{SchedPolicy, VictimPolicy};

@@ -124,6 +124,17 @@ impl TaskAttrs {
         self.priority.band() as u8
     }
 
+    /// True when every field is the default (Normal band, no affinity).
+    ///
+    /// The spawn path monomorphizes on this: a default spawn takes the
+    /// `#[inline]` fast lowering identical to the pre-attribute runtime,
+    /// while anything else falls to the `#[cold]` attributed path. Keeping
+    /// the check a single comparison keeps it free after inlining.
+    #[inline]
+    pub(crate) fn is_default(&self) -> bool {
+        *self == TaskAttrs::default()
+    }
+
     /// Resolve the affinity against a set of declared accesses and a
     /// topology with `nodes` NUMA nodes. `None` means "no placement
     /// preference" (hash/stay local, as before).

@@ -60,7 +60,43 @@ impl RawCtx {
 
     /// Non-blocking task creation: push into the current frame. Returns the
     /// frame, the task's index and the task itself (for fast-path joins).
+    ///
+    /// Monomorphized on the attributes (`DESIGN.md` §6): the all-default
+    /// spawn — `Ctx::spawn` and builders that set nothing — inlines
+    /// straight into the common lowering, while attribute-carrying spawns
+    /// divert through a `#[cold]` shim that also counts them. The branch
+    /// compiles to one comparison of a two-byte `Copy` struct.
+    #[inline]
     pub(crate) fn spawn_raw(
+        &mut self,
+        accesses: Box<[Access]>,
+        attrs: TaskAttrs,
+        body: TaskBody,
+    ) -> (Arc<Frame>, usize, Arc<Task>) {
+        if attrs.is_default() {
+            self.spawn_common(accesses, TaskAttrs::default(), body)
+        } else {
+            self.spawn_attributed(accesses, attrs, body)
+        }
+    }
+
+    /// The attribute-carrying slow path: kept out of the hot instruction
+    /// stream so the default spawn's code stays compact.
+    #[cold]
+    fn spawn_attributed(
+        &mut self,
+        accesses: Box<[Access]>,
+        attrs: TaskAttrs,
+        body: TaskBody,
+    ) -> (Arc<Frame>, usize, Arc<Task>) {
+        WorkerStats::bump(&self.rt.workers[self.widx].stats.tasks_with_attrs, 1);
+        self.spawn_common(accesses, attrs, body)
+    }
+
+    /// Shared spawn lowering (both paths land here; semantics are
+    /// attribute-independent by construction).
+    #[inline]
+    fn spawn_common(
         &mut self,
         accesses: Box<[Access]>,
         attrs: TaskAttrs,
@@ -95,6 +131,12 @@ impl RawCtx {
         };
         let rt = Arc::clone(&self.rt);
         let widx = self.widx;
+        // Task lookups are batched: once sync starts the owner pushes no
+        // more children into this frame (task bodies run on fresh frames),
+        // so one lock acquisition fetches every remaining task instead of
+        // paying one frame lock per FIFO step.
+        let mut batch: Vec<Arc<Task>> = Vec::new();
+        let mut batch_start = 0usize;
         loop {
             // Fast exit: every pushed task already completed (by the owner
             // fast path or by thieves) — jump the FIFO cursor to the end.
@@ -104,7 +146,15 @@ impl RawCtx {
             }
             let i = frame.cursor();
             if i < frame.len() {
-                let t = frame.task(i);
+                if i.wrapping_sub(batch_start) >= batch.len() {
+                    batch.clear();
+                    batch_start = i;
+                    frame.tasks_from(i, &mut batch);
+                    if batch.is_empty() {
+                        continue; // len mirror raced ahead of the tasks Vec
+                    }
+                }
+                let t = Arc::clone(&batch[i - batch_start]);
                 if t.try_claim(ST_OWNER) {
                     frame.advance_cursor();
                     WorkerStats::bump(&rt.workers[widx].stats.tasks_executed_own, 1);
@@ -227,8 +277,7 @@ pub(crate) fn help_until(
     let backoff = Backoff::new();
     while !done() {
         if let Some(frame) = own {
-            if let Some(idx) = frame.pop_ready_owner() {
-                let t = frame.task(idx);
+            if let Some((idx, t)) = frame.pop_ready_owner() {
                 execute_task_at(rt, widx, frame, idx, t, true);
                 rt.workers[widx].reset_fail_streak();
                 backoff.reset();
@@ -424,6 +473,9 @@ impl<'scope> Ctx<'scope> {
             let raw = self.raw();
             (Arc::clone(&raw.rt), raw.widx)
         };
+        if !attrs.is_default() {
+            WorkerStats::bump(&rt.workers[widx].stats.tasks_with_attrs, 1);
+        }
         // Wrap `fb` into a lifetime-free signature ('scope is in scope here;
         // the record never outlives this call, see the safety note above).
         let fb_raw = move |raw: &mut RawCtx| -> RB {
@@ -547,10 +599,6 @@ impl<'scope> Ctx<'scope> {
     /// fast lane) — callers then route to the handle's committed slot.
     fn slot_binding(&self, id: HandleId, write: bool) -> Option<SlotBinding> {
         let cur = self.raw().cur.as_ref()?;
-        let binding = cur.binding();
-        if binding.len() != cur.accesses.len() {
-            return None; // task was never bound through a frame
-        }
         let pos = if write {
             cur.accesses
                 .iter()
@@ -561,6 +609,18 @@ impl<'scope> Ctx<'scope> {
                 .position(|a| a.handle == id && a.mode == AccessMode::Read)
                 .or_else(|| cur.accesses.iter().position(|a| a.handle == id))
         }?;
+        let binding = cur.binding();
+        if binding.is_empty() {
+            // All-default sentinel (`Task::set_binding`): every declared
+            // access routes to slot 0 with no rename — which is exactly
+            // the default binding. `cur` is only ever a frame-pushed task
+            // (`execute_claimed` is the sole assignment), so an empty
+            // binding here cannot mean "never bound".
+            return Some(SlotBinding::default());
+        }
+        if binding.len() != cur.accesses.len() {
+            return None; // defensive: task was never bound through a frame
+        }
         Some(binding[pos])
     }
 

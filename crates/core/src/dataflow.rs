@@ -54,10 +54,23 @@ pub struct SlotBinding {
 pub struct Binding {
     /// Index of the bound task (program order, dense from 0).
     pub index: usize,
-    /// Per-access slot routing, parallel to the task's access list.
+    /// Per-access slot routing, parallel to the task's access list —
+    /// **or empty** when every access routes to the default binding
+    /// (slot 0, no rename): the all-default sentinel that lets the hot
+    /// spawn path skip the per-task slot allocation. Use
+    /// [`Binding::slot`] to read through the sentinel.
     pub slots: Box<[SlotBinding]>,
     /// How many of the task's accesses were renamed.
     pub renames: u32,
+}
+
+impl Binding {
+    /// Slot routing of access `i`, reading through the all-default
+    /// sentinel (an empty `slots` means every access gets the default
+    /// binding).
+    pub fn slot(&self, i: usize) -> SlotBinding {
+        self.slots.get(i).copied().unwrap_or_default()
+    }
 }
 
 /// Head of one version chain: the open version of one region track.
@@ -185,12 +198,19 @@ impl HandleState {
     }
 }
 
-/// Per-task record kept by the engine.
+/// Per-task record kept by the engine: two ranges into the engine's
+/// append-only arenas. Binding a task appends to the arena tails instead
+/// of boxing fresh per-task slices — the spawn path's allocation count no
+/// longer grows with the task count (arenas amortize like a `Vec`).
 struct TaskEntry {
-    /// Predecessor task indices (sorted, deduplicated, all `< index`).
-    preds: Box<[u32]>,
-    /// `(handle, slot)` pairs with `slot > 0`, for slot reclamation.
-    slots: Box<[(HandleId, u32)]>,
+    /// Range of `preds_arena` holding the predecessor task indices
+    /// (sorted, deduplicated, all `< index`).
+    preds_start: u32,
+    preds_len: u32,
+    /// Range of `holds_arena` holding `(handle, slot)` pairs with
+    /// `slot > 0`, for slot reclamation.
+    holds_start: u32,
+    holds_len: u32,
     /// `complete` was called for this task.
     done: bool,
 }
@@ -223,6 +243,13 @@ struct TaskEntry {
 pub struct DataflowEngine {
     handles: HashMap<HandleId, HandleState>,
     tasks: Vec<TaskEntry>,
+    /// Arena backing every task's predecessor set (see [`TaskEntry`]).
+    preds_arena: Vec<u32>,
+    /// Arena backing every task's held `(handle, slot)` pairs.
+    holds_arena: Vec<(HandleId, u32)>,
+    /// Per-bind scratch for the slot routing; reused across binds so a
+    /// task whose routing is all-default allocates nothing.
+    slot_scratch: Vec<SlotBinding>,
 }
 
 impl DataflowEngine {
@@ -247,21 +274,31 @@ impl DataflowEngine {
     /// many accesses were renamed. Predecessors are queryable afterwards
     /// through [`DataflowEngine::preds`].
     pub fn bind(&mut self, accesses: &[Access], policy: &RenamePolicy) -> Binding {
-        let index = self.tasks.len();
+        let Self {
+            handles,
+            tasks,
+            preds_arena,
+            holds_arena,
+            slot_scratch,
+        } = self;
+        let index = tasks.len();
         debug_assert!(index < u32::MAX as usize, "frame task index overflow");
         let idx = index as u32;
-        let mut preds: Vec<u32> = Vec::new();
-        let mut slots: Vec<SlotBinding> = Vec::with_capacity(accesses.len());
-        let mut pending: Vec<(HandleId, u32)> = Vec::new();
+        // Predecessors and held slots go straight onto the arena tails —
+        // no per-task Vec, no boxed slice. Slot routing accumulates in the
+        // reusable scratch and is only boxed when something is non-default.
+        let preds_start = preds_arena.len();
+        let holds_start = holds_arena.len();
+        slot_scratch.clear();
+        let preds = preds_arena;
         let mut renames = 0u32;
 
         for a in accesses {
             if a.region.is_empty() {
-                slots.push(SlotBinding::default());
+                slot_scratch.push(SlotBinding::default());
                 continue;
             }
-            let hs = self
-                .handles
+            let hs = handles
                 .entry(a.handle)
                 .or_insert_with(|| HandleState::seeded(a.lineage));
 
@@ -270,37 +307,37 @@ impl DataflowEngine {
             match a.region {
                 Region::All => {
                     if let Some(v) = &hs.all {
-                        v.preds_into(idx, a.mode, &mut preds);
+                        v.preds_into(idx, a.mode, preds);
                     }
                     for v in hs.keys.values() {
-                        v.preds_into(idx, a.mode, &mut preds);
+                        v.preds_into(idx, a.mode, preds);
                     }
                     for (_, _, v) in &hs.ranges {
-                        v.preds_into(idx, a.mode, &mut preds);
+                        v.preds_into(idx, a.mode, preds);
                     }
                 }
                 Region::Key(k) => {
                     if let Some(v) = &hs.all {
-                        v.preds_into(idx, a.mode, &mut preds);
+                        v.preds_into(idx, a.mode, preds);
                     }
                     if let Some(v) = hs.keys.get(&k) {
-                        v.preds_into(idx, a.mode, &mut preds);
+                        v.preds_into(idx, a.mode, preds);
                     }
                     // Mixed Key/Range on a handle aliases conservatively.
                     for (_, _, v) in &hs.ranges {
-                        v.preds_into(idx, a.mode, &mut preds);
+                        v.preds_into(idx, a.mode, preds);
                     }
                 }
                 Region::Range { start, end } => {
                     if let Some(v) = &hs.all {
-                        v.preds_into(idx, a.mode, &mut preds);
+                        v.preds_into(idx, a.mode, preds);
                     }
                     for v in hs.keys.values() {
-                        v.preds_into(idx, a.mode, &mut preds);
+                        v.preds_into(idx, a.mode, preds);
                     }
                     for (s, t, v) in &hs.ranges {
                         if *s < end && start < *t {
-                            v.preds_into(idx, a.mode, &mut preds);
+                            v.preds_into(idx, a.mode, preds);
                         }
                     }
                 }
@@ -318,13 +355,13 @@ impl DataflowEngine {
                 preds.truncate(before);
                 renames += 1;
                 let (slot, seq) = hs.open_slot();
-                slots.push(SlotBinding {
+                slot_scratch.push(SlotBinding {
                     slot,
                     seq,
                     renamed: true,
                 });
             } else {
-                slots.push(SlotBinding {
+                slot_scratch.push(SlotBinding {
                     slot: hs.cur_slot,
                     seq: 0,
                     renamed: false,
@@ -332,7 +369,7 @@ impl DataflowEngine {
             }
             if hs.cur_slot != 0 {
                 *hs.pending.entry(hs.cur_slot).or_insert(0) += 1;
-                pending.push((a.handle, hs.cur_slot));
+                holds_arena.push((a.handle, hs.cur_slot));
             }
 
             // 3. Record the access into its exact-shape chain: write-class
@@ -374,13 +411,33 @@ impl DataflowEngine {
             }
         }
 
-        preds.sort_unstable();
-        preds.dedup();
-        debug_assert!(preds.iter().all(|&p| p < idx));
-        let slots_box = slots.into_boxed_slice();
-        self.tasks.push(TaskEntry {
-            preds: preds.into_boxed_slice(),
-            slots: pending.into_boxed_slice(),
+        // Sort + dedup this task's tail of the arena in place.
+        let tail = &mut preds[preds_start..];
+        tail.sort_unstable();
+        let mut uniq = 0usize;
+        for i in 0..tail.len() {
+            if uniq == 0 || tail[i] != tail[uniq - 1] {
+                tail[uniq] = tail[i];
+                uniq += 1;
+            }
+        }
+        preds.truncate(preds_start + uniq);
+        debug_assert!(preds[preds_start..].iter().all(|&p| p < idx));
+
+        // All-default sentinel: when nothing renamed and every access
+        // routes to slot 0, hand back an empty binding (`Box<[]>` does not
+        // allocate) — readers reconstruct `SlotBinding::default()`.
+        let slots_box: Box<[SlotBinding]> =
+            if slot_scratch.iter().all(|b| *b == SlotBinding::default()) {
+                Box::new([])
+            } else {
+                slot_scratch.as_slice().into()
+            };
+        tasks.push(TaskEntry {
+            preds_start: preds_start as u32,
+            preds_len: uniq as u32,
+            holds_start: holds_start as u32,
+            holds_len: (holds_arena.len() - holds_start) as u32,
             done: false,
         });
         Binding {
@@ -393,23 +450,31 @@ impl DataflowEngine {
     /// Predecessor set of task `idx` (sorted, deduplicated program-order
     /// indices, all smaller than `idx`).
     pub fn preds(&self, idx: usize) -> &[u32] {
-        &self.tasks[idx].preds
+        let t = &self.tasks[idx];
+        let start = t.preds_start as usize;
+        &self.preds_arena[start..start + t.preds_len as usize]
     }
 
     /// Record the completion of task `idx`: releases its hold on version
     /// slots (recycling drained, superseded ones) and updates readiness.
     /// Idempotent; unknown indices are ignored.
     pub fn complete(&mut self, idx: usize) {
-        let Some(entry) = self.tasks.get_mut(idx) else {
+        let Self {
+            handles,
+            tasks,
+            holds_arena,
+            ..
+        } = self;
+        let Some(entry) = tasks.get_mut(idx) else {
             return;
         };
         if entry.done {
             return;
         }
         entry.done = true;
-        let slots = std::mem::take(&mut entry.slots);
-        for (h, s) in slots.iter() {
-            if let Some(hs) = self.handles.get_mut(h) {
+        let start = entry.holds_start as usize;
+        for (h, s) in &holds_arena[start..start + entry.holds_len as usize] {
+            if let Some(hs) = handles.get_mut(h) {
                 if let Some(p) = hs.pending.get_mut(s) {
                     *p -= 1;
                     if *p == 0 {
@@ -429,8 +494,7 @@ impl DataflowEngine {
     /// and every predecessor done)? Probe use only: the frame layer checks
     /// readiness against authoritative task states instead.
     pub fn is_ready(&self, idx: usize) -> bool {
-        let t = &self.tasks[idx];
-        !t.done && t.preds.iter().all(|&p| self.tasks[p as usize].done)
+        !self.tasks[idx].done && self.preds(idx).iter().all(|&p| self.tasks[p as usize].done)
     }
 
     /// Indices of all currently-ready tasks (probe use).
@@ -446,10 +510,15 @@ impl DataflowEngine {
         (0..self.tasks.len()).filter(|&i| self.is_ready(i)).count()
     }
 
-    /// Drop all bindings and chains (frame reset / reuse).
+    /// Drop all bindings and chains (frame reset / reuse). Keeps arena
+    /// capacity: a recycled frame's next scope binds allocation-free once
+    /// the arenas warmed up.
     pub fn clear(&mut self) {
         self.handles.clear();
         self.tasks.clear();
+        self.preds_arena.clear();
+        self.holds_arena.clear();
+        self.slot_scratch.clear();
     }
 }
 
@@ -515,7 +584,8 @@ mod tests {
         e.bind(&[r(1)], &OFF);
         let b = e.bind(&[w(1)], &OFF);
         assert_eq!(b.renames, 0);
-        assert_eq!(b.slots[0].slot, 0);
+        assert_eq!(b.slot(0).slot, 0);
+        assert!(b.slots.is_empty(), "all-default binding takes the sentinel");
         assert_eq!(e.preds(2), &[0, 1]);
     }
 
@@ -534,7 +604,7 @@ mod tests {
         let mut e = DataflowEngine::new();
         let b = e.bind(&[w(1)], &ON);
         assert_eq!(b.renames, 0, "nothing to eliminate on the first version");
-        assert_eq!(b.slots[0].slot, 0);
+        assert_eq!(b.slot(0).slot, 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::attrs::{NORMAL_BAND, PRIORITY_BANDS};
 use crate::dataflow::DataflowEngine;
 use crate::policy::RenamePolicy;
+use crate::smallvec::InlineVec;
 use crate::task::{Task, ST_INIT, ST_STOLEN};
 use parking_lot::Mutex;
 use std::any::Any;
@@ -58,7 +59,9 @@ impl Default for PromotionPolicy {
 /// so it can never disagree with the scan path.
 pub(crate) struct DepGraph {
     npred: Vec<usize>,
-    succ: Vec<Vec<usize>>,
+    /// Successor lists; inline capacity covers the typical fan-out so
+    /// integrating a task allocates nothing in the common case.
+    succ: Vec<InlineVec<usize, 4>>,
     /// Completion already propagated (or task was done at promotion time).
     accounted: Vec<bool>,
     /// Indices of tasks believed ready (state `ST_INIT`, `npred == 0`),
@@ -85,7 +88,7 @@ impl DepGraph {
     fn integrate(&mut self, idx: usize, preds: &[u32], already_done: bool, band: u8) {
         debug_assert_eq!(self.npred.len(), idx);
         self.npred.push(0);
-        self.succ.push(Vec::new());
+        self.succ.push(InlineVec::new());
         self.accounted.push(already_done);
         let mut np = 0;
         for &p in preds {
@@ -109,7 +112,7 @@ impl DepGraph {
         }
         self.accounted[idx] = true;
         let succs = std::mem::take(&mut self.succ[idx]);
-        for s in succs {
+        for &s in succs.as_slice() {
             self.npred[s] -= 1;
             if self.npred[s] == 0 && tasks[s].state() == ST_INIT {
                 self.ready[tasks[s].band() as usize].push_back(s);
@@ -118,8 +121,19 @@ impl DepGraph {
     }
 
     /// Pop a ready task index whose claim CAS succeeds for a thief,
-    /// highest priority band first.
-    fn pop_ready_claimed(&mut self, tasks: &[Arc<Task>]) -> Option<usize> {
+    /// highest priority band first. `banded` is the frame's lazy
+    /// band-activation flag: while false, only the default band's deque
+    /// can hold entries, so the pop touches exactly one list.
+    fn pop_ready_claimed(&mut self, tasks: &[Arc<Task>], banded: bool) -> Option<usize> {
+        if !banded {
+            let band = &mut self.ready[NORMAL_BAND as usize];
+            while let Some(idx) = band.pop_front() {
+                if tasks[idx].try_claim(ST_STOLEN) {
+                    return Some(idx);
+                }
+            }
+            return None;
+        }
         for band in self.ready.iter_mut() {
             while let Some(idx) = band.pop_front() {
                 if tasks[idx].try_claim(ST_STOLEN) {
@@ -250,8 +264,18 @@ impl Frame {
     }
 
     /// Clone of the task at `idx`.
+    #[cfg(test)]
     pub(crate) fn task(&self, idx: usize) -> Arc<Task> {
         Arc::clone(&self.inner.lock().tasks[idx])
+    }
+
+    /// Clone every task from `start` to the current end into `out` under
+    /// one lock acquisition. The owner's sync loop batches its task lookups
+    /// through this instead of paying one frame lock per task; indices are
+    /// stable (the tasks Vec is append-only until `reset`).
+    pub(crate) fn tasks_from(&self, start: usize, out: &mut Vec<Arc<Task>>) {
+        let inner = self.inner.lock();
+        out.extend(inner.tasks[start.min(inner.tasks.len())..].iter().cloned());
     }
 
     /// Record completion of the task at `idx` (claimant side, after the
@@ -298,15 +322,17 @@ impl Frame {
     /// Steal scan: claim up to `max` ready tasks for thieves.
     ///
     /// Applies the promotion policy: scan-based readiness while the frame is
-    /// small/rarely scanned, ready-list pops afterwards. Returns claimed
-    /// `(frame-index)` values; the caller executes them.
+    /// small/rarely scanned, ready-list pops afterwards. Appends claimed
+    /// `(frame-index, task)` pairs — the `Arc<Task>` is cloned here, under
+    /// the lock already held, so callers never re-lock the frame to look a
+    /// claimed task up again.
     ///
     /// `promotions` is bumped when this call performs the promotion.
     pub(crate) fn steal_scan(
         &self,
         max: usize,
         policy: &PromotionPolicy,
-        out: &mut Vec<usize>,
+        out: &mut Vec<(usize, Arc<Task>)>,
         promotions: &mut u64,
     ) {
         if max == 0 || self.pending.load(Ordering::Acquire) == 0 {
@@ -353,8 +379,8 @@ impl Frame {
         } = &mut *inner;
         if let Some(g) = graph.as_mut() {
             while out.len() < max {
-                match g.pop_ready_claimed(tasks) {
-                    Some(idx) => out.push(idx),
+                match g.pop_ready_claimed(tasks, *banded) {
+                    Some(idx) => out.push((idx, Arc::clone(&tasks[idx]))),
                     None => break,
                 }
             }
@@ -363,14 +389,31 @@ impl Frame {
 
         // Scan mode: oldest-first incremental readiness against the version
         // chains — a task is ready when every predecessor the engine
-        // recorded for it has completed (same edges graph mode uses). When
-        // the frame holds tasks outside the default priority band, the scan
-        // runs one pass per band (highest first) so high-priority ready
-        // tasks are claimed before low-priority ones; single-band frames
-        // (the common case) keep the single oldest-first pass.
+        // recorded for it has completed (same edges graph mode uses). The
+        // band check is hoisted out of the loop: a frame that never saw a
+        // non-default band (the hot case) runs one branch-free oldest-first
+        // pass; only banded frames pay one pass per band (highest first) so
+        // high-priority ready tasks are claimed before low-priority ones.
         let n = tasks.len();
-        let passes = if *banded { PRIORITY_BANDS } else { 1 };
-        for pass in 0..passes {
+        if !*banded {
+            for i in 0..n {
+                if out.len() >= max {
+                    break;
+                }
+                let t = &tasks[i];
+                if t.state() != ST_INIT {
+                    continue;
+                }
+                if !engine.preds(i).iter().all(|&p| tasks[p as usize].is_done()) {
+                    continue;
+                }
+                if t.try_claim(ST_STOLEN) {
+                    out.push((i, Arc::clone(t)));
+                }
+            }
+            return;
+        }
+        for pass in 0..PRIORITY_BANDS {
             if out.len() >= max {
                 break;
             }
@@ -379,7 +422,7 @@ impl Frame {
                     break;
                 }
                 let t = &tasks[i];
-                if *banded && t.band() as usize != pass {
+                if t.band() as usize != pass {
                     continue;
                 }
                 if t.state() != ST_INIT {
@@ -389,7 +432,7 @@ impl Frame {
                     continue;
                 }
                 if t.try_claim(ST_STOLEN) {
-                    out.push(i);
+                    out.push((i, Arc::clone(t)));
                 }
             }
         }
@@ -415,14 +458,24 @@ impl Frame {
     }
 
     /// Owner-side ready pop (used while the owner is suspended on a stolen
-    /// task): only available in graph mode, claims as `ST_STOLEN`.
-    pub(crate) fn pop_ready_owner(&self) -> Option<usize> {
+    /// task): only available in graph mode, claims as `ST_STOLEN`. Returns
+    /// the claimed index together with its task (cloned under the same
+    /// lock, saving the caller a re-lock).
+    pub(crate) fn pop_ready_owner(&self) -> Option<(usize, Arc<Task>)> {
         if !self.graph_on.load(Ordering::Acquire) {
             return None;
         }
         let mut inner = self.inner.lock();
-        let FrameInner { tasks, graph, .. } = &mut *inner;
-        graph.as_mut().and_then(|g| g.pop_ready_claimed(tasks))
+        let FrameInner {
+            tasks,
+            graph,
+            banded,
+            ..
+        } = &mut *inner;
+        graph
+            .as_mut()
+            .and_then(|g| g.pop_ready_claimed(tasks, *banded))
+            .map(|idx| (idx, Arc::clone(&tasks[idx])))
     }
 
     #[cfg(test)]
@@ -455,6 +508,14 @@ mod tests {
         Access::new(HandleId(h), Region::All, mode)
     }
 
+    /// Steal-scan returning claimed indices only (tests compare index sets;
+    /// the carried `Arc<Task>`s are exercised by the engine paths).
+    fn scan(f: &Frame, max: usize, pol: &PromotionPolicy, promos: &mut u64) -> Vec<usize> {
+        let mut out = Vec::new();
+        f.steal_scan(max, pol, &mut out, promos);
+        out.into_iter().map(|(idx, _)| idx).collect()
+    }
+
     #[test]
     fn fifo_indices_in_program_order() {
         let f = Frame::new();
@@ -470,15 +531,14 @@ mod tests {
         let f = Frame::new();
         push(&f, &[]);
         push(&f, &[]);
-        let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(
+        let out = scan(
+            &f,
             8,
             &PromotionPolicy {
                 enabled: false,
                 ..Default::default()
             },
-            &mut out,
             &mut promos,
         );
         assert_eq!(out, vec![0, 1]);
@@ -495,19 +555,15 @@ mod tests {
             enabled: false,
             ..Default::default()
         };
-        let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(8, &pol, &mut out, &mut promos);
         // only the writer is ready
-        assert_eq!(out, vec![0]);
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![0]);
         // finish the writer; now the reader becomes ready
         let t0 = f.task(0);
         let _ = t0.take_body();
         t0.complete();
         f.complete_task(0, &t0);
-        let mut out2 = Vec::new();
-        f.steal_scan(8, &pol, &mut out2, &mut promos);
-        assert_eq!(out2, vec![1]);
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![1]);
     }
 
     #[test]
@@ -521,14 +577,11 @@ mod tests {
             enabled: false,
             ..Default::default()
         };
-        let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![0]);
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![0]);
         finish(&f, 0);
-        let mut out = Vec::new();
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![1, 2]); // both readers, not the second writer
+        // both readers, not the second writer
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![1, 2]);
     }
 
     fn finish(f: &Frame, idx: usize) {
@@ -549,18 +602,15 @@ mod tests {
         push(&f, &[acc(1, AccessMode::Write)]);
         push(&f, &[acc(1, AccessMode::Read)]);
         push(&f, &[acc(2, AccessMode::Write)]);
-        let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(8, &pol, &mut out, &mut promos);
+        let mut out = scan(&f, 8, &pol, &mut promos);
         assert_eq!(promos, 1);
         assert!(f.is_promoted());
         out.sort_unstable();
         assert_eq!(out, vec![0, 2]); // h1 writer + h2 writer; reader blocked
         finish(&f, 0);
         finish(&f, 2);
-        let mut out = Vec::new();
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![1]);
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![1]);
         assert_eq!(promos, 1); // promoted once only
     }
 
@@ -580,10 +630,9 @@ mod tests {
         let _ = t0.take_body();
         t0.complete();
         f.complete_task(0, &t0);
-        let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![1]); // reader ready because writer already done
+        // reader ready because writer already done
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![1]);
     }
 
     #[test]
@@ -595,20 +644,15 @@ mod tests {
         };
         let f = Frame::new();
         push(&f, &[acc(1, AccessMode::Write)]);
-        let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(0, &pol, &mut out, &mut promos); // max=0: no-op (pending>0, but max==0 short-circuits)
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![0]);
+        // max=0: no-op (pending>0, but max==0 short-circuits)
+        assert!(scan(&f, 0, &pol, &mut promos).is_empty());
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![0]);
         // push after promotion: dependency on in-flight task 0
         push(&f, &[acc(1, AccessMode::Read)]);
-        let mut out2 = Vec::new();
-        f.steal_scan(8, &pol, &mut out2, &mut promos);
-        assert!(out2.is_empty());
+        assert!(scan(&f, 8, &pol, &mut promos).is_empty());
         finish(&f, 0);
-        let mut out3 = Vec::new();
-        f.steal_scan(8, &pol, &mut out3, &mut promos);
-        assert_eq!(out3, vec![1]);
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![1]);
     }
 
     #[test]
@@ -622,16 +666,13 @@ mod tests {
         push(&f, &[acc(3, AccessMode::CumulWrite)]);
         push(&f, &[acc(3, AccessMode::CumulWrite)]);
         push(&f, &[acc(3, AccessMode::Read)]);
-        let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(8, &pol, &mut out, &mut promos);
+        let mut out = scan(&f, 8, &pol, &mut promos);
         out.sort_unstable();
         assert_eq!(out, vec![0, 1]); // both reductions concurrent, reader waits
         finish(&f, 0);
         finish(&f, 1);
-        let mut out = Vec::new();
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![2]);
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![2]);
     }
 
     #[test]
@@ -659,9 +700,8 @@ mod tests {
                 &f2,
                 &[p(0, 0, AccessMode::Read), p(1, 1, AccessMode::Write)],
             );
-            let mut out = Vec::new();
             let mut promos = 0;
-            f2.steal_scan(8, &pol, &mut out, &mut promos);
+            let mut out = scan(&f2, 8, &pol, &mut promos);
             out.sort_unstable();
             assert_eq!(out, vec![0, 1], "policy {pol:?}");
         }
@@ -683,18 +723,13 @@ mod tests {
             &[Access::new(HandleId(7), Region::All, AccessMode::Write)],
         );
         push(&f, &[p(5, 5, AccessMode::Write)]);
-        let mut out = Vec::new();
         let mut promos = 0;
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![0]); // All-write waits; later tile waits on All-write
+        // All-write waits; later tile waits on All-write
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![0]);
         finish(&f, 0);
-        let mut out = Vec::new();
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![1]);
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![1]);
         finish(&f, 1);
-        let mut out = Vec::new();
-        f.steal_scan(8, &pol, &mut out, &mut promos);
-        assert_eq!(out, vec![2]);
+        assert_eq!(scan(&f, 8, &pol, &mut promos), vec![2]);
     }
 
     #[test]
@@ -727,9 +762,8 @@ mod tests {
             for a in [w, r, w, r] {
                 f.push(task_with(&[a]), &rp);
             }
-            let mut out = Vec::new();
             let mut promos = 0;
-            f.steal_scan(8, &pol, &mut out, &mut promos);
+            let mut out = scan(&f, 8, &pol, &mut promos);
             out.sort_unstable();
             assert_eq!(out, expect, "renaming enabled={enabled}");
         }
@@ -812,10 +846,8 @@ mod tests {
             let mut promos = 0;
             let mut done = 0usize;
             while done < ntasks {
-                let mut s = Vec::new();
-                let mut g = Vec::new();
-                fs.steal_scan(usize::MAX, &scan_pol, &mut s, &mut promos);
-                fg.steal_scan(usize::MAX, &graph_pol, &mut g, &mut promos);
+                let mut s = scan(&fs, usize::MAX, &scan_pol, &mut promos);
+                let mut g = scan(&fg, usize::MAX, &graph_pol, &mut promos);
                 s.sort_unstable();
                 g.sort_unstable();
                 assert_eq!(s, g, "case {case}: ready sets diverge after {done} done");

@@ -27,7 +27,7 @@
 //! caller is about to park anyway, which *is* the backpressure) followed by
 //! an immediate wait.
 
-use crate::attrs::PRIORITY_BANDS;
+use crate::attrs::{NORMAL_BAND, PRIORITY_BANDS};
 use crate::ctx::{help_until, RawCtx};
 use crate::runtime::{Job, RtInner};
 use crate::topology::Topology;
@@ -440,6 +440,18 @@ pub(crate) struct InjectLanes {
     /// Admitted-but-not-yet-drained jobs, across all lanes. Incremented at
     /// admission (before the push), decremented at drain.
     pending: AtomicUsize,
+    /// Pushed-but-not-yet-drained jobs *outside* the default band, across
+    /// all lanes. While zero — the steady state of attribute-free floods —
+    /// drains short-circuit to a single Normal-band walk instead of the
+    /// band-major probe of every `(band, lane)` FIFO. Incremented before
+    /// the locked push, decremented after a non-default pop: a drain
+    /// seeing a stale 0 misses the in-flight job once and finds it on the
+    /// next poll (`pending` still forces a retry), the same benign race
+    /// the queue layer's side-lane hints accept.
+    side_pending: AtomicUsize,
+    /// Drains that walked the full band-major order (see
+    /// `StatsSnapshot::inject_banded_drains`).
+    banded_drains: AtomicU64,
     /// Submitters currently blocked in [`OnFull::Block`] admission.
     waiters: AtomicUsize,
     room_mx: Mutex<()>,
@@ -490,6 +502,8 @@ impl InjectLanes {
             drain_order,
             policy,
             pending: AtomicUsize::new(0),
+            side_pending: AtomicUsize::new(0),
+            banded_drains: AtomicU64::new(0),
             waiters: AtomicUsize::new(0),
             room_mx: Mutex::new(()),
             room_cv: Condvar::new(),
@@ -578,6 +592,11 @@ impl InjectLanes {
     pub(crate) fn push(&self, _admission: Admission, lane: usize, band: u8, job: Job) {
         debug_assert!(lane < self.lanes.len());
         let band = (band as usize).min(PRIORITY_BANDS - 1);
+        if band != NORMAL_BAND as usize {
+            // Before the locked push: a drain that observes the job must
+            // also observe the non-default counter (or retry via pending).
+            self.side_pending.fetch_add(1, Ordering::Relaxed);
+        }
         self.lanes[lane].q.lock()[band].push_back(job);
         self.lanes[lane].submitted.fetch_add(1, Ordering::Relaxed);
         self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -603,21 +622,42 @@ impl InjectLanes {
         } else {
             0
         };
+        // Fast path: no non-default job anywhere (one relaxed load), so
+        // every lane's high and low FIFOs are empty — walk only the Normal
+        // band, one lock per lane instead of one per `(band, lane)` pair.
+        if self.side_pending.load(Ordering::Relaxed) == 0 {
+            for &lane in self.drain_order[node].iter() {
+                let job = self.lanes[lane].q.lock()[NORMAL_BAND as usize].pop_front();
+                if let Some(job) = job {
+                    return Some((job, self.note_drained(lane)));
+                }
+            }
+            return None;
+        }
+        self.banded_drains.fetch_add(1, Ordering::Relaxed);
         for band in 0..PRIORITY_BANDS {
             for &lane in self.drain_order[node].iter() {
                 let job = self.lanes[lane].q.lock()[band].pop_front();
                 if let Some(job) = job {
-                    self.lanes[lane].drained.fetch_add(1, Ordering::Relaxed);
-                    self.pending.fetch_sub(1, Ordering::Release);
-                    if self.waiters.load(Ordering::SeqCst) > 0 {
-                        let _g = self.room_mx.lock();
-                        self.room_cv.notify_all();
+                    if band != NORMAL_BAND as usize {
+                        self.side_pending.fetch_sub(1, Ordering::Relaxed);
                     }
-                    return Some((job, lane));
+                    return Some((job, self.note_drained(lane)));
                 }
             }
         }
         None
+    }
+
+    /// Shared post-drain bookkeeping; returns `lane` for tail-call reuse.
+    fn note_drained(&self, lane: usize) -> usize {
+        self.lanes[lane].drained.fetch_add(1, Ordering::Relaxed);
+        self.pending.fetch_sub(1, Ordering::Release);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _g = self.room_mx.lock();
+            self.room_cv.notify_all();
+        }
+        lane
     }
 
     /// Cheap "any pending root jobs?" hint (park heuristic).
@@ -638,6 +678,13 @@ impl InjectLanes {
         self.rejected.load(Ordering::Relaxed)
     }
 
+    /// Lifetime totals: drains that walked the full band-major probe order
+    /// (zero for Normal-only workloads).
+    #[inline]
+    pub(crate) fn total_banded_drains(&self) -> u64 {
+        self.banded_drains.load(Ordering::Relaxed)
+    }
+
     /// Per-lane counter snapshot.
     pub(crate) fn lane_stats(&self) -> Vec<InjectLaneStats> {
         self.lanes
@@ -649,10 +696,11 @@ impl InjectLanes {
             .collect()
     }
 
-    /// Reset every counter (not the pending count — that is live state).
+    /// Reset every counter (not the pending counts — those are live state).
     pub(crate) fn reset_counters(&self) {
         self.submitted.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
+        self.banded_drains.store(0, Ordering::Relaxed);
         for l in self.lanes.iter() {
             l.submitted.store(0, Ordering::Relaxed);
             l.drained.store(0, Ordering::Relaxed);

@@ -95,6 +95,7 @@ mod pin;
 mod policy;
 mod queue;
 mod runtime;
+mod smallvec;
 mod stats;
 mod steal;
 mod task;

@@ -38,8 +38,10 @@ use crate::attrs::{NORMAL_BAND, PRIORITY_BANDS};
 use crate::fastlane::{FastJob, FastLane};
 use crate::frame::Frame;
 use crate::steal::Grab;
+use crate::task::Task;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One unit of ready work, opaque to [`TaskQueue`] implementors.
@@ -70,11 +72,12 @@ impl WorkItem {
         }
     }
 
-    /// A claimed data-flow task; the band comes from the task's attributes.
-    pub(crate) fn task(frame: Arc<Frame>, idx: usize) -> WorkItem {
-        let band = frame.task(idx).band();
+    /// A claimed data-flow task; the band comes straight from the carried
+    /// `Arc<Task>` — no frame lock on this path.
+    pub(crate) fn task(frame: Arc<Frame>, idx: usize, task: Arc<Task>) -> WorkItem {
+        let band = task.band();
         WorkItem {
-            grab: Grab::Task { frame, idx },
+            grab: Grab::Task { frame, idx, task },
             band,
         }
     }
@@ -239,6 +242,14 @@ struct BandedLane {
     high: SideLane,
     normal: FastLane,
     low: SideLane,
+    /// Jobs currently in the two side deques combined. The attribute-free
+    /// hot path pays exactly one relaxed load of this (instead of probing
+    /// each side lane's hint) per pop/steal/take. Incremented *before* the
+    /// locked side push, decremented after a successful side pop: a reader
+    /// seeing a stale 0 misses the in-flight job once and finds it on the
+    /// next poll — the same benign race the per-lane len mirrors already
+    /// accept.
+    side_jobs: AtomicUsize,
 }
 
 impl BandedLane {
@@ -247,6 +258,7 @@ impl BandedLane {
             high: SideLane::new(),
             normal: FastLane::new(),
             low: SideLane::new(),
+            side_jobs: AtomicUsize::new(0),
         }
     }
 
@@ -256,6 +268,23 @@ impl BandedLane {
             2 => Some(&self.low),
             _ => None,
         }
+    }
+
+    /// One relaxed load deciding whether the side deques need probing at
+    /// all; false is the steady state of attribute-free programs.
+    #[inline]
+    fn has_side_jobs(&self) -> bool {
+        self.side_jobs.load(Ordering::Relaxed) != 0
+    }
+
+    #[inline]
+    fn side_pushed(&self) {
+        self.side_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn side_popped(&self) {
+        self.side_jobs.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -295,6 +324,7 @@ impl TaskQueue for DistributedLanes {
                 let lane = &self.lanes[worker];
                 match lane.side(band) {
                     Some(side) => {
+                        lane.side_pushed();
                         side.push_back(job);
                         Ok(())
                     }
@@ -319,37 +349,63 @@ impl TaskQueue for DistributedLanes {
 
     fn pop(&self, worker: usize) -> Option<WorkItem> {
         let lane = &self.lanes[worker];
+        // Attribute-free fast path: one relaxed load skips both side
+        // deques, leaving exactly the pre-band T.H.E. pop.
+        let sided = lane.has_side_jobs();
         // Owner order: high band first (LIFO within the deque), then the
         // default T.H.E. lane, then low.
-        if let Some(job) = lane.high.pop_back() {
-            return Some(WorkItem::fast_banded(job, 0));
+        if sided {
+            if let Some(job) = lane.high.pop_back() {
+                lane.side_popped();
+                return Some(WorkItem::fast_banded(job, 0));
+            }
         }
         if let Some(job) = lane.normal.pop() {
             return Some(WorkItem::fast(job));
         }
-        lane.low.pop_back().map(|j| WorkItem::fast_banded(j, 2))
+        if sided {
+            if let Some(job) = lane.low.pop_back() {
+                lane.side_popped();
+                return Some(WorkItem::fast_banded(job, 2));
+            }
+        }
+        None
     }
 
     fn steal(&self, _thief: usize, victim: usize) -> Option<WorkItem> {
         let lane = &self.lanes[victim];
+        let sided = lane.has_side_jobs();
         // Thief order: high band FIFO, then the default lane's head, low
         // band last.
-        if let Some(job) = lane.high.pop_front() {
-            return Some(WorkItem::fast_banded(job, 0));
+        if sided {
+            if let Some(job) = lane.high.pop_front() {
+                lane.side_popped();
+                return Some(WorkItem::fast_banded(job, 0));
+            }
         }
         if let Some(job) = lane.normal.steal() {
             return Some(WorkItem::fast(job));
         }
-        lane.low.pop_front().map(|j| WorkItem::fast_banded(j, 2))
+        if sided {
+            if let Some(job) = lane.low.pop_front() {
+                lane.side_popped();
+                return Some(WorkItem::fast_banded(job, 2));
+            }
+        }
+        None
     }
 
     fn take(&self, worker: usize, token: *mut ()) -> Option<WorkItem> {
         let lane = &self.lanes[worker];
         // Side bands: token scan (joins in these bands nest too, but a
         // foreign-band job must never disturb the default lane's tail).
-        for (band, side) in [(0u8, &lane.high), (2u8, &lane.low)] {
-            if let Some(job) = side.take(token) {
-                return Some(WorkItem::fast_banded(job, band));
+        // Skipped entirely — one relaxed load — when no side job exists.
+        if lane.has_side_jobs() {
+            for (band, side) in [(0u8, &lane.high), (2u8, &lane.low)] {
+                if let Some(job) = side.take(token) {
+                    lane.side_popped();
+                    return Some(WorkItem::fast_banded(job, band));
+                }
             }
         }
         // Default band: joins nest properly, so if the job is still queued
@@ -368,7 +424,7 @@ impl TaskQueue for DistributedLanes {
 
     fn is_empty_hint(&self, worker: usize) -> bool {
         let lane = &self.lanes[worker];
-        lane.normal.is_empty_hint() && lane.high.is_empty_hint() && lane.low.is_empty_hint()
+        lane.normal.is_empty_hint() && !lane.has_side_jobs()
     }
 }
 

@@ -618,6 +618,7 @@ impl Runtime {
         let mut snap = stats::aggregate(self.inner.workers.iter().map(|w| &w.stats));
         snap.jobs_submitted += self.inner.inject.total_submitted();
         snap.jobs_rejected += self.inner.inject.total_rejected();
+        snap.inject_banded_drains += self.inner.inject.total_banded_drains();
         snap
     }
 

@@ -87,6 +87,15 @@ counters! {
     /// (`Builder::pin_workers` / `XKAAPI_PIN`; best effort, at most one
     /// per worker).
     workers_pinned,
+    /// Tasks/jobs lowered through the `#[cold]` attribute-carrying slow
+    /// path (non-default priority or affinity). Zero means every spawn in
+    /// the program took the monomorphized default fast path.
+    tasks_with_attrs,
+    /// Inject-lane drains that had to walk the full band-major probe
+    /// order because non-Normal jobs were pending. Maintained globally by
+    /// the inject lanes, merged in by `Runtime::stats`; zero for
+    /// Normal-only floods (the drain short-circuits to the Normal FIFO).
+    inject_banded_drains,
 }
 
 impl WorkerStats {

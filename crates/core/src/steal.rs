@@ -35,8 +35,14 @@ pub(crate) type RunFn = Box<dyn FnOnce(&Arc<RtInner>, usize) + Send>;
 pub(crate) enum Grab {
     /// A stack job stolen from the fork-join fast lane.
     Fast(crate::fastlane::FastJob),
-    /// A claimed data-flow task (state already `ST_STOLEN`).
-    Task { frame: Arc<Frame>, idx: usize },
+    /// A claimed data-flow task (state already `ST_STOLEN`). Carries the
+    /// `Arc<Task>` so downstream inspection (band, affinity) and execution
+    /// never re-lock the frame to look the task up again.
+    Task {
+        frame: Arc<Frame>,
+        idx: usize,
+        task: Arc<crate::task::Task>,
+    },
     /// A closure to run (typically a stolen slice of an adaptive loop).
     Run(RunFn),
 }
@@ -142,24 +148,27 @@ fn serve(
         }
     }
 
-    // 1. Ready data-flow tasks from the victim's frames.
+    // 1. Ready data-flow tasks from the victim's frames. One scratch Vec
+    // for the whole pass — cleared per frame, not reallocated.
     let frames: Vec<Arc<Frame>> = victim.frames.lock().clone();
     let mut promotions = 0u64;
+    let mut claimed: Vec<(usize, Arc<crate::task::Task>)> = Vec::new();
     for f in frames {
         if grabs.len() >= k {
             break;
         }
-        let mut idxs = Vec::new();
+        claimed.clear();
         f.steal_scan(
             k - grabs.len(),
             &rt.tun.promotion,
-            &mut idxs,
+            &mut claimed,
             &mut promotions,
         );
-        for idx in idxs {
+        for (idx, task) in claimed.drain(..) {
             grabs.push(Grab::Task {
                 frame: Arc::clone(&f),
                 idx,
+                task,
             });
         }
     }
@@ -202,7 +211,7 @@ fn place_affine(rt: &Arc<RtInner>, reqs: &[&Request], grabs: &mut [Grab], my_sta
     let nodes = rt.topo.nodes();
     let target_of = |g: &Grab| -> Option<usize> {
         match g {
-            Grab::Task { frame, idx } => frame.task(*idx).target_node(nodes),
+            Grab::Task { task, .. } => task.target_node(nodes),
             _ => None,
         }
     };
@@ -363,17 +372,17 @@ pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
 /// a no-op under distributed queues (thieves discover frames lazily).
 pub(crate) fn publish_ready(rt: &Arc<RtInner>, me: usize, frame: &Arc<Frame>) {
     debug_assert!(rt.queue.centralized());
-    let mut idxs = Vec::new();
+    let mut claimed: Vec<(usize, Arc<crate::task::Task>)> = Vec::new();
     let mut promotions = 0u64;
-    frame.steal_scan(usize::MAX, &rt.tun.promotion, &mut idxs, &mut promotions);
+    frame.steal_scan(usize::MAX, &rt.tun.promotion, &mut claimed, &mut promotions);
     if promotions > 0 {
         WorkerStats::bump(&rt.workers[me].stats.promotions, promotions);
     }
-    if idxs.is_empty() {
+    if claimed.is_empty() {
         return;
     }
-    for idx in idxs {
-        let item = WorkItem::task(Arc::clone(frame), idx);
+    for (idx, task) in claimed {
+        let item = WorkItem::task(Arc::clone(frame), idx, task);
         if let Err(item) = rt.queue.push(me, item) {
             // The queue refused the task; it is already claimed, so it must
             // run now or never.
@@ -392,8 +401,7 @@ pub(crate) fn run_grab(rt: &Arc<RtInner>, me: usize, grab: Grab) {
             // state we are about to set; the record is alive.
             unsafe { job.execute(rt, me) };
         }
-        Grab::Task { frame, idx } => {
-            let task = frame.task(idx);
+        Grab::Task { frame, idx, task } => {
             execute_task_at(rt, me, &frame, idx, task, /*stolen=*/ true);
         }
         Grab::Run(f) => f(rt, me),

@@ -78,6 +78,14 @@ impl Task {
 
     /// Install the slot routing computed by the data-flow engine.
     ///
+    /// An **empty** binding is the all-default sentinel: the engine hands
+    /// back `Box<[]>` when every access routes to the committed slot with
+    /// no renames, so the fast path installs nothing (`Task::new` already
+    /// holds the empty box) and readers reconstruct
+    /// `SlotBinding::default()` per access. This keeps the defaulted
+    /// spawn free of a per-access slot copy and lets
+    /// `Frame::complete_task` skip the frame lock (no slots held).
+    ///
     /// # Safety
     /// Must be called at most once, before the task becomes reachable by
     /// any other thread (`Frame::push` does so under the frame lock).
@@ -86,7 +94,9 @@ impl Task {
     }
 
     /// Slot routing, parallel to `accesses`. Empty for tasks that were
-    /// never bound through a frame (fork-join fast-lane jobs).
+    /// never bound through a frame (fork-join fast-lane jobs) **and** for
+    /// bound tasks whose every access is default-routed (the all-default
+    /// sentinel — see [`Task::set_binding`]).
     #[inline]
     pub(crate) fn binding(&self) -> &[SlotBinding] {
         // Safety: written once pre-publication; immutable afterwards.

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
-use xkaapi::core::{InjectPolicy, OnFull, Runtime, Topology};
+use xkaapi::core::{InjectPolicy, OnFull, Priority, Runtime, Topology};
 
 /// Spin-wait (with yields) until `cond` holds, panicking after `secs`.
 fn wait_until(secs: u64, what: &str, cond: impl Fn() -> bool) {
@@ -415,4 +415,51 @@ fn scope_is_never_rejected() {
         assert_eq!(got, (round, 1));
     }
     assert_eq!(rt.stats().jobs_rejected, 0);
+}
+
+/// PR 6 regression gate for the inject fast path: a flood of plain
+/// Normal-band submits must never pay the band-major drain walk.
+/// `pop_for` short-circuits to the Normal FIFOs while the lanes' pending
+/// non-default-band counter is zero; `inject_banded_drains` counts the
+/// drains that took the full banded walk, so it must stay at exactly 0
+/// for a Normal-only flood — and become non-zero as soon as one
+/// non-Normal job makes banded draining necessary.
+#[test]
+fn normal_only_flood_skips_the_banded_drain_walk() {
+    let rt = Runtime::new(2);
+    let handles: Vec<_> = (0..256u64)
+        .map(|i| rt.submit(move |_| i).expect("admission"))
+        .collect();
+    let sum: u64 = handles.into_iter().map(|h| h.wait()).sum();
+    assert_eq!(sum, 255 * 256 / 2);
+    assert_eq!(
+        rt.stats().inject_banded_drains,
+        0,
+        "a Normal-only flood paid the banded drain walk"
+    );
+
+    // One High-band job forces the slow path at least once…
+    let h = rt
+        .task()
+        .priority(Priority::High)
+        .submit(move |_| 7u64)
+        .expect("admission");
+    assert_eq!(h.wait(), 7);
+    let after_high = rt.stats().inject_banded_drains;
+    assert!(
+        after_high > 0,
+        "a pending High job must route drains through the banded walk"
+    );
+
+    // …and once it drained, Normal-only traffic is back on the fast path.
+    let handles: Vec<_> = (0..64u64)
+        .map(|i| rt.submit(move |_| i).expect("admission"))
+        .collect();
+    let sum: u64 = handles.into_iter().map(|h| h.wait()).sum();
+    assert_eq!(sum, 63 * 64 / 2);
+    assert_eq!(
+        rt.stats().inject_banded_drains,
+        after_high,
+        "banded drains kept accruing after the last non-Normal job drained"
+    );
 }

@@ -282,3 +282,127 @@ fn detach_runs_to_completion() {
         .unwrap();
     wait_until(20, "detached job to run", || flag.load(Ordering::Acquire));
 }
+
+/// PR 6 equivalence suite for the monomorphized spawn lowering: the
+/// defaulted builder path (`#[inline]`, no attribute plumbing) and the
+/// attributed slow path (`#[cold]`, banded structures activated) must
+/// produce identical checksums and task counts on the same program,
+/// across the queue policies × aggregation on/off. The per-run
+/// `tasks_with_attrs` counter proves which lowering actually ran: exactly
+/// zero on the defaulted path, every spawn on the attributed one.
+#[test]
+fn default_and_attributed_lowering_agree_everywhere() {
+    const CHAIN: u64 = 40;
+    const WIDE: u64 = 40;
+
+    // Deterministic mixed workload: an exclusive chain (order-dependent
+    // arithmetic), a wide independent layer, and nested joins. Returns a
+    // schedule-independent checksum.
+    fn workload(rt: &Runtime, attributed: bool) -> u64 {
+        let cell = Shared::new(1u64);
+        let wide: Vec<Shared<u64>> = (0..WIDE).map(|_| Shared::new(0)).collect();
+        rt.scope(|ctx| {
+            for i in 0..CHAIN {
+                let cw = cell.clone();
+                let b = ctx.task().exclusive(&cell);
+                let b = if attributed {
+                    b.priority(if i % 2 == 0 {
+                        Priority::High
+                    } else {
+                        Priority::Low
+                    })
+                    .affinity(Affinity::Auto)
+                } else {
+                    b
+                };
+                b.spawn(move |t| {
+                    let mut r = t.write(&cw);
+                    *r = (*r).wrapping_mul(3).wrapping_add(i);
+                });
+            }
+            for (i, w) in wide.iter().enumerate() {
+                let ww = w.clone();
+                let b = ctx.task().writes(w);
+                let b = if attributed {
+                    b.priority(Priority::High)
+                } else {
+                    b
+                };
+                b.spawn(move |t| *t.write(&ww) = (i as u64 + 2).wrapping_mul(7));
+            }
+        });
+        let joins = rt.scope(|ctx| {
+            if attributed {
+                let (a, (b, c)) = ctx
+                    .task()
+                    .priority(Priority::High)
+                    .join(|c| fibj(c, 10), |c| c.join(|c| fibj(c, 9), |c| fibj(c, 8)));
+                a + b + c
+            } else {
+                let (a, (b, c)) =
+                    ctx.join(|c| fibj(c, 10), |c| c.join(|c| fibj(c, 9), |c| fibj(c, 8)));
+                a + b + c
+            }
+        });
+        let wide_sum = wide.iter().map(|w| *w.get()).fold(0u64, u64::wrapping_add);
+        cell.get()
+            .wrapping_mul(31)
+            .wrapping_add(wide_sum)
+            .wrapping_add(joins)
+    }
+
+    fn fibj(c: &mut xkaapi::core::Ctx<'_>, n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            let (a, b) = c.join(|c| fibj(c, n - 1), |c| fibj(c, n - 2));
+            a + b
+        }
+    }
+
+    let mk_queues = || -> Vec<(&'static str, Option<Arc<dyn TaskQueue>>)> {
+        vec![
+            ("distributed", None),
+            ("central-omp", Some(Arc::new(OmpCentralQueue::new()))),
+            ("central-quark", Some(Arc::new(QuarkCentralQueue::new()))),
+        ]
+    };
+
+    let mut reference = None;
+    for (qname, queue) in mk_queues() {
+        for aggregation in [true, false] {
+            let queue = queue.clone();
+            let build = |q: Option<Arc<dyn TaskQueue>>| {
+                let mut b = Runtime::builder().workers(3).aggregation(aggregation);
+                if let Some(q) = q {
+                    b = b.task_queue(q);
+                }
+                b.build()
+            };
+            let tag = format!("{qname}/agg={aggregation}");
+
+            let rt = build(queue.clone());
+            let fast = workload(&rt, false);
+            assert_eq!(
+                rt.stats().tasks_with_attrs,
+                0,
+                "[{tag}] defaulted spawns must never take the attributed path"
+            );
+            drop(rt);
+
+            let rt = build(queue);
+            let slow = workload(&rt, true);
+            assert!(
+                rt.stats().tasks_with_attrs >= CHAIN + WIDE,
+                "[{tag}] every attributed spawn must be counted, got {}",
+                rt.stats().tasks_with_attrs
+            );
+
+            assert_eq!(fast, slow, "[{tag}] lowerings disagree");
+            match reference {
+                None => reference = Some(fast),
+                Some(r) => assert_eq!(r, fast, "[{tag}] checksum differs across policies"),
+            }
+        }
+    }
+}
