@@ -25,6 +25,7 @@ use xkaapi_bench::{
 };
 use xkaapi_core::dataflow::DataflowEngine;
 use xkaapi_core::{PromotionPolicy, RenamePolicy, Runtime, Shared, Topology};
+use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, RecordedCholesky, TiledMatrix};
 use xkaapi_sim::{simulate_dag, DagPolicy, Platform, SimTask, TaskDag};
 
 /// One mixed data-flow workload every scheduler policy must agree on:
@@ -619,6 +620,85 @@ fn main() {
         &["variant", "time (ms)", "renames", "stolen", "checksum"],
         &rows,
     );
+
+    // --- real: recorded replay vs online scheduling (PR 7) ---------------
+    // The tiled Cholesky both ways on the same runtime: online re-spawns
+    // and re-analyzes the full DAG every iteration; the recorded path pays
+    // dependency analysis once at record time and replays the optimized
+    // DAG (critical-path bands, fused chains, continuation spawning).
+    // Asserted: per-replay dependency-analysis cost is exactly zero (the
+    // `dataflow_pushes` counter stays flat across replays), and from
+    // iteration 2 on the replay beats online scheduling.
+    {
+        let (cn, cnb, iters) = (512usize, 64usize, 8usize);
+        let rt = Runtime::builder().workers(4).build();
+        let orig = TiledMatrix::spd_random(cn, cnb, 42);
+        let mut reference = orig.clone_matrix();
+        cholesky_seq(&mut reference).unwrap();
+
+        rt.reset_stats();
+        let online_ns = measure_ns(iters, || {
+            let a = cholesky_xkaapi(&rt, orig.clone_matrix()).unwrap();
+            assert_eq!(a.max_abs_diff_lower(&reference), 0.0);
+        });
+        let online_pushes = rt.stats().dataflow_pushes / iters as u64;
+
+        let mut rec = RecordedCholesky::record(&rt, orig.clone_matrix());
+        let rs = rec.dag().stats();
+        rec.replay(&rt).unwrap(); // iteration 1: first replay
+        rt.reset_stats();
+        let replay_ns = measure_ns(iters, || {
+            // Iterations >= 2: reload input, re-execute the recorded DAG.
+            rec.load(&orig);
+            rec.replay(&rt).unwrap();
+        });
+        let replay_pushes = rt.stats().dataflow_pushes;
+        assert_eq!(rec.result().max_abs_diff_lower(&reference), 0.0);
+        assert_eq!(
+            replay_pushes, 0,
+            "replay must not re-run dependency analysis \
+             ({replay_pushes} pushes across {iters} replays)"
+        );
+        assert!(
+            replay_ns <= online_ns,
+            "recorded replay (iterations >= 2) must beat online scheduling: \
+             replay {:.2} ms vs online {:.2} ms",
+            replay_ns as f64 / 1e6,
+            online_ns as f64 / 1e6
+        );
+        print_table(
+            &format!(
+                "Real: recorded replay vs online, cholesky n={cn} nb={cnb}, \
+                 median of {iters} iterations, 4 workers (asserted: replay wins, 0 pushes)"
+            ),
+            &[
+                "variant",
+                "time (ms)",
+                "pushes/iter",
+                "tasks",
+                "groups (fused)",
+                "critical path",
+            ],
+            &[
+                vec![
+                    "online data-flow".into(),
+                    format!("{:.2}", online_ns as f64 / 1e6),
+                    online_pushes.to_string(),
+                    rs.tasks.to_string(),
+                    "-".into(),
+                    "-".into(),
+                ],
+                vec![
+                    "recorded replay".into(),
+                    format!("{:.2}", replay_ns as f64 / 1e6),
+                    "0".into(),
+                    rs.tasks.to_string(),
+                    format!("{} ({} tasks fused)", rs.groups, rs.fused_tasks),
+                    rs.critical_path_len.to_string(),
+                ],
+            ],
+        );
+    }
 
     // --- deterministic: ready-set width straight from the dataflow core --
     // Bind the war-chain access sequence into a standalone engine and

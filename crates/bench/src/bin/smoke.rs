@@ -19,17 +19,26 @@
 //! **priority_flood** run: a mixed-band flood through the
 //! attribute-carrying `Runtime::task()` builder with `Affinity::Auto`
 //! lane targeting, reporting per-band completion latency and the
-//! per-lane placement counters.
+//! per-lane placement counters. Since PR 7 it records a
+//! **recorded_replay** run: the same tiled Cholesky recorded once with
+//! `Runtime::record` and replayed 8 times — per-iteration dependency
+//! analysis is asserted to be zero (the `dataflow_pushes` stat stays
+//! flat across replays) — and, under `--json`, exports the recorded DAG
+//! and the measured replay schedule as graphviz DOT + chrome-trace JSON
+//! next to the snapshot.
 //!
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR6.json` (snapshot file
-//!   name pinned per PR so the perf trajectory accretes one file per PR);
-//! * `smoke --check` — the **regression gate** (PR 6): compares this run's
-//!   fib/foreach/cholesky/submit_flood numbers against the
-//!   highest-numbered committed `BENCH_PR*.json` and exits non-zero when
-//!   any metric lost more than the tolerance (10% default,
+//! * `smoke --json` — additionally writes `BENCH_PR7.json` (snapshot file
+//!   name pinned per PR so the perf trajectory accretes one file per PR)
+//!   plus the `cholesky_recorded.dot` / `cholesky_executed.dot` /
+//!   `cholesky_recorded_trace.json` / `cholesky_replay_trace.json`
+//!   schedule exports;
+//! * `smoke --check` — the **regression gate**: compares this run's
+//!   fib/foreach/cholesky/submit_flood/recorded_replay numbers against
+//!   the highest-numbered committed `BENCH_PR*.json` and exits non-zero
+//!   when any metric lost more than the tolerance (10% default,
 //!   `XKAAPI_BENCH_TOLERANCE` overrides — see `xkaapi_bench::check`).
 //!
 //! [`Ctx::join`]: xkaapi_core::Ctx::join
@@ -41,9 +50,9 @@ use xkaapi_bench::{
     busy_work, gflops, measure_ns, print_table, steal_heavy_workload, SchedPolicy, VictimPolicy,
 };
 use xkaapi_core::{Affinity, Ctx, Priority, Runtime, Shared, Topology};
-use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, TiledMatrix};
+use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, RecordedCholesky, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR6.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR7.json";
 
 fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
     if n < 2 {
@@ -112,6 +121,33 @@ fn main() {
         assert_eq!(a.max_abs_diff_lower(&reference), 0.0);
     });
     chol_gflops += gflops(cn, chol_ns);
+
+    // --- recorded_replay: record-once / replay-many Cholesky (PR 7) -----
+    // The same factorization recorded ahead of time (`Runtime::record`):
+    // dependency analysis is paid once at record time, each of the 8
+    // timed iterations reloads the input and replays the optimized DAG.
+    // `dataflow_pushes` staying flat across replays is the structural
+    // proof that replay does zero per-iteration dependency analysis.
+    let mut rec = RecordedCholesky::record(&rt, orig.clone_matrix());
+    let rec_stats = rec.dag().stats();
+    rec.replay(&rt).unwrap(); // warm-up (first factorization)
+    assert_eq!(rec.result().max_abs_diff_lower(&reference), 0.0);
+    rt.reset_stats();
+    let replay_iters = 8usize;
+    let replay_ns = measure_ns(replay_iters, || {
+        rec.load(&orig);
+        rec.replay(&rt).unwrap();
+    });
+    let replay_pushes = rt.stats().dataflow_pushes;
+    assert_eq!(
+        replay_pushes, 0,
+        "replay re-ran dependency analysis ({replay_pushes} pushes across {replay_iters} replays)"
+    );
+    assert_eq!(rec.result().max_abs_diff_lower(&reference), 0.0);
+    let replay_gflops = gflops(cn, replay_ns);
+    // The gated form of this section: a same-process ratio, so host-load
+    // noise hits both sides and cancels (see check::GATE_METRICS).
+    let replay_speedup = chol_ns as f64 / replay_ns as f64;
 
     // --- steal locality per victim policy (2 modelled NUMA nodes) -------
     // A steal-heavy workload (busy data-flow chains + an adaptive
@@ -339,6 +375,19 @@ fn main() {
                 format!("{chol_gflops:.2} GFlop/s"),
                 format!("n={cn} nb={nb} in {:.2} ms", chol_ns as f64 / 1e6),
             ],
+            vec![
+                "recorded_replay".into(),
+                format!("{replay_gflops:.2} GFlop/s"),
+                format!(
+                    "{} tasks -> {} groups (cp {}), replay {:.2} ms vs online {:.2} ms, \
+                     0 pushes/replay",
+                    rec_stats.tasks,
+                    rec_stats.groups,
+                    rec_stats.critical_path_len,
+                    replay_ns as f64 / 1e6,
+                    chol_ns as f64 / 1e6
+                ),
+            ],
             victim_rows[0].clone(),
             victim_rows[1].clone(),
             victim_rows[2].clone(),
@@ -378,13 +427,18 @@ fn main() {
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 6,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 7,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
              \"gb_per_s\": {foreach_gbs:.3}, \"melems_per_s\": {foreach_melems_per_s:.3}}},\n  \
              \"cholesky\": {{\"n\": {cn}, \"nb\": {nb}, \"ns\": {chol_ns}, \
              \"gflops\": {chol_gflops:.3}}},\n  \
+             \"recorded_replay\": {{\"n\": {cn}, \"nb\": {nb}, \"iters\": {replay_iters}, \
+             \"tasks\": {}, \"edges\": {}, \"groups\": {}, \"fused_tasks\": {}, \
+             \"critical_path_len\": {}, \"online_ns\": {chol_ns}, \"replay_ns\": {replay_ns}, \
+             \"replay_gflops\": {replay_gflops:.3}, \"speedup_vs_online\": {replay_speedup:.3}, \
+             \"dataflow_pushes\": {replay_pushes}}},\n  \
              \"steal_locality\": {{\"workers\": {vp_workers}, \"nodes\": 2, \"policies\": [\n    {}\n  ]}},\n  \
              \"submit_flood\": {{\"workers\": {sf_workers}, \"nodes\": 2, \
              \"submitters\": {sf_submitters}, \"jobs\": {sf_total}, \"ns\": {sf_ns}, \
@@ -396,6 +450,11 @@ fn main() {
              \"jobs\": {}, \"ns\": {pf_ns}, \"checksum\": {pf_sum}, \
              \"bands\": [\n    {}\n  ], \
              \"lanes\": [{pf_lane_json}]}}\n}}\n",
+            rec_stats.tasks,
+            rec_stats.edges,
+            rec_stats.groups,
+            rec_stats.fused_tasks,
+            rec_stats.critical_path_len,
             victim_json.join(",\n    "),
             sf_stats.jobs_submitted,
             sf_stats.jobs_rejected,
@@ -406,11 +465,33 @@ fn main() {
         );
         std::fs::write(SNAPSHOT_FILE, body).expect("write perf snapshot");
         println!("\nwrote {SNAPSHOT_FILE}");
+
+        // Schedule exports (CI artifacts next to the snapshot): the
+        // recorded DAG (DOT + predicted chrome-trace) and one measured
+        // replay (executed DOT + real chrome-trace).
+        rec.load(&orig);
+        let (res, trace) = rec.replay_traced(&rt);
+        res.unwrap();
+        for (file, contents) in [
+            ("cholesky_recorded.dot", rec.dag().to_dot()),
+            ("cholesky_recorded_trace.json", rec.dag().to_chrome_trace()),
+            ("cholesky_executed.dot", rec.dag().executed_dot(&trace)),
+            ("cholesky_replay_trace.json", trace.to_chrome_trace()),
+        ] {
+            std::fs::write(file, contents).expect("write schedule export");
+            println!("wrote {file}");
+        }
     }
 
     if check {
         use xkaapi_bench::check::{self, GateMetric, GATE_METRICS};
-        let fresh = [fib_mtasks_per_s, foreach_gbs, chol_gflops, sf_jobs_per_s];
+        let fresh = [
+            fib_mtasks_per_s,
+            foreach_gbs,
+            chol_gflops,
+            sf_jobs_per_s,
+            replay_speedup,
+        ];
         let fresh: Vec<GateMetric> = GATE_METRICS
             .iter()
             .zip(fresh)

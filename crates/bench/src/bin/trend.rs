@@ -4,10 +4,12 @@
 //! artifact.
 //!
 //! Usage: `trend [dir]` — scans `dir` (default `.`) for `BENCH_PR*.json`,
-//! reads the four gated metrics of each (see `xkaapi_bench::check`), and
-//! writes `bench_trend.svg` into the same directory. Metrics missing from
-//! old snapshots (e.g. `jobs_per_s` before PR 4) simply start later in
-//! the series.
+//! reads the gated metrics of each (see `xkaapi_bench::check`), and
+//! writes `bench_trend.svg` into the same directory. Snapshots are taken
+//! as they come: metrics missing from old files (e.g. `jobs_per_s`
+//! before PR 4, `speedup_vs_online` before PR 7) simply start later in the
+//! series, and an unreadable snapshot is skipped with a warning instead
+//! of sinking the whole render.
 
 use std::path::{Path, PathBuf};
 use xkaapi_bench::check::{leaf_value, GATE_METRICS};
@@ -20,8 +22,15 @@ struct Snapshot {
 }
 
 fn load_snapshots(dir: &Path) -> Vec<Snapshot> {
+    let entries = match dir.read_dir() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("trend: cannot read {}: {e}", dir.display());
+            return Vec::new();
+        }
+    };
     let mut snaps: Vec<(u32, PathBuf)> = Vec::new();
-    for entry in dir.read_dir().expect("read snapshot dir").flatten() {
+    for entry in entries.flatten() {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if let Some(n) = name
@@ -35,15 +44,25 @@ fn load_snapshots(dir: &Path) -> Vec<Snapshot> {
     snaps.sort_unstable_by_key(|(n, _)| *n);
     snaps
         .into_iter()
-        .map(|(pr, path)| {
-            let text = std::fs::read_to_string(&path).expect("read snapshot");
+        .filter_map(|(pr, path)| {
+            // Old snapshots legitimately lack newer sections (the per-key
+            // lookup leaves those NaN); a file that cannot be read at all
+            // is warned about and skipped, so one bad snapshot never
+            // sinks the whole trajectory render.
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("trend: skipping {}: {e}", path.display());
+                    return None;
+                }
+            };
             let mut values = [f64::NAN; GATE_METRICS.len()];
             for (v, &(_, key)) in values.iter_mut().zip(GATE_METRICS.iter()) {
                 if let Some(x) = leaf_value(&text, key) {
                     *v = x;
                 }
             }
-            Snapshot { pr, values }
+            Some(Snapshot { pr, values })
         })
         .collect()
 }

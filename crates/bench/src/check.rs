@@ -1,7 +1,7 @@
 //! The permanent perf-regression gate behind `smoke -- --check`.
 //!
 //! Every PR commits its perf snapshot as `BENCH_PR<N>.json`; the gate
-//! re-measures the four headline metrics and compares them against the
+//! re-measures the headline metrics and compares them against the
 //! **highest-numbered committed snapshot**, failing when any metric lost
 //! more than the tolerance (default 10%, `XKAAPI_BENCH_TOLERANCE`
 //! overrides). The JSON is parsed by unique leaf key — each gated metric
@@ -20,11 +20,17 @@ use std::path::{Path, PathBuf};
 ///
 /// Each key appears exactly once in a snapshot file, so a substring
 /// search finds the right number without a JSON parser.
-pub const GATE_METRICS: [(&str, &str); 4] = [
+/// `speedup_vs_online` (recorded-replay vs online Cholesky of PR 7)
+/// joins the gate from PR 7 snapshots on; older baselines simply skip
+/// it. It is gated as a *ratio* deliberately: both sides are measured
+/// seconds apart in the same process, so host-load noise cancels where
+/// absolute GFlop/s on a timesliced single-core runner swing ±40%.
+pub const GATE_METRICS: [(&str, &str); 5] = [
     ("fib", "mtasks_per_s"),
     ("foreach", "gb_per_s"),
     ("cholesky", "gflops"),
     ("submit_flood", "jobs_per_s"),
+    ("recorded_replay", "speedup_vs_online"),
 ];
 
 /// Relative loss a metric may show before the gate fails (0.10 = 10%).
@@ -148,11 +154,12 @@ mod tests {
     use super::*;
 
     const SNAP: &str = r#"{
-  "pr": 6,
+  "pr": 7,
   "fib": {"n": 22, "ns": 2500000, "mtasks_per_s": 11.462},
   "foreach": {"gb_per_s": 19.7, "melems_per_s": 821.0},
   "cholesky": {"gflops": 5.78},
-  "submit_flood": {"jobs_per_s": 1157000, "checksum": 12}
+  "submit_flood": {"jobs_per_s": 1157000, "checksum": 12},
+  "recorded_replay": {"iters": 8, "replay_gflops": 6.91, "speedup_vs_online": 1.29}
 }"#;
 
     #[test]
@@ -161,6 +168,7 @@ mod tests {
         assert_eq!(leaf_value(SNAP, "gb_per_s"), Some(19.7));
         assert_eq!(leaf_value(SNAP, "gflops"), Some(5.78));
         assert_eq!(leaf_value(SNAP, "jobs_per_s"), Some(1_157_000.0));
+        assert_eq!(leaf_value(SNAP, "speedup_vs_online"), Some(1.29));
         assert_eq!(leaf_value(SNAP, "absent"), None);
         assert_eq!(leaf_value("{\"gflops\": junk}", "gflops"), None);
     }
@@ -171,6 +179,10 @@ mod tests {
         let m = extract_metrics(old);
         assert_eq!(m.len(), 2);
         assert!(m.iter().all(|g| g.key != "jobs_per_s"));
+        assert!(
+            m.iter().all(|g| g.key != "speedup_vs_online"),
+            "pre-PR-7 snapshots must not fail the gate for lacking speedup_vs_online"
+        );
     }
 
     #[test]

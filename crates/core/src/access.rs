@@ -169,6 +169,14 @@ pub struct Access {
     /// [`Shared::set_home`](crate::Shared::set_home) or from first-touch
     /// (the node of the first worker that wrote through the handle).
     pub(crate) home: u32,
+    /// The handle renames *per tile*: the data-flow engine must seed its
+    /// version-chain state with slot allocation pinned past the handle's
+    /// tile-slot watermark instead of adopting `lineage`'s slot as current
+    /// (tile slots are neither current nor free — they may hold un-merged
+    /// committed tiles). Stamped by
+    /// [`Partitioned::renameable_tiles`](crate::Partitioned::renameable_tiles)
+    /// handles' access constructors.
+    pub(crate) tile_slots: bool,
 }
 
 impl Access {
@@ -182,7 +190,16 @@ impl Access {
             renameable: false,
             lineage: 0,
             home: u32::MAX,
+            tile_slots: false,
         }
+    }
+
+    /// Mark this access as naming a per-tile renamed handle (handle layer
+    /// only; see the `tile_slots` field).
+    #[inline]
+    pub(crate) fn with_tile_slots(mut self) -> Self {
+        self.tile_slots = true;
+        self
     }
 
     /// Stamp the handle's committed-version snapshot (handle layer only).
@@ -224,10 +241,15 @@ impl Access {
         self
     }
 
-    /// May the versioned data-flow core rename this access?
+    /// May the versioned data-flow core rename this access? Whole-object
+    /// and single-tile ([`Region::Key`]) write-only accesses qualify;
+    /// ranges do not (a fresh slot can only stand in for a region whose
+    /// identity the commit protocol tracks — `All` or one key).
     #[inline]
     pub fn can_rename(&self) -> bool {
-        self.renameable && self.mode.is_write_only() && matches!(self.region, Region::All)
+        self.renameable
+            && self.mode.is_write_only()
+            && matches!(self.region, Region::All | Region::Key(_))
     }
 
     /// Do two accesses require an ordering edge between their tasks?
@@ -324,5 +346,9 @@ mod tests {
         assert!(!r.with_renaming().can_rename());
         let part = Access::new(h(1), Region::Range { start: 0, end: 4 }, AccessMode::Write);
         assert!(!part.with_renaming().can_rename());
+        // Single-tile write-only accesses are candidates (per-tile renaming).
+        let tile = Access::new(h(1), Region::key2(1, 2), AccessMode::Write);
+        assert!(!tile.can_rename());
+        assert!(tile.with_renaming().can_rename());
     }
 }

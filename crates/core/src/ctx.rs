@@ -14,7 +14,7 @@
 //! the owner meets a task a thief claimed, it suspends and works as a thief
 //! itself until the task completes.
 
-use crate::access::{Access, AccessMode, HandleId};
+use crate::access::{Access, AccessMode, HandleId, Region};
 use crate::attrs::{Affinity, Priority, TaskAttrs};
 use crate::dataflow::SlotBinding;
 use crate::frame::Frame;
@@ -74,7 +74,7 @@ impl RawCtx {
         body: TaskBody,
     ) -> (Arc<Frame>, usize, Arc<Task>) {
         if attrs.is_default() {
-            self.spawn_common(accesses, TaskAttrs::default(), body)
+            self.spawn_common(Arc::new(Task::new(body, accesses, TaskAttrs::default())))
         } else {
             self.spawn_attributed(accesses, attrs, body)
         }
@@ -90,24 +90,35 @@ impl RawCtx {
         body: TaskBody,
     ) -> (Arc<Frame>, usize, Arc<Task>) {
         WorkerStats::bump(&self.rt.workers[self.widx].stats.tasks_with_attrs, 1);
-        self.spawn_common(accesses, attrs, body)
+        self.spawn_common(Arc::new(Task::new(body, accesses, attrs)))
     }
 
-    /// Shared spawn lowering (both paths land here; semantics are
+    /// Replay lowering (`record.rs`): push a pre-analyzed task — no
+    /// declared accesses, so `Frame::push` runs no dependency analysis —
+    /// whose ordering is enforced by the recorded DAG's continuation
+    /// spawning. Data-access checking is disabled for the task (its member
+    /// bodies' accesses were validated at record time).
+    pub(crate) fn spawn_replay(&mut self, attrs: TaskAttrs, body: TaskBody) {
+        if !attrs.is_default() {
+            WorkerStats::bump(&self.rt.workers[self.widx].stats.tasks_with_attrs, 1);
+        }
+        self.spawn_common(Arc::new(Task::new_unchecked(body, attrs)));
+    }
+
+    /// Shared spawn lowering (all paths land here; semantics are
     /// attribute-independent by construction).
     #[inline]
-    fn spawn_common(
-        &mut self,
-        accesses: Box<[Access]>,
-        attrs: TaskAttrs,
-        body: TaskBody,
-    ) -> (Arc<Frame>, usize, Arc<Task>) {
+    fn spawn_common(&mut self, task: Arc<Task>) -> (Arc<Frame>, usize, Arc<Task>) {
         let frame = self.ensure_frame();
-        let task = Arc::new(Task::new(body, accesses, attrs));
         let out = frame.push(Arc::clone(&task), &self.rt.tun.rename);
         let idx = out.idx;
         let stats = &self.rt.workers[self.widx].stats;
         WorkerStats::bump(&stats.tasks_spawned, 1);
+        if !task.accesses.is_empty() {
+            // Pushes that ran data-flow dependency analysis: the counter
+            // recorded-replay benchmarks assert stays flat across replays.
+            WorkerStats::bump(&stats.dataflow_pushes, 1);
+        }
         if out.renames > 0 {
             WorkerStats::bump(&stats.renames, out.renames as u64);
         }
@@ -400,6 +411,26 @@ impl<'scope> Ctx<'scope> {
         self.raw_mut().spawn_raw(accesses, attrs, body);
     }
 
+    /// Spawn a pre-analyzed replay group (`record.rs`): no declared
+    /// accesses, no dependency analysis — ordering is the recorded DAG's
+    /// continuation spawning, and data-access checking is disabled for the
+    /// group body (validated at record time).
+    pub(crate) fn spawn_replay_body<F>(&mut self, attrs: TaskAttrs, f: F)
+    where
+        F: FnOnce(&mut Ctx<'scope>) + Send + 'scope,
+    {
+        let body: Box<dyn FnOnce(&mut RawCtx) + Send + 'scope> = Box::new(move |raw| {
+            let mut ctx = Ctx {
+                raw,
+                _inv: PhantomData,
+            };
+            f(&mut ctx)
+        });
+        // Safety: same as `spawn_with` — the scope's sync outlives 'scope.
+        let body: TaskBody = unsafe { std::mem::transmute(body) };
+        self.raw_mut().spawn_replay(attrs, body);
+    }
+
     /// Wait until every task spawned so far in this context completed
     /// (the `#pragma kaapi sync` of the paper). Rethrows child panics.
     pub fn sync(&mut self) {
@@ -578,6 +609,11 @@ impl<'scope> Ctx<'scope> {
                  spawn a task declaring the access, or use Shared::get after the scope"
             );
         };
+        if cur.unchecked_data {
+            // Recorded-DAG replay group: member accesses were validated at
+            // record time; the group task itself declares none.
+            return;
+        }
         let ok = cur
             .accesses
             .iter()
@@ -682,6 +718,41 @@ impl<'scope> Ctx<'scope> {
                 p.note_first_touch(raw.rt.topo.node_of(raw.widx));
             }
         }
+        if p.is_tile_renameable() {
+            return self.tile_view(p, None);
+        }
+        self.whole_view(p)
+    }
+
+    /// Like [`Ctx::view_of`], but routes the declared access on tile `key`
+    /// (see [`Region::key2`]) — for tasks that touch several tiles of one
+    /// [`Partitioned`] handle (a GEMM reading two tiles and updating a
+    /// third), where [`Ctx::view_of`] resolves only one routed pointer.
+    ///
+    /// On handles without per-tile renaming this is equivalent to
+    /// [`Ctx::view_of`].
+    pub fn view_of_key<'a, T: Send>(&self, p: &'a Partitioned<T>, key: u64) -> PartView<'a, T> {
+        self.check_granted(p.id(), false);
+        {
+            let raw = self.raw();
+            let writes = raw.cur.as_ref().is_some_and(|cur| {
+                cur.accesses
+                    .iter()
+                    .any(|a| a.handle == p.id() && a.region == Region::Key(key) && a.mode.writes())
+            });
+            if writes {
+                p.note_first_touch(raw.rt.topo.node_of(raw.widx));
+            }
+        }
+        if p.is_tile_renameable() {
+            return self.tile_view(p, Some(key));
+        }
+        self.whole_view(p)
+    }
+
+    /// Whole-object slot routing (non-tile handles): the pre-PR 7 `view_of`
+    /// tail.
+    fn whole_view<'a, T: Send>(&self, p: &'a Partitioned<T>) -> PartView<'a, T> {
         if !p.is_renameable() {
             return p.part_view(0, None);
         }
@@ -691,6 +762,66 @@ impl<'scope> Ctx<'scope> {
         {
             Some(b) => p.part_view(b.slot, b.renamed.then_some(b.seq)),
             None => p.part_view(p.committed_slot(), None),
+        }
+    }
+
+    /// Tile-routed view on a per-tile renamed handle. `key` selects which
+    /// declared access to route (`None` picks the task's primary access,
+    /// writes preferred).
+    fn tile_view<'a, T: Send>(&self, p: &'a Partitioned<T>, key: Option<u64>) -> PartView<'a, T> {
+        let raw = self.raw();
+        let Some(cur) = raw.cur.as_ref() else {
+            // Scope root / fast lane: quiesce tile slots, hand out main.
+            p.merge_tiles();
+            return p.part_view(0, None);
+        };
+        let pos = match key {
+            Some(k) => cur
+                .accesses
+                .iter()
+                .position(|a| a.handle == p.id() && a.region == Region::Key(k) && a.mode.writes())
+                .or_else(|| {
+                    cur.accesses
+                        .iter()
+                        .position(|a| a.handle == p.id() && a.region == Region::Key(k))
+                }),
+            None => cur
+                .accesses
+                .iter()
+                .position(|a| a.handle == p.id() && a.mode.writes())
+                .or_else(|| cur.accesses.iter().position(|a| a.handle == p.id())),
+        };
+        let Some(pos) = pos else {
+            p.merge_tiles();
+            return p.part_view(0, None);
+        };
+        let binding = cur.binding();
+        let b = if binding.len() == cur.accesses.len() {
+            binding[pos]
+        } else {
+            // All-default sentinel (or fast-lane task): default routing.
+            SlotBinding::default()
+        };
+        match cur.accesses[pos].region {
+            Region::Key(k) => {
+                if b.renamed {
+                    p.part_view_key(b.slot, b.seq, k)
+                } else if b.slot != 0 {
+                    p.part_view(b.slot, None)
+                } else {
+                    // Default-routed tile access: the tile's current value
+                    // may live in a renamed slot committed by an earlier
+                    // version (possibly in a previous scope).
+                    p.part_view(p.tile_slot_of(k).unwrap_or(0), None)
+                }
+            }
+            _ => {
+                // Whole-object access: the data-flow edges (including the
+                // renamed-away stash, see `dataflow.rs`) order this task
+                // after every tile writer — fold the slots back into main.
+                p.merge_tiles();
+                p.part_view(0, None)
+            }
         }
     }
 

@@ -94,6 +94,7 @@ mod inject;
 mod pin;
 mod policy;
 mod queue;
+pub mod record;
 mod runtime;
 mod smallvec;
 mod stats;
@@ -115,6 +116,7 @@ pub use policy::{
     RenamePolicy, StealPolicy, UniformVictim, VictimChoice,
 };
 pub use queue::{DistributedLanes, TaskQueue, WorkItem};
+pub use record::{RecCtx, RecTaskBuilder, RecordStats, RecordedDag, ReplayTrace, TraceEvent};
 pub use runtime::{Builder, JobBuilder, Runtime, Tunables};
 pub use stats::StatsSnapshot;
 pub use topology::{DistanceMatrix, Topology};

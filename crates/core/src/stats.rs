@@ -96,6 +96,12 @@ counters! {
     /// the inject lanes, merged in by `Runtime::stats`; zero for
     /// Normal-only floods (the drain short-circuits to the Normal FIFO).
     inject_banded_drains,
+    /// Frame pushes that carried declared accesses — i.e. spawns that ran
+    /// data-flow dependency analysis (`DataflowEngine::bind`). Recorded-DAG
+    /// replays (`RecordedDag::replay`) spawn bare pre-analyzed tasks, so
+    /// this counter stays flat across replay iterations — the invariant
+    /// the record-then-replay benchmarks assert.
+    dataflow_pushes,
 }
 
 impl WorkerStats {

@@ -17,7 +17,8 @@
 use crate::kernels::{gemm, potrf, syrk, trsm, NotPositiveDefinite};
 use crate::tiled::{tile_key, TiledMatrix};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use xkaapi_core::{AccessMode, Partitioned, Region, Runtime};
+use std::sync::Arc;
+use xkaapi_core::{AccessMode, Partitioned, RecordedDag, Region, ReplayTrace, Runtime};
 use xkaapi_quark::{Quark, QuarkDep};
 
 /// One operation of the tiled Cholesky DAG (exported for the simulator).
@@ -269,6 +270,159 @@ pub fn cholesky_xkaapi(rt: &Runtime, a: TiledMatrix) -> Result<TiledMatrix, NotP
     }
 }
 
+/// The tiled Cholesky DAG recorded once with [`Runtime::record`] and
+/// replayable any number of times — the record-then-optimize-then-replay
+/// path (`DESIGN.md` §7).
+///
+/// The recording captures the exact task graph of [`cholesky_xkaapi`]
+/// (keyed tile regions, same kernels), pays dependency analysis a single
+/// time, and AOT-optimizes it: potrf/trsm chains on the critical path get
+/// high priority, small same-band chains fuse. Each
+/// [`RecordedCholesky::replay`] then factorizes whatever data currently
+/// sits in the recorded matrix with **zero** per-iteration data-flow
+/// binding — the amortization the BENCH_PR7 ablation measures.
+pub struct RecordedCholesky {
+    dag: RecordedDag,
+    part: Partitioned<TiledMatrix>,
+    failed: Arc<AtomicUsize>,
+    nt: usize,
+}
+
+impl RecordedCholesky {
+    /// Record the factorization DAG for `a` (consumed: its geometry fixes
+    /// the recorded structure, its data is the first replay's input).
+    /// Nothing executes during recording.
+    pub fn record(rt: &Runtime, a: TiledMatrix) -> RecordedCholesky {
+        let nt = a.nt;
+        let nb = a.nb;
+        let part = Partitioned::new(a);
+        let failed = Arc::new(AtomicUsize::new(usize::MAX));
+        let dag = rt.record(|r| {
+            let reg = |i: usize, j: usize| Region::Key(tile_key(i, j));
+            for op in cholesky_ops(nt) {
+                match op {
+                    CholOp::Potrf { k } => {
+                        let p = part.clone();
+                        let failed = Arc::clone(&failed);
+                        r.task()
+                            .access(part.access(reg(k, k), AccessMode::Exclusive))
+                            .label(format!("potrf({k})"))
+                            .spawn(move |_| {
+                                // Safety: exclusive keyed region (k,k).
+                                let m = unsafe { &mut *p.view() };
+                                if let Err(e) = potrf(m.tile_mut(k, k), nb) {
+                                    failed.store(e.column, Ordering::Relaxed);
+                                }
+                            });
+                    }
+                    CholOp::Trsm { k, m: mr } => {
+                        let p = part.clone();
+                        r.task()
+                            .access(part.access(reg(k, k), AccessMode::Read))
+                            .access(part.access(reg(mr, k), AccessMode::Exclusive))
+                            .label(format!("trsm({k},{mr})"))
+                            .spawn(move |_| {
+                                let m = unsafe { &mut *p.view() };
+                                let lkk = TilePtr(m.tile_ptr(k, k), nb * nb);
+                                trsm(unsafe { lkk.as_slice() }, m.tile_mut(mr, k), nb);
+                            });
+                    }
+                    CholOp::Syrk { k, m: mr } => {
+                        let p = part.clone();
+                        r.task()
+                            .access(part.access(reg(mr, k), AccessMode::Read))
+                            .access(part.access(reg(mr, mr), AccessMode::Exclusive))
+                            .label(format!("syrk({k},{mr})"))
+                            .spawn(move |_| {
+                                let m = unsafe { &mut *p.view() };
+                                let amk = TilePtr(m.tile_ptr(mr, k), nb * nb);
+                                syrk(unsafe { amk.as_slice() }, m.tile_mut(mr, mr), nb);
+                            });
+                    }
+                    CholOp::Gemm { k, m: mr, n } => {
+                        let p = part.clone();
+                        r.task()
+                            .access(part.access(reg(mr, k), AccessMode::Read))
+                            .access(part.access(reg(n, k), AccessMode::Read))
+                            .access(part.access(reg(mr, n), AccessMode::Exclusive))
+                            .label(format!("gemm({k},{mr},{n})"))
+                            .spawn(move |_| {
+                                let m = unsafe { &mut *p.view() };
+                                let amk = TilePtr(m.tile_ptr(mr, k), nb * nb);
+                                let ank = TilePtr(m.tile_ptr(n, k), nb * nb);
+                                gemm(
+                                    unsafe { amk.as_slice() },
+                                    unsafe { ank.as_slice() },
+                                    m.tile_mut(mr, n),
+                                    nb,
+                                );
+                            });
+                    }
+                }
+            }
+        });
+        RecordedCholesky {
+            dag,
+            part,
+            failed,
+            nt,
+        }
+    }
+
+    /// The recorded, optimized DAG (stats, DOT / chrome-trace exports).
+    pub fn dag(&self) -> &RecordedDag {
+        &self.dag
+    }
+
+    /// Overwrite the factorization input with `src`'s tiles, so the next
+    /// replay factorizes fresh data. Panics on geometry mismatch (the
+    /// recorded DAG is specific to the tile layout).
+    pub fn load(&mut self, src: &TiledMatrix) {
+        // Safety: `&mut self` and replay() blocking until the DAG drained
+        // guarantee no task is touching the matrix.
+        let dst = unsafe { &mut *self.part.view() };
+        assert_eq!(
+            (dst.n, dst.nb),
+            (src.n, src.nb),
+            "recorded DAG is specific to the tile geometry"
+        );
+        for i in 0..self.nt {
+            for j in 0..self.nt {
+                dst.tile_mut(i, j).copy_from_slice(src.tile(i, j));
+            }
+        }
+    }
+
+    /// Factorize the currently loaded data by replaying the recorded DAG —
+    /// no per-iteration dependency analysis. Blocks until done; read the
+    /// factor with [`RecordedCholesky::result`].
+    pub fn replay(&self, rt: &Runtime) -> Result<(), NotPositiveDefinite> {
+        self.failed.store(usize::MAX, Ordering::Relaxed);
+        self.dag.replay(rt);
+        self.outcome()
+    }
+
+    /// [`RecordedCholesky::replay`], also returning the measured execution
+    /// trace for the chrome-trace / DOT exports.
+    pub fn replay_traced(&self, rt: &Runtime) -> (Result<(), NotPositiveDefinite>, ReplayTrace) {
+        self.failed.store(usize::MAX, Ordering::Relaxed);
+        let trace = self.dag.replay_traced(rt);
+        (self.outcome(), trace)
+    }
+
+    fn outcome(&self) -> Result<(), NotPositiveDefinite> {
+        match self.failed.load(Ordering::Relaxed) {
+            usize::MAX => Ok(()),
+            column => Err(NotPositiveDefinite { column }),
+        }
+    }
+
+    /// Clone the current factorization result out (call between replays).
+    pub fn result(&self) -> TiledMatrix {
+        self.part.get().clone_matrix()
+    }
+}
+
 /// PLASMA-static-style Cholesky: `threads` OS threads, tile-row-cyclic
 /// ownership, progress table of atomics, no scheduler at all.
 pub fn cholesky_static(threads: usize, a: &mut TiledMatrix) -> Result<(), NotPositiveDefinite> {
@@ -459,6 +613,56 @@ mod tests {
         assert!(cholesky_quark(&q, &mut mk()).is_err());
         let rt = Runtime::new(2);
         assert!(cholesky_xkaapi(&rt, mk()).is_err());
+    }
+
+    #[test]
+    fn recorded_replay_matches_seq_and_repeats() {
+        let (orig, a) = fresh();
+        let rt = Runtime::new(4);
+        let mut rec = RecordedCholesky::record(&rt, a);
+        assert_eq!(rec.dag().len(), cholesky_ops(N / NB).len());
+        assert!(
+            rec.result().max_abs_diff_lower(&orig) < 1e-15,
+            "recording must not factorize"
+        );
+        rec.replay(&rt).unwrap();
+        assert!(rec.result().cholesky_residual(&orig) < 1e-8);
+        // Reload fresh input and replay again: same DAG, new data.
+        rec.load(&orig);
+        rec.replay(&rt).unwrap();
+        assert!(rec.result().cholesky_residual(&orig) < 1e-8);
+    }
+
+    #[test]
+    fn recorded_replay_pays_no_dataflow_pushes() {
+        let (orig, a) = fresh();
+        let rt = Runtime::new(4);
+        let mut rec = RecordedCholesky::record(&rt, a);
+        rec.replay(&rt).unwrap();
+        rt.reset_stats();
+        for _ in 0..3 {
+            rec.load(&orig);
+            rec.replay(&rt).unwrap();
+        }
+        assert_eq!(
+            rt.stats().dataflow_pushes,
+            0,
+            "replay must not re-run dependency analysis"
+        );
+        assert!(rec.result().cholesky_residual(&orig) < 1e-8);
+    }
+
+    #[test]
+    fn recorded_replay_detects_non_spd_and_recovers() {
+        let rt = Runtime::new(2);
+        let mut bad = TiledMatrix::spd_random(32, 8, 5);
+        bad.set(20, 20, -50.0);
+        let mut rec = RecordedCholesky::record(&rt, bad);
+        assert!(rec.replay(&rt).is_err());
+        let good = TiledMatrix::spd_random(32, 8, 9);
+        rec.load(&good);
+        rec.replay(&rt).unwrap();
+        assert!(rec.result().cholesky_residual(&good) < 1e-8);
     }
 
     #[test]

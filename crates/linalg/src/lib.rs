@@ -12,6 +12,7 @@ pub mod tiled;
 
 pub use cholesky::{
     cholesky_ops, cholesky_quark, cholesky_seq, cholesky_static, cholesky_xkaapi, CholOp,
+    RecordedCholesky,
 };
 pub use kernels::{flops, NotPositiveDefinite};
 pub use pipeline::{power_sweep_seq, power_sweep_xkaapi};

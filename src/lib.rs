@@ -27,7 +27,7 @@ pub use xkaapi_skyline as skyline;
 pub use xkaapi_core::{
     Access, AccessMode, Affinity, AggregatedStealing, Builder, Ctx, DataflowEngine, DistanceMatrix,
     DistributedLanes, HandleId, HierarchicalVictim, JobBuilder, LocalityFirst, Partitioned,
-    PerThiefStealing, Priority, PromotionPolicy, Reduction, Region, RenamePolicy, Runtime, Shared,
-    StatsSnapshot, StealPolicy, TaskAttrs, TaskBuilder, TaskQueue, Topology, Tunables,
-    UniformVictim, VictimChoice, WorkItem,
+    PerThiefStealing, Priority, PromotionPolicy, RecCtx, RecordStats, RecordedDag, Reduction,
+    Region, RenamePolicy, ReplayTrace, Runtime, Shared, StatsSnapshot, StealPolicy, TaskAttrs,
+    TaskBuilder, TaskQueue, Topology, Tunables, UniformVictim, VictimChoice, WorkItem,
 };
