@@ -25,12 +25,17 @@
 //! analysis is asserted to be zero (the `dataflow_pushes` stat stays
 //! flat across replays) — and, under `--json`, exports the recorded DAG
 //! and the measured replay schedule as graphviz DOT + chrome-trace JSON
-//! next to the snapshot.
+//! next to the snapshot. Since PR 8 it records a **fault_tolerance**
+//! run: a submit flood where 1% of the jobs panic (the pool must absorb
+//! every payload and keep serving), a cancel wave over a shared
+//! [`CancelToken`], and a deadline shed — throughput plus the lifecycle
+//! counters (`tasks_panicked` / `tasks_cancelled` / `jobs_expired`) land
+//! in the snapshot, and the pool proves it is still alive afterwards.
 //!
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR7.json` (snapshot file
+//! * `smoke --json` — additionally writes `BENCH_PR8.json` (snapshot file
 //!   name pinned per PR so the perf trajectory accretes one file per PR)
 //!   plus the `cholesky_recorded.dot` / `cholesky_executed.dot` /
 //!   `cholesky_recorded_trace.json` / `cholesky_replay_trace.json`
@@ -43,16 +48,17 @@
 //!
 //! [`Ctx::join`]: xkaapi_core::Ctx::join
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xkaapi_bench::{
     busy_work, gflops, measure_ns, print_table, steal_heavy_workload, SchedPolicy, VictimPolicy,
 };
-use xkaapi_core::{Affinity, Ctx, Priority, Runtime, Shared, Topology};
+use xkaapi_core::{Affinity, CancelToken, Ctx, Priority, Runtime, Shared, SubmitError, Topology};
 use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, RecordedCholesky, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR7.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR8.json";
 
 fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
     if n < 2 {
@@ -352,6 +358,93 @@ fn main() {
         b[0].load(Ordering::Relaxed) as f64 / b[2].load(Ordering::Relaxed).max(1) as f64 / 1e6
     };
 
+    // --- fault_tolerance: lifecycle robustness under a panic storm ------
+    // PR 8's headline: a submit flood where every 100th job panics. The
+    // pool must re-raise each payload at exactly its own join — never at a
+    // neighbour's handle, never killing a worker — and keep serving at
+    // flood throughput. A cancel wave (one shared token over a second
+    // flood, cancelled mid-drain) and a deadline shed (already-expired
+    // admissions) exercise the other two lifecycle exits; the counters
+    // land in the snapshot and the pool proves it is still alive after.
+    let ft_workers = 8usize;
+    let rt_ft = Arc::new(SchedPolicy::DistributedAggregated.build_runtime_with(
+        ft_workers,
+        VictimPolicy::Hierarchical,
+        Topology::two_level(ft_workers, 4),
+    ));
+    let ft_jobs = 5_000u64;
+    // The storm's panics are planned: silence the default hook for its
+    // duration so 50 backtraces don't bury the snapshot table.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let ft_t0 = Instant::now();
+    let ft_handles: Vec<_> = (0..ft_jobs)
+        .map(|i| {
+            rt_ft
+                .submit(move |_ctx| {
+                    if i % 100 == 7 {
+                        panic!("fault_tolerance storm: planned panic in job {i}");
+                    }
+                    busy_work(i, 400)
+                })
+                .expect("Block admission never rejects")
+        })
+        .collect();
+    let (mut ft_ok, mut ft_caught) = (0u64, 0u64);
+    for h in ft_handles {
+        match catch_unwind(AssertUnwindSafe(|| h.wait())) {
+            Ok(v) => {
+                std::hint::black_box(v);
+                ft_ok += 1;
+            }
+            Err(_) => ft_caught += 1,
+        }
+    }
+    let ft_ns = ft_t0.elapsed().as_nanos() as u64;
+    std::panic::set_hook(prev_hook);
+    let ft_jobs_per_s = ft_jobs as f64 / ft_ns as f64 * 1e9;
+    assert_eq!(
+        ft_caught,
+        ft_jobs / 100,
+        "every planned panic re-raises at exactly its own join"
+    );
+    assert_eq!(ft_ok + ft_caught, ft_jobs);
+    // Cancel wave: a second flood under one shared token, cancelled from
+    // the submitter mid-drain. Every handle resolves — jobs that slipped
+    // in before the cancel ran, the rest report Err(Cancelled).
+    let ft_tok = CancelToken::new();
+    let cancel_handles: Vec<_> = (0..ft_jobs)
+        .map(|i| {
+            rt_ft
+                .task()
+                .cancel_token(&ft_tok)
+                .submit(move |_ctx| busy_work(i, 400))
+                .expect("Block admission never rejects")
+        })
+        .collect();
+    ft_tok.cancel();
+    let (mut ft_ran, mut ft_cancelled) = (0u64, 0u64);
+    for h in cancel_handles {
+        match h.join() {
+            Ok(_) => ft_ran += 1,
+            Err(SubmitError::Cancelled) => ft_cancelled += 1,
+            Err(e) => panic!("unexpected lifecycle exit: {e}"),
+        }
+    }
+    assert_eq!(ft_ran + ft_cancelled, ft_jobs, "no handle lost in the wave");
+    // Deadline shed: already-expired admissions are refused typed, not run.
+    let mut ft_expired = 0u64;
+    for i in 0..200u64 {
+        match rt_ft.task().deadline(Duration::ZERO).submit(move |_ctx| i) {
+            Err(SubmitError::Expired) => ft_expired += 1,
+            other => drop(other),
+        }
+    }
+    assert_eq!(ft_expired, 200, "zero deadlines shed at admission");
+    let ft_stats = rt_ft.stats();
+    // Pool alive after the storm: the same workers still run a scope.
+    assert_eq!(rt_ft.scope(|c| fib(c, 10)), 55);
+
     let total_s = t0.elapsed().as_secs_f64();
     print_table(
         &format!("Perf snapshot ({workers} workers, {total_s:.1}s total)"),
@@ -422,12 +515,21 @@ fn main() {
                         .join(" ")
                 ),
             ],
+            vec![
+                "fault_tolerance".into(),
+                format!("{:.2} Mjobs/s under panics", ft_jobs_per_s / 1e6),
+                format!(
+                    "{ft_jobs} jobs / {ft_caught} panics re-raised in {:.2} ms; \
+                     cancel wave ran {ft_ran} / skipped {ft_cancelled}; {ft_expired} expired",
+                    ft_ns as f64 / 1e6
+                ),
+            ],
         ],
     );
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 7,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 8,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
@@ -449,7 +551,13 @@ fn main() {
              \"priority_flood\": {{\"workers\": {pf_workers}, \"nodes\": 2, \
              \"jobs\": {}, \"ns\": {pf_ns}, \"checksum\": {pf_sum}, \
              \"bands\": [\n    {}\n  ], \
-             \"lanes\": [{pf_lane_json}]}}\n}}\n",
+             \"lanes\": [{pf_lane_json}]}},\n  \
+             \"fault_tolerance\": {{\"workers\": {ft_workers}, \"jobs\": {ft_jobs}, \
+             \"ns\": {ft_ns}, \"jobs_per_s\": {ft_jobs_per_s:.0}, \
+             \"panics_injected\": {ft_caught}, \"tasks_panicked\": {}, \
+             \"cancel_ran\": {ft_ran}, \"cancel_skipped\": {ft_cancelled}, \
+             \"tasks_cancelled\": {}, \"jobs_expired\": {}, \
+             \"callback_panics\": {}}}\n}}\n",
             rec_stats.tasks,
             rec_stats.edges,
             rec_stats.groups,
@@ -462,6 +570,10 @@ fn main() {
             sf_stats.inject_remote_lane,
             pf_per_band * 3,
             pf_band_json.join(",\n    "),
+            ft_stats.tasks_panicked,
+            ft_stats.tasks_cancelled,
+            ft_stats.jobs_expired,
+            ft_stats.callback_panics,
         );
         std::fs::write(SNAPSHOT_FILE, body).expect("write perf snapshot");
         println!("\nwrote {SNAPSHOT_FILE}");

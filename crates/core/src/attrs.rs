@@ -17,6 +17,8 @@
 //! exactly (Normal band, no affinity).
 
 use crate::access::Access;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Number of priority bands the scheduling layers maintain. Small and
 /// fixed: every banded structure (queue lanes, ready lists, inject lanes)
@@ -102,12 +104,51 @@ pub enum Affinity {
     Node(usize),
 }
 
+/// A shared cancellation flag, cooperatively checked by the scheduler.
+///
+/// Cloning a token shares the flag: cancelling any clone cancels them all.
+/// Tokens ride in [`TaskAttrs`] and are inherited by every task spawned
+/// inside a carrying scope, so cancelling the token at the root cancels the
+/// whole dependency cone. Cancellation is *cooperative*: tasks already
+/// running keep running (poll [`Ctx::is_cancelled`](crate::Ctx::is_cancelled)
+/// to bail early), while tasks not yet started skip their body but still
+/// satisfy every dataflow obligation — countdowns drain, joins return, and
+/// nothing deadlocks (`DESIGN.md` §8).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cancel every task carrying (a clone of) this token. Idempotent;
+    /// returns `true` the first time, `false` if already cancelled.
+    pub fn cancel(&self) -> bool {
+        !self.inner.swap(true, Ordering::Release)
+    }
+
+    /// Has this token been cancelled?
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.load(Ordering::Acquire)
+    }
+
+    /// Same underlying flag? (Token identity, used by `TaskAttrs` equality.)
+    pub(crate) fn same_as(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
 /// The attribute block of one task: what the [`TaskBuilder`] and
 /// [`JobBuilder`] accumulate and every scheduling layer consumes.
 ///
 /// [`TaskBuilder`]: crate::TaskBuilder
 /// [`JobBuilder`]: crate::JobBuilder
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct TaskAttrs {
     /// Priority band (queue pop order, ready-list order, inject drain
     /// order, admission shed order).
@@ -115,7 +156,24 @@ pub struct TaskAttrs {
     /// Data-affinity request (inject lane targeting, steal-serve
     /// grab-to-thief matching).
     pub affinity: Affinity,
+    /// Cooperative cancellation token, if the task belongs to a cancellable
+    /// cone. Inherited by child spawns (`DESIGN.md` §8).
+    pub cancel: Option<CancelToken>,
 }
+
+impl PartialEq for TaskAttrs {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority
+            && self.affinity == other.affinity
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.same_as(b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for TaskAttrs {}
 
 impl TaskAttrs {
     /// Band index shorthand.
@@ -124,15 +182,27 @@ impl TaskAttrs {
         self.priority.band() as u8
     }
 
-    /// True when every field is the default (Normal band, no affinity).
+    /// True when every field is the default (Normal band, no affinity, no
+    /// cancel token).
     ///
     /// The spawn path monomorphizes on this: a default spawn takes the
     /// `#[inline]` fast lowering identical to the pre-attribute runtime,
     /// while anything else falls to the `#[cold]` attributed path. Keeping
-    /// the check a single comparison keeps it free after inlining.
+    /// the check a few flag comparisons keeps it free after inlining.
     #[inline]
     pub(crate) fn is_default(&self) -> bool {
-        *self == TaskAttrs::default()
+        matches!(self.priority, Priority::Normal)
+            && matches!(self.affinity, Affinity::None)
+            && self.cancel.is_none()
+    }
+
+    /// Is this task's cancel token (if any) cancelled?
+    #[inline]
+    pub(crate) fn is_cancelled(&self) -> bool {
+        match &self.cancel {
+            None => false,
+            Some(t) => t.is_cancelled(),
+        }
     }
 
     /// Resolve the affinity against a set of declared accesses and a

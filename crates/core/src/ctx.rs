@@ -15,7 +15,7 @@
 //! itself until the task completes.
 
 use crate::access::{Access, AccessMode, HandleId, Region};
-use crate::attrs::{Affinity, Priority, TaskAttrs};
+use crate::attrs::{Affinity, CancelToken, Priority, TaskAttrs};
 use crate::dataflow::SlotBinding;
 use crate::frame::Frame;
 use crate::handle::{PartView, Partitioned, Reduction, Ref, RefMut, Shared};
@@ -36,6 +36,9 @@ pub struct RawCtx {
     frame: Option<Arc<Frame>>,
     /// The task being executed (its declared accesses), `None` at a root.
     cur: Option<Arc<Task>>,
+    /// Cancellation token governing this execution, inherited by every
+    /// child spawn so cancelling a root cancels its whole cone.
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl RawCtx {
@@ -45,6 +48,7 @@ impl RawCtx {
             widx,
             frame: None,
             cur: None,
+            cancel: None,
         }
     }
 
@@ -62,10 +66,12 @@ impl RawCtx {
     /// frame, the task's index and the task itself (for fast-path joins).
     ///
     /// Monomorphized on the attributes (`DESIGN.md` §6): the all-default
-    /// spawn — `Ctx::spawn` and builders that set nothing — inlines
-    /// straight into the common lowering, while attribute-carrying spawns
-    /// divert through a `#[cold]` shim that also counts them. The branch
-    /// compiles to one comparison of a two-byte `Copy` struct.
+    /// spawn — `Ctx::spawn` and builders that set nothing, outside any
+    /// cancellable cone — inlines straight into the common lowering, while
+    /// attribute-carrying (or token-inheriting) spawns divert through a
+    /// `#[cold]` shim that also counts them. The branch compiles to a few
+    /// flag comparisons; neither `catch_unwind` nor cancellation checks
+    /// touch this lane.
     #[inline]
     pub(crate) fn spawn_raw(
         &mut self,
@@ -73,7 +79,7 @@ impl RawCtx {
         attrs: TaskAttrs,
         body: TaskBody,
     ) -> (Arc<Frame>, usize, Arc<Task>) {
-        if attrs.is_default() {
+        if attrs.is_default() && self.cancel.is_none() {
             self.spawn_common(Arc::new(Task::new(body, accesses, TaskAttrs::default())))
         } else {
             self.spawn_attributed(accesses, attrs, body)
@@ -81,14 +87,18 @@ impl RawCtx {
     }
 
     /// The attribute-carrying slow path: kept out of the hot instruction
-    /// stream so the default spawn's code stays compact.
+    /// stream so the default spawn's code stays compact. Spawns inside a
+    /// cancellable cone inherit the governing token here (`DESIGN.md` §8).
     #[cold]
     fn spawn_attributed(
         &mut self,
         accesses: Box<[Access]>,
-        attrs: TaskAttrs,
+        mut attrs: TaskAttrs,
         body: TaskBody,
     ) -> (Arc<Frame>, usize, Arc<Task>) {
+        if attrs.cancel.is_none() {
+            attrs.cancel = self.cancel.clone();
+        }
         WorkerStats::bump(&self.rt.workers[self.widx].stats.tasks_with_attrs, 1);
         self.spawn_common(Arc::new(Task::new(body, accesses, attrs)))
     }
@@ -238,6 +248,13 @@ impl RawCtx {
 }
 
 /// Execute a task already claimed by this worker at `frame[idx]`.
+///
+/// Failure model (`DESIGN.md` §8): a panicking body never unwinds past this
+/// function — the worker survives, the frame records the failure *before*
+/// the completion stores (so an owner that observes `pending == 0` always
+/// finds the payload), and successors in the dataflow cone are
+/// completed-as-failed instead of run. Cancelled tasks skip their body but
+/// satisfy every dataflow obligation.
 pub(crate) fn execute_claimed(
     rt: &Arc<RtInner>,
     widx: usize,
@@ -245,20 +262,64 @@ pub(crate) fn execute_claimed(
     idx: usize,
     task: Arc<Task>,
 ) {
+    let stats = &rt.workers[widx].stats;
+    // Poisoned cone: a dataflow predecessor panicked. Complete-as-failed
+    // without running the body so npred countdowns still drain.
+    if frame.has_failed_pred(idx) {
+        let _ = task.take_body();
+        frame.mark_failed(idx);
+        WorkerStats::bump(&stats.tasks_poisoned, 1);
+        complete_and_publish(rt, widx, frame, idx, &task);
+        return;
+    }
+    // Cancelled cone: elide the body, keep the dataflow honest.
+    if task.attrs.is_cancelled() {
+        let _ = task.take_body();
+        WorkerStats::bump(&stats.tasks_cancelled, 1);
+        complete_and_publish(rt, widx, frame, idx, &task);
+        return;
+    }
     let body = task.take_body();
     let mut raw = RawCtx::new(Arc::clone(rt), widx);
+    raw.cancel = task.attrs.cancel.clone();
     raw.cur = Some(Arc::clone(&task));
-    let res = catch_unwind(AssertUnwindSafe(|| body(&mut raw)));
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-injection")]
+        crate::fault::on_task_execute(rt);
+        body(&mut raw)
+    }));
     let fin = catch_unwind(AssertUnwindSafe(|| raw.finish()));
+    if res.is_err() {
+        // Only a body panic counts: a finish-side error is a child's panic
+        // propagating, and the child already counted itself.
+        WorkerStats::bump(&stats.tasks_panicked, 1);
+    }
+    // Record the failure *before* `complete()` publishes ST_DONE: an owner
+    // may observe `pending == 0` immediately after and must find both the
+    // payload and the poison record already in place.
+    match (res, fin) {
+        (Err(p), _) | (_, Err(p)) => {
+            frame.mark_failed(idx);
+            frame.set_panic(p);
+        }
+        _ => {}
+    }
+    complete_and_publish(rt, widx, frame, idx, &task);
+}
+
+/// Completion tail shared by the run/skip paths of `execute_claimed`.
+fn complete_and_publish(
+    rt: &Arc<RtInner>,
+    widx: usize,
+    frame: &Arc<Frame>,
+    idx: usize,
+    task: &Task,
+) {
     task.complete();
-    frame.complete_task(idx, &task);
+    frame.complete_task(idx, task);
     if rt.queue.centralized() {
         // Completion may have released successors: publish them centrally.
         crate::steal::publish_ready(rt, widx, frame);
-    }
-    match (res, fin) {
-        (Err(p), _) | (_, Err(p)) => frame.set_panic(p),
-        _ => {}
     }
 }
 
@@ -365,6 +426,24 @@ impl<'scope> Ctx<'scope> {
     #[inline]
     pub fn num_workers(&self) -> usize {
         self.raw().rt.num_workers()
+    }
+
+    /// Cooperative cancellation check: has the [`CancelToken`] governing
+    /// this task's cone been cancelled? Always `false` outside a
+    /// cancellable cone. Long-running bodies poll this to bail out early;
+    /// tasks not yet started are skipped by the scheduler itself.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        match &self.raw().cancel {
+            None => false,
+            Some(t) => t.is_cancelled(),
+        }
+    }
+
+    /// The token governing this task's cone, if any (clone it to hand
+    /// cancellation authority elsewhere).
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.raw().cancel.clone()
     }
 
     /// Create a task. Non-blocking: the caller continues immediately; the
@@ -483,7 +562,11 @@ impl<'scope> Ctx<'scope> {
             let job = unsafe { &*(data as *const StackJob<F, R>) };
             let f = unsafe { (*job.f.get()).take().expect("fast job run twice") };
             let mut raw = RawCtx::new(Arc::clone(rt), widx);
-            let run = catch_unwind(AssertUnwindSafe(|| f(&mut raw)));
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                crate::fault::on_task_execute(rt);
+                f(&mut raw)
+            }));
             let fin = catch_unwind(AssertUnwindSafe(|| raw.finish()));
             // Publishing the terminal state is the LAST access to the record.
             match (run, fin) {
@@ -922,6 +1005,14 @@ impl<'b, 'scope> TaskBuilder<'b, 'scope> {
     /// Set the data-affinity request (default [`Affinity::None`]).
     pub fn affinity(mut self, a: Affinity) -> Self {
         self.attrs.affinity = a;
+        self
+    }
+
+    /// Attach a cooperative [`CancelToken`] (default: inherit the spawning
+    /// task's token, if any). Child spawns of this task inherit it in turn,
+    /// so cancelling the token cancels the whole cone (`DESIGN.md` §8).
+    pub fn cancel_token(mut self, t: &CancelToken) -> Self {
+        self.attrs.cancel = Some(t.clone());
         self
     }
 

@@ -1,0 +1,135 @@
+//! Deterministic fault injection for chaos testing (`DESIGN.md` §8).
+//!
+//! A [`FaultPlan`] is a small, *seeded* description of the faults one test
+//! run should experience: "panic the k-th task body", "delay worker `w` by
+//! `d` at its steal/drain boundaries", "cancel token `t` once `n` task
+//! bodies have started". The plan is installed at build time
+//! ([`crate::Builder::fault_plan`]) and fired from three hooks compiled
+//! into the scheduler only under the `fault-injection` feature:
+//!
+//! * **task execute** — every task body start (data-flow tasks and the
+//!   fork-join fast lane) steps a global counter; the plan's `panic_nth`
+//!   and `cancel_at` triggers key off that counter, so one seed names one
+//!   victim task per run;
+//! * **worker boundary** — entered on every steal attempt and inject
+//!   drain; the plan's `delay_worker` sleeps the matching worker there,
+//!   modelling a straggler / descheduled core without touching task code.
+//!
+//! Determinism contract: with one worker the step counter is a program
+//! counter and two runs of the same seed produce identical schedules and
+//! stats; with many workers the *triggers* still fire at the same global
+//! step, and the chaos suite asserts schedule-independent invariants
+//! (no hang, no lost join, workers alive) rather than exact traces.
+
+use crate::attrs::CancelToken;
+use crate::runtime::RtInner;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One run's worth of planned faults. `Default` is the empty plan (no
+/// faults); [`FaultPlan::from_seed`] derives a pseudo-random plan
+/// deterministically from a seed.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Panic the body of the `n`-th task to start executing (1-based
+    /// global step count across all workers).
+    pub panic_nth: Option<u64>,
+    /// Sleep worker `w` for the duration at each of its steal/drain
+    /// boundaries (a deterministic straggler).
+    pub delay_worker: Option<(usize, Duration)>,
+    /// Cancel the token once the global step counter reaches `n`.
+    pub cancel_at: Option<(u64, CancelToken)>,
+}
+
+/// `splitmix64` — tiny, seedable, good enough to scatter plan parameters.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Derive a plan from `seed`: a panic somewhere in the first ~200 task
+    /// steps and a sub-millisecond straggler delay on one of the first 8
+    /// workers (both always present — a chaos run should always inject
+    /// *something*). Cancellation is test-driven, not seeded: tests attach
+    /// their own token via [`FaultPlan::cancel_at`] so they can observe it.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
+        let panic_nth = 1 + splitmix64(&mut s) % 200;
+        let worker = (splitmix64(&mut s) % 8) as usize;
+        let delay_us = 50 + splitmix64(&mut s) % 500;
+        FaultPlan {
+            panic_nth: Some(panic_nth),
+            delay_worker: Some((worker, Duration::from_micros(delay_us))),
+            cancel_at: None,
+        }
+    }
+
+    /// Panic the `n`-th task body (1-based).
+    pub fn panic_nth(mut self, n: u64) -> Self {
+        self.panic_nth = Some(n);
+        self
+    }
+
+    /// Delay worker `w` by `d` at each of its steal/drain boundaries.
+    pub fn delay_worker(mut self, w: usize, d: Duration) -> Self {
+        self.delay_worker = Some((w, d));
+        self
+    }
+
+    /// Cancel `token` once `n` task bodies have started.
+    pub fn cancel_at(mut self, n: u64, token: CancelToken) -> Self {
+        self.cancel_at = Some((n, token));
+        self
+    }
+}
+
+/// Live state of an installed plan: the plan plus the global step counter.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    steps: AtomicU64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            plan,
+            steps: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Task-execute hook: called at the start of every task body (inside the
+/// isolation `catch_unwind`, so a planned panic is indistinguishable from
+/// a user panic to the rest of the engine).
+pub(crate) fn on_task_execute(rt: &Arc<RtInner>) {
+    let Some(st) = rt.fault.as_ref() else { return };
+    let step = st.steps.fetch_add(1, Ordering::AcqRel) + 1;
+    if let Some((at, token)) = &st.plan.cancel_at {
+        if step >= *at {
+            token.cancel();
+        }
+    }
+    if st.plan.panic_nth == Some(step) {
+        panic!("fault-injection: planned panic at task step {step}");
+    }
+}
+
+/// Worker-boundary hook: called on every steal attempt and inject drain.
+pub(crate) fn on_worker_boundary(rt: &Arc<RtInner>, widx: usize) {
+    let Some(st) = rt.fault.as_ref() else { return };
+    if let Some((w, d)) = st.plan.delay_worker {
+        if w == widx {
+            std::thread::sleep(d);
+        }
+    }
+}

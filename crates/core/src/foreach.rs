@@ -94,7 +94,7 @@ impl Adaptive for LoopWork {
 
     fn split(&self, thieves: &[usize], out: &mut Vec<Grab>) {
         let k = thieves.len();
-        if k == 0 || self.ctl.poisoned.load(Ordering::Acquire) {
+        if k == 0 || self.ctl.poisoned.load(Ordering::Acquire) || self.ctl.attrs.is_cancelled() {
             return;
         }
         // Leave the victim at least one grain (the paper's k+1-way split).
@@ -118,7 +118,9 @@ impl Adaptive for MasterLoop {
     }
 
     fn split(&self, thieves: &[usize], out: &mut Vec<Grab>) {
-        if self.ctl.poisoned.load(Ordering::Acquire) {
+        // Adaptive-split cancellation boundary: a poisoned or cancelled
+        // loop stops handing out slices (the owners drain what remains).
+        if self.ctl.poisoned.load(Ordering::Acquire) || self.ctl.attrs.is_cancelled() {
             return;
         }
         let mut it = thieves.iter();
@@ -176,6 +178,16 @@ fn process(rt: &Arc<RtInner>, widx: usize, ctl: &Arc<LoopCtl>, cell: Arc<Interva
             }
             break;
         }
+        if ctl.attrs.is_cancelled() {
+            // Cancelled mid-loop: skip the remaining chunks but still drain
+            // the counters (`remaining` must reach zero to unblock the
+            // caller — the dataflow obligation survives cancellation).
+            if let Some(r) = cell.take_all() {
+                ctl.done(r.len());
+                WorkerStats::bump(&rt.workers[widx].stats.tasks_cancelled, 1);
+            }
+            break;
+        }
         let Some(r) = cell.claim_front(ctl.grain) else {
             break;
         };
@@ -204,7 +216,7 @@ pub(crate) fn foreach_run(
     body: &(dyn Fn(Range<usize>, usize) + Sync),
 ) {
     let n = range.end.saturating_sub(range.start);
-    if n == 0 {
+    if n == 0 || attrs.is_cancelled() {
         return;
     }
     let p = rt.num_workers();
@@ -303,11 +315,16 @@ impl<'scope> Ctx<'scope> {
         &mut self,
         range: Range<usize>,
         grain: Option<usize>,
-        attrs: TaskAttrs,
+        mut attrs: TaskAttrs,
         body: &(dyn Fn(Range<usize>, usize) + Sync),
     ) {
         let (rt, widx) = {
             let raw: &RawCtx = self.as_raw();
+            // Cancellation is inherited scope-wide: a loop inside a
+            // cancellable cone is cancellable with it.
+            if attrs.cancel.is_none() {
+                attrs.cancel = raw.cancel.clone();
+            }
             (Arc::clone(&raw.rt), raw.widx)
         };
         foreach_run(&rt, widx, range, grain, attrs, body);

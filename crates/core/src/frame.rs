@@ -155,6 +155,10 @@ struct FrameInner {
     /// scan path stays single-pass (the hot default); when true scans run
     /// one pass per band, highest first.
     banded: bool,
+    /// Per-task failure record (panicked, or poisoned by a failed
+    /// predecessor). Lazily sized: stays empty until the first failure, so
+    /// the push fast path never touches it.
+    failed: Vec<bool>,
 }
 
 /// What `Frame::push` tells the caller.
@@ -182,6 +186,10 @@ pub(crate) struct Frame {
     has_panic: AtomicBool,
     /// First panic raised by a child, rethrown at the owner's sync.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Lock-free "some task failed" hint: the fast path of
+    /// `has_failed_pred`, so the un-poisoned common case stays one relaxed
+    /// load per executed task.
+    any_failed: AtomicBool,
 }
 
 impl Frame {
@@ -192,6 +200,7 @@ impl Frame {
                 graph: None,
                 engine: DataflowEngine::new(),
                 banded: false,
+                failed: Vec::new(),
             }),
             len: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
@@ -200,6 +209,7 @@ impl Frame {
             scans: AtomicUsize::new(0),
             has_panic: AtomicBool::new(false),
             panic: Mutex::new(None),
+            any_failed: AtomicBool::new(false),
         })
     }
 
@@ -242,6 +252,7 @@ impl Frame {
             graph,
             engine,
             banded,
+            ..
         } = &mut *inner;
         let idx = tasks.len();
         let binding = engine.bind(&task.accesses, rename);
@@ -319,6 +330,39 @@ impl Frame {
         self.panic.lock().take()
     }
 
+    /// Record that task `idx` failed: it panicked, or it was
+    /// completed-as-failed because a predecessor did (`DESIGN.md` §8).
+    ///
+    /// Must be called *before* the task's `complete()` so that any claimant
+    /// that later observes the task done also observes the failure record
+    /// (the SeqCst completion swap orders the two stores).
+    pub(crate) fn mark_failed(&self, idx: usize) {
+        let mut inner = self.inner.lock();
+        let n = inner.tasks.len();
+        if inner.failed.len() < n {
+            inner.failed.resize(n, false);
+        }
+        inner.failed[idx] = true;
+        drop(inner);
+        self.any_failed.store(true, Ordering::Release);
+    }
+
+    /// Did any dataflow predecessor of task `idx` fail? The poison check
+    /// run before every claimed execution; the healthy fast path is one
+    /// relaxed flag load, the poisoned path walks the recorded predecessor
+    /// set under the frame lock.
+    pub(crate) fn has_failed_pred(&self, idx: usize) -> bool {
+        if !self.any_failed.load(Ordering::Acquire) {
+            return false;
+        }
+        let inner = self.inner.lock();
+        inner
+            .engine
+            .preds(idx)
+            .iter()
+            .any(|&p| inner.failed.get(p as usize).copied().unwrap_or(false))
+    }
+
     /// Steal scan: claim up to `max` ready tasks for thieves.
     ///
     /// Applies the promotion policy: scan-based readiness while the frame is
@@ -376,6 +420,7 @@ impl Frame {
             graph,
             engine,
             banded,
+            ..
         } = &mut *inner;
         if let Some(g) = graph.as_mut() {
             while out.len() < max {
@@ -448,12 +493,14 @@ impl Frame {
         inner.graph = None;
         inner.engine.clear();
         inner.banded = false;
+        inner.failed.clear();
         drop(inner);
         self.len.store(0, Ordering::Relaxed);
         self.cursor.store(0, Ordering::Relaxed);
         self.graph_on.store(false, Ordering::Relaxed);
         self.scans.store(0, Ordering::Relaxed);
         self.has_panic.store(false, Ordering::Relaxed);
+        self.any_failed.store(false, Ordering::Relaxed);
         debug_assert!(self.panic.lock().is_none());
     }
 

@@ -27,15 +27,17 @@
 //! caller is about to park anyway, which *is* the backpressure) followed by
 //! an immediate wait.
 
-use crate::attrs::{NORMAL_BAND, PRIORITY_BANDS};
+use crate::attrs::{CancelToken, NORMAL_BAND, PRIORITY_BANDS};
 use crate::ctx::{help_until, RawCtx};
 use crate::runtime::{Job, RtInner};
+use crate::stats::WorkerStats;
 use crate::topology::Topology;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Admission policy
@@ -92,18 +94,41 @@ impl Default for InjectPolicy {
     }
 }
 
-/// A submission was rejected by the admission layer
-/// ([`OnFull::Reject`] with [`InjectPolicy::max_pending`] jobs pending).
-/// The submitted closure has been dropped; resubmit to retry.
+/// Why a submitted job did not run (`DESIGN.md` §8).
+///
+/// [`Rejected`](SubmitError::Rejected) is returned synchronously by
+/// [`Runtime::submit`](crate::Runtime::submit)-family admission;
+/// [`Cancelled`](SubmitError::Cancelled) and
+/// [`Expired`](SubmitError::Expired) surface asynchronously through
+/// [`JoinHandle::join`] when the job was shed after admission (its panic
+/// payload is a boxed `SubmitError`). In every case the submitted closure
+/// has been dropped without running; resubmit to retry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SubmitError;
+pub enum SubmitError {
+    /// The admission layer was at [`InjectPolicy::max_pending`] under
+    /// [`OnFull::Reject`].
+    Rejected,
+    /// The job's [`CancelToken`] was cancelled before its body started.
+    Cancelled,
+    /// The job's deadline ([`JobBuilder::deadline`](crate::JobBuilder::deadline))
+    /// passed before its body started.
+    Expired,
+}
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "submission rejected: inject lanes at max_pending and on_full = Reject"
-        )
+        match self {
+            SubmitError::Rejected => write!(
+                f,
+                "submission rejected: inject lanes at max_pending and on_full = Reject"
+            ),
+            SubmitError::Cancelled => {
+                write!(f, "submission cancelled before the job body started")
+            }
+            SubmitError::Expired => {
+                write!(f, "submission deadline passed before the job body started")
+            }
+        }
     }
 }
 
@@ -115,13 +140,37 @@ impl std::error::Error for SubmitError {}
 /// Completion callback registered through [`JoinHandle::on_complete`].
 type CompleteFn = Box<dyn FnOnce() + Send>;
 
+/// Process-global count of contained `on_complete` callback panics.
+/// Global because callbacks fire wherever completion happens — worker
+/// threads, external submitter threads — with no runtime reference in
+/// hand; merged into [`Runtime::stats`](crate::Runtime::stats).
+static CALLBACK_PANICS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the contained-callback-panic count (`Runtime::stats`).
+pub(crate) fn callback_panics() -> u64 {
+    CALLBACK_PANICS.load(Ordering::Relaxed)
+}
+
+/// Reset hook for `Runtime::reset_stats` (process-global, see above).
+pub(crate) fn reset_callback_panics() {
+    CALLBACK_PANICS.store(0, Ordering::Relaxed);
+}
+
 /// Run one completion callback with panic containment: a callback often
 /// fires on a worker thread, and an unwinding worker would silently shrink
 /// the pool (job-body panics are already caught and routed to the handle —
-/// callbacks get the same never-unwind-the-worker treatment).
+/// callbacks get the same never-unwind-the-worker treatment). Contained
+/// panics are counted (`callback_panics`) and the payload is surfaced in
+/// the warning so they stay observable.
 fn run_callback(cb: CompleteFn) {
-    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(cb)).is_err() {
-        eprintln!("xkaapi: on_complete callback panicked (ignored)");
+    if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(cb)) {
+        CALLBACK_PANICS.fetch_add(1, Ordering::Relaxed);
+        let payload = p
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| format!("non-string panic payload ({:?})", (*p).type_id()));
+        eprintln!("xkaapi: on_complete callback panicked (contained): {payload}");
     }
 }
 
@@ -256,23 +305,89 @@ impl<R> Drop for AbandonGuard<R> {
 /// [`Runtime::submit`](crate::Runtime::submit).
 ///
 /// The handle is detachable: dropping it does **not** cancel the job (the
-/// job owns its half of the shared state and runs to completion). A panic
-/// inside the job is captured and re-raised at [`wait`](JoinHandle::wait) /
+/// job owns its half of the shared state and runs to completion) — call
+/// [`cancel`](JoinHandle::cancel) for that. A panic inside the job is
+/// captured and re-raised at [`wait`](JoinHandle::wait) /
 /// [`try_result`](JoinHandle::try_result) time, mirroring
-/// `std::thread::JoinHandle`.
+/// `std::thread::JoinHandle`; [`join`](JoinHandle::join) instead maps
+/// cancellation/expiry to a [`SubmitError`].
 pub struct JoinHandle<R> {
     state: Arc<JoinState<R>>,
     /// Weak so a forgotten handle cannot keep the runtime alive; used to
     /// *help* (run pool work) instead of parking when `wait` is called on
     /// a worker thread of the same runtime.
     rt: Weak<RtInner>,
+    /// The token governing the job's cone ([`JoinHandle::cancel`]).
+    cancel: Option<CancelToken>,
 }
 
 impl<R: Send> JoinHandle<R> {
-    pub(crate) fn new(state: Arc<JoinState<R>>, rt: &Arc<RtInner>) -> JoinHandle<R> {
+    pub(crate) fn new(
+        state: Arc<JoinState<R>>,
+        rt: &Arc<RtInner>,
+        cancel: Option<CancelToken>,
+    ) -> JoinHandle<R> {
         JoinHandle {
             state,
             rt: Arc::downgrade(rt),
+            cancel,
+        }
+    }
+
+    /// Cooperatively cancel the job and its whole dependency cone.
+    ///
+    /// Queued work is skipped (the handle completes with
+    /// [`SubmitError::Cancelled`]); a body already running keeps running —
+    /// poll [`Ctx::is_cancelled`](crate::Ctx::is_cancelled) inside it to
+    /// bail early — but every task it spawned that has not started yet is
+    /// elided while still satisfying its dataflow obligations. Idempotent;
+    /// returns `true` the first time this token is cancelled.
+    pub fn cancel(&self) -> bool {
+        match &self.cancel {
+            Some(t) => t.cancel(),
+            None => false,
+        }
+    }
+
+    /// A clone of the token governing this job's cone, if any (share it
+    /// with other owners, or check it from outside the pool).
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.cancel.clone()
+    }
+
+    /// Like [`wait`](JoinHandle::wait), but maps the shed outcomes to a
+    /// [`SubmitError`] instead of panicking: `Err(Cancelled)` when the job
+    /// was cancelled before its body started, `Err(Expired)` when its
+    /// deadline passed first. Genuine job-body panics still re-raise.
+    pub fn join(self) -> Result<R, SubmitError> {
+        self.wait_done();
+        match self
+            .state
+            .take_result()
+            .expect("JoinHandle::join: result was already taken by try_result")
+        {
+            Ok(v) => Ok(v),
+            Err(p) => match p.downcast::<SubmitError>() {
+                Ok(e) => Err(*e),
+                Err(p) => resume_unwind(p),
+            },
+        }
+    }
+
+    /// Block (or help, on a worker thread) until the job completes.
+    fn wait_done(&self) {
+        if self.state.is_done() {
+            return;
+        }
+        match self.rt.upgrade() {
+            Some(rt) => match crate::worker::current_worker_of(&rt) {
+                Some(widx) => {
+                    let st = &self.state;
+                    help_until(&rt, widx, None, || st.is_done());
+                }
+                None => self.state.wait_blocking(),
+            },
+            None => self.state.wait_blocking(),
         }
     }
 
@@ -311,18 +426,7 @@ impl<R: Send> JoinHandle<R> {
     /// a successful [`try_result`](JoinHandle::try_result) already took the
     /// result out of this handle.
     pub fn wait(self) -> R {
-        if !self.state.is_done() {
-            match self.rt.upgrade() {
-                Some(rt) => match crate::worker::current_worker_of(&rt) {
-                    Some(widx) => {
-                        let st = &self.state;
-                        help_until(&rt, widx, None, || st.is_done());
-                    }
-                    None => self.state.wait_blocking(),
-                },
-                None => self.state.wait_blocking(),
-            }
-        }
+        self.wait_done();
         match self
             .state
             .take_result()
@@ -411,8 +515,9 @@ pub struct InjectLaneStats {
 
 struct Lane {
     /// One FIFO per priority band (0 = high): workers drain lower band
-    /// indices first, FIFO within a band.
-    q: Mutex<[VecDeque<Job>; PRIORITY_BANDS]>,
+    /// indices first, FIFO within a band. Entries carry their admission
+    /// time for the age-based promotion sweep (`DESIGN.md` §8).
+    q: Mutex<[VecDeque<(Job, Instant)>; PRIORITY_BANDS]>,
     submitted: AtomicU64,
     drained: AtomicU64,
 }
@@ -459,6 +564,13 @@ pub(crate) struct InjectLanes {
     /// Lifetime totals (survive lane drains; reset with the stats).
     submitted: AtomicU64,
     rejected: AtomicU64,
+    /// Jobs shed because their deadline passed (admission- or drain-time).
+    expired: AtomicU64,
+    /// Starved Low-band entries moved up one band by the age sweep.
+    promoted: AtomicU64,
+    /// Promote a Low-band entry after waiting this long (`None` disables
+    /// the sweep; from `Tunables::promote_low_after`).
+    promote_after: Option<Duration>,
 }
 
 /// Admission ticket: proof that `pending` was incremented.
@@ -486,7 +598,11 @@ fn submitter_id() -> usize {
 }
 
 impl InjectLanes {
-    pub(crate) fn new(topo: &Topology, policy: InjectPolicy) -> InjectLanes {
+    pub(crate) fn new(
+        topo: &Topology,
+        policy: InjectPolicy,
+        promote_after: Option<Duration>,
+    ) -> InjectLanes {
         let nodes = topo.nodes().max(1);
         let lanes: Box<[Lane]> = (0..nodes).map(|_| Lane::new()).collect();
         let drain_order: Box<[Box<[usize]>]> = (0..nodes)
@@ -509,6 +625,9 @@ impl InjectLanes {
             room_cv: Condvar::new(),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            promoted: AtomicU64::new(0),
+            promote_after,
         }
     }
 
@@ -556,13 +675,13 @@ impl InjectLanes {
         }
     }
 
-    /// Admission under the configured policy: `Err(SubmitError)` only under
-    /// [`OnFull::Reject`] at the band's cap.
+    /// Admission under the configured policy: `Err(SubmitError::Rejected)`
+    /// only under [`OnFull::Reject`] at the band's cap.
     pub(crate) fn admit(&self, band: u8) -> Result<Admission, SubmitError> {
         match self.policy.on_full {
             OnFull::Reject => self.try_admit(band).ok_or_else(|| {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
-                SubmitError
+                SubmitError::Rejected
             }),
             OnFull::Block => Ok(self.admit_blocking(band)),
         }
@@ -597,7 +716,7 @@ impl InjectLanes {
             // also observe the non-default counter (or retry via pending).
             self.side_pending.fetch_add(1, Ordering::Relaxed);
         }
-        self.lanes[lane].q.lock()[band].push_back(job);
+        self.lanes[lane].q.lock()[band].push_back((job, Instant::now()));
         self.lanes[lane].submitted.fetch_add(1, Ordering::Relaxed);
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
@@ -628,17 +747,18 @@ impl InjectLanes {
         if self.side_pending.load(Ordering::Relaxed) == 0 {
             for &lane in self.drain_order[node].iter() {
                 let job = self.lanes[lane].q.lock()[NORMAL_BAND as usize].pop_front();
-                if let Some(job) = job {
+                if let Some((job, _)) = job {
                     return Some((job, self.note_drained(lane)));
                 }
             }
             return None;
         }
         self.banded_drains.fetch_add(1, Ordering::Relaxed);
+        self.promote_starved_low();
         for band in 0..PRIORITY_BANDS {
             for &lane in self.drain_order[node].iter() {
                 let job = self.lanes[lane].q.lock()[band].pop_front();
-                if let Some(job) = job {
+                if let Some((job, _)) = job {
                     if band != NORMAL_BAND as usize {
                         self.side_pending.fetch_sub(1, Ordering::Relaxed);
                     }
@@ -647,6 +767,36 @@ impl InjectLanes {
             }
         }
         None
+    }
+
+    /// Age-based promotion sweep (`DESIGN.md` §8): Low-band entries that
+    /// waited longer than `promote_after` move up one band (to Normal), so
+    /// a starved Low submission eventually runs even under a continuous
+    /// stream of higher-band work. Runs only on the banded drain path —
+    /// while no non-default job is pending there is nothing to promote.
+    /// FIFO order makes the oldest entry the front one, so each lane's
+    /// sweep stops at the first young entry.
+    fn promote_starved_low(&self) {
+        let Some(after) = self.promote_after else {
+            return;
+        };
+        let now = Instant::now();
+        const LOW: usize = PRIORITY_BANDS - 1;
+        for lane in self.lanes.iter() {
+            let mut q = lane.q.lock();
+            while q[LOW]
+                .front()
+                .is_some_and(|(_, t)| now.duration_since(*t) >= after)
+            {
+                let entry = q[LOW].pop_front().unwrap();
+                q[LOW - 1].push_back(entry);
+                // The entry left the non-default bands (LOW - 1 is Normal):
+                // keep the side-pending hint honest or banded drains stick.
+                debug_assert_eq!(LOW - 1, NORMAL_BAND as usize);
+                self.side_pending.fetch_sub(1, Ordering::Relaxed);
+                self.promoted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Shared post-drain bookkeeping; returns `lane` for tail-call reuse.
@@ -685,6 +835,23 @@ impl InjectLanes {
         self.banded_drains.load(Ordering::Relaxed)
     }
 
+    /// Lifetime totals: jobs shed because their deadline passed.
+    #[inline]
+    pub(crate) fn total_expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime totals: Low-band entries promoted by the age sweep.
+    #[inline]
+    pub(crate) fn total_promoted(&self) -> u64 {
+        self.promoted.load(Ordering::Relaxed)
+    }
+
+    /// Count a deadline shed (admission-side or drain-side).
+    pub(crate) fn note_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Per-lane counter snapshot.
     pub(crate) fn lane_stats(&self) -> Vec<InjectLaneStats> {
         self.lanes
@@ -701,6 +868,8 @@ impl InjectLanes {
         self.submitted.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
         self.banded_drains.store(0, Ordering::Relaxed);
+        self.expired.store(0, Ordering::Relaxed);
+        self.promoted.store(0, Ordering::Relaxed);
         for l in self.lanes.iter() {
             l.submitted.store(0, Ordering::Relaxed);
             l.drained.store(0, Ordering::Relaxed);
@@ -711,14 +880,38 @@ impl InjectLanes {
 /// Build the boxed root-job closure for a submission: runs the scope body,
 /// publishes the result into `state` (the [`AbandonGuard`] turns a
 /// never-ran job into a panic payload instead of a hang).
-pub(crate) fn make_job<F, R>(state: Arc<JoinState<R>>, f: F) -> Job
+///
+/// Drain-time shedding happens here (`DESIGN.md` §8): an expired deadline
+/// or a cancelled token completes the handle with a boxed [`SubmitError`]
+/// without ever running the body; otherwise the token is installed on the
+/// scope context so every spawn in the job inherits it.
+pub(crate) fn make_job<F, R>(
+    state: Arc<JoinState<R>>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+    f: F,
+) -> Job
 where
     F: for<'s> FnOnce(&mut crate::ctx::Ctx<'s>) -> R + Send + 'static,
     R: Send + 'static,
 {
     let guard = AbandonGuard { state };
     Job(Box::new(move |raw: &mut RawCtx| {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            raw.rt.inject.note_expired();
+            guard.state.complete(Err(Box::new(SubmitError::Expired)));
+            drop(guard);
+            return;
+        }
+        if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+            WorkerStats::bump(&raw.rt.workers[raw.widx].stats.tasks_cancelled, 1);
+            guard.state.complete(Err(Box::new(SubmitError::Cancelled)));
+            drop(guard);
+            return;
+        }
+        raw.cancel = cancel;
         let r = raw.run_scoped_catch(f);
+        raw.cancel = None;
         guard.state.complete(r);
         drop(guard); // completed: the guard's drop sees `done` and no-ops
     }))
@@ -741,7 +934,7 @@ mod tests {
         // 3 nodes in a line: 0 -16- 1 -16- 2, 0 -22- 2.
         let d = DistanceMatrix::from_rows(&[vec![10, 16, 22], vec![16, 10, 16], vec![22, 16, 10]]);
         let topo = Topology::with_distances(vec![0, 1, 2], d);
-        let lanes = InjectLanes::new(&topo, InjectPolicy::default());
+        let lanes = InjectLanes::new(&topo, InjectPolicy::default(), None);
         assert_eq!(lanes.lanes(), 3);
         let a = lanes.admit(NORMAL_BAND).unwrap();
         lanes.push(a, 2, NORMAL_BAND, job("far"));
@@ -758,7 +951,7 @@ mod tests {
     #[test]
     fn own_lane_drained_first() {
         let topo = Topology::two_level(4, 2);
-        let lanes = InjectLanes::new(&topo, InjectPolicy::default());
+        let lanes = InjectLanes::new(&topo, InjectPolicy::default(), None);
         assert_eq!(lanes.lanes(), 2);
         let a = lanes.admit(NORMAL_BAND).unwrap();
         lanes.push(a, 0, NORMAL_BAND, job("node0"));
@@ -781,7 +974,7 @@ mod tests {
         // Priority outranks locality: a remote lane's high-band job beats
         // the own lane's normal/low jobs.
         let topo = Topology::two_level(4, 2);
-        let lanes = InjectLanes::new(&topo, InjectPolicy::default());
+        let lanes = InjectLanes::new(&topo, InjectPolicy::default(), None);
         let a = lanes.admit(2).unwrap();
         lanes.push(a, 0, 2, job("own-low"));
         let a = lanes.admit(NORMAL_BAND).unwrap();
@@ -806,10 +999,11 @@ mod tests {
                 max_pending: 2,
                 on_full: OnFull::Reject,
             },
+            None,
         );
         let a1 = lanes.admit(NORMAL_BAND).unwrap();
         let a2 = lanes.admit(NORMAL_BAND).unwrap();
-        assert_eq!(lanes.admit(NORMAL_BAND).unwrap_err(), SubmitError);
+        assert_eq!(lanes.admit(NORMAL_BAND).unwrap_err(), SubmitError::Rejected);
         assert_eq!(lanes.total_rejected(), 1);
         lanes.push(a1, 0, NORMAL_BAND, job("a"));
         lanes.push(a2, 0, NORMAL_BAND, job("b"));
@@ -829,13 +1023,14 @@ mod tests {
                 max_pending: 4,
                 on_full: OnFull::Reject,
             },
+            None,
         );
         // Fill to the low band's limit (max_pending / 2 = 2).
         let _a1 = lanes.admit(NORMAL_BAND).unwrap();
         let _a2 = lanes.admit(NORMAL_BAND).unwrap();
         assert_eq!(
             lanes.admit(2).unwrap_err(),
-            SubmitError,
+            SubmitError::Rejected,
             "low band must shed at half the cap"
         );
         // High and normal still have headroom up to the full cap.
@@ -850,10 +1045,42 @@ mod tests {
     #[test]
     fn abandon_guard_completes_dropped_jobs() {
         let state = Arc::new(JoinState::<u32>::new());
-        let j = make_job(Arc::clone(&state), |_ctx| 7u32);
+        let j = make_job(Arc::clone(&state), None, None, |_ctx| 7u32);
         assert!(!state.is_done());
         drop(j); // never executed: the guard publishes an abandonment panic
         assert!(state.is_done());
         assert!(state.take_result().unwrap().is_err());
+    }
+
+    #[test]
+    fn age_sweep_promotes_starved_low_entries() {
+        let topo = Topology::flat(1);
+        let lanes = InjectLanes::new(
+            &topo,
+            InjectPolicy::default(),
+            Some(Duration::from_millis(0)), // promote immediately
+        );
+        let a = lanes.admit(2).unwrap();
+        lanes.push(a, 0, 2, job("low"));
+        let a = lanes.admit(0).unwrap();
+        lanes.push(a, 0, 0, job("high"));
+        // High still wins the banded walk, but the Low entry is promoted to
+        // Normal by the sweep (it no longer sits behind future Low pushes).
+        let _ = lanes.pop_for(0).unwrap();
+        assert_eq!(lanes.total_promoted(), 1);
+        // The promoted entry now drains from the Normal band.
+        let _ = lanes.pop_for(0).unwrap();
+        assert!(lanes.pop_for(0).is_none());
+        assert_eq!(lanes.total_promoted(), 1, "promotion happens once");
+    }
+
+    #[test]
+    fn age_sweep_disabled_keeps_low_in_band() {
+        let topo = Topology::flat(1);
+        let lanes = InjectLanes::new(&topo, InjectPolicy::default(), None);
+        let a = lanes.admit(2).unwrap();
+        lanes.push(a, 0, 2, job("low"));
+        let _ = lanes.pop_for(0).unwrap();
+        assert_eq!(lanes.total_promoted(), 0);
     }
 }

@@ -87,6 +87,8 @@ pub mod attrs;
 mod ctx;
 pub mod dataflow;
 mod fastlane;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod foreach;
 mod frame;
 mod handle;
@@ -105,9 +107,11 @@ mod worker;
 
 pub use access::{Access, AccessMode, HandleId, Region};
 pub use adaptive::{split_even, IntervalCell};
-pub use attrs::{Affinity, Priority, TaskAttrs, PRIORITY_BANDS};
+pub use attrs::{Affinity, CancelToken, Priority, TaskAttrs, PRIORITY_BANDS};
 pub use ctx::{with_runtime_ctx, Ctx, TaskBuilder};
 pub use dataflow::DataflowEngine;
+#[cfg(feature = "fault-injection")]
+pub use fault::FaultPlan;
 pub use frame::PromotionPolicy;
 pub use handle::{PartView, Partitioned, Reduction, Ref, RefMut, Shared};
 pub use inject::{InjectLaneStats, InjectPolicy, JoinHandle, OnFull, SubmitError};

@@ -47,7 +47,8 @@ use crate::policy::RenamePolicy;
 use crate::runtime::Runtime;
 use parking_lot::Mutex;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -313,7 +314,7 @@ impl RecordedDag {
             }
         }
         let cp = top.iter().copied().max().unwrap_or(0);
-        let mut attrs: Vec<TaskAttrs> = defs.iter().map(|d| d.attrs).collect();
+        let mut attrs: Vec<TaskAttrs> = defs.iter().map(|d| d.attrs.clone()).collect();
         for i in 0..n {
             if attrs[i].priority == Priority::Normal {
                 let slack = cp - (top[i] + bot[i] - 1);
@@ -425,7 +426,7 @@ impl RecordedDag {
             .into_iter()
             .enumerate()
             .map(|(g, m)| Group {
-                attrs: attrs[m[0] as usize],
+                attrs: attrs[m[0] as usize].clone(),
                 members: m,
                 npred: gnpred[g],
                 succs: std::mem::take(&mut gsuccs[g]),
@@ -506,6 +507,7 @@ impl RecordedDag {
             counters: dag.groups.iter().map(|g| AtomicU32::new(g.npred)).collect(),
             epoch: Instant::now(),
             trace: traced.then(|| Mutex::new(Vec::new())),
+            poisoned: AtomicBool::new(false),
             dag,
         });
         let roots: Vec<u32> = run
@@ -696,6 +698,10 @@ struct ReplayRun {
     counters: Box<[AtomicU32]>,
     epoch: Instant,
     trace: Option<Mutex<Vec<TraceEvent>>>,
+    /// Set after any member body panicked: the rest of this replay's
+    /// groups skip their bodies but keep the countdown protocol running,
+    /// so the root scope unblocks and rethrows instead of hanging.
+    poisoned: AtomicBool,
 }
 
 /// Spawn replay group `gi` as a bare pre-analyzed task. Its body runs the
@@ -705,12 +711,27 @@ struct ReplayRun {
 /// covered by the root scope's completion).
 fn spawn_group<'s>(run: &Arc<ReplayRun>, ctx: &mut Ctx<'s>, gi: u32) {
     let st = Arc::clone(run);
-    let attrs = run.dag.groups[gi as usize].attrs;
+    let attrs = run.dag.groups[gi as usize].attrs.clone();
     ctx.spawn_replay_body(attrs, move |t| {
         let g = &st.dag.groups[gi as usize];
         let t0 = st.trace.as_ref().map(|_| st.epoch.elapsed());
-        for &m in &g.members {
-            (st.dag.tasks[m as usize].body)(t);
+        // Panic isolation (`DESIGN.md` §8): a member panic poisons the
+        // replay — downstream groups skip their bodies — but every group
+        // still runs the countdown/spawn protocol below, so the root scope
+        // always unblocks; the first payload is re-raised after that.
+        let mut payload = None;
+        if st.poisoned.load(Ordering::Acquire) {
+            let raw = t.as_raw();
+            crate::stats::WorkerStats::bump(&raw.rt.workers[raw.widx].stats.tasks_poisoned, 1);
+        } else {
+            for &m in &g.members {
+                let body = &st.dag.tasks[m as usize].body;
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(t))) {
+                    st.poisoned.store(true, Ordering::Release);
+                    payload = Some(p);
+                    break;
+                }
+            }
         }
         if let (Some(tr), Some(start)) = (&st.trace, t0) {
             let end = st.epoch.elapsed();
@@ -725,6 +746,9 @@ fn spawn_group<'s>(run: &Arc<ReplayRun>, ctx: &mut Ctx<'s>, gi: u32) {
             if st.counters[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                 spawn_group(&st, t, s);
             }
+        }
+        if let Some(p) = payload {
+            resume_unwind(p);
         }
     });
 }

@@ -22,7 +22,7 @@
 //! [`Runtime::scope`] is submit followed by an immediate wait.
 
 use crate::access::Access;
-use crate::attrs::{Affinity, Priority, TaskAttrs, NORMAL_BAND};
+use crate::attrs::{Affinity, CancelToken, Priority, TaskAttrs, NORMAL_BAND};
 use crate::ctx::{Ctx, RawCtx};
 use crate::frame::PromotionPolicy;
 use crate::handle::{Partitioned, Shared};
@@ -37,6 +37,7 @@ use crate::worker::{current_worker_of, worker_main, ParkLot, Worker};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Scheduler tuning knobs. Defaults reproduce the paper's design; ablation
 /// benchmarks flip individual features off.
@@ -68,6 +69,11 @@ pub struct Tunables {
     /// best effort: unsupported platforms and failed syscalls silently
     /// keep the nominal mapping). `XKAAPI_PIN` overrides the default.
     pub pin_workers: bool,
+    /// Age-based promotion of starved Low-band inject entries: a queued
+    /// Low job waiting at least this long is moved up to the Normal band
+    /// by the drain-side sweep (`DESIGN.md` §8). `None` disables aging
+    /// (pre-PR 8 strict band order, starvation by design).
+    pub promote_low_after: Option<Duration>,
 }
 
 impl Default for Tunables {
@@ -81,6 +87,7 @@ impl Default for Tunables {
             grain_factor: 8,
             inject: InjectPolicy::default(),
             pin_workers: false,
+            promote_low_after: Some(Duration::from_millis(10)),
         }
     }
 }
@@ -123,6 +130,8 @@ pub struct Builder {
     queue: Option<Arc<dyn TaskQueue>>,
     steal: Option<Arc<dyn StealPolicy>>,
     topo: Option<Topology>,
+    #[cfg(feature = "fault-injection")]
+    fault_plan: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for Builder {
@@ -139,6 +148,8 @@ impl Default for Builder {
             queue: None,
             steal: None,
             topo: None,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
@@ -299,6 +310,22 @@ impl Builder {
         self
     }
 
+    /// Promote a starved Low-band inject entry up one band after waiting
+    /// this long (`None` disables the age sweep; default 10 ms).
+    pub fn promote_low_after(mut self, after: Option<Duration>) -> Self {
+        self.tun.promote_low_after = after;
+        self
+    }
+
+    /// Install a deterministic fault-injection plan (chaos testing only;
+    /// see [`crate::fault::FaultPlan`]). Feature-gated: release builds
+    /// without `fault-injection` carry zero hook cost.
+    #[cfg(feature = "fault-injection")]
+    pub fn fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Create the runtime and start its workers.
     pub fn build(self) -> Runtime {
         let mut tun = self.tun;
@@ -355,7 +382,7 @@ impl Builder {
             None => Topology::detect(nworkers),
         };
         let workers: Box<[Arc<Worker>]> = (0..nworkers).map(|i| Arc::new(Worker::new(i))).collect();
-        let inject = InjectLanes::new(&topo, tun.inject);
+        let inject = InjectLanes::new(&topo, tun.inject, tun.promote_low_after);
         let inner = Arc::new(RtInner {
             workers,
             inject,
@@ -366,6 +393,10 @@ impl Builder {
             steal_pol,
             topo,
             threads: Mutex::new(Vec::new()),
+            #[cfg(feature = "fault-injection")]
+            fault: self
+                .fault_plan
+                .map(|p| Arc::new(crate::fault::FaultState::new(p))),
         });
         for i in 0..nworkers {
             let rt = Arc::clone(&inner);
@@ -401,6 +432,9 @@ pub(crate) struct RtInner {
     /// Machine topology consulted by topology-aware steal policies.
     pub(crate) topo: Topology,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Deterministic fault-injection plan state (chaos testing only).
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fault: Option<Arc<crate::fault::FaultState>>,
 }
 
 /// A root job injected from outside the pool.
@@ -461,7 +495,7 @@ impl Runtime {
         F: for<'s> FnOnce(&mut Ctx<'s>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.submit_with(TaskAttrs::default(), &[], f)
+        self.submit_with(TaskAttrs::default(), &[], None, f)
     }
 
     /// Start building an attribute-carrying root job: set a [`Priority`]
@@ -486,6 +520,7 @@ impl Runtime {
             rt: self,
             attrs: TaskAttrs::default(),
             hints: Vec::new(),
+            deadline: None,
         }
     }
 
@@ -496,20 +531,37 @@ impl Runtime {
         &self,
         attrs: TaskAttrs,
         hints: &[Access],
+        deadline: Option<Instant>,
         f: F,
     ) -> Result<JoinHandle<R>, SubmitError>
     where
         F: for<'s> FnOnce(&mut Ctx<'s>) -> R + Send + 'static,
         R: Send + 'static,
     {
+        // Every submission gets a cancel token (caller-provided or fresh) so
+        // the returned handle always supports [`JoinHandle::cancel`]; the
+        // token is inherited by every task the job spawns.
+        let token = attrs.cancel.clone().unwrap_or_default();
+        // Admission-time shedding: a job whose deadline already passed never
+        // consumes a slot (drain-time expiry is handled inside the job).
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.inner.inject.note_expired();
+            return Err(SubmitError::Expired);
+        }
         let state = Arc::new(JoinState::new());
         if let Some(widx) = current_worker_of(&self.inner) {
             // Worker context: run inline (a queued job could deadlock a
             // 1-worker pool whose only worker then waits on the handle).
             self.inner.inject.note_inline_submit();
-            let mut raw = RawCtx::new(Arc::clone(&self.inner), widx);
-            state.complete(raw.run_scoped_catch(f));
-            return Ok(JoinHandle::new(state, &self.inner));
+            if token.is_cancelled() {
+                crate::stats::WorkerStats::bump(&self.inner.workers[widx].stats.tasks_cancelled, 1);
+                state.complete(Err(Box::new(SubmitError::Cancelled)));
+            } else {
+                let mut raw = RawCtx::new(Arc::clone(&self.inner), widx);
+                raw.cancel = Some(token.clone());
+                state.complete(raw.run_scoped_catch(f));
+            }
+            return Ok(JoinHandle::new(state, &self.inner, Some(token)));
         }
         let admission = self.inner.inject.admit(attrs.band())?;
         let lane = attrs
@@ -519,10 +571,10 @@ impl Runtime {
             admission,
             lane,
             attrs.band(),
-            make_job(Arc::clone(&state), f),
+            make_job(Arc::clone(&state), Some(token.clone()), deadline, f),
         );
         self.inner.signal_work();
-        Ok(JoinHandle::new(state, &self.inner))
+        Ok(JoinHandle::new(state, &self.inner, Some(token)))
     }
 
     /// Run `f` with a task context, blocking until every task spawned inside
@@ -619,6 +671,9 @@ impl Runtime {
         snap.jobs_submitted += self.inner.inject.total_submitted();
         snap.jobs_rejected += self.inner.inject.total_rejected();
         snap.inject_banded_drains += self.inner.inject.total_banded_drains();
+        snap.jobs_expired += self.inner.inject.total_expired();
+        snap.inject_promotions += self.inner.inject.total_promoted();
+        snap.callback_panics += crate::inject::callback_panics();
         snap
     }
 
@@ -626,6 +681,7 @@ impl Runtime {
     pub fn reset_stats(&self) {
         stats::reset_all(self.inner.workers.iter().map(|w| &w.stats));
         self.inner.inject.reset_counters();
+        crate::inject::reset_callback_panics();
     }
 
     /// Number of inject lanes (one per NUMA node of the topology).
@@ -660,6 +716,27 @@ impl Runtime {
     /// injected via [`Builder::topology`]).
     pub fn topology(&self) -> &Topology {
         &self.inner.topo
+    }
+
+    /// Graceful shutdown: wait up to `timeout` for every queued root job to
+    /// drain, then stop the workers (consuming the runtime, like `drop`).
+    ///
+    /// Returns `true` when the inject lanes drained inside the window,
+    /// `false` when the timeout elapsed first — in which case still-queued
+    /// jobs are abandoned exactly as a plain `drop` would abandon them
+    /// (their [`JoinHandle`]s never complete). Jobs already *running* on a
+    /// worker finish either way: workers only observe the shutdown flag
+    /// between tasks.
+    pub fn shutdown_timeout(self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut drained = !self.inner.inject.has_pending_hint();
+        while !drained && Instant::now() < deadline {
+            self.inner.signal_work();
+            std::thread::sleep(Duration::from_millis(1));
+            drained = !self.inner.inject.has_pending_hint();
+        }
+        drop(self);
+        drained
     }
 }
 
@@ -700,6 +777,7 @@ pub struct JobBuilder<'rt> {
     rt: &'rt Runtime,
     attrs: TaskAttrs,
     hints: Vec<Access>,
+    deadline: Option<Duration>,
 }
 
 impl<'rt> JobBuilder<'rt> {
@@ -712,6 +790,26 @@ impl<'rt> JobBuilder<'rt> {
     /// Set the data-affinity request.
     pub fn affinity(mut self, a: Affinity) -> Self {
         self.attrs.affinity = a;
+        self
+    }
+
+    /// Attach a caller-owned cancellation token (cancelling it cancels the
+    /// job's whole cone; see [`CancelToken`]). Without this call the job
+    /// still gets a fresh token, reachable via
+    /// [`JoinHandle::cancel_token`](crate::JoinHandle::cancel_token).
+    pub fn cancel_token(mut self, t: &CancelToken) -> Self {
+        self.attrs.cancel = Some(t.clone());
+        self
+    }
+
+    /// Admission deadline, measured from the `submit` call: a job still
+    /// *queued* when the deadline passes is shed at drain time (its handle
+    /// completes with [`SubmitError::Expired`]), and a job already expired
+    /// at submission is shed immediately. A job that *started* before the
+    /// deadline runs to completion — this bounds queueing delay, not
+    /// execution time (`DESIGN.md` §8).
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
         self
     }
 
@@ -749,7 +847,8 @@ impl<'rt> JobBuilder<'rt> {
         F: for<'s> FnOnce(&mut Ctx<'s>) -> R + Send + 'static,
         R: Send + 'static,
     {
-        self.rt.submit_with(self.attrs, &self.hints, f)
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        self.rt.submit_with(self.attrs, &self.hints, deadline, f)
     }
 
     /// Submit the job fire-and-forget: no handle, the job still runs to

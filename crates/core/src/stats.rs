@@ -102,6 +102,30 @@ counters! {
     /// this counter stays flat across replay iterations — the invariant
     /// the record-then-replay benchmarks assert.
     dataflow_pushes,
+    /// Task bodies that panicked. The worker survives: the payload is
+    /// captured, the frame is poisoned and the first payload re-raises at
+    /// the enclosing `sync`/`scope`/`JoinHandle` (`DESIGN.md` §8).
+    tasks_panicked,
+    /// Tasks completed-as-failed without running because a dataflow
+    /// predecessor in their cone panicked. Countdowns still drain, so the
+    /// surviving graph never deadlocks.
+    tasks_poisoned,
+    /// Tasks (or queued jobs) whose body was skipped because their
+    /// `CancelToken` was cancelled. Dataflow obligations are still
+    /// satisfied — only the user body is elided.
+    tasks_cancelled,
+    /// `on_complete` callback panics caught and discarded by the inject
+    /// layer. Maintained globally (callbacks may fire on external
+    /// threads), merged in by `Runtime::stats`.
+    callback_panics,
+    /// Jobs shed at admission or drain time because their deadline had
+    /// already passed (`JobBuilder::deadline`). Maintained globally by the
+    /// inject lanes, merged in by `Runtime::stats`.
+    jobs_expired,
+    /// Starved Low-band inject entries moved up one band by the age-based
+    /// promotion sweep (`Tunables::promote_low_after`). Maintained
+    /// globally by the inject lanes, merged in by `Runtime::stats`.
+    inject_promotions,
 }
 
 impl WorkerStats {

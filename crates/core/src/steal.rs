@@ -131,6 +131,7 @@ fn drain_requests(victim: &crate::worker::Worker) -> Vec<&Request> {
 /// matching `reqs` as far as it goes.
 fn serve(
     rt: &Arc<RtInner>,
+    me: usize,
     victim_idx: usize,
     reqs: &[&Request],
     my_stats: &WorkerStats,
@@ -165,6 +166,14 @@ fn serve(
             &mut promotions,
         );
         for (idx, task) in claimed.drain(..) {
+            if task.attrs.is_cancelled() {
+                // Steal-grab cancellation boundary: a cancelled task is
+                // never worth shipping to a thief. Retire it on the
+                // combiner instead (body skipped, countdowns drained) and
+                // keep the grab slot for live work.
+                execute_task_at(rt, me, &f, idx, task, /*stolen=*/ true);
+                continue;
+            }
             grabs.push(Grab::Task {
                 frame: Arc::clone(&f),
                 idx,
@@ -267,6 +276,8 @@ fn distribute(reqs: Vec<&Request>, grabs: Vec<Grab>) {
 /// escalation and the idle loop's park decision; it is reset here on a
 /// successful grab and by the idle loop on any acquired work.
 pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
+    #[cfg(feature = "fault-injection")]
+    crate::fault::on_worker_boundary(rt, me);
     let p = rt.num_workers();
     let my = &rt.workers[me];
     if p < 2 {
@@ -334,7 +345,7 @@ pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
                     reqs.swap(k - 1, k + pos);
                 }
                 let (serve_now, overflow) = reqs.split_at(k);
-                let mut grabs = serve(rt, v, serve_now, &my.stats);
+                let mut grabs = serve(rt, me, v, serve_now, &my.stats);
                 place_affine(rt, serve_now, &mut grabs, &my.stats);
                 WorkerStats::bump(&my.stats.combine_batches, 1);
                 WorkerStats::bump(&my.stats.combine_served, serve_now.len() as u64);

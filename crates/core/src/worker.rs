@@ -217,6 +217,8 @@ pub(crate) fn current_worker_of(rt: &Arc<RtInner>) -> Option<usize> {
 /// `inject_own_lane` / `inject_remote_lane` so the locality of the
 /// injection path stays observable.
 pub(crate) fn try_drain_inject(rt: &Arc<RtInner>, idx: usize) -> bool {
+    #[cfg(feature = "fault-injection")]
+    crate::fault::on_worker_boundary(rt, idx);
     let node = rt.topo.node_of(idx);
     let Some((job, lane)) = rt.inject.pop_for(node) else {
         return false;

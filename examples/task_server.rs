@@ -24,7 +24,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xkaapi::core::{InjectPolicy, OnFull, Runtime, Topology};
 
 /// ~1 µs of un-optimizable "request handling" work.
@@ -170,5 +170,15 @@ fn main() {
          the split depends on host scheduling — see ablation for the asserted property)",
         snap.inject_own_lane, snap.inject_remote_lane
     );
-    println!("task_server: OK");
+
+    // Graceful teardown (DESIGN.md §8): a real server bounds its shutdown
+    // instead of dropping the pool blind. All submitters have joined, so we
+    // are the sole owner; every lane is already drained, so the bounded
+    // drain must report clean.
+    let Ok(rt) = Arc::try_unwrap(rt) else {
+        unreachable!("submitter threads joined; main is the sole runtime owner");
+    };
+    let drained = rt.shutdown_timeout(Duration::from_secs(5));
+    assert!(drained, "lanes were empty; shutdown must drain in bound");
+    println!("task_server: OK (graceful shutdown, queues drained)");
 }

@@ -24,10 +24,13 @@ pub use xkaapi_quark as quark;
 pub use xkaapi_sim as sim;
 pub use xkaapi_skyline as skyline;
 
+#[cfg(feature = "fault-injection")]
+pub use xkaapi_core::FaultPlan;
 pub use xkaapi_core::{
-    Access, AccessMode, Affinity, AggregatedStealing, Builder, Ctx, DataflowEngine, DistanceMatrix,
-    DistributedLanes, HandleId, HierarchicalVictim, JobBuilder, LocalityFirst, Partitioned,
-    PerThiefStealing, Priority, PromotionPolicy, RecCtx, RecordStats, RecordedDag, Reduction,
-    Region, RenamePolicy, ReplayTrace, Runtime, Shared, StatsSnapshot, StealPolicy, TaskAttrs,
-    TaskBuilder, TaskQueue, Topology, Tunables, UniformVictim, VictimChoice, WorkItem,
+    Access, AccessMode, Affinity, AggregatedStealing, Builder, CancelToken, Ctx, DataflowEngine,
+    DistanceMatrix, DistributedLanes, HandleId, HierarchicalVictim, JobBuilder, LocalityFirst,
+    Partitioned, PerThiefStealing, Priority, PromotionPolicy, RecCtx, RecordStats, RecordedDag,
+    Reduction, Region, RenamePolicy, ReplayTrace, Runtime, Shared, StatsSnapshot, StealPolicy,
+    SubmitError, TaskAttrs, TaskBuilder, TaskQueue, Topology, Tunables, UniformVictim,
+    VictimChoice, WorkItem,
 };
