@@ -31,11 +31,17 @@
 //! [`CancelToken`], and a deadline shed — throughput plus the lifecycle
 //! counters (`tasks_panicked` / `tasks_cancelled` / `jobs_expired`) land
 //! in the snapshot, and the pool proves it is still alive afterwards.
+//! Since PR 9 the **priority_flood** run executes with live telemetry
+//! enabled (`Runtime::set_tracing`): the snapshot gains a `telemetry`
+//! section with the per-band submit→start and start→done latency
+//! quantiles (p50/p99/p999) from the banded histograms, plus the trace
+//! event/drop counts — and the per-lane JSON is read back from the
+//! unified [`MetricsRegistry`] instead of being merged bench-side.
 //!
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR8.json` (snapshot file
+//! * `smoke --json` — additionally writes `BENCH_PR9.json` (snapshot file
 //!   name pinned per PR so the perf trajectory accretes one file per PR)
 //!   plus the `cholesky_recorded.dot` / `cholesky_executed.dot` /
 //!   `cholesky_recorded_trace.json` / `cholesky_replay_trace.json`
@@ -55,10 +61,29 @@ use std::time::{Duration, Instant};
 use xkaapi_bench::{
     busy_work, gflops, measure_ns, print_table, steal_heavy_workload, SchedPolicy, VictimPolicy,
 };
-use xkaapi_core::{Affinity, CancelToken, Ctx, Priority, Runtime, Shared, SubmitError, Topology};
+use xkaapi_core::{
+    Affinity, CancelToken, Ctx, MetricsRegistry, Priority, Runtime, Shared, SubmitError, Topology,
+};
 use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, RecordedCholesky, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR8.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR9.json";
+
+/// Per-lane `{"node", "submitted", "drained"}` JSON rows read back from
+/// the unified [`MetricsRegistry`] gauges. The bench used to merge the
+/// lane counters itself from `inject_lane_stats`; since PR 9 the registry
+/// is the single merge path and the bench only formats it.
+fn lanes_json(m: &MetricsRegistry) -> String {
+    (0usize..)
+        .map_while(|n| {
+            let s = m.get(&format!("inject_lane{n}_submitted"))?;
+            let d = m.get(&format!("inject_lane{n}_drained"))?;
+            Some(format!(
+                "{{\"node\": {n}, \"submitted\": {s}, \"drained\": {d}}}"
+            ))
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 fn fib(c: &mut Ctx<'_>, n: u64) -> u64 {
     if n < 2 {
@@ -256,18 +281,7 @@ fn main() {
     let sf_check = flood(&rt_sf);
     assert_eq!(sf_check, sf_sum, "flood checksum drifted across rounds");
     let sf_stats = rt_sf.stats();
-    let sf_lanes = rt_sf.inject_lane_stats();
-    let lane_json = sf_lanes
-        .iter()
-        .enumerate()
-        .map(|(n, l)| {
-            format!(
-                "{{\"node\": {n}, \"submitted\": {}, \"drained\": {}}}",
-                l.submitted, l.drained
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(", ");
+    let lane_json = lanes_json(&rt_sf.metrics());
 
     // --- priority_flood: mixed-band builder submits with Auto affinity --
     // One submitter floods the attribute-carrying front door with equal
@@ -283,6 +297,10 @@ fn main() {
         VictimPolicy::Hierarchical,
         Topology::two_level(pf_workers, 4),
     ));
+    // Live telemetry toggle on a running pool: the flood below executes
+    // with event tracing + banded latency histograms on, feeding the
+    // `telemetry` snapshot section (submit→start / start→done quantiles).
+    rt_pf.set_tracing(true);
     let pf_homes: Vec<Shared<u64>> = (0..2)
         .map(|n| {
             let h = Shared::new(0u64);
@@ -324,7 +342,31 @@ fn main() {
         pf_sum = pf_sum.wrapping_add(h.wait());
     }
     let pf_ns = pf_t0.elapsed().as_nanos() as u64;
-    let pf_lanes = rt_pf.inject_lane_stats();
+    // One snapshot drives everything below: per-band latency quantiles
+    // (stats → telemetry histograms) and the lane/trace gauges (metrics
+    // registry) — no bench-side counter merging.
+    let pf_snap = rt_pf.stats();
+    let pf_metrics = rt_pf.metrics();
+    let pf_lat_bands = &pf_snap.latency;
+    let tele_events = pf_metrics.get("trace_events_recorded").unwrap_or(0);
+    let tele_dropped = pf_metrics.get("trace_events_dropped").unwrap_or(0);
+    assert!(
+        tele_events > 0,
+        "tracing was enabled for the flood but no events were recorded"
+    );
+    let band_names = ["high", "normal", "low"];
+    let mut tele_json = format!(
+        "\"workers\": {pf_workers}, \"events\": {tele_events}, \"dropped\": {tele_dropped}"
+    );
+    for (b, name) in band_names.iter().enumerate() {
+        let q = pf_lat_bands.submit_to_start[b];
+        let r = pf_lat_bands.start_to_done[b];
+        tele_json.push_str(&format!(
+            ", \"p50_{name}_ns\": {}, \"p99_{name}_ns\": {}, \"p999_{name}_ns\": {}, \
+             \"run_p50_{name}_ns\": {}, \"run_p99_{name}_ns\": {}, \"run_p999_{name}_ns\": {}",
+            q.p50_ns, q.p99_ns, q.p999_ns, r.p50_ns, r.p99_ns, r.p999_ns
+        ));
+    }
     let pf_band_json: Vec<String> = PF_BANDS
         .iter()
         .map(|p| {
@@ -342,17 +384,15 @@ fn main() {
             )
         })
         .collect();
-    let pf_lane_json = pf_lanes
-        .iter()
-        .enumerate()
-        .map(|(n, l)| {
-            format!(
-                "{{\"node\": {n}, \"submitted\": {}, \"drained\": {}}}",
-                l.submitted, l.drained
-            )
+    let pf_lane_json = lanes_json(&pf_metrics);
+    let pf_placement = (0usize..)
+        .map_while(|n| {
+            pf_metrics
+                .get(&format!("inject_lane{n}_submitted"))
+                .map(|s| format!("node{n}:{s}"))
         })
         .collect::<Vec<_>>()
-        .join(", ");
+        .join(" ");
     let pf_mean_ms = |p: Priority| {
         let b = &pf_lat[p.band()];
         b[0].load(Ordering::Relaxed) as f64 / b[2].load(Ordering::Relaxed).max(1) as f64 / 1e6
@@ -504,15 +544,19 @@ fn main() {
                     pf_mean_ms(Priority::Low)
                 ),
                 format!(
-                    "{} mixed-band jobs in {:.2} ms; lane placement {}",
+                    "{} mixed-band jobs in {:.2} ms; lane placement {pf_placement}",
                     pf_per_band * 3,
                     pf_ns as f64 / 1e6,
-                    pf_lanes
-                        .iter()
-                        .enumerate()
-                        .map(|(n, l)| format!("node{n}:{}", l.submitted))
-                        .collect::<Vec<_>>()
-                        .join(" ")
+                ),
+            ],
+            vec![
+                "telemetry".into(),
+                format!("{tele_events} events, {tele_dropped} dropped"),
+                format!(
+                    "submit→start p99 H/N/L {:.2}/{:.2}/{:.2} ms (priority_flood, live toggle)",
+                    pf_lat_bands.submit_to_start[0].p99_ns as f64 / 1e6,
+                    pf_lat_bands.submit_to_start[1].p99_ns as f64 / 1e6,
+                    pf_lat_bands.submit_to_start[2].p99_ns as f64 / 1e6,
                 ),
             ],
             vec![
@@ -529,7 +573,7 @@ fn main() {
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 8,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 9,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
@@ -552,6 +596,7 @@ fn main() {
              \"jobs\": {}, \"ns\": {pf_ns}, \"checksum\": {pf_sum}, \
              \"bands\": [\n    {}\n  ], \
              \"lanes\": [{pf_lane_json}]}},\n  \
+             \"telemetry\": {{{tele_json}}},\n  \
              \"fault_tolerance\": {{\"workers\": {ft_workers}, \"jobs\": {ft_jobs}, \
              \"ns\": {ft_ns}, \"jobs_per_s\": {ft_jobs_per_s:.0}, \
              \"panics_injected\": {ft_caught}, \"tasks_panicked\": {}, \

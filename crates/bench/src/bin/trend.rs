@@ -7,18 +7,39 @@
 //! reads the gated metrics of each (see `xkaapi_bench::check`), and
 //! writes `bench_trend.svg` into the same directory. Snapshots are taken
 //! as they come: metrics missing from old files (e.g. `jobs_per_s`
-//! before PR 4, `speedup_vs_online` before PR 7) simply start later in the
-//! series, and an unreadable snapshot is skipped with a warning instead
-//! of sinking the whole render.
+//! before PR 4, `speedup_vs_online` before PR 7, the per-band p99
+//! latency series before PR 9) simply start later in the series, and an
+//! unreadable snapshot is skipped with a warning instead of sinking the
+//! whole render.
 
 use std::path::{Path, PathBuf};
 use xkaapi_bench::check::{leaf_value, GATE_METRICS};
 use xkaapi_bench::print_table;
 
-/// `(pr, metric values in GATE_METRICS order, missing = NaN)`.
+/// Per-band p99 submit→start latency from the PR 9 `telemetry` snapshot
+/// section. Plotted alongside the gated metrics but deliberately **not**
+/// part of `GATE_METRICS`: latency is lower-is-better, so it would
+/// invert the regression gate's direction. Snapshots older than PR 9
+/// lack the section and render as gaps, like any late-starting series.
+const LATENCY_METRICS: [(&str, &str); 3] = [
+    ("latency", "p99_high_ns"),
+    ("latency", "p99_normal_ns"),
+    ("latency", "p99_low_ns"),
+];
+
+/// All plotted series: the gate metrics first, then the latency bands.
+fn trend_metrics() -> Vec<(&'static str, &'static str)> {
+    GATE_METRICS
+        .iter()
+        .copied()
+        .chain(LATENCY_METRICS.iter().copied())
+        .collect()
+}
+
+/// `(pr, metric values in [`trend_metrics`] order, missing = NaN)`.
 struct Snapshot {
     pr: u32,
-    values: [f64; GATE_METRICS.len()],
+    values: Vec<f64>,
 }
 
 fn load_snapshots(dir: &Path) -> Vec<Snapshot> {
@@ -56,8 +77,9 @@ fn load_snapshots(dir: &Path) -> Vec<Snapshot> {
                     return None;
                 }
             };
-            let mut values = [f64::NAN; GATE_METRICS.len()];
-            for (v, &(_, key)) in values.iter_mut().zip(GATE_METRICS.iter()) {
+            let metrics = trend_metrics();
+            let mut values = vec![f64::NAN; metrics.len()];
+            for (v, (_, key)) in values.iter_mut().zip(metrics) {
                 if let Some(x) = leaf_value(&text, key) {
                     *v = x;
                 }
@@ -88,7 +110,8 @@ fn svg(snaps: &[Snapshot]) -> String {
     const PLOT_H: f64 = 110.0;
     const PAD_L: f64 = 70.0;
     const PAD_R: f64 = 20.0;
-    let h = PLOT_H * GATE_METRICS.len() as f64 + 30.0;
+    let metrics = trend_metrics();
+    let h = PLOT_H * metrics.len() as f64 + 30.0;
     let mut out = format!(
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{h}\" \
          font-family=\"monospace\" font-size=\"11\">\n\
@@ -107,7 +130,7 @@ fn svg(snaps: &[Snapshot]) -> String {
                     }
         })
         .collect();
-    for (m, &(bench, key)) in GATE_METRICS.iter().enumerate() {
+    for (m, &(bench, key)) in metrics.iter().enumerate() {
         let top = 24.0 + PLOT_H * m as f64;
         let base = top + PLOT_H - 24.0;
         let series: Vec<f64> = snaps.iter().map(|s| s.values[m]).collect();
@@ -174,7 +197,7 @@ fn main() {
         std::process::exit(1);
     }
     let mut rows = Vec::new();
-    for (m, &(bench, key)) in GATE_METRICS.iter().enumerate() {
+    for (m, (bench, key)) in trend_metrics().into_iter().enumerate() {
         let series: Vec<f64> = snaps.iter().map(|s| s.values[m]).collect();
         rows.push(vec![
             format!("{bench} ({key})"),

@@ -276,6 +276,13 @@ pub(crate) fn execute_claimed(
     if task.attrs.is_cancelled() {
         let _ = task.take_body();
         WorkerStats::bump(&stats.tasks_cancelled, 1);
+        crate::telemetry::emit_current(
+            rt,
+            widx,
+            crate::telemetry::EventKind::Cancel,
+            task.attrs.band(),
+            idx as u32,
+        );
         complete_and_publish(rt, widx, frame, idx, &task);
         return;
     }
@@ -283,12 +290,39 @@ pub(crate) fn execute_claimed(
     let mut raw = RawCtx::new(Arc::clone(rt), widx);
     raw.cancel = task.attrs.cancel.clone();
     raw.cur = Some(Arc::clone(&task));
+    // Traced task span (`DESIGN.md` §9): B/E pair around the body plus
+    // the start→done delta into the band's service histogram. One relaxed
+    // load when tracing is off; the inline fork-join fast lane
+    // (`Ctx::join`) is deliberately not per-event instrumented.
+    let tracing = rt.telemetry.enabled();
+    let band = task
+        .attrs
+        .band()
+        .min(crate::attrs::PRIORITY_BANDS as u8 - 1);
+    let t0 = if tracing {
+        let t0 = crate::telemetry::tick();
+        rt.workers[widx]
+            .tele
+            .emit(t0, crate::telemetry::EventKind::TaskBegin, band, idx as u32);
+        t0
+    } else {
+        0
+    };
     let res = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(feature = "fault-injection")]
         crate::fault::on_task_execute(rt);
         body(&mut raw)
     }));
     let fin = catch_unwind(AssertUnwindSafe(|| raw.finish()));
+    if tracing {
+        let t1 = crate::telemetry::tick();
+        let tele = &rt.workers[widx].tele;
+        tele.emit(t1, crate::telemetry::EventKind::TaskEnd, band, idx as u32);
+        tele.start_to_done[band as usize].record(t1.saturating_sub(t0));
+        if res.is_err() {
+            tele.emit(t1, crate::telemetry::EventKind::Panic, band, idx as u32);
+        }
+    }
     if res.is_err() {
         // Only a body panic counts: a finish-side error is a child's panic
         // propagating, and the child already counted itself.

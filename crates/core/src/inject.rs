@@ -31,6 +31,7 @@ use crate::attrs::{CancelToken, NORMAL_BAND, PRIORITY_BANDS};
 use crate::ctx::{help_until, RawCtx};
 use crate::runtime::{Job, RtInner};
 use crate::stats::WorkerStats;
+use crate::telemetry::EventKind;
 use crate::topology::Topology;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -896,15 +897,19 @@ where
     R: Send + 'static,
 {
     let guard = AbandonGuard { state };
-    Job(Box::new(move |raw: &mut RawCtx| {
+    Job::new(Box::new(move |raw: &mut RawCtx| {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             raw.rt.inject.note_expired();
+            // Shed instant, arg 0 = deadline expiry (telemetry layer).
+            crate::telemetry::emit_current(&raw.rt, raw.widx, EventKind::Shed, 0, 0);
             guard.state.complete(Err(Box::new(SubmitError::Expired)));
             drop(guard);
             return;
         }
         if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
             WorkerStats::bump(&raw.rt.workers[raw.widx].stats.tasks_cancelled, 1);
+            // Shed instant, arg 1 = cancelled before start.
+            crate::telemetry::emit_current(&raw.rt, raw.widx, EventKind::Shed, 0, 1);
             guard.state.complete(Err(Box::new(SubmitError::Cancelled)));
             drop(guard);
             return;
@@ -924,7 +929,7 @@ mod tests {
     use crate::topology::DistanceMatrix;
 
     fn job(tag: &'static str) -> Job {
-        Job(Box::new(move |_raw| {
+        Job::new(Box::new(move |_raw| {
             let _ = tag;
         }))
     }

@@ -102,6 +102,7 @@ mod smallvec;
 mod stats;
 mod steal;
 mod task;
+pub mod telemetry;
 pub mod topology;
 mod worker;
 
@@ -123,6 +124,10 @@ pub use queue::{DistributedLanes, TaskQueue, WorkItem};
 pub use record::{RecCtx, RecTaskBuilder, RecordStats, RecordedDag, ReplayTrace, TraceEvent};
 pub use runtime::{Builder, JobBuilder, Runtime, Tunables};
 pub use stats::StatsSnapshot;
+pub use telemetry::{
+    EventKind, HistogramSnapshot, LatencyBands, MetricsRegistry, Quantiles, TelemetryEvent,
+    TraceSession,
+};
 pub use topology::{DistanceMatrix, Topology};
 
 #[cfg(test)]

@@ -714,6 +714,19 @@ fn spawn_group<'s>(run: &Arc<ReplayRun>, ctx: &mut Ctx<'s>, gi: u32) {
     let attrs = run.dag.groups[gi as usize].attrs.clone();
     ctx.spawn_replay_body(attrs, move |t| {
         let g = &st.dag.groups[gi as usize];
+        {
+            // Telemetry instant: replay group start on the live worker
+            // timeline (the enclosing task span carries begin/end).
+            let raw = t.as_raw();
+            let widx = raw.widx;
+            crate::telemetry::emit_current(
+                &raw.rt,
+                widx,
+                crate::telemetry::EventKind::ReplayGroup,
+                g.attrs.band(),
+                gi,
+            );
+        }
         let t0 = st.trace.as_ref().map(|_| st.epoch.elapsed());
         // Panic isolation (`DESIGN.md` §8): a member panic poisons the
         // replay — downstream groups skip their bodies — but every group
@@ -781,7 +794,9 @@ fn dot_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn json_escape(s: &str) -> String {
+/// Minimal JSON string escaping shared with the telemetry exporters
+/// (`telemetry::TraceSession::to_chrome_trace`, `MetricsRegistry::to_json`).
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -32,6 +32,7 @@ use crate::inject::{
 use crate::policy::{AggregatedStealing, PerThiefStealing, RenamePolicy, StealPolicy};
 use crate::queue::{DistributedLanes, TaskQueue};
 use crate::stats::{self, StatsSnapshot};
+use crate::telemetry::{MetricsRegistry, TelemetryState, TraceSession, WorkerTelemetry};
 use crate::topology::Topology;
 use crate::worker::{current_worker_of, worker_main, ParkLot, Worker};
 use parking_lot::Mutex;
@@ -108,7 +109,9 @@ impl Default for Tunables {
 /// * `XKAAPI_MAX_PENDING` — pending root-job cap of the injection
 ///   admission layer (≥ 1; the `on_full` behaviour is code-only);
 /// * `XKAAPI_PIN` — pin worker threads to their topology cores
-///   (`1/0`, `true/false`, `on/off`, `yes/no`).
+///   (`1/0`, `true/false`, `on/off`, `yes/no`);
+/// * `XKAAPI_TRACE` — enable the always-compiled telemetry layer (event
+///   rings + latency histograms, `DESIGN.md` §9; same boolean syntax).
 ///
 /// An explicit setter call ([`Builder::workers`], [`Builder::grain_factor`],
 /// [`Builder::park_timeout_us`], [`Builder::steal_rounds_before_park`],
@@ -126,6 +129,7 @@ pub struct Builder {
     rounds_explicit: bool,
     pending_explicit: bool,
     pin_explicit: bool,
+    tracing: Option<bool>,
     stack_size: usize,
     queue: Option<Arc<dyn TaskQueue>>,
     steal: Option<Arc<dyn StealPolicy>>,
@@ -144,6 +148,7 @@ impl Default for Builder {
             rounds_explicit: false,
             pending_explicit: false,
             pin_explicit: false,
+            tracing: None,
             stack_size: 16 << 20,
             queue: None,
             steal: None,
@@ -317,6 +322,17 @@ impl Builder {
         self
     }
 
+    /// Enable the telemetry layer from construction: per-worker event
+    /// rings and banded latency histograms (`DESIGN.md` §9). Always
+    /// compiled in, default **off** (one relaxed load per instrumentation
+    /// point), overridable via the `XKAAPI_TRACE` environment variable;
+    /// an explicit call here wins over the environment. Can also be
+    /// toggled live with [`Runtime::set_tracing`].
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = Some(on);
+        self
+    }
+
     /// Install a deterministic fault-injection plan (chaos testing only;
     /// see [`crate::fault::FaultPlan`]). Feature-gated: release builds
     /// without `fault-injection` carry zero hook cost.
@@ -383,9 +399,14 @@ impl Builder {
         };
         let workers: Box<[Arc<Worker>]> = (0..nworkers).map(|i| Arc::new(Worker::new(i))).collect();
         let inject = InjectLanes::new(&topo, tun.inject, tun.promote_low_after);
+        let trace_on = self
+            .tracing
+            .or_else(|| env_flag("XKAAPI_TRACE"))
+            .unwrap_or(false);
         let inner = Arc::new(RtInner {
             workers,
             inject,
+            telemetry: TelemetryState::new(nworkers, trace_on),
             park_lot: ParkLot::new(),
             shutdown: AtomicBool::new(false),
             tun,
@@ -422,6 +443,10 @@ pub(crate) struct RtInner {
     /// Injection layer: sharded per-node root-job lanes with admission
     /// control (see [`crate::inject`]).
     pub(crate) inject: InjectLanes,
+    /// Telemetry layer: the enable flag, clock epoch and accumulated
+    /// trace session (`DESIGN.md` §9). Per-worker rings/histograms live
+    /// on the workers themselves.
+    pub(crate) telemetry: TelemetryState,
     pub(crate) park_lot: ParkLot,
     pub(crate) shutdown: AtomicBool,
     pub(crate) tun: Tunables,
@@ -437,8 +462,27 @@ pub(crate) struct RtInner {
     pub(crate) fault: Option<Arc<crate::fault::FaultState>>,
 }
 
-/// A root job injected from outside the pool.
-pub(crate) struct Job(pub(crate) Box<dyn FnOnce(&mut RawCtx) + Send>);
+/// A root job injected from outside the pool, carrying the telemetry
+/// metadata stamped at submission: the priority band it was admitted at
+/// and the submit-time tick (0 = tracing was off at submission), from
+/// which the draining worker computes the submit→start latency.
+pub(crate) struct Job {
+    pub(crate) run: Box<dyn FnOnce(&mut RawCtx) + Send>,
+    pub(crate) band: u8,
+    pub(crate) submit_tick: u64,
+}
+
+impl Job {
+    /// A job with default (Normal-band, untraced) metadata; submission
+    /// paths overwrite the band and stamp the tick when tracing is on.
+    pub(crate) fn new(run: Box<dyn FnOnce(&mut RawCtx) + Send>) -> Job {
+        Job {
+            run,
+            band: NORMAL_BAND,
+            submit_tick: 0,
+        }
+    }
+}
 
 impl RtInner {
     #[inline]
@@ -450,6 +494,28 @@ impl RtInner {
     #[inline]
     pub(crate) fn signal_work(&self) {
         self.park_lot.signal();
+    }
+
+    /// Per-worker telemetry bundles, in worker order (drain/merge views).
+    pub(crate) fn tele_refs(&self) -> Vec<&WorkerTelemetry> {
+        self.workers.iter().map(|w| &w.tele).collect()
+    }
+
+    /// The **single** stats merge path (`DESIGN.md` §9): per-worker
+    /// counters, the injection layer's global counters, the contained
+    /// callback-panic count and the telemetry latency quantiles — used by
+    /// both [`Runtime::stats`] and [`Runtime::metrics`] so the two can
+    /// never disagree.
+    pub(crate) fn collect_stats(&self) -> StatsSnapshot {
+        let mut snap = stats::aggregate(self.workers.iter().map(|w| &w.stats));
+        snap.jobs_submitted += self.inject.total_submitted();
+        snap.jobs_rejected += self.inject.total_rejected();
+        snap.inject_banded_drains += self.inject.total_banded_drains();
+        snap.jobs_expired += self.inject.total_expired();
+        snap.inject_promotions += self.inject.total_promoted();
+        snap.callback_panics += crate::inject::callback_panics();
+        snap.latency = self.telemetry.collect_latency(&self.tele_refs());
+        snap
     }
 }
 
@@ -567,12 +633,12 @@ impl Runtime {
         let lane = attrs
             .resolve_node(hints, self.inner.inject.lanes())
             .unwrap_or_else(|| self.inner.inject.lane_of_submitter());
-        self.inner.inject.push(
-            admission,
-            lane,
-            attrs.band(),
-            make_job(Arc::clone(&state), Some(token.clone()), deadline, f),
-        );
+        let mut job = make_job(Arc::clone(&state), Some(token.clone()), deadline, f);
+        job.band = attrs.band();
+        if self.inner.telemetry.enabled() {
+            job.submit_tick = crate::telemetry::tick();
+        }
+        self.inner.inject.push(admission, lane, attrs.band(), job);
         self.inner.signal_work();
         Ok(JoinHandle::new(state, &self.inner, Some(token)))
     }
@@ -613,9 +679,11 @@ impl Runtime {
             unsafe { std::mem::transmute(boxed) };
         let admission = self.inner.inject.admit_blocking(NORMAL_BAND);
         let lane = self.inner.inject.lane_of_submitter();
-        self.inner
-            .inject
-            .push(admission, lane, NORMAL_BAND, Job(boxed));
+        let mut job = Job::new(boxed);
+        if self.inner.telemetry.enabled() {
+            job.submit_tick = crate::telemetry::tick();
+        }
+        self.inner.inject.push(admission, lane, NORMAL_BAND, job);
         self.inner.signal_work();
         state.wait_blocking();
         match state
@@ -665,23 +733,82 @@ impl Runtime {
     /// Aggregated scheduler statistics since construction (or last reset).
     /// `jobs_submitted` / `jobs_rejected` come from the injection layer's
     /// global counters (submissions happen on external threads), the rest
-    /// from the per-worker counters.
+    /// from the per-worker counters; `latency` carries the telemetry
+    /// histograms' per-band quantiles (zeros while tracing is off). One
+    /// merge path (`RtInner::collect_stats`) feeds this and
+    /// [`Runtime::metrics`]. As a side effect the per-worker event rings
+    /// are drained into the accumulated trace session
+    /// ([`Runtime::take_trace`]).
     pub fn stats(&self) -> StatsSnapshot {
-        let mut snap = stats::aggregate(self.inner.workers.iter().map(|w| &w.stats));
-        snap.jobs_submitted += self.inner.inject.total_submitted();
-        snap.jobs_rejected += self.inner.inject.total_rejected();
-        snap.inject_banded_drains += self.inner.inject.total_banded_drains();
-        snap.jobs_expired += self.inner.inject.total_expired();
-        snap.inject_promotions += self.inner.inject.total_promoted();
-        snap.callback_panics += crate::inject::callback_panics();
-        snap
+        self.inner.telemetry.drain(&self.inner.tele_refs());
+        self.inner.collect_stats()
     }
 
-    /// Reset all statistics counters (per-worker and injection-layer).
+    /// The unified metrics registry (`DESIGN.md` §9): every counter of
+    /// [`Runtime::stats`] by name, per-lane inject gauges, telemetry
+    /// event/drop counts and the per-band latency quantiles, all built
+    /// from the same merge path as the snapshot. Serialize with
+    /// [`MetricsRegistry::to_json`].
+    pub fn metrics(&self) -> MetricsRegistry {
+        let snap = self.stats();
+        let mut m = MetricsRegistry::new();
+        for (name, v) in snap.pairs() {
+            m.counter(name, v);
+        }
+        for (node, l) in self.inject_lane_stats().iter().enumerate() {
+            m.gauge(format!("inject_lane{node}_submitted"), l.submitted);
+            m.gauge(format!("inject_lane{node}_drained"), l.drained);
+        }
+        let tele = self.inner.tele_refs();
+        m.gauge(
+            "trace_events_recorded",
+            self.inner.telemetry.events_recorded(&tele),
+        );
+        m.gauge(
+            "trace_events_dropped",
+            self.inner.telemetry.events_dropped(&tele),
+        );
+        for (b, band) in ["high", "normal", "low"].iter().enumerate() {
+            m.histogram(
+                format!("submit_to_start_{band}"),
+                snap.latency.submit_to_start[b],
+            );
+            m.histogram(
+                format!("start_to_done_{band}"),
+                snap.latency.start_to_done[b],
+            );
+        }
+        m
+    }
+
+    /// Flip the telemetry layer on or off live (one relaxed store; spans
+    /// already in flight may lose their begin or end half — the trace
+    /// consumers tolerate unbalanced spans).
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.telemetry.set_enabled(on);
+    }
+
+    /// Is the telemetry layer currently recording?
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.telemetry.enabled()
+    }
+
+    /// Drain every worker's event ring and move the accumulated trace
+    /// session out: one nanosecond-stamped timeline per worker plus the
+    /// ring-overflow drop count. Export with
+    /// [`TraceSession::to_chrome_trace`] for Perfetto. A second call
+    /// starts from an empty session.
+    pub fn take_trace(&self) -> TraceSession {
+        self.inner.telemetry.take_session(&self.inner.tele_refs())
+    }
+
+    /// Reset all statistics counters (per-worker, injection-layer, and
+    /// the telemetry rings/histograms/session).
     pub fn reset_stats(&self) {
         stats::reset_all(self.inner.workers.iter().map(|w| &w.stats));
         self.inner.inject.reset_counters();
         crate::inject::reset_callback_panics();
+        self.inner.telemetry.reset(&self.inner.tele_refs());
     }
 
     /// Number of inject lanes (one per NUMA node of the topology).
@@ -748,6 +875,11 @@ impl Drop for Runtime {
         for t in threads {
             let _ = t.join();
         }
+        // Final telemetry drain: every ring's tail events land in the
+        // accumulated session (worker threads are gone, so the producer
+        // side is quiescent). Only observable through an outstanding
+        // `Arc<RtInner>` clone (e.g. a worker-held trace consumer).
+        self.inner.telemetry.drain(&self.inner.tele_refs());
     }
 }
 

@@ -29,6 +29,19 @@ macro_rules! counters {
         #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
         pub struct StatsSnapshot {
             $($(#[$doc])* pub $name: u64,)+
+            /// Per-band latency quantiles from the telemetry histograms
+            /// (`DESIGN.md` §9); all zeros while tracing is disabled.
+            pub latency: crate::telemetry::LatencyBands,
+        }
+
+        impl StatsSnapshot {
+            /// Every counter as a `(name, value)` pair, in declaration
+            /// order — the single enumeration the [`MetricsRegistry`]
+            /// (`crate::telemetry::MetricsRegistry`) is built from, so the
+            /// registry can never drift from the snapshot fields.
+            pub fn pairs(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
         }
     };
 }

@@ -304,6 +304,13 @@ pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
     }
     let victim = &rt.workers[v];
     WorkerStats::bump(&my.stats.steal_attempts, 1);
+    crate::telemetry::emit_current(
+        rt,
+        me,
+        crate::telemetry::EventKind::StealAttempt,
+        0,
+        v as u32,
+    );
     post_request(victim, &my.req);
 
     loop {
@@ -313,16 +320,33 @@ pub(crate) fn try_steal_once(rt: &Arc<RtInner>, me: usize) -> Option<Grab> {
                 // Safety: combiner wrote the grab before the Release store.
                 let grab = unsafe { (*my.req.grab.get()).take() };
                 WorkerStats::bump(&my.stats.steal_hits, 1);
-                if rt.topo.same_node(me, v) {
+                let local = rt.topo.same_node(me, v);
+                if local {
                     WorkerStats::bump(&my.stats.steals_local_node, 1);
                 } else {
                     WorkerStats::bump(&my.stats.steals_remote_node, 1);
                 }
+                // Telemetry distance class rides the band byte: 0 = the
+                // victim shared the thief's NUMA node, 1 = remote.
+                crate::telemetry::emit_current(
+                    rt,
+                    me,
+                    crate::telemetry::EventKind::StealHit,
+                    u8::from(!local),
+                    v as u32,
+                );
                 my.reset_fail_streak();
                 return grab;
             }
             REQ_EMPTY => {
                 my.req.status.store(REQ_FREE, Ordering::Relaxed);
+                crate::telemetry::emit_current(
+                    rt,
+                    me,
+                    crate::telemetry::EventKind::StealFail,
+                    0,
+                    v as u32,
+                );
                 my.note_steal_failure();
                 return None;
             }

@@ -24,6 +24,7 @@ use crate::frame::Frame;
 use crate::runtime::RtInner;
 use crate::stats::WorkerStats;
 use crate::steal::{run_grab, try_steal_once, Request};
+use crate::telemetry::{self, EventKind, WorkerTelemetry};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -47,6 +48,11 @@ pub(crate) struct Worker {
     /// This worker's own request node, posted to victims when idle.
     pub(crate) req: Request,
     pub(crate) stats: WorkerStats,
+    /// Telemetry bundle: this worker's SPSC event ring and banded latency
+    /// histograms (`DESIGN.md` §9). Allocated here, at construction, so
+    /// enabling tracing later never allocates; the owning worker thread
+    /// is the ring's only producer.
+    pub(crate) tele: WorkerTelemetry,
     /// Consecutive failed steal attempts (reset on any acquired work).
     /// Read by the steal policy for victim escalation and by the idle loop
     /// for the park decision. Only the owning worker thread writes it, so
@@ -67,6 +73,7 @@ impl Worker {
             req_head: AtomicPtr::new(std::ptr::null_mut()),
             req: Request::new(idx),
             stats: WorkerStats::default(),
+            tele: WorkerTelemetry::new(),
             fail_streak: AtomicU32::new(0),
             frame_pool: Mutex::new(Vec::new()),
             rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15 ^ ((idx as u64 + 1) << 17)),
@@ -231,7 +238,24 @@ pub(crate) fn try_drain_inject(rt: &Arc<RtInner>, idx: usize) -> bool {
     }
     my.reset_fail_streak();
     let mut raw = RawCtx::new(Arc::clone(rt), idx);
-    (job.0)(&mut raw);
+    if rt.telemetry.enabled() {
+        // Traced job span (`DESIGN.md` §9): drain instant + B/E pair, the
+        // submit→start delta (stamped at submission) into the band's
+        // queueing histogram and the body wall time into the service one.
+        let band = job.band.min(crate::attrs::PRIORITY_BANDS as u8 - 1);
+        let t0 = telemetry::tick();
+        my.tele.emit(t0, EventKind::InjectDrain, band, lane as u32);
+        if job.submit_tick != 0 {
+            my.tele.submit_to_start[band as usize].record(t0.saturating_sub(job.submit_tick));
+        }
+        my.tele.emit(t0, EventKind::JobBegin, band, lane as u32);
+        (job.run)(&mut raw);
+        let t1 = telemetry::tick();
+        my.tele.emit(t1, EventKind::JobEnd, band, lane as u32);
+        my.tele.start_to_done[band as usize].record(t1.saturating_sub(t0));
+    } else {
+        (job.run)(&mut raw);
+    }
     true
 }
 
@@ -289,12 +313,17 @@ pub(crate) fn worker_main(rt: Arc<RtInner>, idx: usize) {
                 std::thread::yield_now();
             }
         } else {
+            // Park/unpark span events are emitted here — on the worker
+            // thread, the ring's single producer — not inside ParkLot,
+            // which has no worker identity.
+            telemetry::emit_current(&rt, idx, EventKind::Park, 0, streak);
             let rt2 = &rt;
             rt.park_lot.park(park_timeout, || {
                 rt2.shutdown.load(Ordering::Acquire)
                     || rt2.inject.has_pending_hint()
                     || !rt2.queue.is_empty_hint(idx)
             });
+            telemetry::emit_current(&rt, idx, EventKind::Unpark, 0, 0);
         }
     }
 }

@@ -40,15 +40,30 @@ fn main() {
     );
     let reference = a;
 
+    // The online data-flow run executes with live telemetry on; the
+    // recorded timeline (task spans, steals, parks — one Perfetto lane
+    // per worker) is dumped next to the timings. Tracing is switched
+    // back off before the later drivers so the trace covers exactly
+    // this run.
     let rt = Arc::new(Runtime::new(threads));
+    rt.set_tracing(true);
     let t0 = Instant::now();
     let a = cholesky_xkaapi(&rt, orig.clone_matrix()).expect("SPD");
     let t = t0.elapsed().as_nanos();
+    rt.set_tracing(false);
+    let trace = rt.take_trace();
+    std::fs::write("cholesky_online_trace.json", trace.to_chrome_trace())
+        .expect("write online trace");
     println!(
         "xkaapi dataflow : {:8.1} ms  {:5.2} GFlop/s  (max|Δ| {:.1e})",
         t as f64 / 1e6,
         gf(t),
         a.max_abs_diff_lower(&reference)
+    );
+    println!(
+        "  wrote cholesky_online_trace.json ({} events, {} worker lanes)",
+        trace.total_events(),
+        trace.worker_count()
     );
 
     let q = Quark::new_centralized(threads);

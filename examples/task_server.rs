@@ -14,6 +14,15 @@
 //! throughput plus the per-lane drain counters — CI runs it in release
 //! mode as the server-path smoke gate.
 //!
+//! Since PR 9 the server also demonstrates the always-on telemetry
+//! layer (DESIGN.md §9): tracing is enabled at build time, a reporter
+//! thread prints a live stats snapshot (throughput plus per-band
+//! submit→start p50/p99) every 25 ms while the flood runs — the sort
+//! of periodic self-report a production server would export — and on
+//! shutdown the accumulated event trace is dumped as
+//! `task_server_trace.json`, a Perfetto-loadable chrome trace with one
+//! lane per worker (CI uploads it next to the bench artifacts).
+//!
 //! ```bash
 //! cargo run --release --example task_server
 //! ```
@@ -22,7 +31,7 @@
 //! [`JoinHandle`]: xkaapi::core::JoinHandle
 //! [`InjectPolicy`]: xkaapi::core::InjectPolicy
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use xkaapi::core::{InjectPolicy, OnFull, Runtime, Topology};
@@ -51,6 +60,7 @@ fn main() {
                 max_pending: 256,
                 on_full: OnFull::Block,
             })
+            .tracing(true)
             .build(),
     );
     println!(
@@ -127,6 +137,35 @@ fn main() {
         })
         .collect();
 
+    // Live telemetry reporter: while the flood runs, snapshot the runtime
+    // every 25 ms and print throughput plus the per-band submit→start
+    // quantiles. Each `stats()` call also drains the per-worker event
+    // rings into the trace session, so a long-lived server never
+    // overflows its rings between exports.
+    let stop = Arc::new(AtomicBool::new(false));
+    let reporter = {
+        let (rt, served, stop) = (Arc::clone(&rt), Arc::clone(&served), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut last = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+                let now = served.load(Ordering::Relaxed);
+                let lat = rt.stats().latency;
+                let q = &lat.submit_to_start[1]; // submit() jobs are Normal band
+                println!(
+                    "  [live {:>5.0} ms] served {now} (+{}), normal-band submit→start \
+                     p50 {:.1} µs p99 {:.1} µs",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    now - last,
+                    q.p50_ns as f64 / 1e3,
+                    q.p99_ns as f64 / 1e3,
+                );
+                last = now;
+            }
+        })
+    };
+
     start.wait();
     let t0 = Instant::now();
     for t in threads {
@@ -139,6 +178,8 @@ fn main() {
         std::thread::yield_now();
     }
     let elapsed = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    reporter.join().unwrap();
 
     // Every request served exactly once, and the expected checksum landed.
     assert_eq!(served.load(Ordering::Relaxed), total);
@@ -170,6 +211,21 @@ fn main() {
          the split depends on host scheduling — see ablation for the asserted property)",
         snap.inject_own_lane, snap.inject_remote_lane
     );
+
+    // Shutdown trace export: everything the workers recorded over the
+    // whole run, one Perfetto lane per worker (job spans, inject drains,
+    // steal attempts, park/unpark). A real server would dump this on
+    // SIGTERM or behind a debug endpoint.
+    let trace = rt.take_trace();
+    let chrome = trace.to_chrome_trace();
+    std::fs::write("task_server_trace.json", &chrome).expect("write trace");
+    println!(
+        "wrote task_server_trace.json ({} events across {} worker lanes, {} dropped)",
+        trace.total_events(),
+        trace.worker_count(),
+        trace.dropped()
+    );
+    assert!(trace.total_events() > 0, "tracing was on; trace is empty");
 
     // Graceful teardown (DESIGN.md §8): a real server bounds its shutdown
     // instead of dropping the pool blind. All submitters have joined, so we
