@@ -37,11 +37,18 @@
 //! quantiles (p50/p99/p999) from the banded histograms, plus the trace
 //! event/drop counts — and the per-lane JSON is read back from the
 //! unified [`MetricsRegistry`] instead of being merged bench-side.
+//! Since PR 10 it records an **offload_pipeline** run: independent
+//! pipelines of dependent stages all routed to the accelerator track
+//! (`Track::Offload`) — H2D upload on first use, batched kernel
+//! launches, D2H commit on completion — with end-to-end task
+//! throughput, the transfer/batch counters, and the completion-drain
+//! latency p50/p99 read from the NORMAL-band submit→start histogram
+//! (completion jobs are stamped when the engine injects them).
 //!
 //! Usage:
 //!
 //! * `smoke` — human-readable table;
-//! * `smoke --json` — additionally writes `BENCH_PR9.json` (snapshot file
+//! * `smoke --json` — additionally writes `BENCH_PR10.json` (snapshot file
 //!   name pinned per PR so the perf trajectory accretes one file per PR)
 //!   plus the `cholesky_recorded.dot` / `cholesky_executed.dot` /
 //!   `cholesky_recorded_trace.json` / `cholesky_replay_trace.json`
@@ -66,7 +73,7 @@ use xkaapi_core::{
 };
 use xkaapi_linalg::{cholesky_seq, cholesky_xkaapi, RecordedCholesky, TiledMatrix};
 
-const SNAPSHOT_FILE: &str = "BENCH_PR9.json";
+const SNAPSHOT_FILE: &str = "BENCH_PR10.json";
 
 /// Per-lane `{"node", "submitted", "drained"}` JSON rows read back from
 /// the unified [`MetricsRegistry`] gauges. The bench used to merge the
@@ -485,6 +492,62 @@ fn main() {
     // Pool alive after the storm: the same workers still run a scope.
     assert_eq!(rt_ft.scope(|c| fib(c, 10)), 55);
 
+    // --- offload_pipeline: the accelerator track end to end (PR 10) -----
+    // P independent pipelines of S dependent stages, every stage routed
+    // to the offload track: the engine uploads each handle on first use
+    // (H2D), groups launches into batches behind the configured latency,
+    // commits every completed write back (D2H), and successors only
+    // become ready when the asynchronous completion stream drains.
+    // Tracing is on, so the NORMAL-band submit→start histogram times
+    // exactly that completion-drain hop (engine → inject lane → worker):
+    // its p50/p99 are the snapshot's drain-latency metrics.
+    let op_workers = 8usize;
+    let op_pipelines = 64usize;
+    let op_stages = 32u64;
+    let op_tun = xkaapi_core::OffloadTunables {
+        launch_latency_us: 5,
+        batch: 16,
+        max_inflight: 4,
+        ..Default::default()
+    };
+    let rt_op = Runtime::builder()
+        .workers(op_workers)
+        .offload_tunables(op_tun)
+        .build();
+    rt_op.set_tracing(true);
+    let op_cells: Vec<Shared<u64>> = (0..op_pipelines).map(|_| Shared::new(0u64)).collect();
+    let op_t0 = Instant::now();
+    rt_op.scope(|ctx| {
+        for h in &op_cells {
+            for s in 0..op_stages {
+                let hw = h.clone();
+                ctx.task()
+                    .access(h.exclusive())
+                    .track(xkaapi_core::Track::Offload)
+                    .spawn(move |t| *t.write(&hw) += s + 1);
+            }
+        }
+    });
+    let op_ns = op_t0.elapsed().as_nanos() as u64;
+    let op_expected = op_stages * (op_stages + 1) / 2;
+    for c in &op_cells {
+        assert_eq!(*c.get(), op_expected, "offload pipeline checksum");
+    }
+    let op_tasks = op_pipelines as u64 * op_stages;
+    let op_tasks_per_s = op_tasks as f64 / op_ns as f64 * 1e9;
+    let op_stats = rt_op.stats();
+    assert_eq!(op_stats.tasks_offloaded, op_tasks, "every stage offloaded");
+    assert_eq!(
+        op_stats.offload_completions, op_tasks,
+        "every stage drained"
+    );
+    assert_eq!(
+        op_stats.offload_h2d, op_pipelines as u64,
+        "one upload per handle (resident set caches the rest)"
+    );
+    assert_eq!(op_stats.offload_d2h, op_tasks, "one commit per write stage");
+    let op_drain = op_stats.latency.submit_to_start[1]; // NORMAL band
+
     let total_s = t0.elapsed().as_secs_f64();
     print_table(
         &format!("Perf snapshot ({workers} workers, {total_s:.1}s total)"),
@@ -568,12 +631,26 @@ fn main() {
                     ft_ns as f64 / 1e6
                 ),
             ],
+            vec![
+                "offload_pipeline".into(),
+                format!("{:.0} ktasks/s", op_tasks_per_s / 1e3),
+                format!(
+                    "{op_tasks} stages ({op_pipelines}×{op_stages}) in {:.2} ms; \
+                     {} h2d / {} d2h / {} batches; drain p50/p99 {:.0}/{:.0} µs",
+                    op_ns as f64 / 1e6,
+                    op_stats.offload_h2d,
+                    op_stats.offload_d2h,
+                    op_stats.offload_batches,
+                    op_drain.p50_ns as f64 / 1e3,
+                    op_drain.p99_ns as f64 / 1e3,
+                ),
+            ],
         ],
     );
 
     if json {
         let body = format!(
-            "{{\n  \"pr\": 9,\n  \"workers\": {workers},\n  \
+            "{{\n  \"pr\": 10,\n  \"workers\": {workers},\n  \
              \"fib\": {{\"n\": {fib_n}, \"tasks\": {tasks}, \"ns\": {fib_ns}, \
              \"mtasks_per_s\": {fib_mtasks_per_s:.3}}},\n  \
              \"foreach\": {{\"elems\": {n}, \"ns\": {foreach_ns}, \
@@ -602,7 +679,13 @@ fn main() {
              \"panics_injected\": {ft_caught}, \"tasks_panicked\": {}, \
              \"cancel_ran\": {ft_ran}, \"cancel_skipped\": {ft_cancelled}, \
              \"tasks_cancelled\": {}, \"jobs_expired\": {}, \
-             \"callback_panics\": {}}}\n}}\n",
+             \"callback_panics\": {}}},\n  \
+             \"offload_pipeline\": {{\"workers\": {op_workers}, \
+             \"pipelines\": {op_pipelines}, \"stages\": {op_stages}, \
+             \"offload_tasks\": {op_tasks}, \"offload_ns\": {op_ns}, \
+             \"offload_tasks_per_s\": {op_tasks_per_s:.0}, \
+             \"h2d\": {}, \"d2h\": {}, \"batches\": {}, \"completions\": {}, \
+             \"drain_p50_ns\": {}, \"drain_p99_ns\": {}}}\n}}\n",
             rec_stats.tasks,
             rec_stats.edges,
             rec_stats.groups,
@@ -619,6 +702,12 @@ fn main() {
             ft_stats.tasks_cancelled,
             ft_stats.jobs_expired,
             ft_stats.callback_panics,
+            op_stats.offload_h2d,
+            op_stats.offload_d2h,
+            op_stats.offload_batches,
+            op_stats.offload_completions,
+            op_drain.p50_ns,
+            op_drain.p99_ns,
         );
         std::fs::write(SNAPSHOT_FILE, body).expect("write perf snapshot");
         println!("\nwrote {SNAPSHOT_FILE}");
@@ -638,6 +727,23 @@ fn main() {
             std::fs::write(file, contents).expect("write schedule export");
             println!("wrote {file}");
         }
+
+        // The offload_pipeline run executed with tracing on: its event
+        // trace carries the track lanes — H2D/D2H transfer spans, batched
+        // launch spans and completion markers on the "offload" lane, next
+        // to the worker lanes draining the completions. Perfetto-loadable;
+        // CI uploads it with the snapshot.
+        let op_trace = rt_op.take_trace();
+        assert!(
+            op_trace.total_events() > 0,
+            "offload run traced but exported no events"
+        );
+        std::fs::write("offload_trace.json", op_trace.to_chrome_trace())
+            .expect("write offload trace");
+        println!(
+            "wrote offload_trace.json ({} events)",
+            op_trace.total_events()
+        );
     }
 
     if check {

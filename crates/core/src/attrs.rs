@@ -104,6 +104,44 @@ pub enum Affinity {
     Node(usize),
 }
 
+/// Execution track of a task or root job: which engine runs its body
+/// (`DESIGN.md` §10).
+///
+/// The CPU worker pool is one track among several. The **offload** track
+/// models an accelerator — explicit H2D/D2H transfer steps synthesized per
+/// handle access, a batched kernel-launch queue with configurable launch
+/// latency, and an asynchronous completion stream; successors of an
+/// offloaded task become ready when its completion *drains* back into the
+/// pool, not when the body returns. The **I/O** track runs bodies that
+/// block on external events on a small dedicated thread set so they never
+/// occupy a CPU worker. Routing is an attribute like [`Priority`] and
+/// [`Affinity`]: `ctx.task().track(Track::Offload)` /
+/// `rt.task().track(Track::Io)`, with the default [`Track::Cpu`] lowering
+/// to exactly the pre-track behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The CPU worker pool (the default): unchanged pre-track behaviour.
+    #[default]
+    Cpu,
+    /// The modelled-accelerator engine: batched launches, synthesized
+    /// H2D/D2H transfers, asynchronous completions (`OffloadEngine`).
+    Offload,
+    /// The blocking-I/O thread set: bodies that wait on external events
+    /// (`IoEngine`); see also the `wait_external` builder sugar.
+    Io,
+}
+
+impl Track {
+    /// Table label (bench harnesses, trace lanes).
+    pub fn label(self) -> &'static str {
+        match self {
+            Track::Cpu => "cpu",
+            Track::Offload => "offload",
+            Track::Io => "io",
+        }
+    }
+}
+
 /// A shared cancellation flag, cooperatively checked by the scheduler.
 ///
 /// Cloning a token shares the flag: cancelling any clone cancels them all.
@@ -159,12 +197,17 @@ pub struct TaskAttrs {
     /// Cooperative cancellation token, if the task belongs to a cancellable
     /// cone. Inherited by child spawns (`DESIGN.md` §8).
     pub cancel: Option<CancelToken>,
+    /// Execution track: which engine runs the body (`DESIGN.md` §10). The
+    /// default [`Track::Cpu`] is the worker pool; non-CPU tracks are
+    /// dispatched at the point the task would otherwise execute.
+    pub track: Track,
 }
 
 impl PartialEq for TaskAttrs {
     fn eq(&self, other: &Self) -> bool {
         self.priority == other.priority
             && self.affinity == other.affinity
+            && self.track == other.track
             && match (&self.cancel, &other.cancel) {
                 (None, None) => true,
                 (Some(a), Some(b)) => a.same_as(b),
@@ -183,7 +226,7 @@ impl TaskAttrs {
     }
 
     /// True when every field is the default (Normal band, no affinity, no
-    /// cancel token).
+    /// cancel token, CPU track).
     ///
     /// The spawn path monomorphizes on this: a default spawn takes the
     /// `#[inline]` fast lowering identical to the pre-attribute runtime,
@@ -194,6 +237,7 @@ impl TaskAttrs {
         matches!(self.priority, Priority::Normal)
             && matches!(self.affinity, Affinity::None)
             && self.cancel.is_none()
+            && matches!(self.track, Track::Cpu)
     }
 
     /// Is this task's cancel token (if any) cancelled?

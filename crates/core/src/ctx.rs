@@ -39,6 +39,12 @@ pub struct RawCtx {
     /// Cancellation token governing this execution, inherited by every
     /// child spawn so cancelling a root cancels its whole cone.
     pub(crate) cancel: Option<CancelToken>,
+    /// Running on a track thread (offload/io engine, `DESIGN.md` §10)
+    /// rather than a pool worker. A detached context must never borrow a
+    /// worker's thief identity: its syncs spin-wait instead of stealing
+    /// and its fork-joins run sequentially inline — children it spawns
+    /// are still stealable by real workers through the frame.
+    pub(crate) detached: bool,
 }
 
 impl RawCtx {
@@ -49,6 +55,7 @@ impl RawCtx {
             frame: None,
             cur: None,
             cancel: None,
+            detached: crate::telemetry::on_track_thread(),
         }
     }
 
@@ -179,16 +186,39 @@ impl RawCtx {
                 if t.try_claim(ST_OWNER) {
                     frame.advance_cursor();
                     WorkerStats::bump(&rt.workers[widx].stats.tasks_executed_own, 1);
-                    execute_claimed(&rt, widx, &frame, i, t);
+                    execute_claimed(&rt, widx, &frame, i, Arc::clone(&t));
+                    // Track-routed tasks (`DESIGN.md` §10) come back from
+                    // execute_claimed dispatched but not done — their body
+                    // runs when the engine's completion drains. The owner
+                    // FIFO walk runs later children inline *without* a
+                    // readiness proof (sequential order is the proof), so
+                    // it must not pass an in-flight child: wait exactly
+                    // like the stolen case, helping in the meantime (the
+                    // help loop drains the inject lanes the completion
+                    // arrives on).
+                    if !t.is_done() {
+                        if self.detached {
+                            wait_detached(|| t.is_done());
+                        } else {
+                            help_until(&rt, widx, Some(&frame), || t.is_done());
+                        }
+                    }
                 } else if t.state() == ST_DONE {
                     frame.advance_cursor();
                 } else {
                     // Stolen and in flight: suspend, help elsewhere.
-                    help_until(&rt, widx, Some(&frame), || t.is_done());
+                    if self.detached {
+                        wait_detached(|| t.is_done());
+                    } else {
+                        help_until(&rt, widx, Some(&frame), || t.is_done());
+                    }
                     frame.advance_cursor();
                 }
             } else if frame.pending() == 0 {
                 break;
+            } else if self.detached {
+                // All claimed, some still running on thieves.
+                wait_detached(|| frame.pending() == 0);
             } else {
                 // All claimed, some still running on thieves.
                 help_until(&rt, widx, Some(&frame), || frame.pending() == 0);
@@ -286,6 +316,50 @@ pub(crate) fn execute_claimed(
         complete_and_publish(rt, widx, frame, idx, &task);
         return;
     }
+    // Track routing (`DESIGN.md` §10): non-CPU tasks hand off to their
+    // engine here instead of running inline. The engine owns the claimed
+    // task from this point — its body runs later (offload: inside the
+    // drained completion job; io: on a dedicated blocking thread).
+    if crate::track::dispatch(rt, widx, frame, idx, &task) {
+        return;
+    }
+    run_claimed_body(rt, widx, frame, idx, task);
+}
+
+/// Run the body of an already-claimed task and publish its completion —
+/// the tail of [`execute_claimed`] after the skip/dispatch decisions. Also
+/// the entry point track engines use to execute a task they deferred: the
+/// offload completion job calls it on the draining CPU worker, the io
+/// engine on its own thread (where `RawCtx::new` picks up detached mode
+/// and `tele_for` routes the span to the track's telemetry lane).
+///
+/// Never unwinds: both the body and the implicit child sync are caught,
+/// recorded (poison-before-complete, `DESIGN.md` §8) and swallowed — a
+/// requirement of the inject drain loop, which runs jobs bare.
+pub(crate) fn run_claimed_body(
+    rt: &Arc<RtInner>,
+    widx: usize,
+    frame: &Arc<Frame>,
+    idx: usize,
+    task: Arc<Task>,
+) {
+    let stats = &rt.workers[widx].stats;
+    // Re-check cancellation: the token may have been cancelled while the
+    // task sat in a track engine's queue (a no-op on the inline CPU path,
+    // where `execute_claimed` checked moments ago).
+    if task.attrs.is_cancelled() {
+        let _ = task.take_body();
+        WorkerStats::bump(&stats.tasks_cancelled, 1);
+        crate::telemetry::emit_current(
+            rt,
+            widx,
+            crate::telemetry::EventKind::Cancel,
+            task.attrs.band(),
+            idx as u32,
+        );
+        complete_and_publish(rt, widx, frame, idx, &task);
+        return;
+    }
     let body = task.take_body();
     let mut raw = RawCtx::new(Arc::clone(rt), widx);
     raw.cancel = task.attrs.cancel.clone();
@@ -293,7 +367,9 @@ pub(crate) fn execute_claimed(
     // Traced task span (`DESIGN.md` §9): B/E pair around the body plus
     // the start→done delta into the band's service histogram. One relaxed
     // load when tracing is off; the inline fork-join fast lane
-    // (`Ctx::join`) is deliberately not per-event instrumented.
+    // (`Ctx::join`) is deliberately not per-event instrumented. `tele_for`
+    // resolves to the executing thread's own lane (SPSC ring safety when a
+    // track thread runs the body).
     let tracing = rt.telemetry.enabled();
     let band = task
         .attrs
@@ -301,9 +377,12 @@ pub(crate) fn execute_claimed(
         .min(crate::attrs::PRIORITY_BANDS as u8 - 1);
     let t0 = if tracing {
         let t0 = crate::telemetry::tick();
-        rt.workers[widx]
-            .tele
-            .emit(t0, crate::telemetry::EventKind::TaskBegin, band, idx as u32);
+        crate::telemetry::tele_for(rt, widx).emit(
+            t0,
+            crate::telemetry::EventKind::TaskBegin,
+            band,
+            idx as u32,
+        );
         t0
     } else {
         0
@@ -316,7 +395,7 @@ pub(crate) fn execute_claimed(
     let fin = catch_unwind(AssertUnwindSafe(|| raw.finish()));
     if tracing {
         let t1 = crate::telemetry::tick();
-        let tele = &rt.workers[widx].tele;
+        let tele = crate::telemetry::tele_for(rt, widx);
         tele.emit(t1, crate::telemetry::EventKind::TaskEnd, band, idx as u32);
         tele.start_to_done[band as usize].record(t1.saturating_sub(t0));
         if res.is_err() {
@@ -341,8 +420,23 @@ pub(crate) fn execute_claimed(
     complete_and_publish(rt, widx, frame, idx, &task);
 }
 
+/// Spin-wait for a detached (track-thread) context: no stealing, no inject
+/// drains — track threads own no thief identity (`Worker::req`) and must
+/// not impersonate one. Progress comes from the CPU pool, which can steal
+/// from the detached frame like from any registered frame.
+fn wait_detached(done: impl Fn() -> bool) {
+    let backoff = Backoff::new();
+    while !done() {
+        if backoff.is_completed() {
+            std::thread::yield_now();
+        } else {
+            backoff.snooze();
+        }
+    }
+}
+
 /// Completion tail shared by the run/skip paths of `execute_claimed`.
-fn complete_and_publish(
+pub(crate) fn complete_and_publish(
     rt: &Arc<RtInner>,
     widx: usize,
     frame: &Arc<Frame>,
@@ -578,6 +672,29 @@ impl<'scope> Ctx<'scope> {
         FB: FnOnce(&mut Ctx<'scope>) -> RB + Send,
         RB: Send,
     {
+        if self.raw().detached {
+            // Detached contexts (track threads, `DESIGN.md` §10) own no
+            // T.H.E. deque — worker `widx`'s lane is single-producer and
+            // the real owner may be pushing concurrently — so the pair
+            // runs sequentially inline, `fb` in a fresh scope like the
+            // stolen path would give it.
+            let (rt, widx) = {
+                let raw = self.raw();
+                (Arc::clone(&raw.rt), raw.widx)
+            };
+            if !attrs.is_default() {
+                WorkerStats::bump(&rt.workers[widx].stats.tasks_with_attrs, 1);
+            }
+            let ra = catch_unwind(AssertUnwindSafe(|| fa(self)));
+            let rb = catch_unwind(AssertUnwindSafe(|| {
+                let mut sub = RawCtx::new(Arc::clone(&rt), widx);
+                sub.run_scoped(fb)
+            }));
+            match (ra, rb) {
+                (Ok(a), Ok(b)) => return (a, b),
+                (Err(p), _) | (_, Err(p)) => resume_unwind(p),
+            }
+        }
         use crate::fastlane::FastJob;
         const J_PENDING: u8 = 0;
         const J_DONE: u8 = 1;
@@ -1048,6 +1165,23 @@ impl<'b, 'scope> TaskBuilder<'b, 'scope> {
     pub fn cancel_token(mut self, t: &CancelToken) -> Self {
         self.attrs.cancel = Some(t.clone());
         self
+    }
+
+    /// Route the task to an execution track (default [`Track::Cpu`]:
+    /// today's worker pool, unchanged). `Track::Offload` hands it to the
+    /// modelled accelerator engine — successors become ready when its
+    /// completion drains, not when the body returns; `Track::Io` runs it
+    /// on the dedicated blocking thread set (`DESIGN.md` §10).
+    pub fn track(mut self, t: crate::attrs::Track) -> Self {
+        self.attrs.track = t;
+        self
+    }
+
+    /// Mark the task as blocking on an external event (a file descriptor,
+    /// a channel, a remote reply): sugar for `.track(Track::Io)` — the
+    /// body runs on the io thread set and never occupies a CPU worker.
+    pub fn wait_external(self) -> Self {
+        self.track(crate::attrs::Track::Io)
     }
 
     /// Spawn the task. Non-blocking, identical semantics to

@@ -656,8 +656,9 @@ impl InjectLanes {
     }
 
     /// Try to reserve a pending slot for a `band` submission without
-    /// blocking.
-    fn try_admit(&self, band: u8) -> Option<Admission> {
+    /// blocking (also the polling primitive of the track engines, whose
+    /// threads must stay responsive to shutdown).
+    pub(crate) fn try_admit(&self, band: u8) -> Option<Admission> {
         let limit = self.band_limit(band);
         let mut cur = self.pending.load(Ordering::Relaxed);
         loop {

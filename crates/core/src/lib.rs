@@ -104,11 +104,12 @@ mod steal;
 mod task;
 pub mod telemetry;
 pub mod topology;
+pub mod track;
 mod worker;
 
 pub use access::{Access, AccessMode, HandleId, Region};
 pub use adaptive::{split_even, IntervalCell};
-pub use attrs::{Affinity, CancelToken, Priority, TaskAttrs, PRIORITY_BANDS};
+pub use attrs::{Affinity, CancelToken, Priority, TaskAttrs, Track, PRIORITY_BANDS};
 pub use ctx::{with_runtime_ctx, Ctx, TaskBuilder};
 pub use dataflow::DataflowEngine;
 #[cfg(feature = "fault-injection")]
@@ -129,6 +130,7 @@ pub use telemetry::{
     TraceSession,
 };
 pub use topology::{DistanceMatrix, Topology};
+pub use track::{OffloadTunables, TrackEngine};
 
 #[cfg(test)]
 mod tests;

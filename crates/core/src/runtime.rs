@@ -34,6 +34,7 @@ use crate::queue::{DistributedLanes, TaskQueue};
 use crate::stats::{self, StatsSnapshot};
 use crate::telemetry::{MetricsRegistry, TelemetryState, TraceSession, WorkerTelemetry};
 use crate::topology::Topology;
+use crate::track::{OffloadTunables, Tracks};
 use crate::worker::{current_worker_of, worker_main, ParkLot, Worker};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -75,6 +76,12 @@ pub struct Tunables {
     /// by the drain-side sweep (`DESIGN.md` §8). `None` disables aging
     /// (pre-PR 8 strict band order, starvation by design).
     pub promote_low_after: Option<Duration>,
+    /// Non-CPU execution tracks (`DESIGN.md` §10): the modelled offload
+    /// engine's launch latency / batch size / in-flight cap / transfer
+    /// cost and the blocking-I/O thread count.
+    /// `XKAAPI_OFFLOAD_LATENCY_US` and `XKAAPI_IO_THREADS` override the
+    /// corresponding defaults.
+    pub offload: OffloadTunables,
 }
 
 impl Default for Tunables {
@@ -89,6 +96,7 @@ impl Default for Tunables {
             inject: InjectPolicy::default(),
             pin_workers: false,
             promote_low_after: Some(Duration::from_millis(10)),
+            offload: OffloadTunables::default(),
         }
     }
 }
@@ -129,6 +137,8 @@ pub struct Builder {
     rounds_explicit: bool,
     pending_explicit: bool,
     pin_explicit: bool,
+    offload_latency_explicit: bool,
+    io_threads_explicit: bool,
     tracing: Option<bool>,
     stack_size: usize,
     queue: Option<Arc<dyn TaskQueue>>,
@@ -148,6 +158,8 @@ impl Default for Builder {
             rounds_explicit: false,
             pending_explicit: false,
             pin_explicit: false,
+            offload_latency_explicit: false,
+            io_threads_explicit: false,
             tracing: None,
             stack_size: 16 << 20,
             queue: None,
@@ -322,6 +334,37 @@ impl Builder {
         self
     }
 
+    /// Replace the whole non-CPU track configuration (launch latency,
+    /// batch size, in-flight cap, transfer cost, io thread count). Counts
+    /// as explicit for *every* offload field: neither
+    /// `XKAAPI_OFFLOAD_LATENCY_US` nor `XKAAPI_IO_THREADS` overrides it.
+    pub fn offload_tunables(mut self, t: OffloadTunables) -> Self {
+        assert!(t.io_threads >= 1, "at least one io thread required");
+        self.tun.offload = t;
+        self.offload_latency_explicit = true;
+        self.io_threads_explicit = true;
+        self
+    }
+
+    /// Modelled kernel-launch latency of the offload engine in µs
+    /// (default 20, overridable via `XKAAPI_OFFLOAD_LATENCY_US`). An
+    /// explicit call here wins over the environment.
+    pub fn offload_launch_latency_us(mut self, us: u64) -> Self {
+        self.tun.offload.launch_latency_us = us;
+        self.offload_latency_explicit = true;
+        self
+    }
+
+    /// Number of dedicated blocking-I/O threads (default 2, overridable
+    /// via `XKAAPI_IO_THREADS`). An explicit call here wins over the
+    /// environment.
+    pub fn io_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one io thread required");
+        self.tun.offload.io_threads = n;
+        self.io_threads_explicit = true;
+        self
+    }
+
     /// Enable the telemetry layer from construction: per-worker event
     /// rings and banded latency histograms (`DESIGN.md` §9). Always
     /// compiled in, default **off** (one relaxed load per instrumentation
@@ -370,6 +413,16 @@ impl Builder {
                 tun.pin_workers = pin;
             }
         }
+        if !self.offload_latency_explicit {
+            if let Some(us) = env_override("XKAAPI_OFFLOAD_LATENCY_US") {
+                tun.offload.launch_latency_us = us as u64;
+            }
+        }
+        if !self.io_threads_explicit {
+            if let Some(n) = env_override("XKAAPI_IO_THREADS") {
+                tun.offload.io_threads = n;
+            }
+        }
         let nworkers = self
             .workers
             .or_else(|| env_override("XKAAPI_WORKERS"))
@@ -403,10 +456,17 @@ impl Builder {
             .tracing
             .or_else(|| env_flag("XKAAPI_TRACE"))
             .unwrap_or(false);
+        let tracks = Tracks::new(tun.offload, nworkers);
+        // One Perfetto lane per worker, then one per track thread, in the
+        // exact order `RtInner::tele_refs` yields the bundles.
+        let lanes: Vec<String> = (0..nworkers)
+            .map(|i| format!("worker {i}"))
+            .chain(tracks.lane_names())
+            .collect();
         let inner = Arc::new(RtInner {
             workers,
             inject,
-            telemetry: TelemetryState::new(nworkers, trace_on),
+            telemetry: TelemetryState::named(lanes, trace_on),
             park_lot: ParkLot::new(),
             shutdown: AtomicBool::new(false),
             tun,
@@ -414,11 +474,13 @@ impl Builder {
             steal_pol,
             topo,
             threads: Mutex::new(Vec::new()),
+            tracks,
             #[cfg(feature = "fault-injection")]
             fault: self
                 .fault_plan
                 .map(|p| Arc::new(crate::fault::FaultState::new(p))),
         });
+        inner.tracks.start(&inner);
         for i in 0..nworkers {
             let rt = Arc::clone(&inner);
             let h = std::thread::Builder::new()
@@ -457,6 +519,9 @@ pub(crate) struct RtInner {
     /// Machine topology consulted by topology-aware steal policies.
     pub(crate) topo: Topology,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Non-CPU execution tracks: the modelled offload engine and the
+    /// blocking-I/O thread set (`DESIGN.md` §10).
+    pub(crate) tracks: Tracks,
     /// Deterministic fault-injection plan state (chaos testing only).
     #[cfg(feature = "fault-injection")]
     pub(crate) fault: Option<Arc<crate::fault::FaultState>>,
@@ -496,9 +561,15 @@ impl RtInner {
         self.park_lot.signal();
     }
 
-    /// Per-worker telemetry bundles, in worker order (drain/merge views).
+    /// All telemetry bundles in lane order — workers first, then the
+    /// track threads (drain/merge views; parallel to the session's lane
+    /// names).
     pub(crate) fn tele_refs(&self) -> Vec<&WorkerTelemetry> {
-        self.workers.iter().map(|w| &w.tele).collect()
+        self.workers
+            .iter()
+            .map(|w| &w.tele)
+            .chain(self.tracks.tele_refs())
+            .collect()
     }
 
     /// The **single** stats merge path (`DESIGN.md` §9): per-worker
@@ -507,7 +578,12 @@ impl RtInner {
     /// both [`Runtime::stats`] and [`Runtime::metrics`] so the two can
     /// never disagree.
     pub(crate) fn collect_stats(&self) -> StatsSnapshot {
-        let mut snap = stats::aggregate(self.workers.iter().map(|w| &w.stats));
+        let mut snap = stats::aggregate(
+            self.workers
+                .iter()
+                .map(|w| &w.stats)
+                .chain(self.tracks.stats_refs()),
+        );
         snap.jobs_submitted += self.inject.total_submitted();
         snap.jobs_rejected += self.inject.total_rejected();
         snap.inject_banded_drains += self.inject.total_banded_drains();
@@ -615,6 +691,22 @@ impl Runtime {
             return Err(SubmitError::Expired);
         }
         let state = Arc::new(JoinState::new());
+        // Blocking jobs (`JobBuilder::wait_external` / `track(Io)`) route
+        // to the io thread set — even from worker context, where the
+        // inline shortcut below would put a blocking body on the CPU
+        // pool, the one thing the io track exists to prevent. The io
+        // queue is unbounded (no lane admission slot), so no deadlock:
+        // an io thread runs the job independently of the submitter.
+        if matches!(attrs.track, crate::attrs::Track::Io) {
+            self.inner.inject.note_inline_submit();
+            let mut job = make_job(Arc::clone(&state), Some(token.clone()), deadline, f);
+            job.band = attrs.band();
+            if self.inner.telemetry.enabled() {
+                job.submit_tick = crate::telemetry::tick();
+            }
+            self.inner.tracks.io.submit_job(job);
+            return Ok(JoinHandle::new(state, &self.inner, Some(token)));
+        }
         if let Some(widx) = current_worker_of(&self.inner) {
             // Worker context: run inline (a queued job could deadlock a
             // 1-worker pool whose only worker then waits on the handle).
@@ -805,7 +897,13 @@ impl Runtime {
     /// Reset all statistics counters (per-worker, injection-layer, and
     /// the telemetry rings/histograms/session).
     pub fn reset_stats(&self) {
-        stats::reset_all(self.inner.workers.iter().map(|w| &w.stats));
+        stats::reset_all(
+            self.inner
+                .workers
+                .iter()
+                .map(|w| &w.stats)
+                .chain(self.inner.tracks.stats_refs()),
+        );
         self.inner.inject.reset_counters();
         crate::inject::reset_callback_panics();
         self.inner.telemetry.reset(&self.inner.tele_refs());
@@ -875,6 +973,12 @@ impl Drop for Runtime {
         for t in threads {
             let _ = t.join();
         }
+        // Track engines stop after the CPU workers: a worker mid-task may
+        // still dispatch to a track (the shutdown check in `dispatch` is
+        // advisory), but once workers are joined nothing submits anymore.
+        // Queued-but-unstarted track work is dropped like queued inject
+        // jobs.
+        self.inner.tracks.stop();
         // Final telemetry drain: every ring's tail events land in the
         // accumulated session (worker threads are gone, so the producer
         // side is quiescent). Only observable through an outstanding
@@ -932,6 +1036,24 @@ impl<'rt> JobBuilder<'rt> {
     pub fn cancel_token(mut self, t: &CancelToken) -> Self {
         self.attrs.cancel = Some(t.clone());
         self
+    }
+
+    /// Route the job to an execution track. For root jobs only
+    /// [`Track::Io`](crate::Track) changes the path: the body runs on the
+    /// dedicated blocking thread set instead of a CPU worker
+    /// (`DESIGN.md` §10). `Track::Offload` is a task-level attribute —
+    /// a root job keeps the CPU path and routes per-task via
+    /// [`TaskBuilder::track`](crate::TaskBuilder::track).
+    pub fn track(mut self, t: crate::attrs::Track) -> Self {
+        self.attrs.track = t;
+        self
+    }
+
+    /// Mark the job as blocking on an external event: sugar for
+    /// `.track(Track::Io)` — it runs on the io thread set and never
+    /// occupies a CPU worker while blocked.
+    pub fn wait_external(self) -> Self {
+        self.track(crate::attrs::Track::Io)
     }
 
     /// Admission deadline, measured from the `submit` call: a job still

@@ -139,6 +139,25 @@ counters! {
     /// promotion sweep (`Tunables::promote_low_after`). Maintained
     /// globally by the inject lanes, merged in by `Runtime::stats`.
     inject_promotions,
+    /// Tasks routed to the offload engine (`Track::Offload`) instead of
+    /// executing on the CPU pool (`DESIGN.md` §10).
+    tasks_offloaded,
+    /// Kernel-launch batches issued by the offload engine (each batch pays
+    /// one launch latency and holds one in-flight slot).
+    offload_batches,
+    /// Host→device transfer steps synthesized by the offload engine (first
+    /// use of a handle uploads it).
+    offload_h2d,
+    /// Device→host transfer steps synthesized by the offload engine
+    /// (written handles download at commit).
+    offload_d2h,
+    /// Offload completion records drained back into dataflow readiness via
+    /// the inject lanes (successor release happens here, not at body
+    /// return).
+    offload_completions,
+    /// Tasks and root jobs executed on the dedicated blocking-I/O thread
+    /// set (`Track::Io` / `wait_external`), never occupying a CPU worker.
+    tasks_io,
 }
 
 impl WorkerStats {

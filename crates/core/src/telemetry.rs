@@ -111,6 +111,24 @@ pub enum EventKind {
     Cancel = 12,
     /// A job was shed at drain time (deadline expired or cancelled).
     Shed = 13,
+    /// An offload-track transfer step started (`band` = direction:
+    /// 0 host→device, 1 device→host; `arg` = handle id).
+    TransferB = 14,
+    /// The matching end of [`EventKind::TransferB`].
+    TransferE = 15,
+    /// A batched kernel launch started on the offload track (`arg` =
+    /// batch size).
+    LaunchB = 16,
+    /// The matching end of [`EventKind::LaunchB`].
+    LaunchE = 17,
+    /// An offload completion record was produced — the point successors
+    /// become releasable, not the body return (`arg` = frame slot).
+    OffloadComplete = 18,
+    /// An I/O-track body started blocking on its external event
+    /// (`arg` = io thread index).
+    IoBlockB = 19,
+    /// The matching end of [`EventKind::IoBlockB`].
+    IoBlockE = 20,
 }
 
 impl EventKind {
@@ -130,6 +148,13 @@ impl EventKind {
             10 => EventKind::ReplayGroup,
             11 => EventKind::Panic,
             12 => EventKind::Cancel,
+            14 => EventKind::TransferB,
+            15 => EventKind::TransferE,
+            16 => EventKind::LaunchB,
+            17 => EventKind::LaunchE,
+            18 => EventKind::OffloadComplete,
+            19 => EventKind::IoBlockB,
+            20 => EventKind::IoBlockE,
             _ => EventKind::Shed,
         }
     }
@@ -148,6 +173,10 @@ impl EventKind {
             EventKind::Panic => "panic",
             EventKind::Cancel => "cancel",
             EventKind::Shed => "shed",
+            EventKind::TransferB | EventKind::TransferE => "transfer",
+            EventKind::LaunchB | EventKind::LaunchE => "launch",
+            EventKind::OffloadComplete => "offload_complete",
+            EventKind::IoBlockB | EventKind::IoBlockE => "io_block",
         }
     }
 
@@ -161,6 +190,12 @@ impl EventKind {
             EventKind::JobEnd => Some(("job", false)),
             EventKind::Park => Some(("park", true)),
             EventKind::Unpark => Some(("park", false)),
+            EventKind::TransferB => Some(("transfer", true)),
+            EventKind::TransferE => Some(("transfer", false)),
+            EventKind::LaunchB => Some(("launch", true)),
+            EventKind::LaunchE => Some(("launch", false)),
+            EventKind::IoBlockB => Some(("io_block", true)),
+            EventKind::IoBlockE => Some(("io_block", false)),
             _ => None,
         }
     }
@@ -503,18 +538,33 @@ pub(crate) struct TelemetryState {
     enabled: AtomicBool,
     epoch_instant: Instant,
     epoch_tick: u64,
-    /// Drained-but-not-yet-taken raw events, one vec per worker. The lock
+    /// Perfetto lane names, one per drained ring: the CPU workers first,
+    /// then each track thread (`offload`, `io-0`, …).
+    lanes: Vec<String>,
+    /// Drained-but-not-yet-taken raw events, one vec per lane. The lock
     /// also serializes the consumer side of every ring.
     session: Mutex<Vec<Vec<RawEvent>>>,
 }
 
 impl TelemetryState {
+    #[cfg(test)]
     pub(crate) fn new(workers: usize, enabled: bool) -> TelemetryState {
+        TelemetryState::named(
+            (0..workers).map(|w| format!("worker {w}")).collect(),
+            enabled,
+        )
+    }
+
+    /// One explicit Perfetto lane name per drained ring (CPU workers
+    /// followed by track threads).
+    pub(crate) fn named(lanes: Vec<String>, enabled: bool) -> TelemetryState {
+        let n = lanes.len();
         TelemetryState {
             enabled: AtomicBool::new(enabled),
             epoch_instant: Instant::now(),
             epoch_tick: tick(),
-            session: Mutex::new((0..workers).map(|_| Vec::new()).collect()),
+            lanes,
+            session: Mutex::new((0..n).map(|_| Vec::new()).collect()),
         }
     }
 
@@ -579,6 +629,7 @@ impl TelemetryState {
             .collect();
         TraceSession {
             workers,
+            lanes: self.lanes.clone(),
             dropped: tele.iter().map(|t| t.ring.dropped()).sum(),
         }
     }
@@ -635,8 +686,55 @@ pub(crate) fn emit_current(
     arg: u32,
 ) {
     if rt.telemetry.enabled() {
-        rt.workers[widx].tele.emit(tick(), kind, band, arg);
+        tele_for(rt, widx).emit(tick(), kind, band, arg);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Track-thread lane override
+//
+// Event rings are SPSC: one producer — the owning thread. Track threads
+// (offload/io engines, `DESIGN.md` §10) therefore each own a telemetry
+// bundle of their own and register it here at startup; every shared
+// emission site resolves through `tele_for` so a task body executing on a
+// track thread lands on the track's lane, never on worker `widx`'s ring
+// (whose producer is a live CPU thread). The same thread-local doubles as
+// the detached-context marker (`RawCtx::detached`).
+
+thread_local! {
+    static TRACK_LANE: std::cell::Cell<*const WorkerTelemetry> =
+        const { std::cell::Cell::new(std::ptr::null()) };
+}
+
+/// Register `tele` as the calling thread's telemetry lane. Called once per
+/// track thread at startup; `tele` must stay alive for the thread's whole
+/// life (it lives in `RtInner::tracks`, and the thread holds the
+/// `Arc<RtInner>`).
+pub(crate) fn set_track_lane(tele: &WorkerTelemetry) {
+    TRACK_LANE.with(|c| c.set(tele as *const WorkerTelemetry));
+}
+
+/// Is the calling thread a track thread (offload/io engine)?
+#[inline]
+pub(crate) fn on_track_thread() -> bool {
+    TRACK_LANE.with(|c| !c.get().is_null())
+}
+
+/// The telemetry bundle the calling thread may emit to: its own track
+/// lane if it is a track thread, worker `widx`'s otherwise.
+#[inline]
+pub(crate) fn tele_for(rt: &crate::runtime::RtInner, widx: usize) -> &WorkerTelemetry {
+    TRACK_LANE.with(|c| {
+        let p = c.get();
+        if p.is_null() {
+            &rt.workers[widx].tele
+        } else {
+            // Safety: set only by track threads, pointing into
+            // `rt.tracks`, which outlives every track thread (they are
+            // joined before `RtInner` drops).
+            unsafe { &*p }
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -648,13 +746,25 @@ pub(crate) fn emit_current(
 /// export with [`to_chrome_trace`](TraceSession::to_chrome_trace).
 pub struct TraceSession {
     workers: Vec<Vec<TelemetryEvent>>,
+    /// Perfetto lane names, parallel to `workers`; missing entries fall
+    /// back to `worker {w}`.
+    lanes: Vec<String>,
     dropped: u64,
 }
 
 impl TraceSession {
-    /// Number of worker timelines (the runtime's worker count).
+    /// Number of timelines (CPU workers plus track threads).
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The Perfetto lane name of timeline `w` (`worker {w}` for CPU
+    /// workers, the track's name — `offload`, `io-0`, … — for tracks).
+    pub fn lane_name(&self, w: usize) -> String {
+        self.lanes
+            .get(w)
+            .cloned()
+            .unwrap_or_else(|| format!("worker {w}"))
     }
 
     /// The drained events of worker `w`, in recording order.
@@ -695,7 +805,7 @@ impl TraceSession {
                 out,
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{w},\
                  \"args\":{{\"name\":\"{}\"}}}}",
-                crate::record::json_escape(&format!("worker {w}"))
+                crate::record::json_escape(&self.lane_name(w))
             );
         }
         for (w, evs) in self.workers.iter().enumerate() {
@@ -965,6 +1075,7 @@ mod tests {
                     arg: 0,
                 }],
             ],
+            lanes: vec!["worker 0".into(), "offload".into()],
             dropped: 0,
         };
         let j = session.to_chrome_trace();
@@ -972,6 +1083,8 @@ mod tests {
         assert!(j.trim_end().ends_with("]}"));
         assert!(j.contains("\"tid\":0"));
         assert!(j.contains("\"tid\":1"));
+        assert!(j.contains("\"name\":\"worker 0\""));
+        assert!(j.contains("\"name\":\"offload\""));
         assert!(j.contains("\"ph\":\"B\""));
         assert!(j.contains("\"ph\":\"E\""));
         assert!(j.contains("\"ph\":\"i\""));

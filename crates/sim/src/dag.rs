@@ -15,7 +15,13 @@
 //!   list whose accesses are *serialized* (a virtual lock), the contention
 //!   point that collapses at fine grain;
 //! * [`DagPolicy::Static`] — PLASMA-static: a fixed task→core map, no
-//!   scheduling cost at all, progress-table waits.
+//!   scheduling cost at all, progress-table waits;
+//! * [`DagPolicy::Offload`] — an accelerator track (the runtime's
+//!   `OffloadEngine`): ready tasks feed a serialized launch engine that
+//!   groups them into batches, the first task of each batch paying the
+//!   kernel-launch latency, every task paying a per-task transfer cost;
+//!   cores model the device's parallel execution lanes and successors are
+//!   released by the asynchronous completion stream.
 
 use crate::platform::Platform;
 use std::cmp::Reverse;
@@ -188,6 +194,19 @@ pub enum DagPolicy {
         /// Task → core assignment.
         owner: Vec<u32>,
     },
+    /// Accelerator track: batched kernel launches behind a serialized
+    /// engine (the runtime's `OffloadEngine` model). Cores stand in for
+    /// the device's parallel execution lanes.
+    Offload {
+        /// Kernel-launch latency, paid once by the first task of each
+        /// batch (the remaining `batch − 1` tasks ride the same launch).
+        launch_ns: u64,
+        /// Launch batch size (tasks per kernel launch); clamped to ≥ 1.
+        batch: u64,
+        /// Per-task transfer cost (H2D upload + D2H commit), paid between
+        /// the launch and the task body.
+        transfer_ns: u64,
+    },
 }
 
 /// Result of a simulated schedule.
@@ -197,8 +216,11 @@ pub struct DagRun {
     pub makespan_ns: u64,
     /// Successful steals (work-stealing policy).
     pub steals: u64,
-    /// Time cores spent waiting on the serialized queue (central policy).
+    /// Time cores spent waiting on the serialized queue (central policy)
+    /// or the serialized launch engine (offload policy).
     pub queue_wait_ns: u64,
+    /// Kernel launches issued (offload policy).
+    pub launches: u64,
 }
 
 /// Simulate `dag` on `platform` under `policy`. Deterministic for a given
@@ -216,7 +238,12 @@ pub fn simulate_dag(platform: &Platform, dag: &TaskDag, policy: &DagPolicy, seed
     let mut local_q: Vec<VecDeque<u32>> = vec![VecDeque::new(); p];
     let mut central_q: VecDeque<u32> = VecDeque::new();
     let mut static_q: Vec<VecDeque<u32>> = vec![VecDeque::new(); p];
+    let mut device_q: VecDeque<u32> = VecDeque::new();
     let mut queue_free_at = 0u64;
+    // Offload launch engine: serialized availability + pops left in the
+    // batch opened by the last paid launch.
+    let mut engine_free_at = 0u64;
+    let mut batch_left = 0u64;
     let mut rng = seed | 1;
     let mut next_rand = move || {
         rng ^= rng << 13;
@@ -242,6 +269,7 @@ pub fn simulate_dag(platform: &Platform, dag: &TaskDag, policy: &DagPolicy, seed
                 }
             }
         }
+        DagPolicy::Offload { .. } => device_q.extend(initial.iter().copied()),
     }
     let mut ready_flag = vec![false; n];
     for &i in &initial {
@@ -260,7 +288,7 @@ pub fn simulate_dag(platform: &Platform, dag: &TaskDag, policy: &DagPolicy, seed
     let release_ns: u64 = match policy {
         DagPolicy::WorkStealing { spawn_ns, .. } => *spawn_ns,
         DagPolicy::CentralQueue { insert_ns, .. } => *insert_ns,
-        DagPolicy::Static { .. } => 0,
+        DagPolicy::Static { .. } | DagPolicy::Offload { .. } => 0,
     };
     // Start a task on a core at `start`.
     macro_rules! start_task {
@@ -366,6 +394,31 @@ pub fn simulate_dag(platform: &Platform, dag: &TaskDag, policy: &DagPolicy, seed
                                 }
                             }
                         }
+                        DagPolicy::Offload {
+                            launch_ns,
+                            batch,
+                            transfer_ns,
+                        } => {
+                            if device_q.is_empty() {
+                                continue;
+                            }
+                            // Serialized launch engine: the first task of
+                            // each batch pays the launch latency, the next
+                            // `batch − 1` pops ride the same launch.
+                            let access = engine_free_at.max(now);
+                            stats.queue_wait_ns += access - now;
+                            if batch_left == 0 {
+                                engine_free_at = access + launch_ns;
+                                stats.launches += 1;
+                                batch_left = (*batch).max(1);
+                            } else {
+                                engine_free_at = access;
+                            }
+                            batch_left -= 1;
+                            let t = device_q.pop_front().unwrap();
+                            start_task!(c as u32, t, engine_free_at + transfer_ns);
+                            dispatched = true;
+                        }
                     }
                 }
                 any |= dispatched;
@@ -407,6 +460,10 @@ pub fn simulate_dag(platform: &Platform, dag: &TaskDag, policy: &DagPolicy, seed
                         central_q.push_back(s);
                     }
                     DagPolicy::Static { .. } => {}
+                    // The asynchronous completion stream re-enters the
+                    // dataflow engine: successors become ready tasks on
+                    // the device queue when the completion drains.
+                    DagPolicy::Offload { .. } => device_q.push_back(s),
                 }
             }
         }
@@ -615,6 +672,52 @@ mod tests {
         let s = t1 as f64 / t48 as f64;
         assert!(s < 12.0, "bandwidth-bound speedup should saturate, got {s}");
         assert!(s > 3.0, "but it should still scale some, got {s}");
+    }
+
+    #[test]
+    fn offload_batching_amortizes_launch_latency() {
+        // Fine-grained independent tasks: with batch=1 every task pays the
+        // full launch latency on the serialized engine; batch=32 amortizes
+        // it 32×. Same DAG, same device.
+        let d = independent(4_800, 2_000);
+        let p = Platform::magny_cours(48);
+        let unbatched = DagPolicy::Offload {
+            launch_ns: 5_000,
+            batch: 1,
+            transfer_ns: 100,
+        };
+        let batched = DagPolicy::Offload {
+            launch_ns: 5_000,
+            batch: 32,
+            transfer_ns: 100,
+        };
+        let r1 = simulate_dag(&p, &d, &unbatched, 1);
+        let r32 = simulate_dag(&p, &d, &batched, 1);
+        assert_eq!(r1.launches, 4_800);
+        assert!(r32.launches < 200, "batched launches {}", r32.launches);
+        assert!(
+            r32.makespan_ns * 3 < r1.makespan_ns,
+            "batched {} vs unbatched {}",
+            r32.makespan_ns,
+            r1.makespan_ns
+        );
+    }
+
+    #[test]
+    fn offload_respects_dependencies_and_pays_transfers() {
+        // A chain cannot beat its critical path plus one launch + transfer
+        // per task (batching cannot help: each successor only becomes
+        // ready when the previous completion drains).
+        let d = chain(50, 10_000);
+        let p = Platform::magny_cours(8);
+        let off = DagPolicy::Offload {
+            launch_ns: 1_000,
+            batch: 8,
+            transfer_ns: 500,
+        };
+        let r = simulate_dag(&p, &d, &off, 1);
+        assert!(r.makespan_ns >= d.critical_path_ns() + 50 * 500);
+        assert_eq!(r.launches, 7, "one launch per 8-batch window");
     }
 
     #[test]

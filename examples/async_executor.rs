@@ -1,0 +1,95 @@
+//! A minimal hand-rolled async executor over the runtime's `future`
+//! adapter — the first real consumer of the default-on `future` feature.
+//!
+//! `JoinHandle<R>` implements `Future<Output = R>` with no reactor: the
+//! wake-up rides the existing `on_complete` callback path, so *any*
+//! executor can `.await` runtime work. This example shows the smallest
+//! possible one — `block_on` polls the future on the calling thread and
+//! parks between polls; the completion callback unparks it:
+//!
+//! * a single submit awaited to completion;
+//! * sequential composition (`await` one handle, submit from its result);
+//! * a fan-out of handles awaited in submission order while the pool
+//!   completes them in any order it likes.
+//!
+//! Run with `cargo run --release --example async_executor`.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+use xkaapi::core::Runtime;
+
+/// Park-based waker: `wake` unparks the thread sitting in [`block_on`].
+/// `std::thread::park` permits spurious returns, so `block_on` re-polls
+/// in a loop rather than trusting one unpark = one completion.
+struct Unpark(Thread);
+
+impl Wake for Unpark {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// The entire executor: poll, park until woken, poll again.
+fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = pin!(fut);
+    let waker = Waker::from(Arc::new(Unpark(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+fn busy(seed: u64, iters: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..iters {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+fn main() {
+    let rt = Runtime::new(4);
+
+    // 1. One submit, awaited.
+    let v = block_on(async { rt.submit(|_| 21u64).unwrap().await * 2 });
+    assert_eq!(v, 42);
+    println!("await one handle        -> {v}");
+
+    // 2. Sequential composition: the second job is built from the first
+    //    job's awaited result — async control flow over pool work.
+    let chained = block_on(async {
+        let a = rt.submit(|_| (0..=1000u64).sum::<u64>()).unwrap().await;
+        rt.submit(move |_| a / 715).unwrap().await
+    });
+    assert_eq!(chained, 700);
+    println!("sequential composition  -> {chained}");
+
+    // 3. Fan-out: submit first, await in submission order. The pool
+    //    finishes the handles in whatever order it likes; each `.await`
+    //    either returns immediately (already done) or parks until that
+    //    handle's completion wakes us.
+    let n = 256u64;
+    let handles: Vec<_> = (0..n)
+        .map(|i| rt.submit(move |_| busy(i, 10_000) & 0xff).unwrap())
+        .collect();
+    let sum = block_on(async {
+        let mut s = 0u64;
+        for h in handles {
+            s += h.await;
+        }
+        s
+    });
+    let expect: u64 = (0..n).map(|i| busy(i, 10_000) & 0xff).sum();
+    assert_eq!(sum, expect);
+    println!("fan-out of {n} handles  -> checksum {sum}");
+
+    println!("async executor over {} workers: ok", rt.num_workers());
+}

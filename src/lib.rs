@@ -31,6 +31,7 @@ pub use xkaapi_core::{
     DistanceMatrix, DistributedLanes, HandleId, HierarchicalVictim, JobBuilder, LocalityFirst,
     Partitioned, PerThiefStealing, Priority, PromotionPolicy, RecCtx, RecordStats, RecordedDag,
     Reduction, Region, RenamePolicy, ReplayTrace, Runtime, Shared, StatsSnapshot, StealPolicy,
-    SubmitError, TaskAttrs, TaskBuilder, TaskQueue, Topology, Tunables, UniformVictim,
-    VictimChoice, WorkItem,
+    SubmitError, TaskAttrs, TaskBuilder, TaskQueue, Topology, Track, TrackEngine, Tunables,
+    UniformVictim, VictimChoice, WorkItem,
 };
+pub use xkaapi_core::{JoinHandle, OffloadTunables};

@@ -1,5 +1,6 @@
 //! `XKAAPI_WORKERS` / `XKAAPI_GRAIN_FACTOR` / `XKAAPI_PARK_TIMEOUT_US` /
-//! `XKAAPI_STEAL_ROUNDS` / `XKAAPI_MAX_PENDING` / `XKAAPI_PIN` environment
+//! `XKAAPI_STEAL_ROUNDS` / `XKAAPI_MAX_PENDING` / `XKAAPI_PIN` /
+//! `XKAAPI_OFFLOAD_LATENCY_US` / `XKAAPI_IO_THREADS` environment
 //! overrides of
 //! [`xkaapi::core::Builder`]: the environment overrides *defaults* (so
 //! benches and examples built on `Runtime::builder().build()` are tunable
@@ -40,6 +41,13 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     assert_eq!(rt.tunables().steal_rounds_before_park, 32);
     assert_eq!(rt.tunables().inject.max_pending, 4096);
     assert!(!rt.tunables().pin_workers, "pinning defaults off");
+    assert_eq!(
+        rt.tunables().offload,
+        xkaapi::core::OffloadTunables::default(),
+        "track tunables default untouched"
+    );
+    assert_eq!(rt.tunables().offload.launch_latency_us, 20);
+    assert_eq!(rt.tunables().offload.io_threads, 2);
     drop(rt);
 
     // Single-threaded at this point (no other test in this binary, the
@@ -50,6 +58,8 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     std::env::set_var("XKAAPI_STEAL_ROUNDS", "7");
     std::env::set_var("XKAAPI_MAX_PENDING", "123");
     std::env::set_var("XKAAPI_PIN", "1");
+    std::env::set_var("XKAAPI_OFFLOAD_LATENCY_US", "77");
+    std::env::set_var("XKAAPI_IO_THREADS", "4");
 
     // Env overrides the defaults…
     let rt = Runtime::builder().build();
@@ -79,6 +89,16 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         "XKAAPI_MAX_PENDING must override"
     );
     assert!(rt.tunables().pin_workers, "XKAAPI_PIN must override");
+    assert_eq!(
+        rt.tunables().offload.launch_latency_us,
+        77,
+        "XKAAPI_OFFLOAD_LATENCY_US must override"
+    );
+    assert_eq!(
+        rt.tunables().offload.io_threads,
+        4,
+        "XKAAPI_IO_THREADS must override"
+    );
     // …and the overridden runtime still runs real work.
     let s = rt.foreach_reduce(0..1000, None, || 0u64, |a, i| *a += i as u64, |a, b| a + b);
     assert_eq!(s, 499_500);
@@ -96,6 +116,8 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
             on_full: xkaapi::core::OnFull::Reject,
         })
         .pin_workers(false)
+        .offload_launch_latency_us(9)
+        .io_threads(1)
         .build();
     assert_eq!(
         rt.num_workers(),
@@ -127,6 +149,16 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
         !rt.tunables().pin_workers,
         "explicit pin_workers(false) must beat XKAAPI_PIN=1"
     );
+    assert_eq!(
+        rt.tunables().offload.launch_latency_us,
+        9,
+        "explicit offload_launch_latency_us() must beat env"
+    );
+    assert_eq!(
+        rt.tunables().offload.io_threads,
+        1,
+        "explicit io_threads() must beat env"
+    );
     drop(rt);
 
     // Malformed values are ignored (with a warning), not fatal.
@@ -136,6 +168,8 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     std::env::set_var("XKAAPI_STEAL_ROUNDS", "lots");
     std::env::set_var("XKAAPI_MAX_PENDING", "0");
     std::env::set_var("XKAAPI_PIN", "maybe");
+    std::env::set_var("XKAAPI_OFFLOAD_LATENCY_US", "soon");
+    std::env::set_var("XKAAPI_IO_THREADS", "0");
     let rt = Runtime::builder().build();
     assert!(rt.num_workers() >= 1);
     assert_eq!(
@@ -161,6 +195,16 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     assert!(
         !rt.tunables().pin_workers,
         "junk XKAAPI_PIN must fall back to the default"
+    );
+    assert_eq!(
+        rt.tunables().offload.launch_latency_us,
+        20,
+        "junk XKAAPI_OFFLOAD_LATENCY_US must fall back to the default"
+    );
+    assert_eq!(
+        rt.tunables().offload.io_threads,
+        2,
+        "XKAAPI_IO_THREADS=0 is invalid (the io track needs a thread) and must fall back"
     );
     // An env-tuned runtime still runs real work (exercises the tuned
     // park path: tiny steal-round budget forces parking).
@@ -189,6 +233,8 @@ fn env_vars_override_defaults_but_not_explicit_settings() {
     std::env::remove_var("XKAAPI_STEAL_ROUNDS");
     std::env::remove_var("XKAAPI_MAX_PENDING");
     std::env::remove_var("XKAAPI_PIN");
+    std::env::remove_var("XKAAPI_OFFLOAD_LATENCY_US");
+    std::env::remove_var("XKAAPI_IO_THREADS");
 
     // XKAAPI_BENCH_TOLERANCE tunes the `smoke -- --check` regression gate
     // the same way: env overrides the default, junk falls back (the gate
